@@ -1,0 +1,80 @@
+//! The paper's Table I: which tasks each method can handle.
+
+use serde::{Deserialize, Serialize};
+
+/// The model names of Table I, in paper order.
+pub const MODEL_NAMES: [&str; 10] = [
+    "TransE", "RotatE", "ConvE", "MEAN", "GEN", "Neural LP", "RuleN", "Grail", "TACT",
+    "DEKG-ILP",
+];
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Capability {
+    /// Transductive link prediction.
+    pub transductive: bool,
+    /// Inductive prediction on a *common* emerging KG (edges to `G`
+    /// observed).
+    pub common_emerging: bool,
+    /// Enclosing links in a *disconnected* emerging KG.
+    pub dekg_enclosing: bool,
+    /// Bridging links in a disconnected emerging KG.
+    pub dekg_bridging: bool,
+}
+
+/// Looks up a model's Table I row.
+///
+/// # Panics
+/// If `name` is not one of [`MODEL_NAMES`].
+pub fn capability_of(name: &str) -> Capability {
+    let cap = |t, c, e, b| Capability {
+        transductive: t,
+        common_emerging: c,
+        dekg_enclosing: e,
+        dekg_bridging: b,
+    };
+    match name {
+        "TransE" | "RotatE" | "ConvE" => cap(true, false, false, false),
+        "MEAN" => cap(true, true, false, false),
+        "GEN" => cap(true, true, false, false),
+        "Neural LP" | "RuleN" | "Grail" | "TACT" => cap(true, true, true, false),
+        "DEKG-ILP" => cap(true, true, true, true),
+        other => panic!("unknown model {other:?} (Table I covers {MODEL_NAMES:?})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_dekg_ilp_handles_bridging() {
+        for name in MODEL_NAMES {
+            let c = capability_of(name);
+            assert_eq!(c.dekg_bridging, name == "DEKG-ILP", "{name}");
+        }
+    }
+
+    #[test]
+    fn every_model_is_transductive_capable() {
+        for name in MODEL_NAMES {
+            assert!(capability_of(name).transductive, "{name}");
+        }
+    }
+
+    #[test]
+    fn subgraph_and_rule_methods_handle_enclosing() {
+        for name in ["RuleN", "Grail", "TACT", "Neural LP", "DEKG-ILP"] {
+            assert!(capability_of(name).dekg_enclosing, "{name}");
+        }
+        for name in ["TransE", "RotatE", "ConvE", "MEAN", "GEN"] {
+            assert!(!capability_of(name).dekg_enclosing, "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_model_panics() {
+        capability_of("BERT");
+    }
+}

@@ -1,0 +1,282 @@
+//! ConvE (Dettmers et al., AAAI 2018): a 2D-convolutional decoder.
+//!
+//! The head and relation embeddings are reshaped into a stacked 2D
+//! "image", convolved, projected back to embedding space and matched
+//! against the tail embedding:
+//!
+//! ```text
+//! score = f(vec(f([h̄; r̄] ∗ ω)) W) · t
+//! ```
+//!
+//! The convolution is implemented with an `im2col` flat gather feeding a
+//! matmul, so it is fully differentiable through `dekg-tensor`.
+
+use crate::embed_common::{train_margin, EmbeddingConfig};
+use dekg_core::{InferenceGraph, LinkPredictor, TrainReport, TrainableModel};
+use dekg_datasets::DekgDataset;
+use dekg_kg::Triple;
+use dekg_tensor::{init, Graph, ParamId, ParamStore, Var};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// ConvE-specific hyperparameters on top of the shared embedding config.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConvEConfig {
+    /// Shared embedding training settings.
+    pub embed: EmbeddingConfig,
+    /// Rows of each reshaped embedding (`dim % reshape_rows == 0`).
+    pub reshape_rows: usize,
+    /// Number of convolution filters.
+    pub filters: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+}
+
+impl Default for ConvEConfig {
+    fn default() -> Self {
+        ConvEConfig {
+            embed: EmbeddingConfig::default(),
+            reshape_rows: 4,
+            filters: 4,
+            kernel: 3,
+        }
+    }
+}
+
+impl ConvEConfig {
+    /// Fast configuration for tests and scaled runs.
+    pub fn quick() -> Self {
+        ConvEConfig { embed: EmbeddingConfig::quick(), ..Self::default() }
+    }
+
+    /// Derived image geometry `(img_h, img_w, out_h, out_w)`.
+    fn geometry(&self) -> (usize, usize, usize, usize) {
+        let dim = self.embed.dim;
+        assert_eq!(dim % self.reshape_rows, 0, "dim must be divisible by reshape_rows");
+        let dh = self.reshape_rows;
+        let dw = dim / dh;
+        let img_h = 2 * dh; // head stacked over relation
+        let img_w = dw;
+        assert!(
+            img_h >= self.kernel && img_w >= self.kernel,
+            "kernel {k} larger than image {img_h}x{img_w}",
+            k = self.kernel
+        );
+        (img_h, img_w, img_h - self.kernel + 1, img_w - self.kernel + 1)
+    }
+}
+
+/// The ConvE baseline.
+#[derive(Debug)]
+pub struct ConvE {
+    cfg: ConvEConfig,
+    params: ParamStore,
+    entities: ParamId,
+    relations: ParamId,
+    filters: ParamId,
+    fc: ParamId,
+    /// Precomputed im2col offsets for the fixed image geometry.
+    im2col: Vec<usize>,
+}
+
+impl ConvE {
+    /// Allocates the model for `dataset`'s universe.
+    pub fn new(cfg: ConvEConfig, dataset: &DekgDataset, mut rng: &mut dyn RngCore) -> Self {
+        cfg.embed.validate();
+        let (img_h, img_w, out_h, out_w) = cfg.geometry();
+        let k = cfg.kernel;
+        let mut params = ParamStore::new();
+        let entities = params.insert(
+            "conve.entities",
+            init::xavier_uniform([dataset.num_entities(), cfg.embed.dim], &mut rng),
+        );
+        let relations = params.insert(
+            "conve.relations",
+            init::xavier_uniform([dataset.num_relations, cfg.embed.dim], &mut rng),
+        );
+        let filters =
+            params.insert("conve.filters", init::xavier_uniform([k * k, cfg.filters], &mut rng));
+        let fc = params.insert(
+            "conve.fc",
+            init::xavier_uniform([out_h * out_w * cfg.filters, cfg.embed.dim], &mut rng),
+        );
+
+        // im2col offsets: output position (y, x), kernel cell (ky, kx) →
+        // flat offset (y+ky)·img_w + (x+kx).
+        let mut im2col = Vec::with_capacity(out_h * out_w * k * k);
+        for y in 0..out_h {
+            for x in 0..out_w {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        im2col.push((y + ky) * img_w + (x + kx));
+                    }
+                }
+            }
+        }
+        debug_assert!(im2col.iter().all(|&o| o < img_h * img_w));
+
+        ConvE { cfg, params, entities, relations, filters, fc, im2col }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ConvEConfig {
+        &self.cfg
+    }
+}
+
+/// Scores one batch by running the conv decoder per triple and stacking.
+#[allow(clippy::too_many_arguments)]
+fn score_conve(
+    g: &mut Graph,
+    params: &ParamStore,
+    cfg: &ConvEConfig,
+    ids: (ParamId, ParamId, ParamId, ParamId),
+    im2col: &[usize],
+    triples: &[Triple],
+) -> Var {
+    let (entities, relations, filters_id, fc_id) = ids;
+    let (_, _, out_h, out_w) = cfg.geometry();
+    let k = cfg.kernel;
+    let dh = cfg.reshape_rows;
+    let dw = cfg.embed.dim / dh;
+
+    let ent = g.param(params, entities);
+    let rel = g.param(params, relations);
+    let filters = g.param(params, filters_id);
+    let fc = g.param(params, fc_id);
+
+    let mut scores = Vec::with_capacity(triples.len());
+    for t in triples {
+        let h_emb = g.gather_rows(ent, &[t.head.index()]);
+        let r_emb = g.gather_rows(rel, &[t.rel.index()]);
+        let h_img = g.reshape(h_emb, [dh, dw]);
+        let r_img = g.reshape(r_emb, [dh, dw]);
+        let img = g.concat_rows(&[h_img, r_img]); // [2dh, dw]
+        let col = g.gather_flat(img, im2col, [out_h * out_w, k * k]);
+        let conv = g.matmul(col, filters); // [P, C]
+        let conv_act = g.relu(conv);
+        let flat = g.reshape(conv_act, [1, out_h * out_w * cfg.filters]);
+        let proj = g.matmul(flat, fc); // [1, dim]
+        let proj_act = g.relu(proj);
+        let t_emb = g.gather_rows(ent, &[t.tail.index()]);
+        let prod = g.mul(proj_act, t_emb);
+        let score = g.sum_axis1(prod); // [1]
+        scores.push(score);
+    }
+    let stacked = g.concat_rows(&scores);
+    g.reshape(stacked, [triples.len()])
+}
+
+impl LinkPredictor for ConvE {
+    fn name(&self) -> &'static str {
+        "ConvE"
+    }
+
+    fn score_batch(&self, _graph: &InferenceGraph, triples: &[Triple]) -> Vec<f32> {
+        if triples.is_empty() {
+            return Vec::new();
+        }
+        let mut g = Graph::new();
+        let s = score_conve(
+            &mut g,
+            &self.params,
+            &self.cfg,
+            (self.entities, self.relations, self.filters, self.fc),
+            &self.im2col,
+            triples,
+        );
+        g.value(s).data().to_vec()
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.params.num_scalars()
+    }
+}
+
+impl TrainableModel for ConvE {
+    fn fit(&mut self, dataset: &DekgDataset, rng: &mut dyn RngCore) -> TrainReport {
+        let ids = (self.entities, self.relations, self.filters, self.fc);
+        let cfg = self.cfg.clone();
+        let im2col = self.im2col.clone();
+        let embed_cfg = cfg.embed.clone();
+        train_margin(
+            &mut self.params,
+            dataset,
+            &embed_cfg,
+            rng,
+            |g, params, triples, _| score_conve(g, params, &cfg, ids, &im2col, triples),
+            |_| {},
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dekg_datasets::{generate, DatasetProfile, RawKg, SplitKind, SynthConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_dataset(seed: u64) -> DekgDataset {
+        let profile = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Eq).scaled(0.015);
+        generate(&SynthConfig::for_profile(profile, seed))
+    }
+
+    fn fast_cfg() -> ConvEConfig {
+        ConvEConfig {
+            embed: EmbeddingConfig { epochs: 8, batch_size: 64, ..EmbeddingConfig::quick() },
+            ..ConvEConfig::quick()
+        }
+    }
+
+    #[test]
+    fn geometry_math() {
+        let cfg = ConvEConfig::quick(); // dim 16, rows 4 → image 8×4, k 3 → out 6×2
+        let (ih, iw, oh, ow) = cfg.geometry();
+        assert_eq!((ih, iw, oh, ow), (8, 4, 6, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn bad_reshape_rejected() {
+        let cfg = ConvEConfig {
+            embed: EmbeddingConfig { dim: 10, ..EmbeddingConfig::quick() },
+            reshape_rows: 4,
+            ..ConvEConfig::quick()
+        };
+        cfg.geometry();
+    }
+
+    #[test]
+    fn scoring_shapes_and_finiteness() {
+        let d = tiny_dataset(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let model = ConvE::new(fast_cfg(), &d, &mut rng);
+        let graph = InferenceGraph::from_dataset(&d);
+        let scores = model.score_batch(&graph, &d.original.triples()[..10]);
+        assert_eq!(scores.len(), 10);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn training_improves_loss() {
+        let d = tiny_dataset(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut model = ConvE::new(fast_cfg(), &d, &mut rng);
+        let report = model.fit(&d, &mut rng);
+        assert!(report.improved(), "{report:?}");
+    }
+
+    #[test]
+    fn conv_parameters_present() {
+        let d = tiny_dataset(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let cfg = fast_cfg();
+        let model = ConvE::new(cfg.clone(), &d, &mut rng);
+        let (_, _, oh, ow) = cfg.geometry();
+        let expected = (d.num_entities() + d.num_relations) * cfg.embed.dim // tables
+            + cfg.kernel * cfg.kernel * cfg.filters                          // filters
+            + oh * ow * cfg.filters * cfg.embed.dim; // fc
+        assert_eq!(model.num_parameters(), expected);
+    }
+}

@@ -1,0 +1,170 @@
+//! Shared margin-ranking training loop for the entity-identity
+//! embedding baselines (TransE, RotatE, ConvE, GEN).
+//!
+//! These models allocate embeddings for the *entire* entity universe
+//! `E ∪ E'` up front; training touches only original-KG rows (negatives
+//! are corrupted within `E`), so unseen entities keep their random
+//! initialization — exactly the paper's protocol for applying
+//! transductive methods inductively.
+
+use dekg_core::TrainReport;
+use dekg_datasets::{DekgDataset, NegativeSampler};
+use dekg_kg::Triple;
+use dekg_tensor::optim::{Adam, Optimizer};
+use dekg_tensor::{Graph, ParamStore, Var};
+use rand::seq::SliceRandom;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Hyperparameters shared by the embedding baselines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmbeddingConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Training epochs (the paper runs 1000; scaled runs use fewer).
+    pub epochs: usize,
+    /// Batch size.
+    pub batch_size: usize,
+    /// Ranking-loss margin.
+    pub margin: f32,
+    /// Negatives per positive.
+    pub neg_per_pos: usize,
+    /// Global-norm gradient clip.
+    pub grad_clip: f32,
+}
+
+impl Default for EmbeddingConfig {
+    fn default() -> Self {
+        EmbeddingConfig {
+            dim: 32,
+            lr: 0.01,
+            epochs: 1000,
+            batch_size: 128,
+            margin: 1.0,
+            neg_per_pos: 1,
+            grad_clip: 5.0,
+        }
+    }
+}
+
+impl EmbeddingConfig {
+    /// A fast configuration for tests and scaled experiments.
+    pub fn quick() -> Self {
+        EmbeddingConfig { dim: 16, epochs: 30, batch_size: 64, ..Self::default() }
+    }
+
+    /// Validates ranges.
+    ///
+    /// # Panics
+    /// On out-of-range values.
+    pub fn validate(&self) {
+        assert!(self.dim > 0 && self.epochs > 0 && self.batch_size > 0);
+        assert!(self.lr > 0.0 && self.margin >= 0.0 && self.grad_clip > 0.0);
+        assert!(self.neg_per_pos > 0);
+    }
+}
+
+/// Runs margin-ranking training, delegating the score computation to
+/// `score_fn(graph, params, triples, rng) -> [len] Var`.
+///
+/// `epoch_hook` runs after every epoch's optimizer steps — TransE uses
+/// it for its entity-norm projection; pass `|_| {}` when unneeded.
+pub(crate) fn train_margin<F, H>(
+    params: &mut ParamStore,
+    dataset: &DekgDataset,
+    cfg: &EmbeddingConfig,
+    rng: &mut dyn RngCore,
+    mut score_fn: F,
+    mut epoch_hook: H,
+) -> TrainReport
+where
+    F: FnMut(&mut Graph, &ParamStore, &[Triple], &mut dyn RngCore) -> Var,
+    H: FnMut(&mut ParamStore),
+{
+    let started = Instant::now();
+    let sampler = NegativeSampler::new(
+        0..dataset.num_original_entities as u32,
+        vec![&dataset.original],
+    );
+    let mut opt = Adam::new(cfg.lr);
+    let mut positives: Vec<Triple> = dataset.original.triples().to_vec();
+    let mut initial_loss = 0.0;
+    let mut final_loss = 0.0;
+
+    for epoch in 0..cfg.epochs {
+        positives.shuffle(&mut ShimRng(rng));
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for batch in positives.chunks(cfg.batch_size) {
+            let mut pos_rep = Vec::with_capacity(batch.len() * cfg.neg_per_pos);
+            let mut negs = Vec::with_capacity(batch.len() * cfg.neg_per_pos);
+            for t in batch {
+                for _ in 0..cfg.neg_per_pos {
+                    pos_rep.push(*t);
+                    negs.push(sampler.corrupt(t, &mut ShimRng(rng)));
+                }
+            }
+            let mut g = Graph::new();
+            let pos_scores = score_fn(&mut g, params, &pos_rep, rng);
+            let neg_scores = score_fn(&mut g, params, &negs, rng);
+            let loss = g.margin_ranking_loss(pos_scores, neg_scores, cfg.margin);
+            let loss_val = g.value(loss).item();
+            debug_assert!(loss_val.is_finite(), "non-finite embedding loss");
+            let mut grads = g.backward(loss);
+            grads.clip_global_norm(cfg.grad_clip);
+            opt.step(params, &grads);
+            epoch_loss += loss_val as f64;
+            batches += 1;
+        }
+        epoch_hook(params);
+        let mean = if batches > 0 { (epoch_loss / batches as f64) as f32 } else { 0.0 };
+        if epoch == 0 {
+            initial_loss = mean;
+        }
+        final_loss = mean;
+    }
+
+    TrainReport {
+        epochs: cfg.epochs,
+        final_loss,
+        initial_loss,
+        seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Projects every row of a rank-2 tensor onto the unit L2 sphere
+/// (rows with zero norm are left untouched). TransE's entity-embedding
+/// constraint (Bordes et al., 2013).
+pub(crate) fn normalize_rows(t: &mut dekg_tensor::Tensor) {
+    let (rows, _) = t.shape().as_matrix();
+    for i in 0..rows {
+        let row = t.row_mut(i);
+        let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in row {
+                *x /= norm;
+            }
+        }
+    }
+}
+
+/// Sized adapter over `&mut dyn RngCore` for APIs needing `impl Rng`.
+pub(crate) struct ShimRng<'a>(pub &'a mut dyn RngCore);
+
+impl RngCore for ShimRng<'_> {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.0.try_fill_bytes(dest)
+    }
+}

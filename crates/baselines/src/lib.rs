@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # dekg-baselines
+//!
+//! The comparison methods of the paper's evaluation (Table III roster
+//! plus the two additional Table I methods), implemented from scratch
+//! behind the shared
+//! [`dekg_core::LinkPredictor`]/[`dekg_core::TrainableModel`] interface:
+//!
+//! | Model | Family | DEKG behaviour |
+//! |---|---|---|
+//! | [`TransE`] | translational distance | unseen entities keep random init |
+//! | [`RotatE`] | complex rotation | unseen entities keep random init |
+//! | [`ConvE`] | CNN decoder | unseen entities keep random init |
+//! | [`Mean`] | GNN pooling over neighbors | no seen anchors in a DEKG → pooled randomness |
+//! | [`Gen`] | GNN extrapolation (meta-learned aggregation) | aggregation has no seen anchors → near-random unseen embeddings |
+//! | [`NeuralLp`] | differentiable rule learning | rule bodies need observed paths → no bridging signal |
+//! | [`RuleN`] | probabilistic rule mining | rules need observed paths → no bridging signal |
+//! | [`Grail`] | subgraph reasoning | enclosing-only (intersection extraction collapses on bridging links) |
+//! | [`Tact`] | subgraph + relation correlations | same topological limitation as GraIL |
+//!
+//! [`capability`] encodes the paper's Table I.
+
+pub mod capability;
+pub mod conve;
+mod embed_common;
+pub mod gen;
+pub mod grail;
+pub mod mean;
+pub mod neural_lp;
+pub mod rotate;
+pub mod rulen;
+mod subgraph_common;
+pub mod tact;
+pub mod transe;
+
+pub use capability::{capability_of, Capability, MODEL_NAMES};
+pub use conve::ConvE;
+pub use embed_common::EmbeddingConfig;
+pub use gen::Gen;
+pub use grail::Grail;
+pub use mean::Mean;
+pub use neural_lp::{NeuralLp, NeuralLpConfig};
+pub use rotate::RotatE;
+pub use rulen::RuleN;
+pub use subgraph_common::SubgraphModelConfig;
+pub use tact::Tact;
+pub use transe::TransE;

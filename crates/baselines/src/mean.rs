@@ -1,0 +1,240 @@
+//! MEAN (Hamaguchi et al., IJCAI 2017) — the original
+//! "out-of-knowledge-base entities" GNN: an unseen entity's embedding
+//! is the **plain mean pool** of `T(e_neighbor + r)` propagated from its
+//! neighbors, decoded translationally.
+//!
+//! MEAN predates GEN and is simpler: no relation-wise transform, no
+//! meta-learning episodes — a single shared propagation matrix. Its
+//! Table I row stops at *common* emerging KGs: the propagation needs
+//! edges from seen entities, which DEKGs do not have, so unseen-entity
+//! embeddings degrade to the pooled randomness of their (also unseen)
+//! neighbors.
+
+use crate::embed_common::{normalize_rows, train_margin, EmbeddingConfig, ShimRng};
+use dekg_core::{InferenceGraph, LinkPredictor, TrainReport, TrainableModel};
+use dekg_datasets::DekgDataset;
+use dekg_kg::adjacency::Orientation;
+use dekg_kg::{EntityId, Triple};
+use dekg_tensor::{init, Graph, ParamId, ParamStore, Var};
+use rand::{Rng, RngCore};
+
+/// Degree cap for pooling (deterministic prefix).
+const MAX_NEIGHBORS: usize = 16;
+
+/// Probability of simulating an endpoint as unseen during training.
+const SIMULATE_PROB: f64 = 0.5;
+
+/// The MEAN baseline.
+#[derive(Debug)]
+pub struct Mean {
+    cfg: EmbeddingConfig,
+    params: ParamStore,
+    entities: ParamId,
+    relations: ParamId,
+    /// The single shared propagation matrix `T`.
+    w_prop: ParamId,
+    num_original_entities: usize,
+}
+
+impl Mean {
+    /// Allocates the model for `dataset`'s universe.
+    pub fn new(cfg: EmbeddingConfig, dataset: &DekgDataset, mut rng: &mut dyn RngCore) -> Self {
+        cfg.validate();
+        let mut params = ParamStore::new();
+        let mut ent_init = init::xavier_uniform([dataset.num_entities(), cfg.dim], &mut rng);
+        normalize_rows(&mut ent_init);
+        let entities = params.insert("mean.entities", ent_init);
+        let relations = params.insert(
+            "mean.relations",
+            init::xavier_uniform([dataset.num_relations, cfg.dim], &mut rng),
+        );
+        let w_prop =
+            params.insert("mean.w_prop", init::xavier_uniform([cfg.dim, cfg.dim], &mut rng));
+        Mean {
+            cfg,
+            params,
+            entities,
+            relations,
+            w_prop,
+            num_original_entities: dataset.num_original_entities,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &EmbeddingConfig {
+        &self.cfg
+    }
+
+    /// Pools an unseen entity's embedding: `mean(T · (e_n ± r))` over
+    /// its neighbors; falls back to the stored row when isolated.
+    fn embed_entity(
+        &self,
+        g: &mut Graph,
+        params: &ParamStore,
+        graph: &InferenceGraph,
+        e: EntityId,
+        as_unseen: bool,
+    ) -> Var {
+        let ent = g.param(params, self.entities);
+        if !as_unseen {
+            return g.gather_rows(ent, &[e.index()]);
+        }
+        let neighbors = graph.adjacency.neighbors(e);
+        if neighbors.is_empty() {
+            return g.gather_rows(ent, &[e.index()]);
+        }
+        let rel = g.param(params, self.relations);
+        let w = g.param(params, self.w_prop);
+        let mut messages = Vec::with_capacity(neighbors.len().min(MAX_NEIGHBORS));
+        for n in neighbors.iter().take(MAX_NEIGHBORS) {
+            let n_emb = g.gather_rows(ent, &[n.entity.index()]);
+            let r_emb = g.gather_rows(rel, &[n.rel.index()]);
+            // Translation toward the pooled entity: e ≈ n + r when the
+            // neighbor is a head (n −r→ e), e ≈ n − r when a tail.
+            let shifted = match n.orientation {
+                Orientation::In => g.add(n_emb, r_emb),
+                Orientation::Out => g.sub(n_emb, r_emb),
+            };
+            messages.push(g.matmul(shifted, w));
+        }
+        let stacked = g.concat_rows(&messages);
+        let pooled = g.mean_axis0(stacked);
+        g.reshape(pooled, [1, self.cfg.dim])
+    }
+
+    fn score_var(
+        &self,
+        g: &mut Graph,
+        params: &ParamStore,
+        graph: &InferenceGraph,
+        triples: &[Triple],
+        simulate: bool,
+        rng: &mut dyn RngCore,
+    ) -> Var {
+        let rel = g.param(params, self.relations);
+        let mut rng = ShimRng(rng);
+        let mut scores = Vec::with_capacity(triples.len());
+        for t in triples {
+            let head_unseen = if simulate {
+                rng.gen_bool(SIMULATE_PROB)
+            } else {
+                t.head.index() >= self.num_original_entities
+            };
+            let tail_unseen = if simulate {
+                rng.gen_bool(SIMULATE_PROB)
+            } else {
+                t.tail.index() >= self.num_original_entities
+            };
+            let h = self.embed_entity(g, params, graph, t.head, head_unseen);
+            let ta = self.embed_entity(g, params, graph, t.tail, tail_unseen);
+            let r = g.gather_rows(rel, &[t.rel.index()]);
+            let hr = g.add(h, r);
+            let dist = g.rowwise_dist(hr, ta);
+            let s = g.neg(dist);
+            scores.push(g.reshape(s, [1, 1]));
+        }
+        let stacked = g.concat_rows(&scores);
+        g.reshape(stacked, [triples.len()])
+    }
+}
+
+impl LinkPredictor for Mean {
+    fn name(&self) -> &'static str {
+        "MEAN"
+    }
+
+    fn score_batch(&self, graph: &InferenceGraph, triples: &[Triple]) -> Vec<f32> {
+        if triples.is_empty() {
+            return Vec::new();
+        }
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let mut g = Graph::new();
+        let s = self.score_var(&mut g, &self.params, graph, triples, false, &mut rng);
+        g.value(s).data().to_vec()
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.params.num_scalars()
+    }
+}
+
+impl TrainableModel for Mean {
+    fn fit(&mut self, dataset: &DekgDataset, rng: &mut dyn RngCore) -> TrainReport {
+        let train_graph = InferenceGraph::training_view(dataset);
+        let cfg = self.cfg.clone();
+        let mut params = std::mem::take(&mut self.params);
+        let this: &Mean = self;
+        let report = train_margin(
+            &mut params,
+            dataset,
+            &cfg,
+            rng,
+            |g, params, triples, rng| this.score_var(g, params, &train_graph, triples, true, rng),
+            |params| normalize_rows(params.get_mut(this.entities)),
+        );
+        self.params = params;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dekg_datasets::{generate, DatasetProfile, RawKg, SplitKind, SynthConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_dataset(seed: u64) -> DekgDataset {
+        let profile = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Eq).scaled(0.015);
+        generate(&SynthConfig::for_profile(profile, seed))
+    }
+
+    fn fast_cfg() -> EmbeddingConfig {
+        EmbeddingConfig { epochs: 20, batch_size: 64, ..EmbeddingConfig::quick() }
+    }
+
+    #[test]
+    fn training_improves_loss() {
+        let d = tiny_dataset(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut model = Mean::new(fast_cfg(), &d, &mut rng);
+        let report = model.fit(&d, &mut rng);
+        assert!(report.improved(), "{report:?}");
+    }
+
+    #[test]
+    fn scores_finite_on_all_classes() {
+        let d = tiny_dataset(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let model = Mean::new(fast_cfg(), &d, &mut rng);
+        let graph = InferenceGraph::from_dataset(&d);
+        for batch in [&d.test_enclosing[..3], &d.test_bridging[..3]] {
+            assert!(model.score_batch(&graph, batch).iter().all(|s| s.is_finite()));
+        }
+    }
+
+    #[test]
+    fn fewer_parameters_than_gen() {
+        // MEAN's single propagation matrix vs GEN's per-relation stack.
+        let d = tiny_dataset(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mean = Mean::new(fast_cfg(), &d, &mut rng);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(0);
+        let gen = crate::gen::Gen::new(fast_cfg(), &d, &mut rng2);
+        assert!(mean.num_parameters() < gen.num_parameters());
+    }
+
+    #[test]
+    fn isolated_unseen_falls_back_to_init() {
+        let d = tiny_dataset(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let model = Mean::new(fast_cfg(), &d, &mut rng);
+        let train_graph = InferenceGraph::training_view(&d);
+        let unseen = EntityId(d.num_original_entities as u32);
+        let mut g = Graph::new();
+        let e = model.embed_entity(&mut g, &model.params, &train_graph, unseen, true);
+        let stored = model.params.get(model.entities).row(unseen.index()).to_vec();
+        assert_eq!(g.value(e).row(0), &stored[..]);
+    }
+}

@@ -1,0 +1,398 @@
+//! Neural LP (Yang et al., NIPS 2017) — differentiable rule learning,
+//! reduced to its load-bearing mechanism at this scale: for every head
+//! relation the model learns soft attention over candidate rule bodies
+//! (single atoms, inverse atoms and length-2 paths à la TensorLog),
+//! and the score of `(h, r, t)` is the attention-weighted count of
+//! body instantiations observed between `h` and `t`:
+//!
+//! ```text
+//! score(h, r, t) = Σ_b softmax(α_r)_b · #matches(b, h, t)
+//! ```
+//!
+//! Unlike RuleN's hard mined confidences, the body weights are learned
+//! end-to-end by gradient descent on the margin ranking loss — the
+//! "differentiable" in differentiable rule learning. Like every
+//! rule-based method, bodies require observed connectivity, so bridging
+//! links score (near) zero: Table I's ✗ for DEKG bridging.
+
+use crate::embed_common::ShimRng;
+use dekg_core::{InferenceGraph, LinkPredictor, TrainReport, TrainableModel};
+use dekg_datasets::{DekgDataset, NegativeSampler};
+use dekg_kg::adjacency::Orientation;
+use dekg_kg::{Adjacency, RelationId, Triple};
+use dekg_tensor::optim::{Adam, Optimizer};
+use dekg_tensor::{Graph, ParamId, ParamStore, Tensor};
+use rand::seq::SliceRandom;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A soft rule body (the same shapes RuleN mines, but weighted softly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+enum SoftBody {
+    /// `r'(x, y)`.
+    Same(RelationId),
+    /// `r'(y, x)`.
+    Inverse(RelationId),
+    /// `r₁(x, z) ∧ r₂(z, y)` with orientation flags.
+    Path(RelationId, bool, RelationId, bool),
+}
+
+/// Hyperparameters for Neural LP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NeuralLpConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Batch size.
+    pub batch_size: usize,
+    /// Ranking-loss margin.
+    pub margin: f32,
+    /// Keep only bodies co-occurring with the head relation at least
+    /// this many times (pre-filter, like Neural LP's beam).
+    pub min_cooccurrence: usize,
+    /// Cap on candidate bodies per head relation.
+    pub max_bodies_per_relation: usize,
+    /// Path-enumeration budget per entity during body discovery.
+    pub max_paths_per_entity: usize,
+}
+
+impl Default for NeuralLpConfig {
+    fn default() -> Self {
+        NeuralLpConfig {
+            lr: 0.05,
+            epochs: 20,
+            batch_size: 128,
+            margin: 1.0,
+            min_cooccurrence: 2,
+            max_bodies_per_relation: 64,
+            max_paths_per_entity: 512,
+        }
+    }
+}
+
+/// The Neural LP baseline.
+#[derive(Debug)]
+pub struct NeuralLp {
+    cfg: NeuralLpConfig,
+    params: ParamStore,
+    /// Candidate bodies per head relation (index-aligned with the
+    /// attention logits parameter of that relation).
+    bodies: HashMap<RelationId, Vec<SoftBody>>,
+    /// Attention logits `α_r`, one parameter tensor per head relation.
+    logits: HashMap<RelationId, ParamId>,
+}
+
+impl NeuralLp {
+    /// An empty (untrained) model.
+    pub fn new(cfg: NeuralLpConfig) -> Self {
+        NeuralLp { cfg, params: ParamStore::new(), bodies: HashMap::new(), logits: HashMap::new() }
+    }
+
+    /// Number of candidate bodies across all relations.
+    pub fn num_bodies(&self) -> usize {
+        self.bodies.values().map(Vec::len).sum()
+    }
+
+    /// Counts instantiations of `body` between `(h, t)` in `adj`.
+    fn count_matches(adj: &Adjacency, body: &SoftBody, t: &Triple) -> f32 {
+        match *body {
+            SoftBody::Same(r) => adj
+                .neighbors(t.head)
+                .iter()
+                .filter(|n| {
+                    n.rel == r && n.orientation == Orientation::Out && n.entity == t.tail
+                })
+                .count() as f32,
+            SoftBody::Inverse(r) => adj
+                .neighbors(t.head)
+                .iter()
+                .filter(|n| n.rel == r && n.orientation == Orientation::In && n.entity == t.tail)
+                .count() as f32,
+            SoftBody::Path(r1, rev1, r2, rev2) => dekg_kg::paths::count_two_paths_between(
+                adj, t.head, t.tail, r1, rev1, r2, rev2,
+            ) as f32,
+        }
+    }
+
+    /// The body-feature vector of a triple for one head relation.
+    fn features(&self, adj: &Adjacency, rel: RelationId, t: &Triple) -> Vec<f32> {
+        let bodies = self.bodies.get(&rel).map(Vec::as_slice).unwrap_or(&[]);
+        bodies
+            .iter()
+            .map(|b| {
+                // The head atom itself may not serve as its own body.
+                if *b == SoftBody::Same(rel) {
+                    0.0
+                } else {
+                    Self::count_matches(adj, b, t).min(8.0) // saturate heavy hubs
+                }
+            })
+            .collect()
+    }
+
+    /// Discovers candidate bodies per head relation by co-occurrence.
+    fn discover_bodies(&mut self, dataset: &DekgDataset, adj: &Adjacency) {
+        let store = &dataset.original;
+        let mut cooc: HashMap<(RelationId, SoftBody), usize> = HashMap::new();
+        for t in store.triples() {
+            // Single-atom bodies observed between (h, t).
+            for n in adj.neighbors(t.head) {
+                if n.entity != t.tail {
+                    continue;
+                }
+                let b = match n.orientation {
+                    Orientation::Out => SoftBody::Same(n.rel),
+                    Orientation::In => SoftBody::Inverse(n.rel),
+                };
+                if b != SoftBody::Same(t.rel) {
+                    *cooc.entry((t.rel, b)).or_default() += 1;
+                }
+            }
+            // Path bodies: bounded walk from the head.
+            dekg_kg::paths::walk_two_paths(&adj, t.head, self.cfg.max_paths_per_entity, |p| {
+                if p.end == t.tail {
+                    let b = SoftBody::Path(p.r1, p.rev1, p.r2, p.rev2);
+                    *cooc.entry((t.rel, b)).or_default() += 1;
+                }
+            });
+        }
+        // Keep the most frequent bodies per relation.
+        let mut grouped: HashMap<RelationId, Vec<(SoftBody, usize)>> = HashMap::new();
+        for ((rel, body), count) in cooc {
+            if count >= self.cfg.min_cooccurrence {
+                grouped.entry(rel).or_default().push((body, count));
+            }
+        }
+        self.bodies.clear();
+        for (rel, mut bodies) in grouped {
+            bodies.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0))));
+            bodies.truncate(self.cfg.max_bodies_per_relation);
+            self.bodies.insert(rel, bodies.into_iter().map(|(b, _)| b).collect());
+        }
+    }
+}
+
+impl LinkPredictor for NeuralLp {
+    fn name(&self) -> &'static str {
+        "Neural LP"
+    }
+
+    fn score_batch(&self, graph: &InferenceGraph, triples: &[Triple]) -> Vec<f32> {
+        triples
+            .iter()
+            .map(|t| {
+                let Some(logit_id) = self.logits.get(&t.rel) else {
+                    return 0.0;
+                };
+                let feats = self.features(&graph.adjacency, t.rel, t);
+                if feats.iter().all(|&x| x == 0.0) {
+                    return 0.0;
+                }
+                // softmax(α) · features, computed directly (no tape).
+                let logits = self.params.get(*logit_id).data();
+                let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+                let z: f32 = exps.iter().sum();
+                feats
+                    .iter()
+                    .zip(&exps)
+                    .map(|(&f, &e)| f * e / z)
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.params.num_scalars()
+    }
+}
+
+impl TrainableModel for NeuralLp {
+    fn fit(&mut self, dataset: &DekgDataset, rng: &mut dyn RngCore) -> TrainReport {
+        let started = Instant::now();
+        let adj = Adjacency::from_store(&dataset.original, dataset.num_entities());
+        self.discover_bodies(dataset, &adj);
+
+        // One attention-logit vector per relation with bodies.
+        self.params = ParamStore::new();
+        self.logits.clear();
+        let mut rels: Vec<RelationId> = self.bodies.keys().copied().collect();
+        rels.sort();
+        for rel in rels {
+            let n = self.bodies[&rel].len();
+            let id = self.params.insert(format!("neurallp.alpha.{}", rel.index()), Tensor::zeros([1, n]));
+            self.logits.insert(rel, id);
+        }
+
+        let sampler = NegativeSampler::new(
+            0..dataset.num_original_entities as u32,
+            vec![&dataset.original],
+        );
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut positives: Vec<Triple> = dataset
+            .original
+            .triples()
+            .iter()
+            .copied()
+            .filter(|t| self.logits.contains_key(&t.rel))
+            .collect();
+
+        let mut initial_loss = 0.0;
+        let mut final_loss = 0.0;
+        for epoch in 0..self.cfg.epochs {
+            positives.shuffle(&mut ShimRng(rng));
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            for batch in positives.chunks(self.cfg.batch_size) {
+                let mut g = Graph::new();
+                let mut pos_scores = Vec::new();
+                let mut neg_scores = Vec::new();
+                for t in batch {
+                    let neg = sampler.corrupt(t, &mut ShimRng(rng));
+                    let logit_id = self.logits[&t.rel];
+                    let logits = g.param(&self.params, logit_id);
+                    // softmax over bodies (1 x n).
+                    let max_shift = g.add_scalar(logits, 0.0);
+                    let e = g.exp(max_shift);
+                    let z = g.sum_axis1(e); // [1]
+                    let pos_f = g.constant(Tensor::from_vec(
+                        [1, self.bodies[&t.rel].len()],
+                        self.features(&adj, t.rel, t),
+                    ));
+                    let neg_f = g.constant(Tensor::from_vec(
+                        [1, self.bodies[&t.rel].len()],
+                        self.features(&adj, t.rel, &neg),
+                    ));
+                    let pos_dot = {
+                        let prod = g.mul(e, pos_f);
+                        let s = g.sum_axis1(prod);
+                        g.div(s, z)
+                    };
+                    let neg_dot = {
+                        let prod = g.mul(e, neg_f);
+                        let s = g.sum_axis1(prod);
+                        g.div(s, z)
+                    };
+                    pos_scores.push(pos_dot);
+                    neg_scores.push(neg_dot);
+                }
+                if pos_scores.is_empty() {
+                    continue;
+                }
+                let pos = g.concat_rows(&pos_scores);
+                let neg = g.concat_rows(&neg_scores);
+                let loss = g.margin_ranking_loss(pos, neg, self.cfg.margin);
+                let loss_val = g.value(loss).item();
+                let grads = g.backward(loss);
+                opt.step(&mut self.params, &grads);
+                epoch_loss += loss_val as f64;
+                batches += 1;
+            }
+            let mean = if batches > 0 { (epoch_loss / batches as f64) as f32 } else { 0.0 };
+            if epoch == 0 {
+                initial_loss = mean;
+            }
+            final_loss = mean;
+        }
+
+        TrainReport {
+            epochs: self.cfg.epochs,
+            final_loss,
+            initial_loss,
+            seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dekg_datasets::{generate, DatasetProfile, RawKg, SplitKind, SynthConfig};
+    use dekg_kg::TripleStore;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// r1(x,y) → r0(x,y) holds perfectly (same fixture as RuleN's).
+    fn implication_dataset() -> DekgDataset {
+        let mut vocab = dekg_kg::Vocab::new();
+        for i in 0..8 {
+            vocab.intern_entity(&format!("g{i}"));
+        }
+        for i in 0..4 {
+            vocab.intern_entity(&format!("p{i}"));
+        }
+        vocab.intern_relation("r0");
+        vocab.intern_relation("r1");
+        let mut triples = Vec::new();
+        for i in 0..4u32 {
+            triples.push(Triple::from_raw(2 * i, 1, 2 * i + 1));
+            triples.push(Triple::from_raw(2 * i, 0, 2 * i + 1));
+        }
+        DekgDataset {
+            name: "implication".into(),
+            vocab,
+            num_original_entities: 8,
+            num_relations: 2,
+            original: TripleStore::from_triples(triples),
+            emerging: TripleStore::from_triples([
+                Triple::from_raw(8, 1, 9),
+                Triple::from_raw(10, 1, 11),
+            ]),
+            valid: vec![],
+            test_enclosing: vec![Triple::from_raw(8, 0, 9)],
+            test_bridging: vec![Triple::from_raw(0, 0, 8)],
+        }
+    }
+
+    #[test]
+    fn learns_the_implication_rule() {
+        let d = implication_dataset();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut model = NeuralLp::new(NeuralLpConfig::default());
+        let report = model.fit(&d, &mut rng);
+        assert!(model.num_bodies() > 0, "no bodies discovered");
+        assert!(report.final_loss.is_finite());
+
+        let graph = InferenceGraph::from_dataset(&d);
+        // The enclosing truth's body r1(8,9) is observed → high score.
+        let s_true = model.score(&graph, &d.test_enclosing[0]);
+        // A corrupted enclosing link has no body → lower score.
+        let s_false = model.score(&graph, &Triple::from_raw(8, 0, 10));
+        assert!(s_true > s_false, "{s_true} vs {s_false}");
+    }
+
+    #[test]
+    fn bridging_links_score_zero() {
+        let d = implication_dataset();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut model = NeuralLp::new(NeuralLpConfig::default());
+        model.fit(&d, &mut rng);
+        let graph = InferenceGraph::from_dataset(&d);
+        assert_eq!(model.score(&graph, &d.test_bridging[0]), 0.0);
+    }
+
+    #[test]
+    fn trains_on_synthetic_data() {
+        let profile = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Eq).scaled(0.05);
+        let d = generate(&SynthConfig::for_profile(profile, 3));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut model = NeuralLp::new(NeuralLpConfig { epochs: 5, ..Default::default() });
+        let report = model.fit(&d, &mut rng);
+        assert!(model.num_bodies() > 0);
+        assert!(report.seconds >= 0.0);
+        let graph = InferenceGraph::from_dataset(&d);
+        let scores = model.score_batch(&graph, &d.test_enclosing[..5]);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn untrained_scores_zero() {
+        let d = implication_dataset();
+        let model = NeuralLp::new(NeuralLpConfig::default());
+        let graph = InferenceGraph::from_dataset(&d);
+        assert_eq!(model.score(&graph, &d.test_enclosing[0]), 0.0);
+    }
+}

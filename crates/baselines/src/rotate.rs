@@ -1,0 +1,203 @@
+//! RotatE (Sun et al., ICLR 2019): relations as rotations in complex
+//! space — `score = −‖h ∘ r − t‖` with `|r_i| = 1` enforced by storing
+//! relation *phases*.
+
+use crate::embed_common::{train_margin, EmbeddingConfig};
+use dekg_core::{InferenceGraph, LinkPredictor, TrainReport, TrainableModel};
+use dekg_datasets::DekgDataset;
+use dekg_kg::Triple;
+use dekg_tensor::{init, Graph, ParamId, ParamStore, Var};
+use rand::RngCore;
+
+/// The RotatE baseline. Entities are complex vectors stored as separate
+/// real/imaginary tables; relations are phase vectors `θ` applied as
+/// `e^{iθ}` rotations.
+#[derive(Debug)]
+pub struct RotatE {
+    cfg: EmbeddingConfig,
+    params: ParamStore,
+    ent_re: ParamId,
+    ent_im: ParamId,
+    rel_phase: ParamId,
+}
+
+impl RotatE {
+    /// Allocates embeddings for the full entity universe.
+    pub fn new(cfg: EmbeddingConfig, dataset: &DekgDataset, mut rng: &mut dyn RngCore) -> Self {
+        cfg.validate();
+        let mut params = ParamStore::new();
+        let n = dataset.num_entities();
+        let ent_re =
+            params.insert("rotate.ent_re", init::xavier_uniform([n, cfg.dim], &mut rng));
+        let ent_im =
+            params.insert("rotate.ent_im", init::xavier_uniform([n, cfg.dim], &mut rng));
+        let rel_phase = params.insert(
+            "rotate.rel_phase",
+            init::uniform(
+                [dataset.num_relations, cfg.dim],
+                -std::f32::consts::PI,
+                std::f32::consts::PI,
+                &mut rng,
+            ),
+        );
+        RotatE { cfg, params, ent_re, ent_im, rel_phase }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &EmbeddingConfig {
+        &self.cfg
+    }
+}
+
+/// Complex rotation score: `−sqrt(‖re(h∘r−t)‖² + ‖im(h∘r−t)‖²)` rowwise.
+fn score_rotate(
+    g: &mut Graph,
+    params: &ParamStore,
+    ids: (ParamId, ParamId, ParamId),
+    triples: &[Triple],
+) -> Var {
+    let (ent_re_id, ent_im_id, rel_phase_id) = ids;
+    let heads: Vec<usize> = triples.iter().map(|t| t.head.index()).collect();
+    let rels: Vec<usize> = triples.iter().map(|t| t.rel.index()).collect();
+    let tails: Vec<usize> = triples.iter().map(|t| t.tail.index()).collect();
+
+    let ent_re = g.param(params, ent_re_id);
+    let ent_im = g.param(params, ent_im_id);
+    let phase = g.param(params, rel_phase_id);
+
+    let h_re = g.gather_rows(ent_re, &heads);
+    let h_im = g.gather_rows(ent_im, &heads);
+    let t_re = g.gather_rows(ent_re, &tails);
+    let t_im = g.gather_rows(ent_im, &tails);
+    let theta = g.gather_rows(phase, &rels);
+    let cos = g.cos(theta);
+    let sin = g.sin(theta);
+
+    // (h_re + i·h_im)(cos + i·sin) = (h_re·cos − h_im·sin) + i(h_re·sin + h_im·cos)
+    let rr = g.mul(h_re, cos);
+    let ii = g.mul(h_im, sin);
+    let rot_re = g.sub(rr, ii);
+    let ri = g.mul(h_re, sin);
+    let ir = g.mul(h_im, cos);
+    let rot_im = g.add(ri, ir);
+
+    let d_re = g.sub(rot_re, t_re);
+    let d_im = g.sub(rot_im, t_im);
+    let sq_re = g.square(d_re);
+    let sq_im = g.square(d_im);
+    let sq = g.add(sq_re, sq_im);
+    let row_sq = g.sum_axis1(sq);
+    let eps = g.add_scalar(row_sq, 1e-12);
+    let dist = g.sqrt(eps);
+    g.neg(dist)
+}
+
+impl LinkPredictor for RotatE {
+    fn name(&self) -> &'static str {
+        "RotatE"
+    }
+
+    fn score_batch(&self, _graph: &InferenceGraph, triples: &[Triple]) -> Vec<f32> {
+        if triples.is_empty() {
+            return Vec::new();
+        }
+        let mut g = Graph::new();
+        let s = score_rotate(
+            &mut g,
+            &self.params,
+            (self.ent_re, self.ent_im, self.rel_phase),
+            triples,
+        );
+        g.value(s).data().to_vec()
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.params.num_scalars()
+    }
+}
+
+impl TrainableModel for RotatE {
+    fn fit(&mut self, dataset: &DekgDataset, rng: &mut dyn RngCore) -> TrainReport {
+        let ids = (self.ent_re, self.ent_im, self.rel_phase);
+        let cfg = self.cfg.clone();
+        train_margin(
+            &mut self.params,
+            dataset,
+            &cfg,
+            rng,
+            |g, params, triples, _| score_rotate(g, params, ids, triples),
+            |_| {},
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dekg_datasets::{generate, DatasetProfile, RawKg, SplitKind, SynthConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_dataset(seed: u64) -> DekgDataset {
+        let profile = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Eq).scaled(0.02);
+        generate(&SynthConfig::for_profile(profile, seed))
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        // |h ∘ r| = |h| for unit rotations: score of (h, r, h-rotated)
+        // should be ~0 when t equals the rotated head. We check the
+        // weaker invariant that scoring runs and is finite.
+        let d = tiny_dataset(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let model = RotatE::new(EmbeddingConfig::quick(), &d, &mut rng);
+        let graph = InferenceGraph::from_dataset(&d);
+        let scores = model.score_batch(&graph, d.original.triples());
+        assert!(scores.iter().all(|s| s.is_finite() && *s <= 0.0));
+    }
+
+    #[test]
+    fn training_improves_loss() {
+        let d = tiny_dataset(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut model = RotatE::new(EmbeddingConfig::quick(), &d, &mut rng);
+        let report = model.fit(&d, &mut rng);
+        assert!(report.improved(), "{report:?}");
+    }
+
+    #[test]
+    fn parameter_count_doubles_entities() {
+        let d = tiny_dataset(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let cfg = EmbeddingConfig::quick();
+        let model = RotatE::new(cfg.clone(), &d, &mut rng);
+        assert_eq!(
+            model.num_parameters(),
+            (2 * d.num_entities() + d.num_relations) * cfg.dim
+        );
+    }
+
+    #[test]
+    fn identity_rotation_matches_translation_free_distance() {
+        // Zero phases → score(h, r, t) = −‖h − t‖ in complex space.
+        let d = tiny_dataset(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut model = RotatE::new(EmbeddingConfig::quick(), &d, &mut rng);
+        let phase = model.params.id_of("rotate.rel_phase").unwrap();
+        for x in model.params.get_mut(phase).data_mut() {
+            *x = 0.0;
+        }
+        let graph = InferenceGraph::from_dataset(&d);
+        let t = d.original.triples()[0];
+        let s = model.score(&graph, &t);
+        let re = model.params.get(model.ent_re);
+        let im = model.params.get(model.ent_im);
+        let mut sq = 0.0f32;
+        for k in 0..model.cfg.dim {
+            let dr = re.at(&[t.head.index(), k]) - re.at(&[t.tail.index(), k]);
+            let di = im.at(&[t.head.index(), k]) - im.at(&[t.tail.index(), k]);
+            sq += dr * dr + di * di;
+        }
+        assert!((s + sq.sqrt()).abs() < 1e-4);
+    }
+}

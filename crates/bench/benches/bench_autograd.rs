@@ -1,0 +1,123 @@
+//! Microbenchmarks for the autograd substrate: matmul forward +
+//! backward, gather/scatter, and a full optimizer step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dekg_tensor::optim::{Adam, Optimizer};
+use dekg_tensor::{init, Graph, ParamStore, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("autograd_matmul");
+    for n in [32usize, 64, 128] {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut ps = ParamStore::new();
+        let a = ps.insert("a", init::xavier_uniform([n, n], &mut rng));
+        let b_t = init::xavier_uniform([n, n], &mut rng);
+        group.bench_with_input(BenchmarkId::new("forward_backward", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut g = Graph::new();
+                let av = g.param(&ps, a);
+                let bv = g.constant(b_t.clone());
+                let prod = g.matmul(av, bv);
+                let loss = g.sum_all(prod);
+                black_box(g.backward(loss));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gather_scatter(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut ps = ParamStore::new();
+    let table = ps.insert("t", init::xavier_uniform([1000, 32], &mut rng));
+    let idx: Vec<usize> = (0..256).map(|i| (i * 37) % 1000).collect();
+    c.bench_function("gather_scatter_roundtrip", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let t = g.param(&ps, table);
+            let rows = g.gather_rows(t, &idx);
+            let agg = g.scatter_add_rows(rows, &idx, 1000);
+            let loss = g.sum_all(agg);
+            black_box(g.backward(loss));
+        });
+    });
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    // A representative two-layer MLP step, the shape of one GSM layer.
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut ps = ParamStore::new();
+    let w1 = ps.insert("w1", init::xavier_uniform([64, 32], &mut rng));
+    let w2 = ps.insert("w2", init::xavier_uniform([32, 1], &mut rng));
+    let x = init::normal([128, 64], 0.0, 1.0, &mut rng);
+    let y = init::normal([128, 1], 0.0, 1.0, &mut rng);
+    c.bench_function("mlp_training_step", |b| {
+        let mut opt = Adam::new(0.01);
+        b.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let w1v = g.param(&ps, w1);
+            let h = g.matmul(xv, w1v);
+            let hr = g.relu(h);
+            let w2v = g.param(&ps, w2);
+            let out = g.matmul(hr, w2v);
+            let yv = g.constant(y.clone());
+            let d = g.sub(out, yv);
+            let sq = g.square(d);
+            let loss = g.mean_all(sq);
+            let grads = g.backward(loss);
+            opt.step(&mut ps, &grads);
+            black_box(());
+        });
+    });
+}
+
+fn bench_elementwise_chain(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let x = init::normal([4096], 0.0, 1.0, &mut rng);
+    c.bench_function("elementwise_chain_4096", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let v = g.constant(x.clone());
+            let s = g.sigmoid(v);
+            let t = g.tanh(s);
+            let e = g.exp(t);
+            let out = g.sum_all(e);
+            black_box(g.value(out).item());
+        });
+    });
+    // Baseline: the same math on a raw tensor without the tape.
+    c.bench_function("elementwise_chain_raw_4096", |b| {
+        b.iter(|| {
+            let y: f32 = x
+                .data()
+                .iter()
+                .map(|&v| (1.0 / (1.0 + (-v).exp())).tanh().exp())
+                .sum();
+            black_box(y);
+        });
+    });
+    let _ = Tensor::zeros([1]);
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets =
+    bench_matmul,
+    bench_gather_scatter,
+    bench_training_step,
+    bench_elementwise_chain
+
+}
+criterion_main!(benches);

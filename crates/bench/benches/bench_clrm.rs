@@ -1,0 +1,91 @@
+//! Microbenchmarks for CLRM: entity fusion (Eq. 3), DistMult scoring
+//! (Eq. 4) and contrastive sampling (o₁–o₃).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dekg_core::clrm::{sampling, Clrm};
+use dekg_core::InferenceGraph;
+use dekg_datasets::{generate, DatasetProfile, RawKg, SplitKind, SynthConfig};
+use dekg_kg::{EntityId, Triple};
+use dekg_tensor::{Graph, ParamStore};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn setup() -> (InferenceGraph, Clrm, ParamStore, Vec<Triple>) {
+    let profile = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Eq).scaled(0.12);
+    let dataset = generate(&SynthConfig::for_profile(profile, 4));
+    let graph = InferenceGraph::from_dataset(&dataset);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut params = ParamStore::new();
+    let clrm = Clrm::new(dataset.num_relations, 32, "clrm", &mut params, &mut rng);
+    let triples = dataset.original.triples()[..64].to_vec();
+    (graph, clrm, params, triples)
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let (graph, clrm, params, _) = setup();
+    let mut group = c.benchmark_group("clrm_fusion");
+    for batch in [1usize, 16, 64] {
+        let entities: Vec<EntityId> = (0..batch as u32).map(EntityId).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                black_box(clrm.fuse_entities(&mut g, &params, &graph.tables, &entities));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let (graph, clrm, params, triples) = setup();
+    c.bench_function("clrm_distmult_score_64", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            black_box(clrm.score(&mut g, &params, &graph.tables, &triples));
+        });
+    });
+}
+
+fn bench_contrastive_sampling(c: &mut Criterion) {
+    let (graph, _, _, _) = setup();
+    let row = graph.tables.row(EntityId(0)).clone();
+    let num_relations = graph.num_relations;
+    c.bench_function("contrastive_sample_pairs_10", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| black_box(sampling::sample_pairs(&row, num_relations, 2.0, 10, &mut rng)));
+    });
+}
+
+fn bench_contrastive_loss(c: &mut Criterion) {
+    let (graph, clrm, params, _) = setup();
+    let row = graph.tables.row(EntityId(0)).clone();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let (pos, neg) = sampling::sample_pairs(&row, graph.num_relations, 2.0, 10, &mut rng);
+    c.bench_function("contrastive_loss_10_pairs", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let loss = clrm.contrastive_loss(&mut g, &params, &row, &pos, &neg, 1.0);
+            black_box(g.backward(loss));
+        });
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets =
+    bench_fusion,
+    bench_scoring,
+    bench_contrastive_sampling,
+    bench_contrastive_loss
+
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Microbenchmarks for the R-GCN subgraph encoder: forward pass cost
+//! versus layer count and basis decomposition (the DESIGN.md ablation
+//! knob).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dekg_core::InferenceGraph;
+use dekg_datasets::{generate, DatasetProfile, RawKg, SplitKind, SynthConfig};
+use dekg_gnn::{LabelingMode, SubgraphEncoder, SubgraphEncoderConfig};
+use dekg_kg::{ExtractionMode, Subgraph, SubgraphExtractor};
+use dekg_tensor::{Graph, ParamStore};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn test_subgraph() -> (Subgraph, usize) {
+    let profile = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Eq).scaled(0.12);
+    let dataset = generate(&SynthConfig::for_profile(profile, 3));
+    let graph = InferenceGraph::from_dataset(&dataset);
+    let link = dataset.test_enclosing[0];
+    let ex = SubgraphExtractor::new(&graph.adjacency, 2, ExtractionMode::Union);
+    (ex.extract(link.head, link.tail, None), dataset.num_relations)
+}
+
+fn encoder(num_relations: usize, layers: usize, bases: Option<usize>) -> (SubgraphEncoder, ParamStore) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut params = ParamStore::new();
+    let enc = SubgraphEncoder::new(
+        SubgraphEncoderConfig {
+            num_relations,
+            hops: 2,
+            dim: 32,
+            layers,
+            attn_dim: 8,
+            edge_dropout: 0.5,
+            labeling: LabelingMode::Improved,
+            num_bases: bases,
+        },
+        "enc",
+        &mut params,
+        &mut rng,
+    );
+    (enc, params)
+}
+
+fn bench_forward_layers(c: &mut Criterion) {
+    let (sg, num_relations) = test_subgraph();
+    let mut group = c.benchmark_group("rgcn_forward_layers");
+    for layers in [1usize, 2, 3] {
+        let (enc, params) = encoder(num_relations, layers, None);
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &layers, |b, _| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| {
+                let mut g = Graph::new();
+                black_box(enc.encode(&mut g, &params, &sg, false, &mut rng));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_basis_decomposition(c: &mut Criterion) {
+    let (sg, num_relations) = test_subgraph();
+    let mut group = c.benchmark_group("rgcn_bases");
+    for (name, bases) in [("full", None), ("bases4", Some(4))] {
+        let (enc, params) = encoder(num_relations, 3, bases);
+        group.bench_function(name, |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| {
+                let mut g = Graph::new();
+                black_box(enc.encode(&mut g, &params, &sg, false, &mut rng));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let (sg, num_relations) = test_subgraph();
+    let (enc, params) = encoder(num_relations, 2, None);
+    c.bench_function("rgcn_forward_backward", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| {
+            let mut g = Graph::new();
+            let out = enc.encode(&mut g, &params, &sg, true, &mut rng);
+            let sq = g.square(out.graph);
+            let loss = g.sum_all(sq);
+            black_box(g.backward(loss));
+        });
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_forward_layers, bench_basis_decomposition, bench_forward_backward
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! RuleN mining cost versus graph scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dekg_baselines::RuleN;
+use dekg_core::TrainableModel;
+use dekg_datasets::{generate, DatasetProfile, RawKg, SplitKind, SynthConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rulen_mining");
+    group.sample_size(10);
+    for scale in [0.05f64, 0.1, 0.2] {
+        let profile = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Eq).scaled(scale);
+        let data = generate(&SynthConfig::for_profile(profile, 6));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{scale}")),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(0);
+                    let mut model = RuleN::new(Default::default());
+                    model.fit(data, &mut rng);
+                    black_box(model.num_rules());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_mining
+}
+criterion_main!(benches);

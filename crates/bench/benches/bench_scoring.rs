@@ -1,0 +1,62 @@
+//! Per-model single-link scoring latency — the microbench behind the
+//! Fig. 7 inference-time ordering (subgraph methods ≫ embedding
+//! methods).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dekg_baselines::{EmbeddingConfig, Grail, RuleN, SubgraphModelConfig, Tact, TransE};
+use dekg_core::{DekgIlp, DekgIlpConfig, InferenceGraph, LinkPredictor, TrainableModel};
+use dekg_datasets::{generate, DatasetProfile, DekgDataset, RawKg, SplitKind, SynthConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn dataset() -> DekgDataset {
+    let profile = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Eq).scaled(0.08);
+    generate(&SynthConfig::for_profile(profile, 5))
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let data = dataset();
+    let graph = InferenceGraph::from_dataset(&data);
+    let links = &data.test_bridging[..10];
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+
+    // Lightly trained instances (scoring cost is training-independent).
+    let mut transe = TransE::new(EmbeddingConfig { epochs: 2, ..EmbeddingConfig::quick() }, &data, &mut rng);
+    transe.fit(&data, &mut rng);
+    let mut rulen = RuleN::new(Default::default());
+    rulen.fit(&data, &mut rng);
+    let grail = Grail::new(SubgraphModelConfig::quick(), &data, &mut rng);
+    let tact = Tact::new(SubgraphModelConfig::quick(), &data, &mut rng);
+    let ilp = DekgIlp::new(DekgIlpConfig::quick(), &data, &mut rng);
+
+    let mut group = c.benchmark_group("score_10_links");
+    group.sample_size(20);
+    let models: [(&str, &dyn LinkPredictor); 5] = [
+        ("TransE", &transe),
+        ("RuleN", &rulen),
+        ("Grail", &grail),
+        ("TACT", &tact),
+        ("DEKG-ILP", &ilp),
+    ];
+    for (name, model) in models {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(model.score_batch(&graph, links)));
+        });
+    }
+    group.finish();
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_scoring
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Microbenchmarks for enclosing-subgraph extraction: union (DEKG-ILP)
+//! vs intersection (GraIL) modes, on enclosing vs bridging endpoint
+//! pairs. Extraction is the dominant cost of subgraph scoring, so this
+//! is the component behind the Fig. 7 / Table IV inference-time gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dekg_core::InferenceGraph;
+use dekg_datasets::{generate, DatasetProfile, RawKg, SplitKind, SynthConfig};
+use dekg_kg::{ExtractionMode, SubgraphExtractor};
+use std::hint::black_box;
+
+fn bench_extraction(c: &mut Criterion) {
+    let profile = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Eq).scaled(0.15);
+    let dataset = generate(&SynthConfig::for_profile(profile, 1));
+    let graph = InferenceGraph::from_dataset(&dataset);
+    let enclosing = dataset.test_enclosing[0];
+    let bridging = dataset.test_bridging[0];
+
+    let mut group = c.benchmark_group("subgraph_extraction");
+    for (mode_name, mode) in [
+        ("union", ExtractionMode::Union),
+        ("intersection", ExtractionMode::Intersection),
+    ] {
+        for (class, link) in [("enclosing", enclosing), ("bridging", bridging)] {
+            group.bench_with_input(
+                BenchmarkId::new(mode_name, class),
+                &link,
+                |b, link| {
+                    let ex = SubgraphExtractor::new(&graph.adjacency, 2, mode);
+                    b.iter(|| black_box(ex.extract(link.head, link.tail, None)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_hop_depth(c: &mut Criterion) {
+    let profile = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Eq).scaled(0.15);
+    let dataset = generate(&SynthConfig::for_profile(profile, 2));
+    let graph = InferenceGraph::from_dataset(&dataset);
+    let link = dataset.test_enclosing[0];
+
+    let mut group = c.benchmark_group("subgraph_hops");
+    for hops in [1u32, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, &hops| {
+            let ex = SubgraphExtractor::new(&graph.adjacency, hops, ExtractionMode::Union);
+            b.iter(|| black_box(ex.extract(link.head, link.tail, None)));
+        });
+    }
+    group.finish();
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_extraction, bench_hop_depth
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Regenerates **Fig. 5**: the respective study — Hits@10 on
+//! enclosing-only and bridging-only test sets per model and dataset.
+//!
+//! The paper's Fig. 5 compares DEKG-ILP, Grail, TACT, TransE, RuleN
+//! and GEN; the same roster is the default here.
+//!
+//! ```sh
+//! cargo run --release -p dekg-bench --bin fig5_respective -- --raw fb --split eq
+//! ```
+
+use dekg_bench::{run_models_on_dataset, ExperimentOpts};
+use dekg_eval::report::{bar_chart, fmt3};
+use dekg_eval::Table;
+
+fn main() {
+    let mut opts = ExperimentOpts::from_args();
+    if opts.models.is_empty() {
+        opts.models = ["TransE", "GEN", "RuleN", "Grail", "TACT", "DEKG-ILP"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    let models = opts.model_names();
+    println!(
+        "Fig. 5 — enclosing-only vs bridging-only Hits@10 (scale {:.2})\n",
+        opts.scale
+    );
+
+    let mut all_cells = Vec::new();
+    for raw in opts.raw_kgs() {
+        for split in opts.split_kinds() {
+            let cells = run_models_on_dataset(raw, split, &models, &opts);
+            println!("== {} ==", cells[0].dataset);
+            let mut table = Table::new(vec![
+                "model",
+                "enclosing H@10",
+                "bridging H@10",
+                "enclosing MRR",
+                "bridging MRR",
+            ]);
+            for cell in &cells {
+                table.add_row(vec![
+                    cell.model.clone(),
+                    fmt3(cell.result.enclosing.hits_at(10)),
+                    fmt3(cell.result.bridging.hits_at(10)),
+                    fmt3(cell.result.enclosing.mrr),
+                    fmt3(cell.result.bridging.mrr),
+                ]);
+            }
+            println!("{}", table.render());
+            for (title, pick) in [
+                ("enclosing Hits@10", 0usize),
+                ("bridging Hits@10", 1usize),
+            ] {
+                let bars: Vec<(&str, f64)> = cells
+                    .iter()
+                    .map(|c| {
+                        let m = if pick == 0 { &c.result.enclosing } else { &c.result.bridging };
+                        (c.model.as_str(), m.hits_at(10))
+                    })
+                    .collect();
+                println!("{title}:");
+                println!("{}", bar_chart(&bars, 1.0, 40));
+            }
+            all_cells.extend(cells);
+        }
+    }
+    opts.save_json("fig5_respective.json", &all_cells);
+    println!("raw rows saved to {}/fig5_respective.json", opts.out_dir);
+}

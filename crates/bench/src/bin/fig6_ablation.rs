@@ -1,0 +1,52 @@
+//! Regenerates **Fig. 6**: the ablation study — Hits@10 of DEKG-ILP
+//! against its -R (no semantic score), -C (no contrastive loss) and
+//! -N (original GraIL labeling) variants, per link class.
+//!
+//! ```sh
+//! cargo run --release -p dekg-bench --bin fig6_ablation -- --raw fb --split mb
+//! ```
+
+use dekg_bench::{run_models_on_dataset, zoo, ExperimentOpts};
+use dekg_eval::report::{bar_chart, fmt3};
+use dekg_eval::Table;
+
+fn main() {
+    let mut opts = ExperimentOpts::from_args();
+    if opts.models.is_empty() {
+        opts.models = zoo::ABLATION_MODELS.iter().map(|s| s.to_string()).collect();
+    }
+    let models = opts.model_names();
+    println!("Fig. 6 — ablation study, Hits@10 per link class (scale {:.2})\n", opts.scale);
+
+    let mut all_cells = Vec::new();
+    for raw in opts.raw_kgs() {
+        for split in opts.split_kinds() {
+            let cells = run_models_on_dataset(raw, split, &models, &opts);
+            println!("== {} ==", cells[0].dataset);
+            let mut table = Table::new(vec![
+                "variant",
+                "enclosing H@10",
+                "bridging H@10",
+                "overall H@10",
+            ]);
+            for cell in &cells {
+                table.add_row(vec![
+                    cell.model.clone(),
+                    fmt3(cell.result.enclosing.hits_at(10)),
+                    fmt3(cell.result.bridging.hits_at(10)),
+                    fmt3(cell.result.overall.hits_at(10)),
+                ]);
+            }
+            println!("{}", table.render());
+            let bars: Vec<(&str, f64)> = cells
+                .iter()
+                .map(|c| (c.model.as_str(), c.result.bridging.hits_at(10)))
+                .collect();
+            println!("bridging Hits@10:");
+            println!("{}", bar_chart(&bars, 1.0, 40));
+            all_cells.extend(cells);
+        }
+    }
+    opts.save_json("fig6_ablation.json", &all_cells);
+    println!("raw rows saved to {}/fig6_ablation.json", opts.out_dir);
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Table III**: the main results — MRR / Hits@1 / Hits@5
+//! / Hits@10 for every model on the EQ/MB/ME mixes of all three raw
+//! KGs (mixed enclosing + bridging test sets).
+//!
+//! ```sh
+//! # the default scaled sweep (see EXPERIMENTS.md):
+//! cargo run --release -p dekg-bench --bin table3_main
+//! # one cell, more epochs:
+//! cargo run --release -p dekg-bench --bin table3_main -- --raw fb --split eq --epochs 12
+//! ```
+
+use dekg_bench::{run_models_on_dataset, ExperimentOpts};
+use dekg_eval::report::fmt3;
+use dekg_eval::Table;
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    let models = opts.model_names();
+    println!(
+        "Table III — main results (scale {:.2}, {} candidate(s) sampled, {} run(s))\n",
+        opts.scale,
+        if opts.candidates == 0 { "all".to_owned() } else { opts.candidates.to_string() },
+        opts.runs
+    );
+
+    let mut all_cells = Vec::new();
+    for raw in opts.raw_kgs() {
+        for split in opts.split_kinds() {
+            let cells = run_models_on_dataset(raw, split, &models, &opts);
+            let name = &cells[0].dataset;
+            println!("== {name} ==");
+            let mut table =
+                Table::new(vec!["model", "MRR", "Hits@1", "Hits@5", "Hits@10"]);
+            for cell in &cells {
+                let m = &cell.result.overall;
+                table.add_row(vec![
+                    cell.model.clone(),
+                    fmt3(m.mrr),
+                    fmt3(m.hits_at(1)),
+                    fmt3(m.hits_at(5)),
+                    fmt3(m.hits_at(10)),
+                ]);
+            }
+            println!("{}", table.render());
+            all_cells.extend(cells);
+        }
+    }
+    opts.save_json("table3_main.json", &all_cells);
+    println!("raw rows saved to {}/table3_main.json", opts.out_dir);
+}

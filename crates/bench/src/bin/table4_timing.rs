@@ -1,0 +1,65 @@
+//! Regenerates **Table IV**: training time per epoch and average
+//! inference time for 50 links, for every model on every dataset.
+//!
+//! ```sh
+//! cargo run --release -p dekg-bench --bin table4_timing -- --raw nell --split eq
+//! ```
+
+use dekg_bench::{zoo, ExperimentOpts};
+use dekg_core::InferenceGraph;
+use dekg_eval::{time_inference_per_50, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    model: String,
+    train_seconds_per_epoch: f64,
+    inference_seconds_per_50: f64,
+}
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    println!(
+        "Table IV — training time per epoch (s) and inference time per 50 links (s), scale {:.2}\n",
+        opts.scale
+    );
+
+    let mut rows = Vec::new();
+    for raw in opts.raw_kgs() {
+        for split in opts.split_kinds() {
+            let dataset = opts.dataset(raw, split, 0);
+            let graph = InferenceGraph::from_dataset(&dataset);
+            let links: Vec<_> = dataset
+                .test_enclosing
+                .iter()
+                .chain(&dataset.test_bridging)
+                .copied()
+                .collect();
+            println!("== {} ==", dataset.name);
+            let mut table = Table::new(vec!["model", "T-T s/epoch", "T-I s/50 links"]);
+            for name in opts.model_names() {
+                let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+                let (model, report) = zoo::build_and_train(&name, &dataset, &opts, &mut rng);
+                let per_epoch = report.seconds / report.epochs.max(1) as f64;
+                let t_i = time_inference_per_50(model.as_ref(), &graph, &links, 2);
+                table.add_row(vec![
+                    name.clone(),
+                    format!("{per_epoch:.3}"),
+                    format!("{t_i:.4}"),
+                ]);
+                rows.push(Row {
+                    dataset: dataset.name.clone(),
+                    model: name,
+                    train_seconds_per_epoch: per_epoch,
+                    inference_seconds_per_50: t_i,
+                });
+            }
+            println!("{}", table.render());
+        }
+    }
+    opts.save_json("table4_timing.json", &rows);
+    println!("raw rows saved to {}/table4_timing.json", opts.out_dir);
+}

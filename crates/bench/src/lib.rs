@@ -1,0 +1,435 @@
+#![warn(missing_docs)]
+
+//! Shared harness for the experiment binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! `DESIGN.md` for the index). The harness provides:
+//!
+//! * [`ExperimentOpts`] — a tiny flag parser (`--scale`, `--seed`,
+//!   `--candidates`, `--epochs`, `--raw`, `--split`, `--models`,
+//!   `--runs`, `--out`),
+//! * the model [`zoo`] — building and training any evaluated model by
+//!   name,
+//! * [`run_models_on_dataset`] — the train-then-evaluate sweep behind
+//!   Table III / Fig. 5 / Fig. 6.
+//!
+//! The defaults run the *scaled* protocol documented in
+//! `EXPERIMENTS.md` (profiles scaled by `--scale`, ranking against
+//! `--candidates` sampled negatives); `--scale 1 --candidates 0`
+//! reproduces the paper's full protocol if you have the patience.
+
+use dekg_baselines::{
+    ConvE, EmbeddingConfig, Gen, Grail, Mean, NeuralLp, RotatE, RuleN, SubgraphModelConfig,
+    Tact, TransE,
+};
+use dekg_core::{Ablation, DekgIlp, DekgIlpConfig, InferenceGraph, TrainReport, TrainableModel};
+use dekg_datasets::{
+    generate, DatasetProfile, DekgDataset, MixRatio, RawKg, SplitKind, SynthConfig, TestMix,
+};
+use dekg_eval::{evaluate, EvalResult, ProtocolConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExperimentOpts {
+    /// Profile scale factor in `(0, 1]`.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Sampled ranking candidates (`0` = full candidate set).
+    pub candidates: usize,
+    /// Epoch override for the GNN-based models (embedding models train
+    /// `8×` this number — they are far cheaper per epoch).
+    pub epochs: usize,
+    /// Raw-KG filter (empty = all three).
+    pub raws: Vec<RawKg>,
+    /// Split filter (empty = all three).
+    pub splits: Vec<SplitKind>,
+    /// Model filter (empty = the full Table III roster).
+    pub models: Vec<String>,
+    /// Independent repetitions averaged per cell (the paper uses 5).
+    pub runs: usize,
+    /// Where to drop JSON results.
+    pub out_dir: String,
+}
+
+impl Default for ExperimentOpts {
+    fn default() -> Self {
+        ExperimentOpts {
+            scale: 0.08,
+            seed: 1,
+            candidates: 30,
+            epochs: 8,
+            raws: vec![],
+            splits: vec![],
+            models: vec![],
+            runs: 1,
+            out_dir: "results".into(),
+        }
+    }
+}
+
+impl ExperimentOpts {
+    /// Parses `std::env::args`, panicking with a usage message on
+    /// malformed input (these are experiment drivers, not services).
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = |i: usize| -> &str {
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+            };
+            match flag {
+                "--scale" => opts.scale = value(i).parse().expect("--scale f64"),
+                "--seed" => opts.seed = value(i).parse().expect("--seed u64"),
+                "--candidates" => opts.candidates = value(i).parse().expect("--candidates usize"),
+                "--epochs" => opts.epochs = value(i).parse().expect("--epochs usize"),
+                "--runs" => opts.runs = value(i).parse().expect("--runs usize"),
+                "--out" => opts.out_dir = value(i).to_owned(),
+                "--raw" => {
+                    opts.raws.push(match value(i) {
+                        "fb" | "fb15k-237" => RawKg::Fb15k237,
+                        "nell" | "nell-995" => RawKg::Nell995,
+                        "wn" | "wn18rr" => RawKg::Wn18rr,
+                        other => panic!("unknown raw KG {other:?} (fb|nell|wn)"),
+                    });
+                }
+                "--split" => {
+                    opts.splits.push(match value(i) {
+                        "eq" => SplitKind::Eq,
+                        "mb" => SplitKind::Mb,
+                        "me" => SplitKind::Me,
+                        other => panic!("unknown split {other:?} (eq|mb|me)"),
+                    });
+                }
+                "--models" => {
+                    opts.models = value(i).split(',').map(str::to_owned).collect();
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --scale F --seed N --candidates N --epochs N --runs N \
+                         --raw fb|nell|wn --split eq|mb|me --models a,b,c --out DIR"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other:?} (try --help)"),
+            }
+            i += 2;
+        }
+        assert!(opts.scale > 0.0 && opts.scale <= 1.0, "--scale must be in (0, 1]");
+        opts
+    }
+
+    /// The raw KGs to sweep.
+    pub fn raw_kgs(&self) -> Vec<RawKg> {
+        if self.raws.is_empty() {
+            RawKg::all().to_vec()
+        } else {
+            self.raws.clone()
+        }
+    }
+
+    /// The splits to sweep.
+    pub fn split_kinds(&self) -> Vec<SplitKind> {
+        if self.splits.is_empty() {
+            SplitKind::all().to_vec()
+        } else {
+            self.splits.clone()
+        }
+    }
+
+    /// The models to run (Table III roster by default).
+    pub fn model_names(&self) -> Vec<String> {
+        if self.models.is_empty() {
+            zoo::TABLE3_MODELS.iter().map(|s| s.to_string()).collect()
+        } else {
+            self.models.clone()
+        }
+    }
+
+    /// Generates the scaled dataset for one `(raw, split)` cell.
+    pub fn dataset(&self, raw: RawKg, split: SplitKind, run: usize) -> DekgDataset {
+        let profile = DatasetProfile::table2(raw, split).scaled(self.scale);
+        let mut cfg =
+            SynthConfig::for_profile(profile, self.seed ^ (run as u64).wrapping_mul(0xA5A5));
+        // Enough held-out links to satisfy every mix ratio at a usable
+        // size without exploding evaluation time.
+        cfg.num_test_enclosing = cfg.num_test_enclosing.clamp(40, 120);
+        cfg.num_test_bridging = cfg.num_test_bridging.clamp(40, 120);
+        generate(&cfg)
+    }
+
+    /// The ranking protocol for this options set.
+    pub fn protocol(&self) -> ProtocolConfig {
+        let mut p = if self.candidates == 0 {
+            ProtocolConfig::default()
+        } else {
+            ProtocolConfig::sampled(self.candidates)
+        };
+        p.seed = self.seed;
+        p.threads = std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1);
+        p
+    }
+
+    /// Saves a JSON result under the output directory.
+    pub fn save_json(&self, name: &str, value: &impl Serialize) {
+        let path = std::path::Path::new(&self.out_dir).join(name);
+        if let Err(e) = dekg_eval::report::save_json(&path, value) {
+            eprintln!("warning: could not save {}: {e}", path.display());
+        }
+    }
+}
+
+/// Model construction and training by name.
+pub mod zoo {
+    use super::*;
+
+    /// The Table III roster, in paper order.
+    pub const TABLE3_MODELS: [&str; 8] =
+        ["TransE", "RotatE", "ConvE", "GEN", "RuleN", "Grail", "TACT", "DEKG-ILP"];
+
+    /// The Fig. 6 ablation roster.
+    pub const ABLATION_MODELS: [&str; 4] =
+        ["DEKG-ILP", "DEKG-ILP-R", "DEKG-ILP-C", "DEKG-ILP-N"];
+
+    /// Builds and trains one model by its table name.
+    ///
+    /// # Panics
+    /// On unknown names.
+    pub fn build_and_train(
+        name: &str,
+        dataset: &DekgDataset,
+        opts: &ExperimentOpts,
+        rng: &mut ChaCha8Rng,
+    ) -> (Box<dyn TrainableModel>, TrainReport) {
+        let gnn_epochs = opts.epochs;
+        let embed_epochs = opts.epochs * 8;
+        let embed = EmbeddingConfig { epochs: embed_epochs, ..EmbeddingConfig::quick() };
+        let sub = SubgraphModelConfig { epochs: gnn_epochs, ..SubgraphModelConfig::quick() };
+        let ilp = |ablation| DekgIlpConfig {
+            epochs: gnn_epochs,
+            ablation,
+            ..DekgIlpConfig::quick()
+        };
+
+        let mut model: Box<dyn TrainableModel> = match name {
+            "TransE" => Box::new(TransE::new(embed, dataset, rng)),
+            "RotatE" => Box::new(RotatE::new(embed, dataset, rng)),
+            "ConvE" => Box::new(ConvE::new(
+                dekg_baselines::conve::ConvEConfig {
+                    embed: EmbeddingConfig { epochs: embed_epochs / 2, ..EmbeddingConfig::quick() },
+                    ..dekg_baselines::conve::ConvEConfig::quick()
+                },
+                dataset,
+                rng,
+            )),
+            "GEN" => Box::new(Gen::new(
+                EmbeddingConfig { epochs: embed_epochs / 2, ..EmbeddingConfig::quick() },
+                dataset,
+                rng,
+            )),
+            "MEAN" => Box::new(Mean::new(
+                EmbeddingConfig { epochs: embed_epochs / 2, ..EmbeddingConfig::quick() },
+                dataset,
+                rng,
+            )),
+            "Neural LP" => Box::new(NeuralLp::new(Default::default())),
+            "RuleN" => Box::new(RuleN::new(Default::default())),
+            "Grail" => Box::new(Grail::new(sub, dataset, rng)),
+            "TACT" => Box::new(Tact::new(sub, dataset, rng)),
+            "DEKG-ILP" => Box::new(DekgIlp::new(ilp(Ablation::full()), dataset, rng)),
+            "DEKG-ILP-R" => {
+                Box::new(DekgIlp::new(ilp(Ablation::without_semantic()), dataset, rng))
+            }
+            "DEKG-ILP-C" => {
+                Box::new(DekgIlp::new(ilp(Ablation::without_contrastive()), dataset, rng))
+            }
+            "DEKG-ILP-N" => Box::new(DekgIlp::new(
+                ilp(Ablation::without_improved_labeling()),
+                dataset,
+                rng,
+            )),
+            other => panic!("unknown model {other:?}"),
+        };
+        let report = model.fit(dataset, rng);
+        (model, report)
+    }
+}
+
+/// One model's evaluation on one dataset cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelCell {
+    /// Model name.
+    pub model: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Metrics on the mixed test set and per link class.
+    pub result: EvalResult,
+    /// Training summary.
+    pub train: TrainSummary,
+    /// Parameter count.
+    pub parameters: usize,
+}
+
+/// Serializable slice of a [`TrainReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct TrainSummary {
+    /// Epochs run.
+    pub epochs: usize,
+    /// First-epoch mean loss.
+    pub initial_loss: f32,
+    /// Last-epoch mean loss.
+    pub final_loss: f32,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl From<TrainReport> for TrainSummary {
+    fn from(r: TrainReport) -> Self {
+        TrainSummary {
+            epochs: r.epochs,
+            initial_loss: r.initial_loss,
+            final_loss: r.final_loss,
+            seconds: r.seconds,
+        }
+    }
+}
+
+/// Trains and evaluates `model_names` on one dataset cell, averaging
+/// over `opts.runs` repetitions with different seeds (the paper
+/// averages 5 runs).
+pub fn run_models_on_dataset(
+    raw: RawKg,
+    split: SplitKind,
+    model_names: &[String],
+    opts: &ExperimentOpts,
+) -> Vec<ModelCell> {
+    let mut per_model: Vec<Vec<ModelCell>> = vec![Vec::new(); model_names.len()];
+    for run in 0..opts.runs.max(1) {
+        let dataset = opts.dataset(raw, split, run);
+        let graph = InferenceGraph::from_dataset(&dataset);
+        let mix = TestMix::build(&dataset, MixRatio::for_split(split));
+        let protocol = opts.protocol();
+        for (m, name) in model_names.iter().enumerate() {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(opts.seed ^ ((run as u64) << 32) ^ (m as u64));
+            let (model, report) = zoo::build_and_train(name, &dataset, opts, &mut rng);
+            let result = evaluate(model.as_ref(), &graph, &dataset, &mix, &protocol);
+            per_model[m].push(ModelCell {
+                model: name.clone(),
+                dataset: dataset.name.clone(),
+                result,
+                train: report.into(),
+                parameters: model.num_parameters(),
+            });
+        }
+    }
+    per_model.into_iter().map(average_cells).collect()
+}
+
+/// Averages repeated runs of the same model/dataset cell.
+fn average_cells(cells: Vec<ModelCell>) -> ModelCell {
+    assert!(!cells.is_empty());
+    if cells.len() == 1 {
+        return cells.into_iter().next().expect("non-empty");
+    }
+    let n = cells.len() as f64;
+    let mut out = cells[0].clone();
+    let avg = |f: &dyn Fn(&ModelCell) -> f64| cells.iter().map(f).sum::<f64>() / n;
+    let merge = |get: fn(&EvalResult) -> &dekg_eval::Metrics| {
+        let mrr = avg(&|c| get(&c.result).mrr);
+        let hits = [
+            avg(&|c| get(&c.result).hits[0]),
+            avg(&|c| get(&c.result).hits[1]),
+            avg(&|c| get(&c.result).hits[2]),
+        ];
+        (mrr, hits)
+    };
+    let (mrr, hits) = merge(|r| &r.overall);
+    out.result.overall.mrr = mrr;
+    out.result.overall.hits = hits;
+    let (mrr, hits) = merge(|r| &r.enclosing);
+    out.result.enclosing.mrr = mrr;
+    out.result.enclosing.hits = hits;
+    let (mrr, hits) = merge(|r| &r.bridging);
+    out.result.bridging.mrr = mrr;
+    out.result.bridging.hits = hits;
+    out.train.seconds = avg(&|c| c.train.seconds);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_builds_every_table3_model() {
+        let opts = ExperimentOpts {
+            scale: 0.02,
+            epochs: 1,
+            ..ExperimentOpts::default()
+        };
+        let dataset = opts.dataset(RawKg::Wn18rr, SplitKind::Eq, 0);
+        for name in zoo::TABLE3_MODELS {
+            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            let (model, report) = zoo::build_and_train(name, &dataset, &opts, &mut rng);
+            assert_eq!(model.name(), name);
+            assert!(report.final_loss.is_finite(), "{name}");
+        }
+    }
+
+    #[test]
+    fn zoo_builds_every_ablation() {
+        let opts = ExperimentOpts { scale: 0.02, epochs: 1, ..ExperimentOpts::default() };
+        let dataset = opts.dataset(RawKg::Wn18rr, SplitKind::Eq, 0);
+        for name in zoo::ABLATION_MODELS {
+            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            let (model, _) = zoo::build_and_train(name, &dataset, &opts, &mut rng);
+            assert_eq!(model.name(), name);
+        }
+    }
+
+    #[test]
+    fn run_models_produces_cells() {
+        let opts = ExperimentOpts {
+            scale: 0.02,
+            epochs: 1,
+            candidates: 8,
+            ..ExperimentOpts::default()
+        };
+        let cells = run_models_on_dataset(
+            RawKg::Wn18rr,
+            SplitKind::Eq,
+            &["TransE".to_owned(), "RuleN".to_owned()],
+            &opts,
+        );
+        assert_eq!(cells.len(), 2);
+        for c in &cells {
+            assert!(c.result.overall.count > 0);
+        }
+    }
+
+    #[test]
+    fn averaging_runs_is_stable() {
+        let opts = ExperimentOpts {
+            scale: 0.02,
+            epochs: 1,
+            candidates: 8,
+            runs: 2,
+            ..ExperimentOpts::default()
+        };
+        let cells = run_models_on_dataset(
+            RawKg::Wn18rr,
+            SplitKind::Eq,
+            &["RuleN".to_owned()],
+            &opts,
+        );
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].result.overall.mrr.is_finite());
+    }
+}

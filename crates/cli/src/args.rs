@@ -1,0 +1,88 @@
+//! Minimal `--flag value` parsing for the CLI.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs; rejects dangling flags.
+    pub fn parse(argv: &[String]) -> Result<Flags, String> {
+        let mut values = HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got {:?}", argv[i]))?;
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            values.insert(key.to_owned(), value.clone());
+            i += 2;
+        }
+        Ok(Flags { values })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An optional string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A parsed flag with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let f = Flags::parse(&argv(&["--data", "d", "--epochs", "5"])).unwrap();
+        assert_eq!(f.required("data").unwrap(), "d");
+        assert_eq!(f.parse_or("epochs", 1usize).unwrap(), 5);
+        assert_eq!(f.parse_or("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_dangling_flag() {
+        assert!(Flags::parse(&argv(&["--data"])).is_err());
+        assert!(Flags::parse(&argv(&["data", "x"])).is_err());
+    }
+
+    #[test]
+    fn missing_required_is_error() {
+        let f = Flags::parse(&argv(&[])).unwrap();
+        assert!(f.required("data").is_err());
+    }
+
+    #[test]
+    fn bad_parse_reports_flag() {
+        let f = Flags::parse(&argv(&["--epochs", "many"])).unwrap();
+        let err = f.parse_or("epochs", 1usize).unwrap_err();
+        assert!(err.contains("--epochs"));
+    }
+}

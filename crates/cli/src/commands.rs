@@ -1,0 +1,252 @@
+//! The CLI subcommands.
+
+use crate::args::Flags;
+use dekg_core::{DekgIlp, DekgIlpConfig, InferenceGraph, LinkPredictor, TrainableModel};
+use dekg_datasets::{
+    generate as synth_generate, loader, DatasetProfile, DatasetStats, DekgDataset, MixRatio,
+    RawKg, SplitKind, SynthConfig, TestMix,
+};
+use dekg_eval::{evaluate as run_eval, ProtocolConfig, Table};
+use dekg_kg::{EntityId, Triple};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+dekg — DEKG-ILP inductive link prediction
+
+commands:
+  generate  --raw fb|nell|wn --split eq|mb|me [--scale F] [--seed N] --out DIR
+  stats     --data DIR
+  train     --data DIR [--epochs N] [--dim N] [--seed N] --ckpt FILE
+  evaluate  --data DIR --ckpt FILE [--candidates N] [--split eq|mb|me] [--seed N]
+  predict   --data DIR --ckpt FILE --rel NAME (--head NAME | --tail NAME) [--top N]
+  help
+";
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn parse_raw(s: &str) -> Result<RawKg, String> {
+    match s {
+        "fb" | "fb15k-237" => Ok(RawKg::Fb15k237),
+        "nell" | "nell-995" => Ok(RawKg::Nell995),
+        "wn" | "wn18rr" => Ok(RawKg::Wn18rr),
+        other => Err(format!("unknown raw KG {other:?} (fb|nell|wn)")),
+    }
+}
+
+fn parse_split(s: &str) -> Result<SplitKind, String> {
+    match s {
+        "eq" => Ok(SplitKind::Eq),
+        "mb" => Ok(SplitKind::Mb),
+        "me" => Ok(SplitKind::Me),
+        other => Err(format!("unknown split {other:?} (eq|mb|me)")),
+    }
+}
+
+fn load_dataset(flags: &Flags) -> Result<DekgDataset, Box<dyn std::error::Error>> {
+    let dir = flags.required("data")?;
+    Ok(loader::load_dir(dir, dir)?)
+}
+
+/// `dekg generate` — writes a synthetic benchmark in GraIL format.
+pub fn generate(flags: &Flags) -> CliResult {
+    let raw = parse_raw(flags.required("raw")?)?;
+    let split = parse_split(flags.required("split")?)?;
+    let scale: f64 = flags.parse_or("scale", 0.1)?;
+    let seed: u64 = flags.parse_or("seed", 1)?;
+    let out = flags.required("out")?;
+
+    let profile = DatasetProfile::table2(raw, split).scaled(scale);
+    let dataset = synth_generate(&SynthConfig::for_profile(profile, seed));
+    loader::save_dir(&dataset, out)?;
+    let s = DatasetStats::of(&dataset);
+    println!(
+        "wrote {} to {out}: G |R|={} |E|={} |T|={}; G' |R|={} |E|={} |T|={}; \
+         held out {} enclosing + {} bridging",
+        dataset.name,
+        s.original.relations,
+        s.original.entities,
+        s.original.triples,
+        s.emerging.relations,
+        s.emerging.entities,
+        s.emerging.triples,
+        s.test_enclosing,
+        s.test_bridging,
+    );
+    Ok(())
+}
+
+/// `dekg stats` — Table II-style statistics of a dataset directory.
+pub fn stats(flags: &Flags) -> CliResult {
+    let dataset = load_dataset(flags)?;
+    let s = DatasetStats::of(&dataset);
+    let mut table = Table::new(vec!["graph", "|R|", "|E|", "|T|"]);
+    table.add_row(vec![
+        "G".into(),
+        s.original.relations.to_string(),
+        s.original.entities.to_string(),
+        s.original.triples.to_string(),
+    ]);
+    table.add_row(vec![
+        "G'".into(),
+        s.emerging.relations.to_string(),
+        s.emerging.entities.to_string(),
+        s.emerging.triples.to_string(),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "valid: {}   test enclosing: {}   test bridging: {}   density |T|/|E|: {:.2}",
+        s.valid,
+        s.test_enclosing,
+        s.test_bridging,
+        s.density()
+    );
+    Ok(())
+}
+
+/// `dekg train` — trains DEKG-ILP and writes a checkpoint pair.
+pub fn train(flags: &Flags) -> CliResult {
+    let dataset = load_dataset(flags)?;
+    let ckpt = flags.required("ckpt")?;
+    let seed: u64 = flags.parse_or("seed", 0)?;
+    let cfg = DekgIlpConfig {
+        epochs: flags.parse_or("epochs", 10)?,
+        dim: flags.parse_or("dim", 32)?,
+        ..DekgIlpConfig::paper()
+    };
+    cfg.validate();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut model = DekgIlp::new(cfg.clone(), &dataset, &mut rng);
+    println!(
+        "training DEKG-ILP on {} ({} triples, {} relations)…",
+        dataset.name,
+        dataset.original.len(),
+        dataset.num_relations
+    );
+    let report = model.fit(&dataset, &mut rng);
+    println!(
+        "done: {} epochs, loss {:.4} -> {:.4}, {:.1}s",
+        report.epochs, report.initial_loss, report.final_loss, report.seconds
+    );
+
+    model.save_checkpoint(ckpt)?;
+    std::fs::write(format!("{ckpt}.json"), serde_json::to_string_pretty(&cfg)?)?;
+    println!("checkpoint written to {ckpt} (+ {ckpt}.json)");
+    Ok(())
+}
+
+/// Rebuilds a model from a checkpoint pair.
+fn restore(
+    flags: &Flags,
+    dataset: &DekgDataset,
+) -> Result<DekgIlp, Box<dyn std::error::Error>> {
+    let ckpt = flags.required("ckpt")?;
+    let cfg: DekgIlpConfig =
+        serde_json::from_str(&std::fs::read_to_string(format!("{ckpt}.json"))?)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut model = DekgIlp::new(cfg, dataset, &mut rng);
+    model
+        .load_checkpoint(ckpt)
+        .map_err(|e| -> Box<dyn std::error::Error> { format!("{e}").into() })?;
+    Ok(model)
+}
+
+/// `dekg evaluate` — filtered-ranking metrics of a checkpoint.
+pub fn evaluate(flags: &Flags) -> CliResult {
+    let dataset = load_dataset(flags)?;
+    let model = restore(flags, &dataset)?;
+    let split = match flags.get("split") {
+        Some(s) => parse_split(s)?,
+        None => SplitKind::Eq,
+    };
+    let candidates: usize = flags.parse_or("candidates", 30)?;
+    let mut protocol = if candidates == 0 {
+        ProtocolConfig::default()
+    } else {
+        ProtocolConfig::sampled(candidates)
+    };
+    protocol.seed = flags.parse_or("seed", 0)?;
+
+    let graph = InferenceGraph::from_dataset(&dataset);
+    let mix = TestMix::build(&dataset, MixRatio::for_split(split));
+    let result = run_eval(&model, &graph, &dataset, &mix, &protocol);
+
+    let mut table = Table::new(vec!["set", "MRR", "Hits@1", "Hits@5", "Hits@10", "queries"]);
+    for (name, m) in [
+        ("overall", &result.overall),
+        ("enclosing", &result.enclosing),
+        ("bridging", &result.bridging),
+    ] {
+        table.add_row(vec![
+            name.into(),
+            format!("{:.3}", m.mrr),
+            format!("{:.3}", m.hits_at(1)),
+            format!("{:.3}", m.hits_at(5)),
+            format!("{:.3}", m.hits_at(10)),
+            m.count.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+/// `dekg predict` — top-k completion for a partial triple.
+pub fn predict(flags: &Flags) -> CliResult {
+    let dataset = load_dataset(flags)?;
+    let model = restore(flags, &dataset)?;
+    let graph = InferenceGraph::from_dataset(&dataset);
+
+    let rel_name = flags.required("rel")?;
+    let rel = dataset
+        .vocab
+        .relation(rel_name)
+        .ok_or_else(|| format!("unknown relation {rel_name:?}"))?;
+    let top: usize = flags.parse_or("top", 10)?;
+
+    let (fixed, predict_tail) = match (flags.get("head"), flags.get("tail")) {
+        (Some(h), None) => (h, true),
+        (None, Some(t)) => (t, false),
+        _ => return Err("pass exactly one of --head or --tail".into()),
+    };
+    let fixed_id = dataset
+        .vocab
+        .entity(fixed)
+        .ok_or_else(|| format!("unknown entity {fixed:?}"))?;
+
+    let candidates: Vec<Triple> = (0..dataset.num_entities() as u32)
+        .map(EntityId)
+        .filter(|&e| e != fixed_id)
+        .map(|e| {
+            if predict_tail {
+                Triple::new(fixed_id, rel, e)
+            } else {
+                Triple::new(e, rel, fixed_id)
+            }
+        })
+        .filter(|t| !graph.store.contains(t)) // filtered setting
+        .collect();
+    let scores = model.score_batch(&graph, &candidates);
+    let mut ranked: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    let query = if predict_tail {
+        format!("({fixed}, {rel_name}, ?)")
+    } else {
+        format!("(?, {rel_name}, {fixed})")
+    };
+    println!("top {top} completions for {query}:");
+    for (rank, (i, score)) in ranked.iter().take(top).enumerate() {
+        let e = if predict_tail { candidates[*i].tail } else { candidates[*i].head };
+        let marker = if dataset.is_original(e) { "" } else { "  [unseen]" };
+        println!(
+            "  {:>2}. {:<24} {:>9.4}{}",
+            rank + 1,
+            dataset.vocab.entity_name(e),
+            score,
+            marker
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! `dekg` — command-line interface for the DEKG-ILP reproduction.
+//!
+//! ```text
+//! dekg generate --raw fb --split eq --scale 0.1 --seed 1 --out data/
+//! dekg stats    --data data/
+//! dekg train    --data data/ --epochs 10 --ckpt model.dekg
+//! dekg evaluate --data data/ --ckpt model.dekg --candidates 30
+//! dekg predict  --data data/ --ckpt model.dekg --head g_e0 --rel rel0 --top 5
+//! ```
+//!
+//! Datasets are GraIL-format directories (`train.txt`, `valid.txt`,
+//! `emerging.txt`, `test_enclosing.txt`, `test_bridging.txt`).
+//! Checkpoints are a pair of files: `<ckpt>` (binary weights) and
+//! `<ckpt>.json` (the model configuration), so `evaluate`/`predict`
+//! can rebuild the exact architecture.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    }
+    let command = argv.remove(0);
+    let flags = match args::Flags::parse(&argv) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => commands::generate(&flags),
+        "stats" => commands::stats(&flags),
+        "train" => commands::train(&flags),
+        "evaluate" => commands::evaluate(&flags),
+        "predict" => commands::predict(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

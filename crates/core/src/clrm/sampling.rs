@@ -1,0 +1,248 @@
+//! Semantic-aware contrastive sampling (Section IV-B2).
+//!
+//! The intuition: an entity's *semantic identity* is the set of
+//! relations it participates in, not the exact counts. So:
+//!
+//! * **o₁ — relation variation**: change the count of an existing
+//!   relation to a random value in `[1, m_i·θ]` → semantics preserved →
+//!   **positive** example.
+//! * **o₂ — relation addition**: give the entity a brand-new relation
+//!   with count in `[1, m_i·θ]` → new semantics attached → **negative**.
+//! * **o₃ — relation deletion**: remove *all* triples of an existing
+//!   relation → semantics removed → **negative**.
+//!
+//! `m_i` is the entity's mean per-relation triple count (Eq. 5) and `θ`
+//! a scaling hyper-parameter.
+
+use dekg_kg::{ComponentRow, RelationId};
+use rand::Rng;
+
+/// Upper bound of a perturbed count: `max(1, round(m_i · θ))`.
+fn count_cap(row: &ComponentRow, theta: f32) -> u32 {
+    ((row.mean_count() * theta).round() as u32).max(1)
+}
+
+/// o₁ — varies the count of one randomly chosen existing relation.
+///
+/// Returns the row unchanged when it is empty.
+pub fn relation_variation(row: &ComponentRow, theta: f32, rng: &mut impl Rng) -> ComponentRow {
+    if row.is_empty() {
+        return row.clone();
+    }
+    let mut out = row.clone();
+    let (rel, _) = row.entries()[rng.gen_range(0..row.num_relations())];
+    let cap = count_cap(row, theta);
+    out.set(rel, rng.gen_range(1..=cap));
+    out
+}
+
+/// o₂ — attaches a randomly chosen *new* relation.
+///
+/// Returns `None` when every relation is already present.
+pub fn relation_addition(
+    row: &ComponentRow,
+    num_relations: usize,
+    theta: f32,
+    rng: &mut impl Rng,
+) -> Option<ComponentRow> {
+    let absent: Vec<u32> = (0..num_relations as u32)
+        .filter(|&r| row.count(RelationId(r)) == 0)
+        .collect();
+    let &rel = absent.get(rng.gen_range(0..absent.len().max(1)))?;
+    let mut out = row.clone();
+    let cap = count_cap(row, theta);
+    out.set(RelationId(rel), rng.gen_range(1..=cap));
+    Some(out)
+}
+
+/// o₃ — deletes all triples of one randomly chosen existing relation.
+///
+/// Returns `None` for empty rows.
+pub fn relation_deletion(row: &ComponentRow, rng: &mut impl Rng) -> Option<ComponentRow> {
+    if row.is_empty() {
+        return None;
+    }
+    let mut out = row.clone();
+    let (rel, _) = row.entries()[rng.gen_range(0..row.num_relations())];
+    out.set(rel, 0);
+    Some(out)
+}
+
+/// Generates a positive example: a short random sequence of o₁.
+pub fn positive_example(row: &ComponentRow, theta: f32, rng: &mut impl Rng) -> ComponentRow {
+    let mut out = row.clone();
+    for _ in 0..rng.gen_range(1..=3) {
+        out = relation_variation(&out, theta, rng);
+    }
+    out
+}
+
+/// Generates a negative example: a random sequence of o₂ and o₃,
+/// guaranteed to change the row's relation *set* (at least one addition
+/// or deletion succeeds; empty rows get an addition).
+pub fn negative_example(
+    row: &ComponentRow,
+    num_relations: usize,
+    theta: f32,
+    rng: &mut impl Rng,
+) -> ComponentRow {
+    let relation_set = |r: &ComponentRow| -> Vec<u32> {
+        r.entries().iter().map(|&(rel, _)| rel.0).collect()
+    };
+    let original_set = relation_set(row);
+    let mut out = row.clone();
+    for _ in 0..rng.gen_range(1..=3) {
+        if rng.gen::<bool>() {
+            if let Some(next) = relation_addition(&out, num_relations, theta, rng) {
+                out = next;
+                continue;
+            }
+        }
+        // Keep at least one relation so the negative stays embeddable.
+        if out.num_relations() > 1 {
+            if let Some(next) = relation_deletion(&out, rng) {
+                out = next;
+            }
+        }
+    }
+    // A sequence like "add r, delete r" can net out to the original
+    // relation set; force a real semantic change in that case.
+    if relation_set(&out) == original_set {
+        if let Some(next) = relation_addition(&out, num_relations, theta, rng) {
+            out = next;
+        } else if out.num_relations() > 1 {
+            if let Some(next) = relation_deletion(&out, rng) {
+                out = next;
+            }
+        } else if let Some(next) = relation_deletion(&out, rng) {
+            // Saturated single-relation universe: deleting the only
+            // relation is the only remaining change.
+            out = next;
+        }
+    }
+    out
+}
+
+/// Convenience: `n` positive and `n` negative examples for one row.
+pub fn sample_pairs(
+    row: &ComponentRow,
+    num_relations: usize,
+    theta: f32,
+    n: usize,
+    rng: &mut impl Rng,
+) -> (Vec<ComponentRow>, Vec<ComponentRow>) {
+    let pos = (0..n).map(|_| positive_example(row, theta, rng)).collect();
+    let neg = (0..n)
+        .map(|_| negative_example(row, num_relations, theta, rng))
+        .collect();
+    (pos, neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::BTreeSet;
+
+    fn row(pairs: &[(u32, u32)]) -> ComponentRow {
+        ComponentRow::from_pairs(pairs.iter().map(|&(r, c)| (RelationId(r), c)))
+    }
+
+    fn rel_set(r: &ComponentRow) -> BTreeSet<u32> {
+        r.entries().iter().map(|&(rel, _)| rel.0).collect()
+    }
+
+    #[test]
+    fn variation_preserves_relation_set() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let base = row(&[(0, 4), (2, 2)]);
+        for _ in 0..100 {
+            let v = relation_variation(&base, 2.0, &mut rng);
+            assert_eq!(rel_set(&v), rel_set(&base), "o1 must not change the set");
+            // Count stays within [1, m_i * θ] = [1, 6].
+            for &(_, c) in v.entries() {
+                assert!((1..=6).contains(&c) || c == 4 || c == 2);
+            }
+        }
+    }
+
+    #[test]
+    fn variation_counts_bounded_by_theta() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let base = row(&[(0, 4), (2, 2)]); // m_i = 3, θ=2 → cap 6
+        for _ in 0..200 {
+            let v = relation_variation(&base, 2.0, &mut rng);
+            for &(_, c) in v.entries() {
+                assert!(c <= 6, "count {c} exceeds m_i·θ");
+            }
+        }
+    }
+
+    #[test]
+    fn addition_introduces_new_relation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let base = row(&[(0, 3)]);
+        for _ in 0..50 {
+            let a = relation_addition(&base, 4, 2.0, &mut rng).unwrap();
+            assert_eq!(a.num_relations(), 2);
+            assert!(rel_set(&a).is_superset(&rel_set(&base)));
+        }
+    }
+
+    #[test]
+    fn addition_none_when_saturated() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let base = row(&[(0, 1), (1, 1)]);
+        assert!(relation_addition(&base, 2, 2.0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn deletion_removes_whole_relation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let base = row(&[(0, 3), (1, 5)]);
+        for _ in 0..50 {
+            let d = relation_deletion(&base, &mut rng).unwrap();
+            assert_eq!(d.num_relations(), 1);
+        }
+        assert!(relation_deletion(&ComponentRow::empty(), &mut rng).is_none());
+    }
+
+    #[test]
+    fn positives_keep_semantics_negatives_change_them() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let base = row(&[(0, 4), (1, 2), (3, 1)]);
+        for _ in 0..100 {
+            let p = positive_example(&base, 2.0, &mut rng);
+            assert_eq!(rel_set(&p), rel_set(&base), "positive changed the relation set");
+            let n = negative_example(&base, 6, 2.0, &mut rng);
+            assert_ne!(rel_set(&n), rel_set(&base), "negative kept the relation set");
+        }
+    }
+
+    #[test]
+    fn negative_of_empty_row_gets_a_relation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let n = negative_example(&ComponentRow::empty(), 4, 2.0, &mut rng);
+        assert!(!n.is_empty());
+    }
+
+    #[test]
+    fn sample_pairs_counts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let base = row(&[(0, 2), (1, 2)]);
+        let (pos, neg) = sample_pairs(&base, 8, 2.0, 10, &mut rng);
+        assert_eq!(pos.len(), 10);
+        assert_eq!(neg.len(), 10);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let base = row(&[(0, 2), (1, 4), (2, 1)]);
+        let run = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            sample_pairs(&base, 8, 2.0, 5, &mut rng)
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,232 @@
+//! DEKG-ILP hyperparameters and ablation switches.
+
+use dekg_gnn::LabelingMode;
+use dekg_kg::ExtractionMode;
+use serde::{Deserialize, Serialize};
+
+/// Ablation switches matching Section V-G.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ablation {
+    /// `false` removes `φ_sem` from Eq. 13 → the **DEKG-ILP-R** variant.
+    pub use_semantic: bool,
+    /// `false` sets `σ = 0` in Eq. 15 → the **DEKG-ILP-C** variant.
+    pub use_contrastive: bool,
+    /// `false` reverts to GraIL's pruning labeling → **DEKG-ILP-N**.
+    pub improved_labeling: bool,
+}
+
+impl Default for Ablation {
+    fn default() -> Self {
+        Ablation { use_semantic: true, use_contrastive: true, improved_labeling: true }
+    }
+}
+
+impl Ablation {
+    /// The full model.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// DEKG-ILP-R: no relation-specific semantic score.
+    pub fn without_semantic() -> Self {
+        Ablation { use_semantic: false, ..Self::default() }
+    }
+
+    /// DEKG-ILP-C: no contrastive loss.
+    pub fn without_contrastive() -> Self {
+        Ablation { use_contrastive: false, ..Self::default() }
+    }
+
+    /// DEKG-ILP-N: original GraIL node labeling.
+    pub fn without_improved_labeling() -> Self {
+        Ablation { improved_labeling: false, ..Self::default() }
+    }
+
+    /// Variant name as used in Fig. 6.
+    pub fn variant_name(&self) -> &'static str {
+        match (self.use_semantic, self.use_contrastive, self.improved_labeling) {
+            (true, true, true) => "DEKG-ILP",
+            (false, _, _) => "DEKG-ILP-R",
+            (true, false, true) => "DEKG-ILP-C",
+            (true, true, false) => "DEKG-ILP-N",
+            _ => "DEKG-ILP-custom",
+        }
+    }
+}
+
+/// Full hyperparameter set. Field defaults follow Section V-D's optimal
+/// configuration: `lr = 0.01`, `d = 32`, `β = 0.5`, `σ = 0.1`, one
+/// negative per positive, 10 contrastive examples per entity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DekgIlpConfig {
+    /// Embedding dimension `d` for both modules.
+    pub dim: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Training epochs (the paper runs 100; scaled runs use fewer).
+    pub epochs: usize,
+    /// Triples per training batch.
+    pub batch_size: usize,
+    /// Margin `γ` shared by the ranking loss (Eq. 14) and the
+    /// contrastive loss (Eq. 7).
+    pub margin: f32,
+    /// Contrastive-loss coefficient `σ` (Eq. 15).
+    pub sigma: f32,
+    /// Scaling factor `θ` bounding the perturbed counts in o₁/o₂.
+    pub theta: f32,
+    /// Contrastive positive/negative examples per entity.
+    pub num_contrastive: usize,
+    /// Negative triples per positive (Eq. 12).
+    pub neg_per_pos: usize,
+    /// Edge dropout rate `β` in the GNN.
+    pub edge_dropout: f32,
+    /// Subgraph hop bound `t`.
+    pub hops: u32,
+    /// Number of R-GCN layers `L`.
+    pub gnn_layers: usize,
+    /// Attention embedding width in the GNN.
+    pub attn_dim: usize,
+    /// Gradient-clipping threshold (global norm).
+    pub grad_clip: f32,
+    /// Multiplicative learning-rate decay applied after each epoch
+    /// (1.0 = constant rate).
+    pub lr_decay: f32,
+    /// Use TransH-style Bernoulli side selection for negative sampling
+    /// instead of a fair coin.
+    pub bernoulli_negatives: bool,
+    /// Basis decomposition for the GNN's relation weights (GraIL's
+    /// default is 4 bases); keeps GSM's parameter complexity at
+    /// `O(|R|·d·l)` as analyzed in the paper's Section V-H.
+    pub num_bases: Option<usize>,
+    /// Ablation switches.
+    pub ablation: Ablation,
+}
+
+impl Default for DekgIlpConfig {
+    fn default() -> Self {
+        DekgIlpConfig {
+            dim: 32,
+            lr: 0.01,
+            epochs: 100,
+            batch_size: 32,
+            margin: 1.0,
+            sigma: 0.1,
+            theta: 2.0,
+            num_contrastive: 10,
+            neg_per_pos: 1,
+            edge_dropout: 0.5,
+            hops: 2,
+            gnn_layers: 3,
+            attn_dim: 8,
+            grad_clip: 5.0,
+            lr_decay: 1.0,
+            bernoulli_negatives: false,
+            num_bases: Some(4),
+            ablation: Ablation::full(),
+        }
+    }
+}
+
+impl DekgIlpConfig {
+    /// The paper's optimal configuration at full scale.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A fast configuration for tests and scaled experiments. Uses
+    /// full per-relation weights (`num_bases: None`) — at small dims
+    /// the basis indirection costs more than it saves.
+    pub fn quick() -> Self {
+        DekgIlpConfig {
+            dim: 16,
+            epochs: 5,
+            batch_size: 16,
+            num_contrastive: 3,
+            gnn_layers: 2,
+            num_bases: None,
+            ..Self::default()
+        }
+    }
+
+    /// The extraction mode implied by the labeling ablation.
+    pub fn extraction_mode(&self) -> ExtractionMode {
+        if self.ablation.improved_labeling {
+            ExtractionMode::Union
+        } else {
+            ExtractionMode::Intersection
+        }
+    }
+
+    /// The labeling mode implied by the labeling ablation.
+    pub fn labeling_mode(&self) -> LabelingMode {
+        if self.ablation.improved_labeling {
+            LabelingMode::Improved
+        } else {
+            LabelingMode::Grail
+        }
+    }
+
+    /// Validates hyperparameter ranges.
+    ///
+    /// # Panics
+    /// On out-of-range values; called by the model constructor.
+    pub fn validate(&self) {
+        assert!(self.dim > 0, "dim must be positive");
+        assert!(self.lr > 0.0, "lr must be positive");
+        assert!(self.epochs > 0, "epochs must be positive");
+        assert!(self.batch_size > 0, "batch_size must be positive");
+        assert!(self.margin >= 0.0, "margin must be non-negative");
+        assert!(self.sigma >= 0.0, "sigma must be non-negative");
+        assert!(self.theta >= 1.0, "theta must be ≥ 1 (count range [1, m_i·θ])");
+        assert!(self.neg_per_pos > 0, "need at least one negative per positive");
+        assert!((0.0..1.0).contains(&self.edge_dropout), "edge_dropout in [0,1)");
+        assert!(self.hops > 0 && self.gnn_layers > 0 && self.attn_dim > 0);
+        assert!(self.grad_clip > 0.0);
+        assert!(
+            self.lr_decay > 0.0 && self.lr_decay <= 1.0,
+            "lr_decay must be in (0, 1]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_section_5d() {
+        let c = DekgIlpConfig::paper();
+        assert_eq!(c.dim, 32);
+        assert_eq!(c.lr, 0.01);
+        assert_eq!(c.edge_dropout, 0.5);
+        assert_eq!(c.sigma, 0.1);
+        assert_eq!(c.neg_per_pos, 1);
+        assert_eq!(c.num_contrastive, 10);
+        c.validate();
+    }
+
+    #[test]
+    fn ablation_names() {
+        assert_eq!(Ablation::full().variant_name(), "DEKG-ILP");
+        assert_eq!(Ablation::without_semantic().variant_name(), "DEKG-ILP-R");
+        assert_eq!(Ablation::without_contrastive().variant_name(), "DEKG-ILP-C");
+        assert_eq!(Ablation::without_improved_labeling().variant_name(), "DEKG-ILP-N");
+    }
+
+    #[test]
+    fn labeling_ablation_switches_modes() {
+        let mut c = DekgIlpConfig::quick();
+        assert_eq!(c.extraction_mode(), ExtractionMode::Union);
+        assert_eq!(c.labeling_mode(), LabelingMode::Improved);
+        c.ablation = Ablation::without_improved_labeling();
+        assert_eq!(c.extraction_mode(), ExtractionMode::Intersection);
+        assert_eq!(c.labeling_mode(), LabelingMode::Grail);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn validate_rejects_bad_theta() {
+        let c = DekgIlpConfig { theta: 0.5, ..DekgIlpConfig::quick() };
+        c.validate();
+    }
+}

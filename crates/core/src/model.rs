@@ -1,0 +1,280 @@
+//! The combined DEKG-ILP model (Eq. 13) and its [`LinkPredictor`] /
+//! [`TrainableModel`] implementations.
+
+use crate::clrm::Clrm;
+use crate::config::DekgIlpConfig;
+use crate::gsm::Gsm;
+use crate::traits::{InferenceGraph, LinkPredictor, TrainReport, TrainableModel};
+use dekg_datasets::DekgDataset;
+use dekg_gnn::SubgraphEncoderConfig;
+use dekg_kg::{SubgraphExtractor, Triple};
+use dekg_tensor::{Graph, ParamStore};
+use rand::RngCore;
+
+/// DEKG-ILP: CLRM ⊕ GSM.
+///
+/// Construct with [`DekgIlp::new`], train with
+/// [`TrainableModel::fit`], score with [`LinkPredictor::score_batch`].
+/// Ablation variants are selected through
+/// [`DekgIlpConfig::ablation`].
+#[derive(Debug)]
+pub struct DekgIlp {
+    cfg: DekgIlpConfig,
+    params: ParamStore,
+    /// `None` under the `-R` ablation (no semantic module at all).
+    clrm: Option<Clrm>,
+    gsm: Gsm,
+    num_relations: usize,
+}
+
+impl DekgIlp {
+    /// Allocates a model sized for `dataset`'s relation space.
+    ///
+    /// # Panics
+    /// If the config fails [`DekgIlpConfig::validate`].
+    pub fn new(cfg: DekgIlpConfig, dataset: &DekgDataset, mut rng: &mut dyn RngCore) -> Self {
+        cfg.validate();
+        let num_relations = dataset.num_relations;
+        let mut params = ParamStore::new();
+        let clrm = cfg
+            .ablation
+            .use_semantic
+            .then(|| Clrm::new(num_relations, cfg.dim, "clrm", &mut params, &mut rng));
+        let gsm = Gsm::new(
+            SubgraphEncoderConfig {
+                num_relations,
+                hops: cfg.hops,
+                dim: cfg.dim,
+                layers: cfg.gnn_layers,
+                attn_dim: cfg.attn_dim,
+                edge_dropout: cfg.edge_dropout,
+                labeling: cfg.labeling_mode(),
+                num_bases: cfg.num_bases,
+            },
+            "gsm",
+            &mut params,
+            &mut rng,
+        );
+        DekgIlp { cfg, params, clrm, gsm, num_relations }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &DekgIlpConfig {
+        &self.cfg
+    }
+
+    /// Mutable configuration access.
+    ///
+    /// Structural fields (dim, layers, hops, ablation) must not change
+    /// after construction — the parameters are already allocated; the
+    /// training-schedule fields (epochs, lr, σ, …) may. Used by
+    /// [`crate::train::train_with_validation`] to run epoch chunks.
+    pub fn config_mut(&mut self) -> &mut DekgIlpConfig {
+        &mut self.cfg
+    }
+
+    /// The parameter store (for checkpointing via `dekg_tensor::serialize`).
+    pub fn params(&self) -> &ParamStore {
+        &self.params
+    }
+
+    /// Mutable parameter access (training, checkpoint restore).
+    pub fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.params
+    }
+
+    /// The CLRM module, when the semantic branch is enabled.
+    pub fn clrm(&self) -> Option<&Clrm> {
+        self.clrm.as_ref()
+    }
+
+    /// The GSM module.
+    pub fn gsm(&self) -> &Gsm {
+        &self.gsm
+    }
+
+    /// Relation-space size the model was built for.
+    pub fn num_relations(&self) -> usize {
+        self.num_relations
+    }
+
+    /// Writes the trained parameters to a binary checkpoint file.
+    pub fn save_checkpoint(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, dekg_tensor::serialize::encode(&self.params))
+    }
+
+    /// Restores parameters from a checkpoint produced by
+    /// [`DekgIlp::save_checkpoint`] on a model with the same
+    /// configuration and relation space.
+    ///
+    /// # Errors
+    /// IO failures or a corrupt/incompatible checkpoint.
+    ///
+    /// # Panics
+    /// If the checkpoint's parameter set does not match this model's
+    /// (different config/ablation) — mixing checkpoints across shapes
+    /// is a programming error, not a runtime condition.
+    pub fn load_checkpoint(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+        let bytes = std::fs::read(path)?;
+        let restored = dekg_tensor::serialize::decode(&bytes)?;
+        assert_eq!(
+            restored.len(),
+            self.params.len(),
+            "checkpoint has {} parameters, model expects {}",
+            restored.len(),
+            self.params.len()
+        );
+        for (_, name, value) in restored.iter() {
+            let id = self
+                .params
+                .id_of(name)
+                .unwrap_or_else(|| panic!("checkpoint parameter {name:?} unknown to this model"));
+            assert!(
+                self.params.get(id).shape().same_as(value.shape()),
+                "shape mismatch for {name:?}"
+            );
+            *self.params.get_mut(id) = value.clone();
+        }
+        Ok(())
+    }
+
+    /// Scores triples with both modules on a fresh tape (no dropout).
+    ///
+    /// Exposed for the training loop and explain tooling; external users
+    /// go through [`LinkPredictor::score_batch`].
+    pub(crate) fn score_internal(&self, graph: &InferenceGraph, triples: &[Triple]) -> Vec<f32> {
+        if triples.is_empty() {
+            return Vec::new();
+        }
+        // φ_sem: one tape over the whole batch.
+        let mut sem = vec![0.0f32; triples.len()];
+        if let Some(clrm) = &self.clrm {
+            let mut g = Graph::new();
+            let s = clrm.score(&mut g, &self.params, &graph.tables, triples);
+            sem.copy_from_slice(g.value(s).data());
+        }
+
+        // φ_tpo: batched tapes with parameters mounted once per chunk
+        // (chunking bounds tape memory on large candidate sets).
+        const CHUNK: usize = 64;
+        let extractor = SubgraphExtractor::new(
+            &graph.adjacency,
+            self.cfg.hops,
+            self.cfg.extraction_mode(),
+        );
+        let mut out = Vec::with_capacity(triples.len());
+        for (chunk_i, chunk) in triples.chunks(CHUNK).enumerate() {
+            let subgraphs: Vec<(dekg_kg::Subgraph, dekg_kg::RelationId)> = chunk
+                .iter()
+                .map(|t| (extractor.extract(t.head, t.tail, None), t.rel))
+                .collect();
+            let items: Vec<(&dekg_kg::Subgraph, dekg_kg::RelationId)> =
+                subgraphs.iter().map(|(sg, r)| (sg, *r)).collect();
+            let tpo = self.gsm.score_subgraphs_eval(&self.params, &items);
+            for (j, s) in tpo.into_iter().enumerate() {
+                out.push(sem[chunk_i * CHUNK + j] + s);
+            }
+        }
+        out
+    }
+}
+
+impl LinkPredictor for DekgIlp {
+    fn name(&self) -> &'static str {
+        self.cfg.ablation.variant_name()
+    }
+
+    fn score_batch(&self, graph: &InferenceGraph, triples: &[Triple]) -> Vec<f32> {
+        self.score_internal(graph, triples)
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.params.num_scalars()
+    }
+}
+
+impl TrainableModel for DekgIlp {
+    fn fit(&mut self, dataset: &DekgDataset, rng: &mut dyn RngCore) -> TrainReport {
+        crate::train::train(self, dataset, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Ablation;
+    use dekg_datasets::{generate, DatasetProfile, RawKg, SplitKind, SynthConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_dataset() -> DekgDataset {
+        let profile = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Eq).scaled(0.02);
+        generate(&SynthConfig::for_profile(profile, 11))
+    }
+
+    #[test]
+    fn construction_and_scoring() {
+        let d = tiny_dataset();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let model = DekgIlp::new(DekgIlpConfig::quick(), &d, &mut rng);
+        let graph = InferenceGraph::from_dataset(&d);
+        let scores = model.score_batch(&graph, &d.test_bridging[..3.min(d.test_bridging.len())]);
+        assert_eq!(scores.len(), 3.min(d.test_bridging.len()));
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn scoring_is_deterministic() {
+        let d = tiny_dataset();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let model = DekgIlp::new(DekgIlpConfig::quick(), &d, &mut rng);
+        let graph = InferenceGraph::from_dataset(&d);
+        let batch = &d.test_enclosing[..2.min(d.test_enclosing.len())];
+        assert_eq!(model.score_batch(&graph, batch), model.score_batch(&graph, batch));
+    }
+
+    #[test]
+    fn ablation_r_has_no_clrm() {
+        let d = tiny_dataset();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let cfg = DekgIlpConfig {
+            ablation: Ablation::without_semantic(),
+            ..DekgIlpConfig::quick()
+        };
+        let model = DekgIlp::new(cfg, &d, &mut rng);
+        assert!(model.clrm().is_none());
+        assert_eq!(model.name(), "DEKG-ILP-R");
+        // Still scores (topological only).
+        let graph = InferenceGraph::from_dataset(&d);
+        let s = model.score(&graph, &d.test_bridging[0]);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn parameter_count_components() {
+        let d = tiny_dataset();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let full = DekgIlp::new(DekgIlpConfig::quick(), &d, &mut rng);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(0);
+        let cfg_r = DekgIlpConfig {
+            ablation: Ablation::without_semantic(),
+            ..DekgIlpConfig::quick()
+        };
+        let no_sem = DekgIlp::new(cfg_r, &d, &mut rng2);
+        // CLRM adds exactly 2·|R|·d parameters.
+        let expected_extra = 2 * d.num_relations * full.config().dim;
+        assert_eq!(full.num_parameters(), no_sem.num_parameters() + expected_extra);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let d = tiny_dataset();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let model = DekgIlp::new(DekgIlpConfig::quick(), &d, &mut rng);
+        let graph = InferenceGraph::from_dataset(&d);
+        assert!(model.score_batch(&graph, &[]).is_empty());
+    }
+}

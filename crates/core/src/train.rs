@@ -1,0 +1,516 @@
+//! Algorithm 1 — the DEKG-ILP training loop.
+//!
+//! Per batch of positive triples from the original KG `G`:
+//!
+//! 1. corrupt each positive into `neg_per_pos` negatives (Eq. 12),
+//! 2. score positives and negatives with `φ = φ_sem + φ_tpo`
+//!    (Eq. 4 + 11 + 13), extracting training subgraphs from `G` with
+//!    the *target edge removed* for positives,
+//! 3. compute the margin ranking loss (Eq. 14),
+//! 4. add the σ-weighted contrastive loss over the batch's entities
+//!    (Eq. 7, sampling via [`crate::clrm::sampling`]),
+//! 5. backpropagate, clip, and apply an Adam step.
+
+use crate::clrm::sampling;
+use crate::model::DekgIlp;
+use crate::traits::{InferenceGraph, TrainReport};
+use dekg_datasets::{DekgDataset, NegativeSampler};
+use dekg_kg::{EntityId, SubgraphExtractor, Triple};
+use dekg_tensor::optim::{Adam, Optimizer};
+use dekg_tensor::{Graph, Var};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Trains `model` on `dataset.original` per its config.
+///
+/// Only the original KG is touched: subgraphs, component tables and
+/// negative candidates all come from `G`.
+pub fn train(model: &mut DekgIlp, dataset: &DekgDataset, rng: &mut dyn RngCore) -> TrainReport {
+    let mut rng = RngShim(rng);
+    let rng = &mut rng;
+    let cfg = model.config().clone();
+    let started = Instant::now();
+
+    let train_graph = InferenceGraph::training_view(dataset);
+    let mut sampler = NegativeSampler::new(
+        0..dataset.num_original_entities as u32,
+        vec![&dataset.original],
+    );
+    if cfg.bernoulli_negatives {
+        sampler = sampler.with_bernoulli(&dataset.original);
+    }
+    let clrm = model.clrm().cloned();
+    let gsm = model.gsm().clone();
+    let mut opt = Adam::new(cfg.lr);
+
+    let mut positives: Vec<Triple> = dataset.original.triples().to_vec();
+    let mut initial_loss = 0.0f32;
+    let mut final_loss = 0.0f32;
+
+    for epoch in 0..cfg.epochs {
+        positives.shuffle(rng);
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+
+        for batch in positives.chunks(cfg.batch_size) {
+            // Negatives: neg_per_pos per positive, aligned by repetition.
+            let mut pos_rep = Vec::with_capacity(batch.len() * cfg.neg_per_pos);
+            let mut negs = Vec::with_capacity(batch.len() * cfg.neg_per_pos);
+            for t in batch {
+                for _ in 0..cfg.neg_per_pos {
+                    pos_rep.push(*t);
+                    negs.push(sampler.corrupt(t, rng));
+                }
+            }
+
+            let mut g = Graph::new();
+
+            // φ_sem over both sides in one tape.
+            let (sem_pos, sem_neg) = match &clrm {
+                Some(clrm) => {
+                    let p = clrm.score(&mut g, model.params(), &train_graph.tables, &pos_rep);
+                    let n = clrm.score(&mut g, model.params(), &train_graph.tables, &negs);
+                    (Some(p), Some(n))
+                }
+                None => (None, None),
+            };
+
+            // φ_tpo per triple.
+            let extractor = SubgraphExtractor::new(
+                &train_graph.adjacency,
+                cfg.hops,
+                cfg.extraction_mode(),
+            );
+            let tpo_pos = score_side(model, &gsm, &extractor, &pos_rep, true, &mut g, rng);
+            let tpo_neg = score_side(model, &gsm, &extractor, &negs, false, &mut g, rng);
+
+            let phi_pos = combine(&mut g, sem_pos, tpo_pos);
+            let phi_neg = combine(&mut g, sem_neg, tpo_neg);
+            let mut loss = g.margin_ranking_loss(phi_pos, phi_neg, cfg.margin);
+
+            // Contrastive term over the batch's distinct entities.
+            if let Some(clrm) = &clrm {
+                if cfg.ablation.use_contrastive && cfg.sigma > 0.0 {
+                    let entities: BTreeSet<EntityId> = batch
+                        .iter()
+                        .flat_map(|t| [t.head, t.tail])
+                        .collect();
+                    let mut terms: Vec<Var> = Vec::with_capacity(entities.len());
+                    for e in entities {
+                        let anchor = train_graph.tables.row(e);
+                        if anchor.is_empty() {
+                            continue;
+                        }
+                        let (pos, neg) = sampling::sample_pairs(
+                            anchor,
+                            dataset.num_relations,
+                            cfg.theta,
+                            cfg.num_contrastive,
+                            rng,
+                        );
+                        terms.push(clrm.contrastive_loss(
+                            &mut g,
+                            model.params(),
+                            anchor,
+                            &pos,
+                            &neg,
+                            cfg.margin,
+                        ));
+                    }
+                    if !terms.is_empty() {
+                        let stacked = g.stack_scalars(&terms);
+                        let lc = g.mean_all(stacked);
+                        let scaled = g.mul_scalar(lc, cfg.sigma);
+                        loss = g.add(loss, scaled);
+                    }
+                }
+            }
+
+            let loss_val = g.value(loss).item();
+            debug_assert!(loss_val.is_finite(), "non-finite training loss");
+            let mut grads = g.backward(loss);
+            grads.clip_global_norm(cfg.grad_clip);
+            opt.step(model.params_mut(), &grads);
+
+            epoch_loss += loss_val as f64;
+            batches += 1;
+        }
+
+        let mean = if batches > 0 { (epoch_loss / batches as f64) as f32 } else { 0.0 };
+        if epoch == 0 {
+            initial_loss = mean;
+        }
+        final_loss = mean;
+        if cfg.lr_decay < 1.0 {
+            let lr = opt.learning_rate() * cfg.lr_decay;
+            opt.set_learning_rate(lr);
+        }
+    }
+
+    TrainReport {
+        epochs: cfg.epochs,
+        final_loss,
+        initial_loss,
+        seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Early-stopping settings for [`train_with_validation`].
+#[derive(Debug, Clone)]
+pub struct ValidationConfig {
+    /// Evaluate validation MRR every this many epochs.
+    pub eval_every: usize,
+    /// Stop after this many consecutive non-improving evaluations.
+    pub patience: usize,
+    /// Candidates sampled per validation ranking query.
+    pub candidates: usize,
+    /// Validation links used per evaluation (prefix of `dataset.valid`).
+    pub max_links: usize,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig { eval_every: 2, patience: 3, candidates: 10, max_links: 50 }
+    }
+}
+
+/// The outcome of a validated training run.
+#[derive(Debug, Clone)]
+pub struct ValidatedTrainReport {
+    /// The underlying per-chunk training reports.
+    pub train: TrainReport,
+    /// Validation MRR trajectory (one entry per evaluation).
+    pub valid_mrr: Vec<f64>,
+    /// The epoch count actually executed.
+    pub epochs_run: usize,
+    /// True when training stopped before the configured epoch budget.
+    pub stopped_early: bool,
+}
+
+/// Trains with periodic validation-MRR evaluation and early stopping,
+/// restoring the best-scoring parameters at the end.
+///
+/// Validation links live inside `G`, so the evaluation uses the
+/// training view and never touches `G'` or the test links.
+pub fn train_with_validation(
+    model: &mut DekgIlp,
+    dataset: &DekgDataset,
+    val_cfg: &ValidationConfig,
+    rng: &mut dyn RngCore,
+) -> ValidatedTrainReport {
+    assert!(val_cfg.eval_every > 0 && val_cfg.patience > 0);
+    assert!(
+        !dataset.valid.is_empty(),
+        "train_with_validation needs a non-empty validation set"
+    );
+    let total_epochs = model.config().epochs;
+    let chunk_cfg_epochs = val_cfg.eval_every.min(total_epochs);
+
+    // Validation harness (fixed across evaluations for comparability).
+    let graph = InferenceGraph::training_view(dataset);
+    let mut filter = dataset.original.clone();
+    for t in &dataset.valid {
+        filter.insert(*t);
+    }
+    let links: Vec<(Triple, dekg_datasets::LinkClass)> = dataset
+        .valid
+        .iter()
+        .take(val_cfg.max_links)
+        .map(|&t| (t, dekg_datasets::LinkClass::Enclosing))
+        .collect();
+
+    let mut best_mrr = f64::NEG_INFINITY;
+    let mut best_params: Option<dekg_tensor::ParamStore> = None;
+    let mut strikes = 0usize;
+    let mut valid_mrr = Vec::new();
+    let mut epochs_run = 0usize;
+    let mut merged: Option<TrainReport> = None;
+    let mut stopped_early = false;
+
+    while epochs_run < total_epochs {
+        let this_chunk = chunk_cfg_epochs.min(total_epochs - epochs_run);
+        // Temporarily rewrite the epoch budget for this chunk.
+        let original_cfg = model.config().clone();
+        let chunk_cfg = crate::config::DekgIlpConfig { epochs: this_chunk, ..original_cfg.clone() };
+        *model.config_mut() = chunk_cfg;
+        let report = train(model, dataset, rng);
+        *model.config_mut() = original_cfg;
+        epochs_run += this_chunk;
+        merged = Some(match merged {
+            None => report,
+            Some(prev) => TrainReport {
+                epochs: prev.epochs + report.epochs,
+                initial_loss: prev.initial_loss,
+                final_loss: report.final_loss,
+                seconds: prev.seconds + report.seconds,
+            },
+        });
+
+        // Validation MRR under a fixed protocol seed.
+        let protocol = dekg_eval_protocol(val_cfg);
+        let result = protocol_eval(model, &graph, &filter, &links, &protocol);
+        valid_mrr.push(result);
+        if result > best_mrr {
+            best_mrr = result;
+            best_params = Some(model.params().clone());
+            strikes = 0;
+        } else {
+            strikes += 1;
+            if strikes >= val_cfg.patience {
+                stopped_early = true;
+                break;
+            }
+        }
+    }
+
+    if let Some(best) = best_params {
+        *model.params_mut() = best;
+    }
+    ValidatedTrainReport {
+        train: merged.expect("at least one chunk ran"),
+        valid_mrr,
+        epochs_run,
+        stopped_early,
+    }
+}
+
+// Small indirections so this module does not depend on dekg-eval (a
+// dependency cycle): the ranking protocol is re-implemented minimally.
+fn dekg_eval_protocol(val_cfg: &ValidationConfig) -> (usize, u64) {
+    (val_cfg.candidates, 0xDEC0)
+}
+
+/// Minimal filtered tail/head ranking for validation (MRR only).
+fn protocol_eval(
+    model: &DekgIlp,
+    graph: &InferenceGraph,
+    filter: &dekg_kg::TripleStore,
+    links: &[(Triple, dekg_datasets::LinkClass)],
+    protocol: &(usize, u64),
+) -> f64 {
+    use crate::traits::LinkPredictor;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let (k, seed) = *protocol;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut reciprocal = 0.0f64;
+    let mut count = 0usize;
+    for (truth, _) in links {
+        // Tail prediction with K sampled filtered candidates.
+        let mut candidates: Vec<Triple> = (0..graph.num_entities as u32)
+            .map(|e| Triple::new(truth.head, truth.rel, dekg_kg::EntityId(e)))
+            .filter(|c| c != truth && !filter.contains(c))
+            .collect();
+        if candidates.len() > k {
+            candidates.shuffle(&mut rng);
+            candidates.truncate(k);
+        }
+        let mut batch = Vec::with_capacity(candidates.len() + 1);
+        batch.push(*truth);
+        batch.extend_from_slice(&candidates);
+        let scores = model.score_batch(graph, &batch);
+        let s_true = scores[0];
+        let higher = scores[1..].iter().filter(|&&s| s > s_true).count();
+        let equal = scores[1..].iter().filter(|&&s| s == s_true).count();
+        let rank = 1.0 + higher as f64 + equal as f64 / 2.0;
+        reciprocal += 1.0 / rank;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        reciprocal / count as f64
+    }
+}
+
+/// Scores one side (positives or negatives) topologically, returning a
+/// stacked `[n]` Var. Positives exclude their own edge from the
+/// subgraph so the model cannot read the answer off the graph.
+fn score_side(
+    model: &DekgIlp,
+    gsm: &crate::gsm::Gsm,
+    extractor: &SubgraphExtractor<'_>,
+    triples: &[Triple],
+    exclude_self: bool,
+    g: &mut Graph,
+    rng: &mut impl Rng,
+) -> Var {
+    let mut scores = Vec::with_capacity(triples.len());
+    for t in triples {
+        let exclude = exclude_self.then_some(*t);
+        let sg = extractor.extract(t.head, t.tail, exclude);
+        let s = gsm.score_subgraph(g, model.params(), &sg, t.rel, true, rng);
+        scores.push(s);
+    }
+    let stacked = g.stack_scalars(&scores);
+    g.reshape(stacked, [triples.len()])
+}
+
+fn combine(g: &mut Graph, sem: Option<Var>, tpo: Var) -> Var {
+    match sem {
+        Some(s) => g.add(s, tpo),
+        None => tpo,
+    }
+}
+
+/// Adapter: lets a `&mut dyn RngCore` be used where `impl Rng` is
+/// expected without monomorphizing the whole training loop.
+struct RngShim<'a>(&'a mut dyn RngCore);
+
+impl RngCore for RngShim<'_> {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.0.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Ablation, DekgIlpConfig};
+    use crate::traits::{LinkPredictor, TrainableModel};
+    use dekg_datasets::{generate, DatasetProfile, RawKg, SplitKind, SynthConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_dataset(seed: u64) -> DekgDataset {
+        let profile = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Eq).scaled(0.015);
+        let mut cfg = SynthConfig::for_profile(profile, seed);
+        cfg.num_test_enclosing = 10;
+        cfg.num_test_bridging = 10;
+        cfg.num_valid = 10;
+        generate(&cfg)
+    }
+
+    fn quick_cfg() -> DekgIlpConfig {
+        DekgIlpConfig {
+            dim: 8,
+            epochs: 3,
+            batch_size: 16,
+            num_contrastive: 2,
+            gnn_layers: 2,
+            attn_dim: 4,
+            ..DekgIlpConfig::quick()
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let d = tiny_dataset(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut model = DekgIlp::new(
+            DekgIlpConfig { epochs: 6, ..quick_cfg() },
+            &d,
+            &mut rng,
+        );
+        let report = model.fit(&d, &mut rng);
+        assert_eq!(report.epochs, 6);
+        assert!(
+            report.improved(),
+            "loss should improve: {} -> {}",
+            report.initial_loss,
+            report.final_loss
+        );
+        assert!(report.final_loss.is_finite());
+    }
+
+    #[test]
+    fn trained_model_ranks_positives_above_corruptions() {
+        let d = tiny_dataset(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut model = DekgIlp::new(DekgIlpConfig { epochs: 8, ..quick_cfg() }, &d, &mut rng);
+        model.fit(&d, &mut rng);
+
+        // On *training* triples, positives should beat random
+        // corruptions on average — the basic sanity of Eq. 14.
+        let graph = InferenceGraph::training_view(&d);
+        let sampler =
+            NegativeSampler::new(0..d.num_original_entities as u32, vec![&d.original]);
+        let positives: Vec<Triple> = d.original.triples().iter().copied().take(30).collect();
+        let negatives: Vec<Triple> =
+            positives.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
+        let pos_scores = model.score_batch(&graph, &positives);
+        let neg_scores = model.score_batch(&graph, &negatives);
+        let pos_mean: f32 = pos_scores.iter().sum::<f32>() / pos_scores.len() as f32;
+        let neg_mean: f32 = neg_scores.iter().sum::<f32>() / neg_scores.len() as f32;
+        assert!(
+            pos_mean > neg_mean,
+            "positives should outscore corruptions: {pos_mean} vs {neg_mean}"
+        );
+    }
+
+    #[test]
+    fn all_ablations_train() {
+        let d = tiny_dataset(3);
+        for ablation in [
+            Ablation::without_semantic(),
+            Ablation::without_contrastive(),
+            Ablation::without_improved_labeling(),
+        ] {
+            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            let cfg = DekgIlpConfig { ablation, epochs: 2, ..quick_cfg() };
+            let mut model = DekgIlp::new(cfg, &d, &mut rng);
+            let report = model.fit(&d, &mut rng);
+            assert!(report.final_loss.is_finite(), "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn validated_training_tracks_mrr_and_restores_best() {
+        let d = tiny_dataset(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let cfg = DekgIlpConfig { epochs: 6, ..quick_cfg() };
+        let mut model = DekgIlp::new(cfg, &d, &mut rng);
+        let val_cfg = crate::train::ValidationConfig {
+            eval_every: 2,
+            patience: 2,
+            candidates: 8,
+            max_links: 20,
+        };
+        let report = crate::train::train_with_validation(&mut model, &d, &val_cfg, &mut rng);
+        assert!(!report.valid_mrr.is_empty());
+        assert!(report.epochs_run <= 6);
+        assert!(report.valid_mrr.iter().all(|m| m.is_finite() && *m >= 0.0));
+        // Config restored after chunked training.
+        assert_eq!(model.config().epochs, 6);
+    }
+
+    #[test]
+    fn lr_decay_and_bernoulli_options_train() {
+        let d = tiny_dataset(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let cfg = DekgIlpConfig {
+            epochs: 3,
+            lr_decay: 0.8,
+            bernoulli_negatives: true,
+            ..quick_cfg()
+        };
+        let mut model = DekgIlp::new(cfg, &d, &mut rng);
+        let report = model.fit(&d, &mut rng);
+        assert!(report.final_loss.is_finite());
+    }
+
+    #[test]
+    fn training_is_seed_deterministic() {
+        let d = tiny_dataset(4);
+        let run = |seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut model = DekgIlp::new(DekgIlpConfig { epochs: 2, ..quick_cfg() }, &d, &mut rng);
+            model.fit(&d, &mut rng);
+            let graph = InferenceGraph::from_dataset(&d);
+            model.score_batch(&graph, &d.test_enclosing[..5])
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

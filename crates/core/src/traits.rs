@@ -1,0 +1,170 @@
+//! The model interface shared by DEKG-ILP and every baseline.
+
+use dekg_datasets::DekgDataset;
+use dekg_kg::{Adjacency, ComponentTable, Triple, TripleStore};
+use rand::RngCore;
+
+/// The immutable evaluation-time view of a dataset: the union graph
+/// `G ∪ G'` plus the derived structures every model family needs
+/// (adjacency for subgraph methods, component tables for CLRM).
+///
+/// Build it once per dataset and share it across models — derivations
+/// are not free.
+#[derive(Debug)]
+pub struct InferenceGraph {
+    /// Total entity universe size `|E| + |E'|`.
+    pub num_entities: usize,
+    /// Shared relation space size `|R|`.
+    pub num_relations: usize,
+    /// Entities with id below this belong to the original KG.
+    pub num_original_entities: usize,
+    /// All observable triples: `G ∪ G'`.
+    pub store: TripleStore,
+    /// Undirected adjacency over `store`.
+    pub adjacency: Adjacency,
+    /// Relation-component tables over `store`.
+    pub tables: ComponentTable,
+}
+
+impl InferenceGraph {
+    /// Derives the inference view from a dataset.
+    pub fn from_dataset(dataset: &DekgDataset) -> Self {
+        let store = dataset.inference_store();
+        Self::from_store(
+            store,
+            dataset.num_entities(),
+            dataset.num_relations,
+            dataset.num_original_entities,
+        )
+    }
+
+    /// The training-time view: only the original KG `G` is visible.
+    pub fn training_view(dataset: &DekgDataset) -> Self {
+        Self::from_store(
+            dataset.original.clone(),
+            dataset.num_entities(),
+            dataset.num_relations,
+            dataset.num_original_entities,
+        )
+    }
+
+    /// Builds the view from an explicit store.
+    pub fn from_store(
+        store: TripleStore,
+        num_entities: usize,
+        num_relations: usize,
+        num_original_entities: usize,
+    ) -> Self {
+        let adjacency = Adjacency::from_store(&store, num_entities);
+        let tables = ComponentTable::from_store(&store, num_entities, num_relations);
+        InferenceGraph {
+            num_entities,
+            num_relations,
+            num_original_entities,
+            store,
+            adjacency,
+            tables,
+        }
+    }
+}
+
+/// A scoring model for KG triples. Higher scores mean "more plausible".
+///
+/// Implementations must be [`Sync`] so the evaluation harness can fan
+/// candidate scoring out across threads; scoring takes `&self` and must
+/// not mutate model state.
+pub trait LinkPredictor: Sync {
+    /// Short model name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Scores a batch of candidate triples against the inference graph.
+    fn score_batch(&self, graph: &InferenceGraph, triples: &[Triple]) -> Vec<f32>;
+
+    /// Total number of scalar parameters (Fig. 7's parameter complexity).
+    fn num_parameters(&self) -> usize;
+
+    /// Scores a single triple (convenience wrapper).
+    fn score(&self, graph: &InferenceGraph, triple: &Triple) -> f32 {
+        self.score_batch(graph, std::slice::from_ref(triple))[0]
+    }
+}
+
+/// Summary of one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Epochs executed.
+    pub epochs: usize,
+    /// Mean loss of the final epoch.
+    pub final_loss: f32,
+    /// Mean loss of the first epoch (for "did it learn?" checks).
+    pub initial_loss: f32,
+    /// Wall-clock seconds spent in `fit`.
+    pub seconds: f64,
+}
+
+impl TrainReport {
+    /// True when the loss decreased over training.
+    pub fn improved(&self) -> bool {
+        self.final_loss < self.initial_loss
+    }
+}
+
+/// A model that can be fit on a dataset's original KG.
+pub trait TrainableModel: LinkPredictor {
+    /// Trains on `dataset.original`, never looking at `G'` or any
+    /// held-out link.
+    fn fit(&mut self, dataset: &DekgDataset, rng: &mut dyn RngCore) -> TrainReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dekg_datasets::{generate, DatasetProfile, RawKg, SplitKind, SynthConfig};
+    use dekg_kg::EntityId;
+
+    fn tiny_dataset() -> DekgDataset {
+        let profile = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Eq).scaled(0.02);
+        generate(&SynthConfig::for_profile(profile, 7))
+    }
+
+    #[test]
+    fn inference_graph_unions_stores() {
+        let d = tiny_dataset();
+        let g = InferenceGraph::from_dataset(&d);
+        assert_eq!(g.store.len(), d.original.len() + d.emerging.len());
+        assert_eq!(g.num_entities, d.num_entities());
+        assert_eq!(g.num_relations, d.num_relations);
+    }
+
+    #[test]
+    fn training_view_hides_emerging_graph() {
+        let d = tiny_dataset();
+        let g = InferenceGraph::training_view(&d);
+        assert_eq!(g.store.len(), d.original.len());
+        for t in d.emerging.triples() {
+            assert!(!g.store.contains(t));
+        }
+        // Unseen entities exist in the universe but have no edges.
+        let unseen = EntityId(d.num_original_entities as u32);
+        assert_eq!(g.adjacency.degree(unseen), 0);
+        assert!(g.tables.row(unseen).is_empty());
+    }
+
+    #[test]
+    fn component_tables_cover_emerging_entities() {
+        let d = tiny_dataset();
+        let g = InferenceGraph::from_dataset(&d);
+        // Every G' entity has ≥1 associated relation at inference time.
+        for i in d.num_original_entities..d.num_entities() {
+            assert!(!g.tables.row(EntityId(i as u32)).is_empty(), "entity {i}");
+        }
+    }
+
+    #[test]
+    fn train_report_improvement() {
+        let r = TrainReport { epochs: 3, final_loss: 0.2, initial_loss: 1.0, seconds: 0.5 };
+        assert!(r.improved());
+        let r2 = TrainReport { final_loss: 2.0, ..r };
+        assert!(!r2.improved());
+    }
+}

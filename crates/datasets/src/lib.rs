@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # dekg-datasets
+//!
+//! Benchmark-dataset substrate for the DEKG-ILP reproduction.
+//!
+//! The paper evaluates on GraIL's inductive splits of FB15k-237,
+//! NELL-995 and WN18RR, augmented with *real* bridging links extracted
+//! from the raw KGs, mixed at ratios 1:1 (**EQ**), 1:2 (**MB**, more
+//! bridging) and 2:1 (**ME**, more enclosing). Those raw KGs are not
+//! available offline, so this crate provides:
+//!
+//! * [`profiles`] — the Table II statistics of all nine datasets as
+//!   generation targets,
+//! * [`synth`] — a deterministic generator producing an original KG `G`,
+//!   a disconnected emerging KG `G'` and held-out enclosing/bridging
+//!   links, with a latent **entity-type / relation-signature** model
+//!   that preserves the structural regimes the paper's findings hinge
+//!   on (see `DESIGN.md`),
+//! * [`splits`] — the [`DekgDataset`] container and derived views,
+//! * [`mixes`] — EQ/MB/ME test-mix construction,
+//! * [`negatives`] — corruption-based negative sampling,
+//! * [`stats`] — Table II-style statistics over any dataset,
+//! * [`loader`] — GraIL-format directory loading so real splits can be
+//!   substituted when available.
+
+pub mod loader;
+pub mod mixes;
+pub mod negatives;
+pub mod profiles;
+pub mod splits;
+pub mod stats;
+pub mod synth;
+
+pub use mixes::{MixRatio, TestMix};
+pub use negatives::NegativeSampler;
+pub use profiles::{DatasetProfile, RawKg, SplitKind};
+pub use splits::{DekgDataset, LinkClass};
+pub use stats::DatasetStats;
+pub use synth::{generate, SynthConfig};

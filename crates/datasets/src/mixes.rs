@@ -1,0 +1,152 @@
+//! EQ/MB/ME test-mix construction (Section V-A).
+//!
+//! The paper evaluates on test sets mixing enclosing and bridging links
+//! at fixed ratios: 1:1 (EQ), 1:2 (MB) and 2:1 (ME). A [`TestMix`] is
+//! that final evaluation set with per-link class labels retained so the
+//! "respective study" (Fig. 5) can re-split it.
+
+use crate::profiles::SplitKind;
+use crate::splits::{DekgDataset, LinkClass};
+use dekg_kg::Triple;
+
+/// An enclosing : bridging mixing ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixRatio {
+    /// Parts of enclosing links.
+    pub enclosing: usize,
+    /// Parts of bridging links.
+    pub bridging: usize,
+}
+
+impl MixRatio {
+    /// The ratio for a named split kind.
+    pub fn for_split(kind: SplitKind) -> MixRatio {
+        let (e, b) = kind.ratio();
+        MixRatio { enclosing: e, bridging: b }
+    }
+}
+
+/// A labeled evaluation set.
+#[derive(Debug, Clone)]
+pub struct TestMix {
+    /// `(triple, class)` pairs, enclosing first then bridging.
+    pub links: Vec<(Triple, LinkClass)>,
+}
+
+impl TestMix {
+    /// Builds a mix from a dataset's held-out pools at `ratio`.
+    ///
+    /// Uses as many links as the pools allow while keeping the exact
+    /// ratio; pool order is preserved (pools are already shuffled by
+    /// generation order).
+    ///
+    /// # Panics
+    /// If either ratio part is zero or a required pool is empty.
+    pub fn build(dataset: &DekgDataset, ratio: MixRatio) -> TestMix {
+        assert!(ratio.enclosing > 0 && ratio.bridging > 0, "ratio parts must be positive");
+        assert!(!dataset.test_enclosing.is_empty(), "no enclosing links available");
+        assert!(!dataset.test_bridging.is_empty(), "no bridging links available");
+        // Largest k with k*enc <= pool_e and k*bri <= pool_b.
+        let k = (dataset.test_enclosing.len() / ratio.enclosing)
+            .min(dataset.test_bridging.len() / ratio.bridging)
+            .max(1);
+        let n_enc = (k * ratio.enclosing).min(dataset.test_enclosing.len());
+        let n_bri = (k * ratio.bridging).min(dataset.test_bridging.len());
+        let mut links = Vec::with_capacity(n_enc + n_bri);
+        links.extend(
+            dataset.test_enclosing[..n_enc]
+                .iter()
+                .map(|&t| (t, LinkClass::Enclosing)),
+        );
+        links.extend(
+            dataset.test_bridging[..n_bri]
+                .iter()
+                .map(|&t| (t, LinkClass::Bridging)),
+        );
+        TestMix { links }
+    }
+
+    /// Only the links of one class.
+    pub fn of_class(&self, class: LinkClass) -> Vec<Triple> {
+        self.links
+            .iter()
+            .filter(|(_, c)| *c == class)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// Count per class: `(enclosing, bridging)`.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let enc = self
+            .links
+            .iter()
+            .filter(|(_, c)| *c == LinkClass::Enclosing)
+            .count();
+        (enc, self.links.len() - enc)
+    }
+
+    /// Total number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{DatasetProfile, RawKg};
+    use crate::synth::{generate, SynthConfig};
+
+    fn dataset() -> DekgDataset {
+        let profile = DatasetProfile::table2(RawKg::Nell995, SplitKind::Eq).scaled(0.2);
+        let mut cfg = SynthConfig::for_profile(profile, 42);
+        cfg.num_test_enclosing = 60;
+        cfg.num_test_bridging = 60;
+        generate(&cfg)
+    }
+
+    #[test]
+    fn eq_mix_is_balanced() {
+        let d = dataset();
+        let mix = TestMix::build(&d, MixRatio::for_split(SplitKind::Eq));
+        let (e, b) = mix.class_counts();
+        assert_eq!(e, b);
+        assert!(e > 0);
+    }
+
+    #[test]
+    fn mb_mix_has_double_bridging() {
+        let d = dataset();
+        let mix = TestMix::build(&d, MixRatio::for_split(SplitKind::Mb));
+        let (e, b) = mix.class_counts();
+        assert_eq!(b, 2 * e);
+    }
+
+    #[test]
+    fn me_mix_has_double_enclosing() {
+        let d = dataset();
+        let mix = TestMix::build(&d, MixRatio::for_split(SplitKind::Me));
+        let (e, b) = mix.class_counts();
+        assert_eq!(e, 2 * b);
+    }
+
+    #[test]
+    fn of_class_filters() {
+        let d = dataset();
+        let mix = TestMix::build(&d, MixRatio::for_split(SplitKind::Eq));
+        let enc = mix.of_class(LinkClass::Enclosing);
+        let bri = mix.of_class(LinkClass::Bridging);
+        assert_eq!(enc.len() + bri.len(), mix.len());
+        for t in &enc {
+            assert_eq!(d.classify(t), Some(LinkClass::Enclosing));
+        }
+        for t in &bri {
+            assert_eq!(d.classify(t), Some(LinkClass::Bridging));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Corruption-based negative sampling (Eq. 12 of the paper).
+//!
+//! A negative triple replaces the head *or* the tail of a positive with
+//! a random entity from a candidate range, rejecting corruptions that
+//! happen to be known positives. The side to corrupt is a fair coin by
+//! default, or the **Bernoulli** scheme of TransH (Wang et al., 2014)
+//! when enabled: heads are corrupted with probability
+//! `tph / (tph + hpt)` per relation, which produces fewer false
+//! negatives on one-to-many/many-to-one relations.
+
+use dekg_kg::{EntityId, RelationId, Triple, TripleStore};
+use rand::Rng;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// A sampler bound to an entity range and a set of known positives.
+#[derive(Debug, Clone)]
+pub struct NegativeSampler<'a> {
+    candidates: Range<u32>,
+    known: Vec<&'a TripleStore>,
+    /// Per-relation probability of corrupting the *head* side.
+    head_prob: Option<HashMap<RelationId, f64>>,
+}
+
+impl<'a> NegativeSampler<'a> {
+    /// Creates a sampler drawing replacement entities from `candidates`
+    /// (a contiguous id range) and rejecting members of `known`.
+    ///
+    /// # Panics
+    /// If the candidate range is empty.
+    pub fn new(candidates: Range<u32>, known: Vec<&'a TripleStore>) -> Self {
+        assert!(!candidates.is_empty(), "empty candidate range");
+        NegativeSampler { candidates, known, head_prob: None }
+    }
+
+    /// Enables Bernoulli side selection with statistics from `store`
+    /// (usually the training KG): for each relation, `tph` is the mean
+    /// number of tails per head and `hpt` the mean heads per tail.
+    pub fn with_bernoulli(mut self, store: &TripleStore) -> Self {
+        let mut heads_of: HashMap<RelationId, HashMap<EntityId, u32>> = HashMap::new();
+        let mut tails_of: HashMap<RelationId, HashMap<EntityId, u32>> = HashMap::new();
+        for t in store.triples() {
+            *heads_of.entry(t.rel).or_default().entry(t.head).or_insert(0) += 1;
+            *tails_of.entry(t.rel).or_default().entry(t.tail).or_insert(0) += 1;
+        }
+        let mut prob = HashMap::new();
+        for (&rel, heads) in &heads_of {
+            let tails = &tails_of[&rel];
+            // tph: average triples per distinct head; hpt analogously.
+            let total: u32 = heads.values().sum();
+            let tph = total as f64 / heads.len() as f64;
+            let hpt = total as f64 / tails.len() as f64;
+            prob.insert(rel, tph / (tph + hpt));
+        }
+        self.head_prob = Some(prob);
+        self
+    }
+
+    fn is_known(&self, t: &Triple) -> bool {
+        self.known.iter().any(|s| s.contains(t))
+    }
+
+    fn corrupt_head(&self, rel: RelationId, rng: &mut impl Rng) -> bool {
+        match &self.head_prob {
+            Some(prob) => rng.gen::<f64>() < prob.get(&rel).copied().unwrap_or(0.5),
+            None => rng.gen::<bool>(),
+        }
+    }
+
+    /// Corrupts `positive` into one negative; the side follows the
+    /// configured scheme (fair coin or Bernoulli).
+    ///
+    /// Falls back to returning an un-rejected corruption after a bounded
+    /// number of attempts (pathological graphs where almost everything
+    /// is a positive).
+    pub fn corrupt(&self, positive: &Triple, rng: &mut impl Rng) -> Triple {
+        let mut last = *positive;
+        for _ in 0..64 {
+            let replacement = EntityId(rng.gen_range(self.candidates.clone()));
+            let corrupted = if self.corrupt_head(positive.rel, rng) {
+                Triple::new(replacement, positive.rel, positive.tail)
+            } else {
+                Triple::new(positive.head, positive.rel, replacement)
+            };
+            if corrupted == *positive {
+                continue;
+            }
+            last = corrupted;
+            if !self.is_known(&corrupted) {
+                return corrupted;
+            }
+        }
+        last
+    }
+
+    /// Draws `n` negatives for one positive.
+    pub fn corrupt_n(&self, positive: &Triple, n: usize, rng: &mut impl Rng) -> Vec<Triple> {
+        (0..n).map(|_| self.corrupt(positive, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn t(h: u32, r: u32, ta: u32) -> Triple {
+        Triple::from_raw(h, r, ta)
+    }
+
+    #[test]
+    fn corruption_changes_exactly_one_side() {
+        let store = TripleStore::from_triples([t(0, 0, 1)]);
+        let stores = vec![&store];
+        let sampler = NegativeSampler::new(0..100, stores);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..200 {
+            let neg = sampler.corrupt(&t(0, 0, 1), &mut rng);
+            let head_changed = neg.head != EntityId(0);
+            let tail_changed = neg.tail != EntityId(1);
+            assert!(head_changed ^ tail_changed, "exactly one side must change: {neg}");
+            assert_eq!(neg.rel.index(), 0, "relation must be preserved");
+        }
+    }
+
+    #[test]
+    fn known_positives_rejected() {
+        // Universe of 3 entities; all (0, r, x) are positive except x=2.
+        let store = TripleStore::from_triples([t(0, 0, 1), t(0, 0, 0), t(1, 0, 1), t(2, 0, 1)]);
+        let stores = vec![&store];
+        let sampler = NegativeSampler::new(0..3, stores);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let neg = sampler.corrupt(&t(0, 0, 1), &mut rng);
+            assert!(!store.contains(&neg), "sampled a known positive {neg}");
+        }
+    }
+
+    #[test]
+    fn both_sides_eventually_corrupted() {
+        let store = TripleStore::new();
+        let stores = vec![&store];
+        let sampler = NegativeSampler::new(0..50, stores);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let negs = sampler.corrupt_n(&t(5, 1, 6), 100, &mut rng);
+        assert!(negs.iter().any(|n| n.head != EntityId(5)));
+        assert!(negs.iter().any(|n| n.tail != EntityId(6)));
+    }
+
+    #[test]
+    fn candidate_range_respected() {
+        let store = TripleStore::new();
+        let stores = vec![&store];
+        let sampler = NegativeSampler::new(10..20, stores);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            let neg = sampler.corrupt(&t(10, 0, 11), &mut rng);
+            for e in [neg.head, neg.tail] {
+                assert!((10..20).contains(&e.0) || e == EntityId(10) || e == EntityId(11));
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_prefers_the_safer_side() {
+        // Relation 0 is one-to-many: head 0 has many tails. tph ≫ hpt →
+        // corrupting the head is safer and must dominate.
+        let mut triples = Vec::new();
+        for t in 1..20u32 {
+            triples.push(Triple::from_raw(0, 0, t));
+        }
+        let store = TripleStore::from_triples(triples);
+        let stores = vec![&store];
+        let sampler = NegativeSampler::new(0..100, stores).with_bernoulli(&store);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let positive = t(0, 0, 5);
+        let mut head_corruptions = 0;
+        let total = 400;
+        for _ in 0..total {
+            let neg = sampler.corrupt(&positive, &mut rng);
+            if neg.head != positive.head {
+                head_corruptions += 1;
+            }
+        }
+        assert!(
+            head_corruptions as f64 > 0.8 * total as f64,
+            "head corruption should dominate for one-to-many: {head_corruptions}/{total}"
+        );
+    }
+
+    #[test]
+    fn bernoulli_unknown_relation_falls_back_to_fair_coin() {
+        let store = TripleStore::from_triples([t(0, 0, 1)]);
+        let stores = vec![&store];
+        let sampler = NegativeSampler::new(0..50, stores).with_bernoulli(&store);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // Relation 7 has no statistics; both sides must appear.
+        let positive = t(3, 7, 4);
+        let negs: Vec<Triple> = (0..100).map(|_| sampler.corrupt(&positive, &mut rng)).collect();
+        assert!(negs.iter().any(|n| n.head != positive.head));
+        assert!(negs.iter().any(|n| n.tail != positive.tail));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty candidate range")]
+    fn empty_range_rejected() {
+        #[allow(clippy::reversed_empty_ranges)]
+        NegativeSampler::new(5..5, vec![]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Generation targets: the Table II statistics of the paper's nine
+//! evaluation datasets.
+
+use serde::{Deserialize, Serialize};
+
+/// The raw KG a dataset derives from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RawKg {
+    /// FB15k-237 — many relations, dense.
+    Fb15k237,
+    /// NELL-995 — medium relation count.
+    Nell995,
+    /// WN18RR — few relations, sparse.
+    Wn18rr,
+}
+
+impl RawKg {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            RawKg::Fb15k237 => "FB15k-237",
+            RawKg::Nell995 => "NELL-995",
+            RawKg::Wn18rr => "WN18RR",
+        }
+    }
+
+    /// All three raw KGs.
+    pub fn all() -> [RawKg; 3] {
+        [RawKg::Fb15k237, RawKg::Nell995, RawKg::Wn18rr]
+    }
+}
+
+/// The test-mix family a dataset belongs to (Section V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SplitKind {
+    /// Equal enclosing : bridging (1:1), built from GraIL split v1.
+    Eq,
+    /// More bridging (1:2), built from GraIL split v2.
+    Mb,
+    /// More enclosing (2:1), built from GraIL split v3.
+    Me,
+}
+
+impl SplitKind {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            SplitKind::Eq => "EQ",
+            SplitKind::Mb => "MB",
+            SplitKind::Me => "ME",
+        }
+    }
+
+    /// All three splits.
+    pub fn all() -> [SplitKind; 3] {
+        [SplitKind::Eq, SplitKind::Mb, SplitKind::Me]
+    }
+
+    /// Enclosing : bridging ratio of the final test mix.
+    pub fn ratio(self) -> (usize, usize) {
+        match self {
+            SplitKind::Eq => (1, 1),
+            SplitKind::Mb => (1, 2),
+            SplitKind::Me => (2, 1),
+        }
+    }
+}
+
+/// Target statistics for one dataset (one Table II row pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Source raw KG.
+    pub raw: RawKg,
+    /// Mix family.
+    pub split: SplitKind,
+    /// `|R|` of the original KG `G`.
+    pub relations_g: usize,
+    /// `|E|` of `G`.
+    pub entities_g: usize,
+    /// `|T|` of `G`.
+    pub triples_g: usize,
+    /// `|R|` observed in the emerging KG `G'`.
+    pub relations_gp: usize,
+    /// `|E'|` of `G'`.
+    pub entities_gp: usize,
+    /// `|T|` of `G'`.
+    pub triples_gp: usize,
+}
+
+impl DatasetProfile {
+    /// Canonical dataset name, e.g. `"FB15k-237 EQ"`.
+    pub fn name(&self) -> String {
+        format!("{} {}", self.raw.name(), self.split.name())
+    }
+
+    /// Scales the dataset down by `factor` (for laptop-scale runs).
+    ///
+    /// Entities and triples scale linearly; the **relation space scales
+    /// by `√factor`** — relation vocabularies do not shrink in
+    /// proportion to graph size in real KGs (GraIL's small splits keep
+    /// most relations), and preserving relative relation richness
+    /// (FB15k-237 ≫ NELL-995 > WN18RR) is what the paper's analysis of
+    /// CLRM depends on. Every count keeps a floor (≥ 2 relations, ≥ 8
+    /// entities, ≥ 16 triples) so tiny factors still yield a usable
+    /// graph.
+    ///
+    /// # Panics
+    /// If `factor` is not in `(0, 1]`.
+    pub fn scaled(&self, factor: f64) -> DatasetProfile {
+        assert!(factor > 0.0 && factor <= 1.0, "scale factor {factor} outside (0, 1]");
+        let s = |x: usize, floor: usize| ((x as f64 * factor).round() as usize).max(floor);
+        let rel_factor = factor.sqrt();
+        let r = |x: usize| ((x as f64 * rel_factor).round() as usize).max(2);
+        DatasetProfile {
+            raw: self.raw,
+            split: self.split,
+            relations_g: r(self.relations_g),
+            entities_g: s(self.entities_g, 8),
+            triples_g: s(self.triples_g, 16),
+            relations_gp: r(self.relations_gp).min(r(self.relations_g)),
+            entities_gp: s(self.entities_gp, 8),
+            triples_gp: s(self.triples_gp, 16),
+        }
+    }
+
+    /// Average triples per entity of `G` — the `|T|/|E|` density the
+    /// paper's ablation discussion references.
+    pub fn density_g(&self) -> f64 {
+        self.triples_g as f64 / self.entities_g as f64
+    }
+
+    /// Looks up the Table II profile for a `(raw, split)` pair.
+    pub fn table2(raw: RawKg, split: SplitKind) -> DatasetProfile {
+        use RawKg::*;
+        use SplitKind::*;
+        let (rg, eg, tg, rp, ep, tp) = match (raw, split) {
+            (Fb15k237, Eq) => (180, 1594, 5226, 142, 1093, 2404),
+            (Fb15k237, Mb) => (200, 2608, 12085, 172, 1660, 5570),
+            (Fb15k237, Me) => (215, 3668, 22394, 183, 2501, 9569),
+            (Nell995, Eq) => (14, 3103, 5540, 14, 225, 1034),
+            (Nell995, Mb) => (88, 2564, 10109, 79, 2086, 5997),
+            (Nell995, Me) => (142, 4647, 20117, 122, 3566, 10072),
+            (Wn18rr, Eq) => (9, 2746, 6678, 8, 922, 1991),
+            (Wn18rr, Mb) => (10, 6954, 18968, 10, 2757, 5304),
+            (Wn18rr, Me) => (11, 12078, 32150, 11, 5084, 7772),
+        };
+        DatasetProfile {
+            raw,
+            split,
+            relations_g: rg,
+            entities_g: eg,
+            triples_g: tg,
+            relations_gp: rp,
+            entities_gp: ep,
+            triples_gp: tp,
+        }
+    }
+
+    /// All nine Table II profiles in paper order.
+    pub fn all_table2() -> Vec<DatasetProfile> {
+        let mut out = Vec::with_capacity(9);
+        for split in SplitKind::all() {
+            for raw in RawKg::all() {
+                out.push(Self::table2(raw, split));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper_values() {
+        let p = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Eq);
+        assert_eq!(p.relations_g, 180);
+        assert_eq!(p.entities_g, 1594);
+        assert_eq!(p.triples_g, 5226);
+        assert_eq!(p.relations_gp, 142);
+        assert_eq!(p.entities_gp, 1093);
+        assert_eq!(p.triples_gp, 2404);
+
+        let w = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Me);
+        assert_eq!(w.entities_g, 12078);
+        assert_eq!(w.triples_g, 32150);
+    }
+
+    #[test]
+    fn nine_profiles_total() {
+        assert_eq!(DatasetProfile::all_table2().len(), 9);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let p = DatasetProfile::table2(RawKg::Nell995, SplitKind::Mb);
+        assert_eq!(p.name(), "NELL-995 MB");
+    }
+
+    #[test]
+    fn scaling_preserves_floors_and_shrinks() {
+        let p = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Me);
+        let s = p.scaled(0.1);
+        assert!(s.triples_g < p.triples_g);
+        assert!(s.relations_g >= 2 && s.entities_g >= 8 && s.triples_g >= 16);
+        let tiny = p.scaled(1e-6);
+        assert_eq!(tiny.relations_g, 2);
+        assert_eq!(tiny.entities_g, 8);
+        assert_eq!(tiny.triples_g, 16);
+    }
+
+    #[test]
+    fn scaled_gp_relations_never_exceed_g() {
+        for p in DatasetProfile::all_table2() {
+            for f in [0.05, 0.2, 1.0] {
+                let s = p.scaled(f);
+                assert!(s.relations_gp <= s.relations_g, "{} @ {f}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn bad_scale_rejected() {
+        DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Eq).scaled(0.0);
+    }
+
+    #[test]
+    fn ratios_match_section_5a() {
+        assert_eq!(SplitKind::Eq.ratio(), (1, 1));
+        assert_eq!(SplitKind::Mb.ratio(), (1, 2));
+        assert_eq!(SplitKind::Me.ratio(), (2, 1));
+    }
+
+    #[test]
+    fn density_ordering_matches_ablation_discussion() {
+        // The paper attributes stronger contrastive gains on FB15k-237
+        // MB/ME and NELL-995 ME to higher |T|/|E|; check those densities
+        // do exceed e.g. WN18RR ME's.
+        let dense = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Me).density_g();
+        let sparse = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Me).density_g();
+        assert!(dense > sparse);
+    }
+}

@@ -1,0 +1,208 @@
+//! The [`DekgDataset`] container: one original KG, one disconnected
+//! emerging KG, and held-out links of both classes.
+
+use dekg_kg::{EntityId, Triple, TripleStore, Vocab};
+use serde::{Deserialize, Serialize};
+
+/// Which side of the DEKG boundary a test link spans (Definitions 3–4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Both endpoints in `G'` (unseen–unseen).
+    Enclosing,
+    /// One endpoint in `G`, the other in `G'`.
+    Bridging,
+}
+
+impl LinkClass {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkClass::Enclosing => "enclosing",
+            LinkClass::Bridging => "bridging",
+        }
+    }
+}
+
+/// A complete DEKG evaluation dataset.
+///
+/// Entity-id layout: ids `0..num_original_entities` belong to `G`
+/// (seen), the rest to `G'` (unseen). The relation space is shared.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DekgDataset {
+    /// Human-readable dataset name.
+    pub name: String,
+    /// Shared vocabulary (entities of both graphs + relations).
+    pub vocab: Vocab,
+    /// Number of entities belonging to the original KG.
+    pub num_original_entities: usize,
+    /// Size of the shared relation space.
+    pub num_relations: usize,
+    /// The original KG `G` — the training triples.
+    pub original: TripleStore,
+    /// The emerging KG `G'` — observed structure at inference time.
+    pub emerging: TripleStore,
+    /// Held-out links inside `G` for validation.
+    pub valid: Vec<Triple>,
+    /// Held-out enclosing links (inside `G'`).
+    pub test_enclosing: Vec<Triple>,
+    /// Held-out bridging links (between `G` and `G'`).
+    pub test_bridging: Vec<Triple>,
+}
+
+impl DekgDataset {
+    /// Total entity universe size (`|E| + |E'|`).
+    pub fn num_entities(&self) -> usize {
+        self.vocab.num_entities()
+    }
+
+    /// True when `e` belongs to the original KG (was seen in training).
+    pub fn is_original(&self, e: EntityId) -> bool {
+        e.index() < self.num_original_entities
+    }
+
+    /// Classifies a link by its endpoints.
+    ///
+    /// Returns `None` for links entirely inside `G` (transductive links,
+    /// which never occur in the test sets here).
+    pub fn classify(&self, t: &Triple) -> Option<LinkClass> {
+        match (self.is_original(t.head), self.is_original(t.tail)) {
+            (false, false) => Some(LinkClass::Enclosing),
+            (true, false) | (false, true) => Some(LinkClass::Bridging),
+            (true, true) => None,
+        }
+    }
+
+    /// The inference graph `G ∪ G'`: everything observable at test time.
+    pub fn inference_store(&self) -> TripleStore {
+        let mut store = self.original.clone();
+        store.extend_from(&self.emerging);
+        store
+    }
+
+    /// All held-out triples (valid + both test classes) — the filter set
+    /// complement used by the filtered ranking protocol.
+    pub fn heldout_store(&self) -> TripleStore {
+        let mut store = TripleStore::new();
+        for t in self
+            .valid
+            .iter()
+            .chain(&self.test_enclosing)
+            .chain(&self.test_bridging)
+        {
+            store.insert(*t);
+        }
+        store
+    }
+
+    /// Checks the structural invariants of a DEKG:
+    /// `G ⊆ E×R×E`, `G' ⊆ E'×R×E'`, no overlap, class labels correct.
+    ///
+    /// # Panics
+    /// On any violation — used by tests and the generator's self-check.
+    pub fn validate(&self) {
+        for t in self.original.triples() {
+            assert!(
+                self.is_original(t.head) && self.is_original(t.tail),
+                "original KG triple {t} touches an unseen entity"
+            );
+        }
+        for t in self.emerging.triples() {
+            assert!(
+                !self.is_original(t.head) && !self.is_original(t.tail),
+                "emerging KG triple {t} touches a seen entity"
+            );
+        }
+        for t in &self.test_enclosing {
+            assert_eq!(
+                self.classify(t),
+                Some(LinkClass::Enclosing),
+                "mislabeled enclosing link {t}"
+            );
+            assert!(!self.emerging.contains(t), "test link {t} leaked into G'");
+        }
+        for t in &self.test_bridging {
+            assert_eq!(
+                self.classify(t),
+                Some(LinkClass::Bridging),
+                "mislabeled bridging link {t}"
+            );
+            assert!(!self.original.contains(t) && !self.emerging.contains(t));
+        }
+        for t in &self.valid {
+            assert!(self.classify(t).is_none(), "valid link {t} should be inside G");
+            assert!(!self.original.contains(t), "valid link {t} leaked into G");
+        }
+        assert!(self.num_relations > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built minimal dataset: G = {0,1}, G' = {2,3}.
+    pub(crate) fn tiny() -> DekgDataset {
+        let mut vocab = Vocab::new();
+        for n in ["a", "b", "x", "y"] {
+            vocab.intern_entity(n);
+        }
+        vocab.intern_relation("r");
+        DekgDataset {
+            name: "tiny".into(),
+            vocab,
+            num_original_entities: 2,
+            num_relations: 1,
+            original: TripleStore::from_triples([Triple::from_raw(0, 0, 1)]),
+            emerging: TripleStore::from_triples([Triple::from_raw(2, 0, 3)]),
+            valid: vec![Triple::from_raw(1, 0, 0)],
+            test_enclosing: vec![Triple::from_raw(3, 0, 2)],
+            test_bridging: vec![Triple::from_raw(0, 0, 2)],
+        }
+    }
+
+    #[test]
+    fn classification() {
+        let d = tiny();
+        assert_eq!(d.classify(&Triple::from_raw(2, 0, 3)), Some(LinkClass::Enclosing));
+        assert_eq!(d.classify(&Triple::from_raw(0, 0, 3)), Some(LinkClass::Bridging));
+        assert_eq!(d.classify(&Triple::from_raw(3, 0, 1)), Some(LinkClass::Bridging));
+        assert_eq!(d.classify(&Triple::from_raw(0, 0, 1)), None);
+    }
+
+    #[test]
+    fn inference_store_unions() {
+        let d = tiny();
+        let inf = d.inference_store();
+        assert_eq!(inf.len(), 2);
+        assert!(inf.contains(&Triple::from_raw(0, 0, 1)));
+        assert!(inf.contains(&Triple::from_raw(2, 0, 3)));
+    }
+
+    #[test]
+    fn heldout_store_collects_all() {
+        let d = tiny();
+        let h = d.heldout_store();
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn tiny_validates() {
+        tiny().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "touches a seen entity")]
+    fn validate_catches_crossing_edge() {
+        let mut d = tiny();
+        d.emerging.insert(Triple::from_raw(0, 0, 3)); // crosses the boundary
+        d.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "mislabeled enclosing link")]
+    fn validate_catches_mislabel() {
+        let mut d = tiny();
+        d.test_enclosing.push(Triple::from_raw(0, 0, 2));
+        d.validate();
+    }
+}

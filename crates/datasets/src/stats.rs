@@ -1,0 +1,98 @@
+//! Table II-style dataset statistics.
+
+use crate::splits::DekgDataset;
+use dekg_kg::TripleStore;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one KG (`G` or `G'`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Distinct relations appearing in triples.
+    pub relations: usize,
+    /// Distinct entities appearing in triples.
+    pub entities: usize,
+    /// Triple count.
+    pub triples: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for a store.
+    pub fn of(store: &TripleStore) -> GraphStats {
+        GraphStats {
+            relations: store.relations().len(),
+            entities: store.entities().len(),
+            triples: store.len(),
+        }
+    }
+}
+
+/// A full Table II row pair plus held-out pool sizes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Stats of the original KG `G`.
+    pub original: GraphStats,
+    /// Stats of the emerging KG `G'`.
+    pub emerging: GraphStats,
+    /// Number of validation links.
+    pub valid: usize,
+    /// Number of held-out enclosing links.
+    pub test_enclosing: usize,
+    /// Number of held-out bridging links.
+    pub test_bridging: usize,
+}
+
+impl DatasetStats {
+    /// Computes statistics for a dataset.
+    pub fn of(dataset: &DekgDataset) -> DatasetStats {
+        DatasetStats {
+            name: dataset.name.clone(),
+            original: GraphStats::of(&dataset.original),
+            emerging: GraphStats::of(&dataset.emerging),
+            valid: dataset.valid.len(),
+            test_enclosing: dataset.test_enclosing.len(),
+            test_bridging: dataset.test_bridging.len(),
+        }
+    }
+
+    /// Average triples per entity of `G` (`|T|/|E|`).
+    pub fn density(&self) -> f64 {
+        self.original.triples as f64 / self.original.entities.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{DatasetProfile, RawKg, SplitKind};
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn stats_track_generated_dataset() {
+        let profile = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Eq).scaled(0.1);
+        let cfg = SynthConfig::for_profile(profile, 5);
+        let d = generate(&cfg);
+        let s = DatasetStats::of(&d);
+        assert_eq!(s.original.triples, d.original.len());
+        assert_eq!(s.emerging.triples, d.emerging.len());
+        assert_eq!(s.test_enclosing, d.test_enclosing.len());
+        assert!(s.original.relations <= profile.relations_g);
+        assert!(s.density() > 0.0);
+    }
+
+    #[test]
+    fn generated_stats_approximate_profile() {
+        // The generator should land within 15% of the profile targets
+        // for entities and triples.
+        let profile = DatasetProfile::table2(RawKg::Nell995, SplitKind::Eq).scaled(0.3);
+        let d = generate(&SynthConfig::for_profile(profile, 9));
+        let s = DatasetStats::of(&d);
+        let close = |got: usize, want: usize| {
+            (got as f64 - want as f64).abs() / want as f64 <= 0.15
+        };
+        assert!(close(s.original.entities, profile.entities_g), "{s:?}");
+        assert!(close(s.original.triples, profile.triples_g), "{s:?}");
+        assert!(close(s.emerging.triples, profile.triples_gp), "{s:?}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Rank-based metrics: MRR and Hits@N.
+
+use serde::{Deserialize, Serialize};
+
+/// The Hits@N cutoffs reported in the paper's tables.
+pub const HITS_AT: [usize; 3] = [1, 5, 10];
+
+/// Aggregated ranking metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// `hits[i]` is Hits@`HITS_AT[i]`.
+    pub hits: [f64; 3],
+    /// Number of ranking queries aggregated.
+    pub count: usize,
+}
+
+impl Metrics {
+    /// The all-zero metrics of an empty evaluation.
+    pub fn empty() -> Self {
+        Metrics { mrr: 0.0, hits: [0.0; 3], count: 0 }
+    }
+
+    /// Hits@`n` for one of the standard cutoffs.
+    ///
+    /// # Panics
+    /// If `n` is not one of [`HITS_AT`].
+    pub fn hits_at(&self, n: usize) -> f64 {
+        let idx = HITS_AT
+            .iter()
+            .position(|&h| h == n)
+            .unwrap_or_else(|| panic!("hits@{n} not tracked (only {HITS_AT:?})"));
+        self.hits[idx]
+    }
+}
+
+/// Accumulates ranks (possibly fractional, from tie averaging) into
+/// [`Metrics`]. Mergeable across threads.
+#[derive(Debug, Clone, Default)]
+pub struct RankAccumulator {
+    reciprocal_sum: f64,
+    hit_counts: [f64; 3],
+    count: usize,
+}
+
+impl RankAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one ranking query's (1-based) rank.
+    ///
+    /// # Panics
+    /// If `rank < 1`.
+    pub fn push(&mut self, rank: f64) {
+        assert!(rank >= 1.0, "ranks are 1-based, got {rank}");
+        self.reciprocal_sum += 1.0 / rank;
+        for (i, &n) in HITS_AT.iter().enumerate() {
+            if rank <= n as f64 {
+                self.hit_counts[i] += 1.0;
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &RankAccumulator) {
+        self.reciprocal_sum += other.reciprocal_sum;
+        for i in 0..3 {
+            self.hit_counts[i] += other.hit_counts[i];
+        }
+        self.count += other.count;
+    }
+
+    /// Number of queries recorded.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Finalizes into [`Metrics`].
+    pub fn finish(&self) -> Metrics {
+        if self.count == 0 {
+            return Metrics::empty();
+        }
+        let n = self.count as f64;
+        Metrics {
+            mrr: self.reciprocal_sum / n,
+            hits: [
+                self.hit_counts[0] / n,
+                self.hit_counts[1] / n,
+                self.hit_counts[2] / n,
+            ],
+            count: self.count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranks() {
+        let mut acc = RankAccumulator::new();
+        for _ in 0..10 {
+            acc.push(1.0);
+        }
+        let m = acc.finish();
+        assert_eq!(m.mrr, 1.0);
+        assert_eq!(m.hits, [1.0, 1.0, 1.0]);
+        assert_eq!(m.count, 10);
+    }
+
+    #[test]
+    fn mixed_ranks() {
+        let mut acc = RankAccumulator::new();
+        acc.push(1.0); // hits@1,5,10
+        acc.push(4.0); // hits@5,10
+        acc.push(10.0); // hits@10
+        acc.push(100.0); // none
+        let m = acc.finish();
+        assert!((m.mrr - (1.0 + 0.25 + 0.1 + 0.01) / 4.0).abs() < 1e-12);
+        assert_eq!(m.hits_at(1), 0.25);
+        assert_eq!(m.hits_at(5), 0.5);
+        assert_eq!(m.hits_at(10), 0.75);
+    }
+
+    #[test]
+    fn fractional_tie_ranks() {
+        let mut acc = RankAccumulator::new();
+        acc.push(1.5); // tie between 1 and 2 → counts for hits@5/10, not hits@1
+        let m = acc.finish();
+        assert_eq!(m.hits_at(1), 0.0);
+        assert_eq!(m.hits_at(5), 1.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let ranks = [1.0, 2.0, 3.0, 7.0, 20.0];
+        let mut all = RankAccumulator::new();
+        for &r in &ranks {
+            all.push(r);
+        }
+        let mut a = RankAccumulator::new();
+        let mut b = RankAccumulator::new();
+        for (i, &r) in ranks.iter().enumerate() {
+            if i % 2 == 0 {
+                a.push(r)
+            } else {
+                b.push(r)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.finish(), all.finish());
+    }
+
+    #[test]
+    fn empty_metrics() {
+        assert_eq!(RankAccumulator::new().finish(), Metrics::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_rank_rejected() {
+        RankAccumulator::new().push(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not tracked")]
+    fn unknown_cutoff_panics() {
+        Metrics::empty().hits_at(3);
+    }
+}

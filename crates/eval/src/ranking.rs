@@ -1,0 +1,203 @@
+//! Filtered candidate construction and rank computation.
+
+use dekg_core::{InferenceGraph, LinkPredictor};
+use dekg_kg::{EntityId, RelationId, Triple, TripleStore};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One ranking query: a true triple and the position being predicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankQuery {
+    /// `(?, r, t)` — rank the true head against candidate heads.
+    Head(Triple),
+    /// `(h, ?, t)` — rank the true relation against candidate relations.
+    Relation(Triple),
+    /// `(h, r, ?)` — rank the true tail against candidate tails.
+    Tail(Triple),
+}
+
+impl RankQuery {
+    /// The underlying true triple.
+    pub fn truth(&self) -> Triple {
+        match *self {
+            RankQuery::Head(t) | RankQuery::Relation(t) | RankQuery::Tail(t) => t,
+        }
+    }
+
+    /// Materializes a candidate triple for this query.
+    fn candidate_entity(&self, e: EntityId) -> Triple {
+        let t = self.truth();
+        match self {
+            RankQuery::Head(_) => Triple::new(e, t.rel, t.tail),
+            RankQuery::Tail(_) => Triple::new(t.head, t.rel, e),
+            RankQuery::Relation(_) => unreachable!("entity candidate on relation query"),
+        }
+    }
+}
+
+/// Builds the filtered candidate triples for `query`.
+///
+/// Filtering (Section V-C): any candidate that is itself a known true
+/// triple in `filter` is removed — except the query's own truth, which
+/// is *not* included here (the caller scores it separately).
+///
+/// `sample` optionally caps the candidate count by uniform sampling
+/// with `rng`; `None` keeps every candidate (the paper's protocol).
+pub fn filtered_candidates(
+    query: &RankQuery,
+    num_entities: usize,
+    num_relations: usize,
+    filter: &TripleStore,
+    sample: Option<usize>,
+    rng: &mut impl Rng,
+) -> Vec<Triple> {
+    let truth = query.truth();
+    let mut candidates: Vec<Triple> = match query {
+        RankQuery::Head(_) | RankQuery::Tail(_) => (0..num_entities as u32)
+            .map(|e| query.candidate_entity(EntityId(e)))
+            .filter(|c| *c != truth && !filter.contains(c))
+            .collect(),
+        RankQuery::Relation(_) => (0..num_relations as u32)
+            .map(|r| Triple::new(truth.head, RelationId(r), truth.tail))
+            .filter(|c| *c != truth && !filter.contains(c))
+            .collect(),
+    };
+    if let Some(k) = sample {
+        if candidates.len() > k {
+            candidates.shuffle(rng);
+            candidates.truncate(k);
+        }
+    }
+    candidates
+}
+
+/// The tie-averaged, 1-based rank of `true_score` among
+/// `candidate_scores`.
+///
+/// `rank = 1 + |{s > s*}| + |{s = s*}| / 2` — candidates scoring
+/// strictly higher push the truth down; exact ties split the
+/// difference, so a constant scorer lands mid-field rather than first.
+pub fn rank_of(true_score: f32, candidate_scores: &[f32]) -> f64 {
+    let mut higher = 0usize;
+    let mut equal = 0usize;
+    for &s in candidate_scores {
+        if s > true_score {
+            higher += 1;
+        } else if s == true_score {
+            equal += 1;
+        }
+    }
+    1.0 + higher as f64 + equal as f64 / 2.0
+}
+
+/// Scores and ranks one query end-to-end.
+pub fn filtered_rank(
+    model: &dyn LinkPredictor,
+    graph: &InferenceGraph,
+    query: &RankQuery,
+    filter: &TripleStore,
+    sample: Option<usize>,
+    rng: &mut impl Rng,
+) -> f64 {
+    let candidates = filtered_candidates(
+        query,
+        graph.num_entities,
+        graph.num_relations,
+        filter,
+        sample,
+        rng,
+    );
+    let truth = query.truth();
+    // One batch: the truth first, then all candidates.
+    let mut batch = Vec::with_capacity(candidates.len() + 1);
+    batch.push(truth);
+    batch.extend_from_slice(&candidates);
+    let scores = model.score_batch(graph, &batch);
+    rank_of(scores[0], &scores[1..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn rank_basic() {
+        assert_eq!(rank_of(5.0, &[1.0, 2.0, 3.0]), 1.0);
+        assert_eq!(rank_of(2.5, &[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(rank_of(0.0, &[1.0, 2.0, 3.0]), 4.0);
+    }
+
+    #[test]
+    fn rank_ties_averaged() {
+        // Truth ties with 2 candidates: ranks {1,2,3} averaged → 2.
+        assert_eq!(rank_of(1.0, &[1.0, 1.0]), 2.0);
+        // Constant scorer over 100 candidates → rank 51 (mid-field).
+        let scores = vec![0.0; 100];
+        assert_eq!(rank_of(0.0, &scores), 51.0);
+    }
+
+    #[test]
+    fn candidates_exclude_truth_and_filter() {
+        let truth = Triple::from_raw(0, 0, 1);
+        let filter = TripleStore::from_triples([Triple::from_raw(2, 0, 1)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let cands = filtered_candidates(
+            &RankQuery::Head(truth),
+            5,
+            1,
+            &filter,
+            None,
+            &mut rng,
+        );
+        // Heads 0 (truth) and 2 (filtered) removed → 1, 3, 4 remain.
+        assert_eq!(cands.len(), 3);
+        assert!(!cands.contains(&truth));
+        assert!(!cands.contains(&Triple::from_raw(2, 0, 1)));
+    }
+
+    #[test]
+    fn relation_candidates() {
+        let truth = Triple::from_raw(0, 2, 1);
+        let filter = TripleStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let cands = filtered_candidates(
+            &RankQuery::Relation(truth),
+            10,
+            4,
+            &filter,
+            None,
+            &mut rng,
+        );
+        assert_eq!(cands.len(), 3); // relations 0,1,3
+        assert!(cands.iter().all(|c| c.head == truth.head && c.tail == truth.tail));
+    }
+
+    #[test]
+    fn sampling_caps_candidates() {
+        let truth = Triple::from_raw(0, 0, 1);
+        let filter = TripleStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let cands = filtered_candidates(
+            &RankQuery::Tail(truth),
+            1000,
+            1,
+            &filter,
+            Some(20),
+            &mut rng,
+        );
+        assert_eq!(cands.len(), 20);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let truth = Triple::from_raw(0, 0, 1);
+        let filter = TripleStore::new();
+        let run = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            filtered_candidates(&RankQuery::Head(truth), 100, 1, &filter, Some(10), &mut rng)
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

@@ -1,0 +1,184 @@
+//! Fixed-width table rendering and JSON result persistence for the
+//! experiment binaries.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple fixed-width text table.
+///
+/// ```
+/// use dekg_eval::Table;
+/// let mut t = Table::new(vec!["model", "MRR", "Hits@10"]);
+/// t.add_row(vec!["DEKG-ILP".into(), "0.508".into(), "0.841".into()]);
+/// println!("{}", t.render());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<impl Into<String>>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// If the cell count does not match the header count.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a metric to the paper's three decimal places.
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Renders a horizontal ASCII bar chart — the textual analogue of the
+/// paper's figure panels.
+///
+/// Bars scale to `width` characters at `max` (values above `max`
+/// clamp). Labels are right-padded to align the bars.
+///
+/// ```
+/// use dekg_eval::report::bar_chart;
+/// let chart = bar_chart(&[("DEKG-ILP", 0.8), ("Grail", 0.2)], 1.0, 20);
+/// assert!(chart.contains("DEKG-ILP"));
+/// ```
+pub fn bar_chart(entries: &[(&str, f64)], max: f64, width: usize) -> String {
+    assert!(max > 0.0, "bar chart needs a positive maximum");
+    assert!(width > 0, "bar chart needs a positive width");
+    let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in entries {
+        let frac = (value / max).clamp(0.0, 1.0);
+        let filled = (frac * width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} |{}{} {value:.3}",
+            "█".repeat(filled),
+            " ".repeat(width - filled),
+        );
+    }
+    out
+}
+
+/// Persists a serializable result next to the human-readable output so
+/// reruns can be diffed.
+pub fn save_json(path: impl AsRef<Path>, value: &impl Serialize) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(value).expect("serializable result");
+    if let Some(parent) = path.as_ref().parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.add_row(vec!["xxx".into(), "y".into()]);
+        t.add_row(vec!["z".into(), "wwww".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("xxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn bar_chart_scales_and_clamps() {
+        let chart = bar_chart(&[("a", 0.5), ("bb", 2.0)], 1.0, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // "a" padded to width of "bb"; half-filled bar.
+        assert!(lines[0].starts_with("a  |"));
+        assert_eq!(lines[0].matches('█').count(), 5);
+        // Clamped to full width.
+        assert_eq!(lines[1].matches('█').count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive maximum")]
+    fn bar_chart_rejects_zero_max() {
+        bar_chart(&[("a", 1.0)], 0.0, 10);
+    }
+
+    #[test]
+    fn fmt3_truncates() {
+        assert_eq!(fmt3(0.50849), "0.508");
+        assert_eq!(fmt3(1.0), "1.000");
+    }
+
+    #[test]
+    fn save_json_roundtrips() {
+        let path = std::env::temp_dir().join("dekg_eval_report_test.json");
+        save_json(&path, &vec![1, 2, 3]).unwrap();
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        std::fs::remove_file(&path).ok();
+    }
+}

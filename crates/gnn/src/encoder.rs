@@ -1,0 +1,264 @@
+//! The multi-layer subgraph encoder used by GSM and the GraIL/TACT
+//! baselines.
+
+use crate::labeling::{feature_width, node_features, LabelingMode};
+use crate::rgcn::{RgcnLayer, RgcnLayerConfig};
+use dekg_kg::Subgraph;
+use dekg_tensor::{Graph, ParamStore, Var};
+use rand::Rng;
+
+/// Configuration for a [`SubgraphEncoder`].
+#[derive(Debug, Clone)]
+pub struct SubgraphEncoderConfig {
+    /// Number of relations in the shared space.
+    pub num_relations: usize,
+    /// Hop bound `t` the subgraphs were extracted with.
+    pub hops: u32,
+    /// Hidden/output embedding width of every layer.
+    pub dim: usize,
+    /// Number of R-GCN layers `L`.
+    pub layers: usize,
+    /// Per-relation attention embedding width.
+    pub attn_dim: usize,
+    /// Edge dropout rate `β` applied during training.
+    pub edge_dropout: f32,
+    /// Node labeling mode (Improved for DEKG-ILP, Grail for baselines).
+    pub labeling: LabelingMode,
+    /// Optional basis decomposition for relation weights.
+    pub num_bases: Option<usize>,
+}
+
+impl SubgraphEncoderConfig {
+    /// The paper's defaults: `t = 2` hops, `d = 32`, `L = 3`, `β = 0.5`.
+    pub fn paper_defaults(num_relations: usize) -> Self {
+        SubgraphEncoderConfig {
+            num_relations,
+            hops: 2,
+            dim: 32,
+            layers: 3,
+            attn_dim: 8,
+            edge_dropout: 0.5,
+            labeling: LabelingMode::Improved,
+            num_bases: None,
+        }
+    }
+}
+
+/// The encoder outputs for one subgraph: everything Eq. 11 consumes.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodedSubgraph {
+    /// All node embeddings `h^L` as `[n, dim]`.
+    pub nodes: Var,
+    /// Average-pooled graph embedding `h_G^L` as `[1, dim]` (Eq. 10).
+    pub graph: Var,
+    /// Head embedding `h_i^L` as `[1, dim]`.
+    pub head: Var,
+    /// Tail embedding `h_j^L` as `[1, dim]`.
+    pub tail: Var,
+}
+
+/// A stack of [`RgcnLayer`]s with labeling-based input features and
+/// average-pool readout.
+#[derive(Debug, Clone)]
+pub struct SubgraphEncoder {
+    cfg: SubgraphEncoderConfig,
+    layers: Vec<RgcnLayer>,
+}
+
+impl SubgraphEncoder {
+    /// Registers all layer parameters under `prefix`.
+    ///
+    /// # Panics
+    /// If `layers == 0`.
+    pub fn new(
+        cfg: SubgraphEncoderConfig,
+        prefix: &str,
+        params: &mut ParamStore,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(cfg.layers > 0, "encoder needs at least one layer");
+        let mut layers = Vec::with_capacity(cfg.layers);
+        for l in 0..cfg.layers {
+            let in_dim = if l == 0 { feature_width(cfg.hops) } else { cfg.dim };
+            layers.push(RgcnLayer::new(
+                RgcnLayerConfig {
+                    num_relations: cfg.num_relations,
+                    in_dim,
+                    out_dim: cfg.dim,
+                    attn_dim: cfg.attn_dim,
+                    num_bases: cfg.num_bases,
+                },
+                &format!("{prefix}.layer{l}"),
+                params,
+                rng,
+            ));
+        }
+        SubgraphEncoder { cfg, layers }
+    }
+
+    /// The encoder configuration.
+    pub fn config(&self) -> &SubgraphEncoderConfig {
+        &self.cfg
+    }
+
+    /// Encodes one subgraph. `train` enables edge dropout.
+    pub fn encode(
+        &self,
+        g: &mut Graph,
+        params: &ParamStore,
+        sg: &Subgraph,
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> EncodedSubgraph {
+        let mounted = self.mount(g, params);
+        self.encode_mounted(g, &mounted, sg, train, rng)
+    }
+
+    /// Mounts every layer's parameters once; the handles can encode
+    /// many subgraphs on the same tape (batched evaluation — repeated
+    /// mounting copies the per-relation weight stacks per candidate,
+    /// which dominates scoring cost otherwise).
+    pub fn mount(&self, g: &mut Graph, params: &ParamStore) -> Vec<crate::rgcn::MountedRgcnLayer> {
+        self.layers.iter().map(|l| l.mount(g, params)).collect()
+    }
+
+    /// Encodes one subgraph against pre-mounted layer handles.
+    pub fn encode_mounted(
+        &self,
+        g: &mut Graph,
+        mounted: &[crate::rgcn::MountedRgcnLayer],
+        sg: &Subgraph,
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> EncodedSubgraph {
+        assert_eq!(mounted.len(), self.layers.len(), "mounted handle count mismatch");
+        let feats = node_features(sg, self.cfg.hops, self.cfg.labeling);
+        let mut h = g.constant(feats);
+
+        // One edge-dropout mask shared by all layers, as in GraIL.
+        let edge_keep: Option<Vec<bool>> = if train && self.cfg.edge_dropout > 0.0 {
+            let keep = 1.0 - self.cfg.edge_dropout;
+            Some((0..sg.num_edges()).map(|_| rng.gen::<f32>() < keep).collect())
+        } else {
+            None
+        };
+
+        for (layer, m) in self.layers.iter().zip(mounted) {
+            h = layer.forward_mounted(g, m, sg, h, edge_keep.as_deref());
+        }
+
+        let graph_vec = g.mean_axis0(h); // [dim]
+        let graph = g.reshape(graph_vec, [1, self.cfg.dim]);
+        let head = g.gather_rows(h, &[0]);
+        let tail = g.gather_rows(h, &[1]);
+        EncodedSubgraph { nodes: h, graph, head, tail }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dekg_kg::{Adjacency, EntityId, ExtractionMode, SubgraphExtractor, Triple, TripleStore};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn chain_subgraph() -> Subgraph {
+        let store = TripleStore::from_triples([
+            Triple::from_raw(0, 0, 1),
+            Triple::from_raw(1, 1, 2),
+            Triple::from_raw(2, 0, 3),
+        ]);
+        let adj = Adjacency::from_store(&store, 4);
+        SubgraphExtractor::new(&adj, 2, ExtractionMode::Union)
+            .extract(EntityId(0), EntityId(3), None)
+    }
+
+    fn tiny_cfg() -> SubgraphEncoderConfig {
+        SubgraphEncoderConfig {
+            num_relations: 2,
+            hops: 2,
+            dim: 8,
+            layers: 2,
+            attn_dim: 4,
+            edge_dropout: 0.5,
+            labeling: LabelingMode::Improved,
+            num_bases: None,
+        }
+    }
+
+    #[test]
+    fn encode_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut ps = ParamStore::new();
+        let enc = SubgraphEncoder::new(tiny_cfg(), "gsm", &mut ps, &mut rng);
+        let sg = chain_subgraph();
+        let mut g = Graph::new();
+        let out = enc.encode(&mut g, &ps, &sg, false, &mut rng);
+        assert_eq!(g.shape(out.nodes).dims(), &[sg.num_nodes(), 8]);
+        assert_eq!(g.shape(out.graph).dims(), &[1, 8]);
+        assert_eq!(g.shape(out.head).dims(), &[1, 8]);
+        assert_eq!(g.shape(out.tail).dims(), &[1, 8]);
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut ps = ParamStore::new();
+        let enc = SubgraphEncoder::new(tiny_cfg(), "gsm", &mut ps, &mut rng);
+        let sg = chain_subgraph();
+
+        let run = |rng_seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(rng_seed);
+            let mut g = Graph::new();
+            let out = enc.encode(&mut g, &ps, &sg, false, &mut rng);
+            g.value(out.graph).clone()
+        };
+        // Different RNG streams, same eval output (no dropout at eval).
+        assert_eq!(run(10), run(99));
+    }
+
+    #[test]
+    fn train_mode_uses_dropout() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut ps = ParamStore::new();
+        let enc = SubgraphEncoder::new(
+            SubgraphEncoderConfig { edge_dropout: 0.9, ..tiny_cfg() },
+            "gsm",
+            &mut ps,
+            &mut rng,
+        );
+        let sg = chain_subgraph();
+        let mut g_eval = Graph::new();
+        let eval = enc.encode(&mut g_eval, &ps, &sg, false, &mut rng);
+        let mut g_train = Graph::new();
+        let train = enc.encode(&mut g_train, &ps, &sg, true, &mut rng);
+        // With 90% edge dropout the outputs should differ w.h.p.
+        assert_ne!(g_eval.value(eval.graph).data(), g_train.value(train.graph).data());
+    }
+
+    #[test]
+    fn paper_defaults_sane() {
+        let cfg = SubgraphEncoderConfig::paper_defaults(14);
+        assert_eq!(cfg.dim, 32);
+        assert_eq!(cfg.hops, 2);
+        assert_eq!(cfg.layers, 3);
+        assert_eq!(cfg.edge_dropout, 0.5);
+    }
+
+    #[test]
+    fn graph_embedding_is_node_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut ps = ParamStore::new();
+        let enc = SubgraphEncoder::new(tiny_cfg(), "gsm", &mut ps, &mut rng);
+        let sg = chain_subgraph();
+        let mut g = Graph::new();
+        let out = enc.encode(&mut g, &ps, &sg, false, &mut rng);
+        let nodes = g.value(out.nodes).clone();
+        let graph = g.value(out.graph).clone();
+        let n = sg.num_nodes();
+        for d in 0..8 {
+            let mean: f32 = (0..n).map(|u| nodes.at(&[u, d])).sum::<f32>() / n as f32;
+            assert!((mean - graph.at(&[0, d])).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Node-label featurization (Section IV-C2 of the paper).
+//!
+//! Every node `u` of an extracted subgraph is labeled with the distance
+//! pair `(d(i,u), d(j,u))` and featurized as
+//! `one_hot(d(i,u)) ⊕ one_hot(d(j,u))`, each one-hot of dimension
+//! `t + 1` (distances 0..=t).
+//!
+//! The two modes differ in how out-of-range distances are treated:
+//!
+//! * [`LabelingMode::Improved`] (DEKG-ILP): a distance of −1 (over the
+//!   hop bound or disconnected) becomes the **all-zero** vector —
+//!   `one_hot(-1) = 0`. One-sided nodes thus carry "half" a label and
+//!   simulate disconnected nodes.
+//! * [`LabelingMode::Grail`]: assumes extraction already pruned
+//!   one-sided nodes; encountering −1 anywhere except across a
+//!   disconnected endpoint pair falls back to zeros as well, so the
+//!   mode difference is entirely driven by the extraction mode. It is
+//!   kept as a distinct variant so ablations read explicitly at call
+//!   sites.
+
+use dekg_kg::Subgraph;
+use dekg_tensor::Tensor;
+
+/// How to featurize distance labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelingMode {
+    /// GraIL's original labeling (pairs with intersection extraction).
+    Grail,
+    /// The paper's improved labeling (pairs with union extraction).
+    Improved,
+}
+
+/// Builds the `[num_nodes, 2 * (hops + 1)]` input feature matrix for a
+/// subgraph.
+///
+/// # Panics
+/// If any recorded distance exceeds `hops` (extraction and labeling
+/// must agree on the bound).
+pub fn node_features(sg: &Subgraph, hops: u32, _mode: LabelingMode) -> Tensor {
+    let width = (hops + 1) as usize;
+    let n = sg.num_nodes();
+    let mut data = vec![0.0f32; n * 2 * width];
+    for u in 0..n {
+        let (dh, dt) = sg.label(u);
+        let row = &mut data[u * 2 * width..(u + 1) * 2 * width];
+        if dh >= 0 {
+            assert!(
+                (dh as u32) <= hops,
+                "distance {dh} exceeds labeling bound {hops}"
+            );
+            row[dh as usize] = 1.0;
+        }
+        if dt >= 0 {
+            assert!(
+                (dt as u32) <= hops,
+                "distance {dt} exceeds labeling bound {hops}"
+            );
+            row[width + dt as usize] = 1.0;
+        }
+    }
+    Tensor::from_vec(vec![n, 2 * width], data)
+}
+
+/// The input feature width for a given hop bound.
+pub fn feature_width(hops: u32) -> usize {
+    2 * (hops as usize + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dekg_kg::{Adjacency, EntityId, ExtractionMode, SubgraphExtractor, Triple, TripleStore};
+
+    fn line_subgraph(hops: u32, mode: ExtractionMode) -> Subgraph {
+        // 0 - 1 - 2 (targets 0 and 2)
+        let store =
+            TripleStore::from_triples([Triple::from_raw(0, 0, 1), Triple::from_raw(1, 0, 2)]);
+        let adj = Adjacency::from_store(&store, 3);
+        SubgraphExtractor::new(&adj, hops, mode).extract(EntityId(0), EntityId(2), None)
+    }
+
+    #[test]
+    fn endpoint_labels_are_unit_vectors() {
+        let sg = line_subgraph(2, ExtractionMode::Union);
+        let f = node_features(&sg, 2, LabelingMode::Improved);
+        assert_eq!(f.shape().dims(), &[3, 6]);
+        // Head: (0, d); one-hot(0) in first block.
+        assert_eq!(f.row(0)[0], 1.0);
+        // Tail: one-hot(0) in second block.
+        assert_eq!(f.row(1)[3], 1.0);
+    }
+
+    #[test]
+    fn disconnected_side_is_all_zero() {
+        // Two components: 0-1 and 2-3; extract around bridging pair (0, 2).
+        let store =
+            TripleStore::from_triples([Triple::from_raw(0, 0, 1), Triple::from_raw(2, 0, 3)]);
+        let adj = Adjacency::from_store(&store, 4);
+        let sg = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union)
+            .extract(EntityId(0), EntityId(2), None);
+        let f = node_features(&sg, 2, LabelingMode::Improved);
+        // Head (local 0): one-hot(0) from head, all-zero from tail.
+        let w = 3;
+        assert_eq!(f.row(0)[0], 1.0);
+        assert!(f.row(0)[w..].iter().all(|&x| x == 0.0));
+        // Tail (local 1): mirror image.
+        assert!(f.row(1)[..w].iter().all(|&x| x == 0.0));
+        assert_eq!(f.row(1)[w], 1.0);
+    }
+
+    #[test]
+    fn middle_node_has_both_blocks() {
+        // In 0-1-2 around (0,2): node 1 is at distance 1 from each —
+        // but labeling blocks paths through the opposite endpoint:
+        // d(0,1)=1 (direct edge), d(2,1)=1 (direct edge).
+        let sg = line_subgraph(2, ExtractionMode::Union);
+        let f = node_features(&sg, 2, LabelingMode::Improved);
+        let mid = sg.nodes.iter().position(|&e| e == EntityId(1)).unwrap();
+        assert_eq!(f.row(mid)[1], 1.0);
+        assert_eq!(f.row(mid)[3 + 1], 1.0);
+    }
+
+    #[test]
+    fn rows_have_at_most_two_ones() {
+        let sg = line_subgraph(2, ExtractionMode::Union);
+        let f = node_features(&sg, 2, LabelingMode::Improved);
+        for u in 0..sg.num_nodes() {
+            let ones = f.row(u).iter().filter(|&&x| x == 1.0).count();
+            assert!(ones <= 2);
+            assert!(f.row(u).iter().all(|&x| x == 0.0 || x == 1.0));
+        }
+    }
+
+    #[test]
+    fn width_helper_matches() {
+        assert_eq!(feature_width(2), 6);
+        let sg = line_subgraph(2, ExtractionMode::Union);
+        let f = node_features(&sg, 2, LabelingMode::Improved);
+        assert_eq!(f.shape().dims()[1], feature_width(2));
+    }
+}

@@ -1,0 +1,175 @@
+//! Compressed undirected adjacency for traversal.
+//!
+//! Subgraph extraction and node labeling traverse the KG ignoring edge
+//! direction (as in GraIL), but message passing still needs the original
+//! direction, so each adjacency entry carries the relation and the
+//! orientation of the underlying triple.
+
+use crate::store::TripleStore;
+use crate::triple::Triple;
+use crate::vocab::{EntityId, RelationId};
+
+/// Direction of the underlying triple relative to the indexed node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// The indexed node is the head; the neighbor is the tail.
+    Out,
+    /// The indexed node is the tail; the neighbor is the head.
+    In,
+}
+
+/// One adjacency entry: a neighbor reached over `rel`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Neighbor {
+    /// The adjacent entity.
+    pub entity: EntityId,
+    /// Relation of the connecting triple.
+    pub rel: RelationId,
+    /// Whether the indexed node was the head (`Out`) or tail (`In`).
+    pub orientation: Orientation,
+}
+
+/// CSR-style undirected adjacency over a fixed entity-id universe.
+///
+/// Built once per graph; lookups are contiguous slices.
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    offsets: Vec<u32>,
+    entries: Vec<Neighbor>,
+}
+
+impl Adjacency {
+    /// Builds adjacency for ids `0..num_entities` from `store`.
+    ///
+    /// Entities outside the store simply have empty neighbor lists.
+    ///
+    /// # Panics
+    /// If a triple references an id `>= num_entities`.
+    pub fn from_store(store: &TripleStore, num_entities: usize) -> Self {
+        let mut counts = vec![0u32; num_entities];
+        for t in store.triples() {
+            assert!(
+                t.head.index() < num_entities && t.tail.index() < num_entities,
+                "triple {t} outside entity universe of {num_entities}"
+            );
+            counts[t.head.index()] += 1;
+            if !t.is_loop() {
+                counts[t.tail.index()] += 1;
+            }
+        }
+        let mut offsets = vec![0u32; num_entities + 1];
+        for i in 0..num_entities {
+            offsets[i + 1] = offsets[i] + counts[i];
+        }
+        let total = offsets[num_entities] as usize;
+        let mut entries = vec![
+            Neighbor {
+                entity: EntityId(0),
+                rel: RelationId(0),
+                orientation: Orientation::Out
+            };
+            total
+        ];
+        let mut cursor: Vec<u32> = offsets[..num_entities].to_vec();
+        for t in store.triples() {
+            let h = t.head.index();
+            entries[cursor[h] as usize] = Neighbor {
+                entity: t.tail,
+                rel: t.rel,
+                orientation: Orientation::Out,
+            };
+            cursor[h] += 1;
+            if !t.is_loop() {
+                let ta = t.tail.index();
+                entries[cursor[ta] as usize] = Neighbor {
+                    entity: t.head,
+                    rel: t.rel,
+                    orientation: Orientation::In,
+                };
+                cursor[ta] += 1;
+            }
+        }
+        Adjacency { offsets, entries }
+    }
+
+    /// Neighbors of `e` (both directions).
+    pub fn neighbors(&self, e: EntityId) -> &[Neighbor] {
+        let i = e.index();
+        &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Undirected degree of `e`.
+    pub fn degree(&self, e: EntityId) -> usize {
+        self.neighbors(e).len()
+    }
+
+    /// Number of entities in the universe.
+    pub fn num_entities(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Reconstructs the directed triple behind an adjacency entry of `e`.
+    pub fn triple_of(&self, e: EntityId, n: &Neighbor) -> Triple {
+        match n.orientation {
+            Orientation::Out => Triple::new(e, n.rel, n.entity),
+            Orientation::In => Triple::new(n.entity, n.rel, e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(h: u32, r: u32, ta: u32) -> Triple {
+        Triple::from_raw(h, r, ta)
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let store = TripleStore::from_triples([t(0, 0, 1), t(1, 1, 2), t(0, 2, 2)]);
+        let adj = Adjacency::from_store(&store, 4);
+        assert_eq!(adj.degree(EntityId(0)), 2);
+        assert_eq!(adj.degree(EntityId(1)), 2);
+        assert_eq!(adj.degree(EntityId(2)), 2);
+        assert_eq!(adj.degree(EntityId(3)), 0);
+        let n0: Vec<EntityId> = adj.neighbors(EntityId(0)).iter().map(|n| n.entity).collect();
+        assert!(n0.contains(&EntityId(1)) && n0.contains(&EntityId(2)));
+    }
+
+    #[test]
+    fn orientation_reconstructs_triples() {
+        let store = TripleStore::from_triples([t(0, 5, 1)]);
+        let adj = Adjacency::from_store(&store, 2);
+        let from_head = adj.neighbors(EntityId(0))[0];
+        assert_eq!(from_head.orientation, Orientation::Out);
+        assert_eq!(adj.triple_of(EntityId(0), &from_head), t(0, 5, 1));
+        let from_tail = adj.neighbors(EntityId(1))[0];
+        assert_eq!(from_tail.orientation, Orientation::In);
+        assert_eq!(adj.triple_of(EntityId(1), &from_tail), t(0, 5, 1));
+    }
+
+    #[test]
+    fn self_loops_stored_once() {
+        let store = TripleStore::from_triples([t(3, 0, 3)]);
+        let adj = Adjacency::from_store(&store, 4);
+        assert_eq!(adj.degree(EntityId(3)), 1);
+        assert_eq!(adj.neighbors(EntityId(3))[0].entity, EntityId(3));
+    }
+
+    #[test]
+    fn parallel_edges_kept() {
+        // Two relations between the same pair → two entries each side.
+        let store = TripleStore::from_triples([t(0, 0, 1), t(0, 1, 1)]);
+        let adj = Adjacency::from_store(&store, 2);
+        assert_eq!(adj.degree(EntityId(0)), 2);
+        assert_eq!(adj.degree(EntityId(1)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside entity universe")]
+    fn universe_bound_checked() {
+        let store = TripleStore::from_triples([t(0, 0, 9)]);
+        Adjacency::from_store(&store, 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Bounded breadth-first search over [`Adjacency`].
+
+use crate::adjacency::Adjacency;
+use crate::vocab::EntityId;
+use std::collections::VecDeque;
+
+/// Distance value for "unreached within the hop bound".
+pub const UNREACHED: i32 = -1;
+
+/// Computes hop distances from `start` up to `max_hops`, optionally
+/// treating `blocked` as removed from the graph.
+///
+/// Returns a dense vector indexed by entity id: `d(start, u)` for nodes
+/// reached within the bound, [`UNREACHED`] otherwise. The paper's node
+/// labeling defines `d(i, u)` as the shortest path from the head that
+/// avoids the tail (and vice versa), which `blocked` implements.
+///
+/// `start` itself gets distance 0 even when equal to `blocked` — the
+/// endpoints of the target link are always labeled (0,·)/(·,0).
+pub fn bounded_distances(
+    adj: &Adjacency,
+    start: EntityId,
+    max_hops: u32,
+    blocked: Option<EntityId>,
+) -> Vec<i32> {
+    let mut dist = vec![UNREACHED; adj.num_entities()];
+    dist[start.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du as u32 >= max_hops {
+            continue;
+        }
+        if Some(u) == blocked && u != start {
+            continue; // paths may end at the blocked node but not pass through it
+        }
+        for n in adj.neighbors(u) {
+            let v = n.entity;
+            if dist[v.index()] == UNREACHED {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    // Note: a blocked node may still be *reached* (labeling needs
+    // d(i, j) for the opposite endpoint); it is just never expanded.
+    dist
+}
+
+/// Nodes within `max_hops` of `start` (excluding paths through
+/// `blocked`), i.e. the t-hop neighborhood `N_t(start)`.
+pub fn neighborhood(
+    adj: &Adjacency,
+    start: EntityId,
+    max_hops: u32,
+    blocked: Option<EntityId>,
+) -> Vec<EntityId> {
+    bounded_distances(adj, start, max_hops, blocked)
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHED)
+        .map(|(i, _)| EntityId(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TripleStore;
+    use crate::triple::Triple;
+
+    fn line_graph(n: u32) -> Adjacency {
+        // 0 - 1 - 2 - ... - (n-1)
+        let store =
+            TripleStore::from_triples((0..n - 1).map(|i| Triple::from_raw(i, 0, i + 1)));
+        Adjacency::from_store(&store, n as usize)
+    }
+
+    #[test]
+    fn distances_on_a_line() {
+        let adj = line_graph(5);
+        let d = bounded_distances(&adj, EntityId(0), 10, None);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn hop_bound_respected() {
+        let adj = line_graph(5);
+        let d = bounded_distances(&adj, EntityId(0), 2, None);
+        assert_eq!(d, vec![0, 1, 2, UNREACHED, UNREACHED]);
+    }
+
+    #[test]
+    fn blocked_node_cuts_paths() {
+        // 0 - 1 - 2, blocking 1 makes 2 unreachable from 0, but 1 itself
+        // is still *reached* at distance 1.
+        let adj = line_graph(3);
+        let d = bounded_distances(&adj, EntityId(0), 5, Some(EntityId(1)));
+        assert_eq!(d, vec![0, 1, UNREACHED]);
+    }
+
+    #[test]
+    fn blocked_with_alternate_path() {
+        // 0 - 1 - 3 and 0 - 2 - 3: blocking 1 leaves d(0,3) = 2 via 2.
+        let store = TripleStore::from_triples([
+            Triple::from_raw(0, 0, 1),
+            Triple::from_raw(1, 0, 3),
+            Triple::from_raw(0, 0, 2),
+            Triple::from_raw(2, 0, 3),
+        ]);
+        let adj = Adjacency::from_store(&store, 4);
+        let d = bounded_distances(&adj, EntityId(0), 5, Some(EntityId(1)));
+        assert_eq!(d[3], 2);
+    }
+
+    #[test]
+    fn start_equals_blocked_still_expands() {
+        let adj = line_graph(3);
+        let d = bounded_distances(&adj, EntityId(0), 5, Some(EntityId(0)));
+        assert_eq!(d, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // Edges all point *into* node 0; BFS still crosses them.
+        let store = TripleStore::from_triples([
+            Triple::from_raw(1, 0, 0),
+            Triple::from_raw(2, 0, 1),
+        ]);
+        let adj = Adjacency::from_store(&store, 3);
+        let d = bounded_distances(&adj, EntityId(0), 5, None);
+        assert_eq!(d, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn neighborhood_collects_reached() {
+        let adj = line_graph(5);
+        let n = neighborhood(&adj, EntityId(2), 1, None);
+        assert_eq!(n, vec![EntityId(1), EntityId(2), EntityId(3)]);
+    }
+
+    #[test]
+    fn disconnected_components_unreached() {
+        // 0 - 1 and 2 - 3 in separate components (the DEKG scenario).
+        let store = TripleStore::from_triples([
+            Triple::from_raw(0, 0, 1),
+            Triple::from_raw(2, 0, 3),
+        ]);
+        let adj = Adjacency::from_store(&store, 4);
+        let d = bounded_distances(&adj, EntityId(0), 10, None);
+        assert_eq!(d[2], UNREACHED);
+        assert_eq!(d[3], UNREACHED);
+    }
+}

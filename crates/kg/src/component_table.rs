@@ -1,0 +1,209 @@
+//! Relation-component tables (Eq. 2 of the paper).
+//!
+//! The table `A_i = { a_i^k }` counts, for entity `e_i`, how many
+//! triples with relation `r_k` the entity participates in (either side).
+//! CLRM represents every entity as the `a_i^k`-weighted mean of learned
+//! per-relation features — construction uses *only* the entity's own
+//! associated triples, which is what makes the representation
+//! entity-independent and applicable to unseen entities.
+
+use crate::store::TripleStore;
+use crate::vocab::{EntityId, RelationId};
+use serde::{Deserialize, Serialize};
+
+/// A sparse per-entity relation histogram.
+///
+/// Rows are sorted by relation id; zero counts are not stored.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentRow {
+    entries: Vec<(RelationId, u32)>,
+}
+
+impl ComponentRow {
+    /// An empty row (entity with no triples).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a row from unsorted `(relation, count)` pairs, merging
+    /// duplicates and dropping zeros.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (RelationId, u32)>) -> Self {
+        let mut entries: Vec<(RelationId, u32)> =
+            pairs.into_iter().filter(|&(_, c)| c > 0).collect();
+        entries.sort_by_key(|&(r, _)| r);
+        entries.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                earlier.1 += later.1;
+                true
+            } else {
+                false
+            }
+        });
+        ComponentRow { entries }
+    }
+
+    /// The count `a_i^k` for relation `k` (0 when absent).
+    pub fn count(&self, r: RelationId) -> u32 {
+        self.entries
+            .binary_search_by_key(&r, |&(rel, _)| rel)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Sets the count for a relation (removing the entry when 0).
+    pub fn set(&mut self, r: RelationId, count: u32) {
+        match self.entries.binary_search_by_key(&r, |&(rel, _)| rel) {
+            Ok(i) => {
+                if count == 0 {
+                    self.entries.remove(i);
+                } else {
+                    self.entries[i].1 = count;
+                }
+            }
+            Err(i) => {
+                if count > 0 {
+                    self.entries.insert(i, (r, count));
+                }
+            }
+        }
+    }
+
+    /// Nonzero `(relation, count)` entries, sorted by relation.
+    pub fn entries(&self) -> &[(RelationId, u32)] {
+        &self.entries
+    }
+
+    /// Number of distinct relations with nonzero count.
+    pub fn num_relations(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total triple count `Σ_k a_i^k`.
+    pub fn total(&self) -> u32 {
+        self.entries.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// The paper's `m_i` (Eq. 5): mean triple count over the entity's
+    /// nonzero relations. Zero for empty rows.
+    pub fn mean_count(&self) -> f32 {
+        if self.entries.is_empty() {
+            0.0
+        } else {
+            self.total() as f32 / self.entries.len() as f32
+        }
+    }
+
+    /// True when the entity has no associated triples.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Relation-component tables for a whole entity universe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComponentTable {
+    rows: Vec<ComponentRow>,
+    num_relations: usize,
+}
+
+impl ComponentTable {
+    /// Builds tables for ids `0..num_entities` from a triple store.
+    ///
+    /// Self-loops contribute a count of 2 (the entity participates as
+    /// both head and tail), consistent with "number of triples the
+    /// entity is associated with" counting both roles.
+    pub fn from_store(store: &TripleStore, num_entities: usize, num_relations: usize) -> Self {
+        let mut counts: Vec<std::collections::HashMap<RelationId, u32>> =
+            vec![std::collections::HashMap::new(); num_entities];
+        for t in store.triples() {
+            *counts[t.head.index()].entry(t.rel).or_insert(0) += 1;
+            *counts[t.tail.index()].entry(t.rel).or_insert(0) += 1;
+        }
+        let rows = counts.into_iter().map(ComponentRow::from_pairs).collect();
+        ComponentTable { rows, num_relations }
+    }
+
+    /// The row for entity `e`.
+    pub fn row(&self, e: EntityId) -> &ComponentRow {
+        &self.rows[e.index()]
+    }
+
+    /// Number of entities covered.
+    pub fn num_entities(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Size of the shared relation space.
+    pub fn num_relations(&self) -> usize {
+        self.num_relations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::Triple;
+
+    fn t(h: u32, r: u32, ta: u32) -> Triple {
+        Triple::from_raw(h, r, ta)
+    }
+
+    #[test]
+    fn counts_both_roles() {
+        // Entity 0: head of r0 twice, tail of r1 once.
+        let store = TripleStore::from_triples([t(0, 0, 1), t(0, 0, 2), t(3, 1, 0)]);
+        let table = ComponentTable::from_store(&store, 4, 2);
+        let row = table.row(EntityId(0));
+        assert_eq!(row.count(RelationId(0)), 2);
+        assert_eq!(row.count(RelationId(1)), 1);
+        assert_eq!(row.total(), 3);
+        assert_eq!(row.num_relations(), 2);
+    }
+
+    #[test]
+    fn zero_for_unassociated() {
+        let store = TripleStore::from_triples([t(0, 0, 1)]);
+        let table = ComponentTable::from_store(&store, 3, 2);
+        assert_eq!(table.row(EntityId(0)).count(RelationId(1)), 0);
+        assert!(table.row(EntityId(2)).is_empty());
+    }
+
+    #[test]
+    fn self_loop_counts_twice() {
+        let store = TripleStore::from_triples([t(0, 0, 0)]);
+        let table = ComponentTable::from_store(&store, 1, 1);
+        assert_eq!(table.row(EntityId(0)).count(RelationId(0)), 2);
+    }
+
+    #[test]
+    fn mean_count_matches_eq5() {
+        // Entity with relations {r0: 4, r1: 2} → m_i = 3.
+        let row = ComponentRow::from_pairs([(RelationId(0), 4), (RelationId(1), 2)]);
+        assert_eq!(row.mean_count(), 3.0);
+        assert_eq!(ComponentRow::empty().mean_count(), 0.0);
+    }
+
+    #[test]
+    fn set_inserts_updates_removes() {
+        let mut row = ComponentRow::empty();
+        row.set(RelationId(5), 2);
+        row.set(RelationId(1), 1);
+        assert_eq!(row.entries(), &[(RelationId(1), 1), (RelationId(5), 2)]);
+        row.set(RelationId(5), 7);
+        assert_eq!(row.count(RelationId(5)), 7);
+        row.set(RelationId(1), 0);
+        assert_eq!(row.num_relations(), 1);
+        assert_eq!(row.count(RelationId(1)), 0);
+    }
+
+    #[test]
+    fn from_pairs_merges_duplicates() {
+        let row = ComponentRow::from_pairs([
+            (RelationId(2), 1),
+            (RelationId(0), 3),
+            (RelationId(2), 2),
+            (RelationId(1), 0),
+        ]);
+        assert_eq!(row.entries(), &[(RelationId(0), 3), (RelationId(2), 3)]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Triple storage with membership and per-entity/per-relation indexes.
+
+use crate::triple::Triple;
+use crate::vocab::{EntityId, RelationId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// An append-only set of triples with secondary indexes.
+///
+/// The store deduplicates: inserting an existing triple is a no-op.
+/// Indexes support the access paths the models need:
+///
+/// * `by_head` / `by_tail` — negative-sampling corruption checks and
+///   relation-component tables,
+/// * `by_relation` — RuleN's rule mining and dataset statistics,
+/// * `contains` — filtered evaluation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TripleStore {
+    triples: Vec<Triple>,
+    set: HashSet<Triple>,
+    by_head: HashMap<EntityId, Vec<u32>>,
+    by_tail: HashMap<EntityId, Vec<u32>>,
+    by_relation: HashMap<RelationId, Vec<u32>>,
+}
+
+impl TripleStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a store from an iterator of triples (deduplicating).
+    pub fn from_triples(triples: impl IntoIterator<Item = Triple>) -> Self {
+        let mut store = Self::new();
+        for t in triples {
+            store.insert(t);
+        }
+        store
+    }
+
+    /// Inserts a triple. Returns `true` if it was new.
+    pub fn insert(&mut self, t: Triple) -> bool {
+        if !self.set.insert(t) {
+            return false;
+        }
+        let idx = self.triples.len() as u32;
+        self.triples.push(t);
+        self.by_head.entry(t.head).or_default().push(idx);
+        self.by_tail.entry(t.tail).or_default().push(idx);
+        self.by_relation.entry(t.rel).or_default().push(idx);
+        true
+    }
+
+    /// True when the exact triple is present.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.set.contains(t)
+    }
+
+    /// All triples in insertion order.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Number of stored triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Triples whose head is `e`.
+    pub fn with_head(&self, e: EntityId) -> impl Iterator<Item = Triple> + '_ {
+        self.by_head
+            .get(&e)
+            .into_iter()
+            .flatten()
+            .map(|&i| self.triples[i as usize])
+    }
+
+    /// Triples whose tail is `e`.
+    pub fn with_tail(&self, e: EntityId) -> impl Iterator<Item = Triple> + '_ {
+        self.by_tail
+            .get(&e)
+            .into_iter()
+            .flatten()
+            .map(|&i| self.triples[i as usize])
+    }
+
+    /// Triples touching `e` on either side (head triples first).
+    pub fn touching(&self, e: EntityId) -> impl Iterator<Item = Triple> + '_ {
+        self.with_head(e).chain(
+            self.with_tail(e)
+                .filter(move |t| !t.is_loop()), // loops already yielded by with_head
+        )
+    }
+
+    /// Triples with relation `r`.
+    pub fn with_relation(&self, r: RelationId) -> impl Iterator<Item = Triple> + '_ {
+        self.by_relation
+            .get(&r)
+            .into_iter()
+            .flatten()
+            .map(|&i| self.triples[i as usize])
+    }
+
+    /// Degree of `e` counting both directions (loops count once).
+    pub fn degree(&self, e: EntityId) -> usize {
+        self.touching(e).count()
+    }
+
+    /// The set of entities that appear in at least one triple.
+    pub fn entities(&self) -> HashSet<EntityId> {
+        let mut out = HashSet::with_capacity(self.by_head.len() + self.by_tail.len());
+        out.extend(self.by_head.keys().copied());
+        out.extend(self.by_tail.keys().copied());
+        out
+    }
+
+    /// The set of relations that appear in at least one triple.
+    pub fn relations(&self) -> HashSet<RelationId> {
+        self.by_relation.keys().copied().collect()
+    }
+
+    /// Merges another store into this one.
+    pub fn extend_from(&mut self, other: &TripleStore) {
+        for &t in other.triples() {
+            self.insert(t);
+        }
+    }
+}
+
+/// Union membership over several stores — the filtered evaluation
+/// protocol needs "appears in train ∪ valid ∪ test" checks without
+/// materializing the union.
+#[derive(Debug, Clone, Copy)]
+pub struct UnionView<'a> {
+    stores: &'a [&'a TripleStore],
+}
+
+impl<'a> UnionView<'a> {
+    /// Creates a view over the given stores.
+    pub fn new(stores: &'a [&'a TripleStore]) -> Self {
+        UnionView { stores }
+    }
+
+    /// True when any member store contains `t`.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.stores.iter().any(|s| s.contains(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(h: u32, r: u32, ta: u32) -> Triple {
+        Triple::from_raw(h, r, ta)
+    }
+
+    #[test]
+    fn insert_dedup() {
+        let mut s = TripleStore::new();
+        assert!(s.insert(t(0, 0, 1)));
+        assert!(!s.insert(t(0, 0, 1)));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&t(0, 0, 1)));
+        assert!(!s.contains(&t(1, 0, 0)));
+    }
+
+    #[test]
+    fn index_lookups() {
+        let s = TripleStore::from_triples([t(0, 0, 1), t(0, 1, 2), t(2, 0, 0)]);
+        assert_eq!(s.with_head(EntityId(0)).count(), 2);
+        assert_eq!(s.with_tail(EntityId(0)).count(), 1);
+        assert_eq!(s.with_relation(RelationId(0)).count(), 2);
+        assert_eq!(s.degree(EntityId(0)), 3);
+    }
+
+    #[test]
+    fn touching_counts_loops_once() {
+        let s = TripleStore::from_triples([t(5, 0, 5), t(5, 1, 6)]);
+        assert_eq!(s.touching(EntityId(5)).count(), 2);
+        assert_eq!(s.degree(EntityId(5)), 2);
+    }
+
+    #[test]
+    fn entity_and_relation_sets() {
+        let s = TripleStore::from_triples([t(0, 0, 1), t(2, 2, 3)]);
+        assert_eq!(s.entities().len(), 4);
+        assert_eq!(s.relations().len(), 2);
+    }
+
+    #[test]
+    fn union_view() {
+        let a = TripleStore::from_triples([t(0, 0, 1)]);
+        let b = TripleStore::from_triples([t(1, 0, 2)]);
+        let stores = [&a, &b];
+        let u = UnionView::new(&stores);
+        assert!(u.contains(&t(0, 0, 1)));
+        assert!(u.contains(&t(1, 0, 2)));
+        assert!(!u.contains(&t(2, 0, 0)));
+    }
+
+    #[test]
+    fn extend_from_merges() {
+        let mut a = TripleStore::from_triples([t(0, 0, 1)]);
+        let b = TripleStore::from_triples([t(0, 0, 1), t(1, 0, 2)]);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,336 @@
+//! Enclosing-subgraph extraction around a candidate link.
+//!
+//! For a triple `(e_i, r_k, e_j)` GSM reasons over the subgraph induced
+//! by the t-hop neighborhoods of the two endpoints. Two extraction
+//! modes exist (Section IV-C2 of the paper):
+//!
+//! * [`ExtractionMode::Intersection`] — GraIL's rule: keep only nodes in
+//!   `N_t(e_i) ∩ N_t(e_j)`, pruning any node with `d(i,u) > t` or
+//!   `d(j,u) > t`. For a bridging link this intersection is *empty*
+//!   apart from the endpoints — the "topological limitation".
+//! * [`ExtractionMode::Union`] — the paper's improved labeling: keep
+//!   `N_t(e_i) ∪ N_t(e_j)` and record `d(·,u) = -1` where the distance
+//!   exceeds `t` or the node is unreachable. These one-sided nodes
+//!   "simulate the disconnected nodes" that bridging links produce.
+//!
+//! Distances are computed with the opposite endpoint blocked, matching
+//! the paper's `d(i,u)` = shortest path not passing through `e_j`.
+
+use crate::adjacency::Adjacency;
+use crate::bfs::{bounded_distances, UNREACHED};
+use crate::triple::Triple;
+use crate::vocab::{EntityId, RelationId};
+use std::collections::HashMap;
+
+/// Node-retention policy for extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractionMode {
+    /// GraIL: `N_t(h) ∩ N_t(t)` with both distances within the bound.
+    Intersection,
+    /// DEKG-ILP: `N_t(h) ∪ N_t(t)`; out-of-bound distances become −1.
+    Union,
+}
+
+/// An edge of the extracted subgraph in local node indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalEdge {
+    /// Local index of the head.
+    pub src: u32,
+    /// Relation of the original triple.
+    pub rel: RelationId,
+    /// Local index of the tail.
+    pub dst: u32,
+}
+
+/// The enclosing subgraph around one candidate link.
+///
+/// Node 0 is always the head `e_i` and node 1 the tail `e_j`, matching
+/// the unique labels `(0,1)` and `(1,0)` the paper assigns them. Edge
+/// direction is preserved from the backing store.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// Global ids of the retained nodes; `nodes[0] = head`, `nodes[1] = tail`.
+    pub nodes: Vec<EntityId>,
+    /// Induced edges in local indices (target link excluded).
+    pub edges: Vec<LocalEdge>,
+    /// `d(head, u)` per local node, −1 when unreached/over-bound.
+    pub dist_head: Vec<i32>,
+    /// `d(tail, u)` per local node, −1 when unreached/over-bound.
+    pub dist_tail: Vec<i32>,
+}
+
+impl Subgraph {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no path (within the extraction bound) connects the two
+    /// endpoints — the signature of a bridging link's subgraph.
+    pub fn is_disconnected(&self) -> bool {
+        // Head is connected to tail iff the tail's distance-from-head is
+        // a real value (node 1 is the tail).
+        self.dist_head[1] == UNREACHED
+    }
+
+    /// The paper's node label `(d(i,u), d(j,u))` for local node `u`.
+    pub fn label(&self, u: usize) -> (i32, i32) {
+        (self.dist_head[u], self.dist_tail[u])
+    }
+}
+
+/// Extractor bound to one graph (store + adjacency).
+///
+/// ```
+/// use dekg_kg::{Adjacency, EntityId, ExtractionMode, SubgraphExtractor, Triple, TripleStore};
+///
+/// // Two disconnected components: {0,1} and {2,3} — a miniature DEKG.
+/// let store = TripleStore::from_triples([
+///     Triple::from_raw(0, 0, 1),
+///     Triple::from_raw(2, 0, 3),
+/// ]);
+/// let adj = Adjacency::from_store(&store, 4);
+///
+/// // Union extraction around the bridging pair (0, 2) keeps both
+/// // sides; the subgraph is disconnected, which GSM's labeling handles.
+/// let ex = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union);
+/// let sg = ex.extract(EntityId(0), EntityId(2), None);
+/// assert!(sg.is_disconnected());
+/// assert_eq!(sg.num_nodes(), 4);
+///
+/// // GraIL's intersection mode collapses to the endpoints — the
+/// // "topological limitation".
+/// let grail = SubgraphExtractor::new(&adj, 2, ExtractionMode::Intersection);
+/// assert_eq!(grail.extract(EntityId(0), EntityId(2), None).num_nodes(), 2);
+/// ```
+#[derive(Debug)]
+pub struct SubgraphExtractor<'a> {
+    adj: &'a Adjacency,
+    hops: u32,
+    mode: ExtractionMode,
+}
+
+impl<'a> SubgraphExtractor<'a> {
+    /// Creates an extractor performing `hops`-hop extraction.
+    ///
+    /// # Panics
+    /// If `hops == 0`.
+    pub fn new(adj: &'a Adjacency, hops: u32, mode: ExtractionMode) -> Self {
+        assert!(hops > 0, "subgraph extraction needs at least 1 hop");
+        SubgraphExtractor { adj, hops, mode }
+    }
+
+    /// The hop bound `t`.
+    pub fn hops(&self) -> u32 {
+        self.hops
+    }
+
+    /// The retention mode.
+    pub fn mode(&self) -> ExtractionMode {
+        self.mode
+    }
+
+    /// Extracts the enclosing subgraph around `(head, ·, tail)`.
+    ///
+    /// `exclude` is removed from the induced edge set — pass the target
+    /// triple during training so the model cannot read the answer off
+    /// the graph. Both endpoints are always retained, even when
+    /// completely isolated (the bridging-link case).
+    pub fn extract(
+        &self,
+        head: EntityId,
+        tail: EntityId,
+        exclude: Option<Triple>,
+    ) -> Subgraph {
+        let dist_h = bounded_distances(self.adj, head, self.hops, Some(tail));
+        let dist_t = bounded_distances(self.adj, tail, self.hops, Some(head));
+
+        // Collect retained nodes: endpoints first, then the rest in
+        // ascending global id for determinism.
+        let mut nodes: Vec<EntityId> = vec![head, tail];
+        let mut local: HashMap<EntityId, u32> = HashMap::new();
+        local.insert(head, 0);
+        if tail != head {
+            local.insert(tail, 1);
+        } else {
+            // Degenerate self-link: keep two local slots aliasing one
+            // global node so labels (0,1)/(1,0) still exist.
+            local.insert(tail, 0);
+        }
+        for idx in 0..self.adj.num_entities() {
+            let e = EntityId(idx as u32);
+            if e == head || e == tail {
+                continue;
+            }
+            let dh = dist_h[idx];
+            let dt = dist_t[idx];
+            let keep = match self.mode {
+                ExtractionMode::Intersection => dh != UNREACHED && dt != UNREACHED,
+                ExtractionMode::Union => dh != UNREACHED || dt != UNREACHED,
+            };
+            if keep {
+                local.insert(e, nodes.len() as u32);
+                nodes.push(e);
+            }
+        }
+
+        let dist_head: Vec<i32> = nodes.iter().map(|e| dist_h[e.index()]).collect();
+        let dist_tail: Vec<i32> = nodes.iter().map(|e| dist_t[e.index()]).collect();
+
+        // Induced directed edges, deduplicated via the Out orientation
+        // (every stored triple appears exactly once as Out).
+        let mut edges = Vec::new();
+        for (li, &e) in nodes.iter().enumerate() {
+            for n in self.adj.neighbors(e) {
+                if n.orientation != crate::adjacency::Orientation::Out {
+                    continue;
+                }
+                let triple = Triple::new(e, n.rel, n.entity);
+                if Some(triple) == exclude {
+                    continue;
+                }
+                if let Some(&lj) = local.get(&n.entity) {
+                    edges.push(LocalEdge { src: li as u32, rel: n.rel, dst: lj });
+                }
+            }
+        }
+
+        Subgraph { nodes, edges, dist_head, dist_tail }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TripleStore;
+
+    fn t(h: u32, r: u32, ta: u32) -> Triple {
+        Triple::from_raw(h, r, ta)
+    }
+
+    /// Two components: {0,1,2,3} chained and {4,5} chained — a DEKG-like
+    /// layout where (0, r, 4) would be a bridging link.
+    fn two_component_graph() -> (TripleStore, Adjacency) {
+        let store = TripleStore::from_triples([
+            t(0, 0, 1),
+            t(1, 0, 2),
+            t(2, 0, 3),
+            t(4, 1, 5),
+        ]);
+        let adj = Adjacency::from_store(&store, 6);
+        (store, adj)
+    }
+
+    #[test]
+    fn enclosing_link_intersection() {
+        // Triangle 0-1-2 plus pendant 3.
+        let store = TripleStore::from_triples([t(0, 0, 1), t(1, 0, 2), t(2, 0, 0), t(2, 0, 3)]);
+        let adj = Adjacency::from_store(&store, 4);
+        let ex = SubgraphExtractor::new(&adj, 1, ExtractionMode::Intersection);
+        let sg = ex.extract(EntityId(0), EntityId(1), None);
+        // 1-hop intersection around (0,1): node 2 is adjacent to both.
+        assert_eq!(sg.nodes, vec![EntityId(0), EntityId(1), EntityId(2)]);
+        assert!(!sg.is_disconnected());
+        assert_eq!(sg.label(0), (0, 1));
+        assert_eq!(sg.label(1), (1, 0));
+        assert_eq!(sg.label(2), (1, 1));
+    }
+
+    #[test]
+    fn union_keeps_one_sided_nodes() {
+        let store = TripleStore::from_triples([t(0, 0, 1), t(1, 0, 2), t(2, 0, 0), t(2, 0, 3)]);
+        let adj = Adjacency::from_store(&store, 4);
+        let ex = SubgraphExtractor::new(&adj, 1, ExtractionMode::Union);
+        let sg = ex.extract(EntityId(0), EntityId(1), None);
+        // Node 3 is 1 hop from neither 0 nor 1? d(0,3)=2 (through 2), so
+        // it is NOT within 1 hop of either endpoint: excluded.
+        assert_eq!(sg.nodes.len(), 3);
+        let ex2 = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union);
+        let sg2 = ex2.extract(EntityId(0), EntityId(1), None);
+        assert!(sg2.nodes.contains(&EntityId(3)));
+    }
+
+    #[test]
+    fn bridging_link_subgraph_is_disconnected() {
+        let (_, adj) = two_component_graph();
+        let ex = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union);
+        let sg = ex.extract(EntityId(0), EntityId(4), None);
+        assert!(sg.is_disconnected());
+        // Head side: 0,1,2 within 2 hops; tail side: 4,5.
+        assert_eq!(sg.num_nodes(), 5);
+        // The tail's dist-from-head is -1 and vice versa.
+        assert_eq!(sg.label(1), (UNREACHED, 0));
+        assert_eq!(sg.label(0), (0, UNREACHED));
+    }
+
+    #[test]
+    fn bridging_link_intersection_collapses() {
+        // GraIL-mode extraction on a bridging link keeps only endpoints.
+        let (_, adj) = two_component_graph();
+        let ex = SubgraphExtractor::new(&adj, 2, ExtractionMode::Intersection);
+        let sg = ex.extract(EntityId(0), EntityId(4), None);
+        assert_eq!(sg.num_nodes(), 2);
+        assert_eq!(sg.num_edges(), 0);
+    }
+
+    #[test]
+    fn target_edge_excluded() {
+        let store = TripleStore::from_triples([t(0, 0, 1), t(1, 0, 2), t(2, 0, 0)]);
+        let adj = Adjacency::from_store(&store, 3);
+        let ex = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union);
+        let with = ex.extract(EntityId(0), EntityId(1), None);
+        let without = ex.extract(EntityId(0), EntityId(1), Some(t(0, 0, 1)));
+        assert_eq!(with.num_edges(), without.num_edges() + 1);
+        assert!(!without
+            .edges
+            .iter()
+            .any(|e| e.src == 0 && e.dst == 1 && e.rel == RelationId(0)));
+    }
+
+    #[test]
+    fn distances_avoid_opposite_endpoint() {
+        // 0 - 1 - 2: from 0 with 1 as tail, node 2 must be unreachable
+        // because the only path passes through the tail.
+        let store = TripleStore::from_triples([t(0, 0, 1), t(1, 0, 2)]);
+        let adj = Adjacency::from_store(&store, 3);
+        let ex = SubgraphExtractor::new(&adj, 3, ExtractionMode::Union);
+        let sg = ex.extract(EntityId(0), EntityId(1), None);
+        let li = sg.nodes.iter().position(|&e| e == EntityId(2)).unwrap();
+        assert_eq!(sg.dist_head[li], UNREACHED);
+        assert_eq!(sg.dist_tail[li], 1);
+    }
+
+    #[test]
+    fn edge_directions_preserved() {
+        let store = TripleStore::from_triples([t(1, 3, 0)]);
+        let adj = Adjacency::from_store(&store, 2);
+        let ex = SubgraphExtractor::new(&adj, 1, ExtractionMode::Union);
+        let sg = ex.extract(EntityId(0), EntityId(1), None);
+        // local 0 = head = entity 0, local 1 = tail = entity 1; the edge
+        // runs 1 -> 0 in global terms, so locally src=1, dst=0.
+        assert_eq!(sg.edges, vec![LocalEdge { src: 1, rel: RelationId(3), dst: 0 }]);
+    }
+
+    #[test]
+    fn isolated_endpoints_still_present() {
+        let store = TripleStore::from_triples([t(0, 0, 1)]);
+        let adj = Adjacency::from_store(&store, 4);
+        let ex = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union);
+        let sg = ex.extract(EntityId(2), EntityId(3), None);
+        assert_eq!(sg.num_nodes(), 2);
+        assert_eq!(sg.num_edges(), 0);
+        assert!(sg.is_disconnected());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 hop")]
+    fn zero_hops_rejected() {
+        let (_, adj) = two_component_graph();
+        SubgraphExtractor::new(&adj, 0, ExtractionMode::Union);
+    }
+}

@@ -1,0 +1,126 @@
+//! The `(head, relation, tail)` fact type.
+
+use crate::vocab::{EntityId, RelationId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A directed fact `(h, r, t)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Triple {
+    /// Head entity.
+    pub head: EntityId,
+    /// Relation.
+    pub rel: RelationId,
+    /// Tail entity.
+    pub tail: EntityId,
+}
+
+impl Triple {
+    /// Constructs a triple.
+    pub fn new(head: EntityId, rel: RelationId, tail: EntityId) -> Self {
+        Triple { head, rel, tail }
+    }
+
+    /// Convenience constructor from raw ids.
+    pub fn from_raw(head: u32, rel: u32, tail: u32) -> Self {
+        Triple::new(EntityId(head), RelationId(rel), EntityId(tail))
+    }
+
+    /// The triple with head and tail exchanged (same relation).
+    pub fn reversed(self) -> Self {
+        Triple { head: self.tail, rel: self.rel, tail: self.head }
+    }
+
+    /// True if `e` is the head or the tail.
+    pub fn touches(self, e: EntityId) -> bool {
+        self.head == e || self.tail == e
+    }
+
+    /// The endpoint opposite to `e`.
+    ///
+    /// # Panics
+    /// If `e` is neither endpoint.
+    pub fn other_end(self, e: EntityId) -> EntityId {
+        if self.head == e {
+            self.tail
+        } else if self.tail == e {
+            self.head
+        } else {
+            panic!("{e} is not an endpoint of {self}")
+        }
+    }
+
+    /// True for self-loops.
+    pub fn is_loop(self) -> bool {
+        self.head == self.tail
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.head, self.rel, self.tail)
+    }
+}
+
+/// Which side of a triple an entity occupies. Used by bridging-link
+/// bookkeeping (Definition 4 allows the unseen entity on either side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// The head position.
+    Head,
+    /// The tail position.
+    Tail,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn flip(self) -> Side {
+        match self {
+            Side::Head => Side::Tail,
+            Side::Tail => Side::Head,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversal() {
+        let t = Triple::from_raw(1, 2, 3);
+        let r = t.reversed();
+        assert_eq!(r.head, EntityId(3));
+        assert_eq!(r.tail, EntityId(1));
+        assert_eq!(r.rel, RelationId(2));
+        assert_eq!(r.reversed(), t);
+    }
+
+    #[test]
+    fn endpoints() {
+        let t = Triple::from_raw(1, 0, 2);
+        assert!(t.touches(EntityId(1)));
+        assert!(t.touches(EntityId(2)));
+        assert!(!t.touches(EntityId(3)));
+        assert_eq!(t.other_end(EntityId(1)), EntityId(2));
+        assert_eq!(t.other_end(EntityId(2)), EntityId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_end_panics_for_stranger() {
+        Triple::from_raw(1, 0, 2).other_end(EntityId(9));
+    }
+
+    #[test]
+    fn loops_detected() {
+        assert!(Triple::from_raw(1, 0, 1).is_loop());
+        assert!(!Triple::from_raw(1, 0, 2).is_loop());
+    }
+
+    #[test]
+    fn side_flip() {
+        assert_eq!(Side::Head.flip(), Side::Tail);
+        assert_eq!(Side::Tail.flip(), Side::Head);
+    }
+}

@@ -1,0 +1,179 @@
+//! Entity and relation identifiers plus the string interner mapping
+//! external names onto them.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of an entity. Ids are assigned in interning order;
+/// in the DEKG setting, original-KG entities are interned before
+/// emerging-KG ones, so `E` and `E'` occupy disjoint contiguous ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntityId(pub u32);
+
+/// Dense identifier of a relation. The relation space `R` is shared
+/// between the original KG and any emerging KG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelationId(pub u32);
+
+impl EntityId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RelationId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Bidirectional mapping between entity/relation names and dense ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocab {
+    entity_names: Vec<String>,
+    relation_names: Vec<String>,
+    entity_ids: HashMap<String, EntityId>,
+    relation_ids: HashMap<String, RelationId>,
+}
+
+impl Vocab {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an entity name, returning its (possibly existing) id.
+    pub fn intern_entity(&mut self, name: &str) -> EntityId {
+        if let Some(&id) = self.entity_ids.get(name) {
+            return id;
+        }
+        let id = EntityId(self.entity_names.len() as u32);
+        self.entity_names.push(name.to_owned());
+        self.entity_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Interns a relation name, returning its (possibly existing) id.
+    pub fn intern_relation(&mut self, name: &str) -> RelationId {
+        if let Some(&id) = self.relation_ids.get(name) {
+            return id;
+        }
+        let id = RelationId(self.relation_names.len() as u32);
+        self.relation_names.push(name.to_owned());
+        self.relation_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an entity by name without interning.
+    pub fn entity(&self, name: &str) -> Option<EntityId> {
+        self.entity_ids.get(name).copied()
+    }
+
+    /// Looks up a relation by name without interning.
+    pub fn relation(&self, name: &str) -> Option<RelationId> {
+        self.relation_ids.get(name).copied()
+    }
+
+    /// The name of an entity id.
+    ///
+    /// # Panics
+    /// If the id was not produced by this vocab.
+    pub fn entity_name(&self, id: EntityId) -> &str {
+        &self.entity_names[id.index()]
+    }
+
+    /// The name of a relation id.
+    pub fn relation_name(&self, id: RelationId) -> &str {
+        &self.relation_names[id.index()]
+    }
+
+    /// Number of interned entities.
+    pub fn num_entities(&self) -> usize {
+        self.entity_names.len()
+    }
+
+    /// Number of interned relations.
+    pub fn num_relations(&self) -> usize {
+        self.relation_names.len()
+    }
+
+    /// All entity ids in interning order.
+    pub fn entities(&self) -> impl Iterator<Item = EntityId> + '_ {
+        (0..self.entity_names.len() as u32).map(EntityId)
+    }
+
+    /// All relation ids in interning order.
+    pub fn relations(&self) -> impl Iterator<Item = RelationId> + '_ {
+        (0..self.relation_names.len() as u32).map(RelationId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern_entity("thunder");
+        let b = v.intern_entity("russell");
+        let a2 = v.intern_entity("thunder");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.num_entities(), 2);
+        assert_eq!(v.entity_name(a), "thunder");
+    }
+
+    #[test]
+    fn entities_and_relations_are_separate_spaces() {
+        let mut v = Vocab::new();
+        let e = v.intern_entity("employ");
+        let r = v.intern_relation("employ");
+        assert_eq!(e.index(), 0);
+        assert_eq!(r.index(), 0);
+        assert_eq!(v.num_entities(), 1);
+        assert_eq!(v.num_relations(), 1);
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut v = Vocab::new();
+        v.intern_relation("teammate");
+        assert!(v.relation("teammate").is_some());
+        assert!(v.relation("coach").is_none());
+        assert_eq!(v.num_relations(), 1);
+    }
+
+    #[test]
+    fn iteration_order_is_dense() {
+        let mut v = Vocab::new();
+        for name in ["a", "b", "c"] {
+            v.intern_entity(name);
+        }
+        let ids: Vec<u32> = v.entities().map(|e| e.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(EntityId(3).to_string(), "e3");
+        assert_eq!(RelationId(1).to_string(), "r1");
+    }
+}

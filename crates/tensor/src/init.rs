@@ -1,0 +1,105 @@
+//! Weight initializers.
+//!
+//! All initializers take an explicit RNG so experiments are reproducible
+//! from a single seed.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Uniform on `[lo, hi)`.
+pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    assert!(lo < hi, "uniform: empty range [{lo}, {hi})");
+    let shape = shape.into();
+    let data = (0..shape.numel()).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Gaussian with the given mean and standard deviation (Box–Muller).
+pub fn normal(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    assert!(std >= 0.0, "normal: negative std {std}");
+    let shape = shape.into();
+    let n = shape.numel();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < n {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(shape, data)
+}
+
+/// Glorot/Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// For rank-2 shapes fan-in/out are the two dims; for rank-1, both equal
+/// the length; for rank-3 `[r, i, o]` stacks, fans are the trailing dims.
+pub fn xavier_uniform(shape: impl Into<Shape>, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let (fan_in, fan_out) = fans(&shape);
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, -a, a, rng)
+}
+
+/// Glorot/Xavier normal: `N(0, sqrt(2 / (fan_in + fan_out)))`.
+pub fn xavier_normal(shape: impl Into<Shape>, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let (fan_in, fan_out) = fans(&shape);
+    let std = (2.0 / (fan_in + fan_out) as f32).sqrt();
+    normal(shape, 0.0, std, rng)
+}
+
+fn fans(shape: &Shape) -> (usize, usize) {
+    match shape.rank() {
+        0 => (1, 1),
+        1 => (shape.dim(0).max(1), shape.dim(0).max(1)),
+        2 => (shape.dim(0).max(1), shape.dim(1).max(1)),
+        r => (shape.dim(r - 2).max(1), shape.dim(r - 1).max(1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = uniform([1000], -0.5, 0.5, &mut rng);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+        // Mean should be near zero for a large sample.
+        assert!(t.mean().abs() < 0.05);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let t = normal([10_000], 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+            / t.numel() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn xavier_bound_matches_fans() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = xavier_uniform([30, 20], &mut rng);
+        let a = (6.0f32 / 50.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= a));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier_normal([4, 4], &mut ChaCha8Rng::seed_from_u64(42));
+        let b = xavier_normal([4, 4], &mut ChaCha8Rng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

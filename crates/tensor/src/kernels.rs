@@ -1,0 +1,225 @@
+//! Raw numeric kernels on `f32` slices.
+//!
+//! These are the shared inner loops used by both the forward pass of
+//! [`crate::Tensor`] methods and the backward pass in [`crate::tape`].
+//! Keeping them as free functions over slices lets the backward sweep
+//! reuse them without constructing intermediate `Tensor`s.
+
+/// `out[i] = a[i] + b[i]`.
+pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + y;
+    }
+}
+
+/// `out[i] += a[i]` — gradient accumulation.
+pub fn add_assign(out: &mut [f32], a: &[f32]) {
+    debug_assert_eq!(a.len(), out.len());
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o += x;
+    }
+}
+
+/// `out[i] += s * a[i]`.
+pub fn axpy(s: f32, a: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), out.len());
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o += s * x;
+    }
+}
+
+/// `out[i] = a[i] * b[i]`.
+pub fn mul(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x * y;
+    }
+}
+
+/// `out[i] += a[i] * b[i]` — fused multiply-accumulate.
+pub fn mul_acc(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o += x * y;
+    }
+}
+
+/// Dense row-major matrix multiply: `c[m,n] = a[m,k] * b[k,n]`.
+///
+/// Loop order (m, k, n) keeps the inner loop streaming over contiguous
+/// rows of `b` and `c`, which the compiler auto-vectorizes.
+pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    c.fill(0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue; // component tables and one-hot features are sparse
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+/// `c[m,n] += a[m,k] * b[k,n]` — accumulating variant for gradients.
+pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+/// `c[m,n] += a^T[m,k] * b[k,n]` where `a` is stored as `[k, m]`.
+///
+/// Used by matmul backward for the left operand without materializing a
+/// transpose.
+pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_pi * b_v;
+            }
+        }
+    }
+}
+
+/// `c[m,n] += a[m,k] * b^T[k,n]` where `b` is stored as `[n, k]`.
+///
+/// Used by matmul backward for the right operand.
+pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, c_v) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *c_v += acc;
+        }
+    }
+}
+
+/// Transposes a row-major `[m, n]` matrix into `out` as `[n, m]`.
+pub fn transpose(a: &[f32], out: &mut [f32], m: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a[i * n + j];
+        }
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Squared L2 norm.
+pub fn norm_sq(a: &[f32]) -> f32 {
+    a.iter().map(|&x| x * x).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        matmul(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // [1 2 3] (1x3) * [[1],[2],[3]] (3x1) = [14]
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0];
+        let mut c = [0.0; 1];
+        matmul(&a, &b, &mut c, 1, 3, 1);
+        assert_eq!(c, [14.0]);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // [3,2] -> a^T is [2,3]
+        let b = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0]; // [3,2]
+        let mut at = [0.0; 6];
+        transpose(&a, &mut at, 3, 2);
+        let mut want = [0.0; 4];
+        matmul(&at, &b, &mut want, 2, 3, 2);
+        let mut got = [0.0; 4];
+        matmul_at_b_acc(&a, &b, &mut got, 2, 3, 2);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = [1.0, 2.0, 3.0, 4.0]; // [2,2]
+        let b = [5.0, 6.0, 7.0, 8.0]; // [2,2], b^T used
+        let mut bt = [0.0; 4];
+        transpose(&b, &mut bt, 2, 2);
+        let mut want = [0.0; 4];
+        matmul(&a, &bt, &mut want, 2, 2, 2);
+        let mut got = [0.0; 4];
+        matmul_a_bt_acc(&a, &b, &mut got, 2, 2, 2);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a: Vec<f32> = (0..12).map(|x| x as f32).collect();
+        let mut t = vec![0.0; 12];
+        let mut back = vec![0.0; 12];
+        transpose(&a, &mut t, 3, 4);
+        transpose(&t, &mut back, 4, 3);
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut out = [1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut out);
+        assert_eq!(out, [7.0, 9.0]);
+    }
+}

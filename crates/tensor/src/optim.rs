@@ -1,0 +1,271 @@
+//! First-order optimizers over a [`ParamStore`].
+//!
+//! Each optimizer keeps its own per-parameter state, keyed by
+//! [`crate::ParamId`] index, so one optimizer instance must stay paired with
+//! one store for its lifetime (the usual training-loop shape).
+
+use crate::params::{GradStore, ParamStore};
+use std::collections::HashMap;
+
+/// A gradient-descent style optimizer.
+pub trait Optimizer {
+    /// Applies `grads` to `params` in place.
+    fn step(&mut self, params: &mut ParamStore, grads: &GradStore);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain SGD with optional momentum and L2 weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<usize, Vec<f32>>,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr`, no momentum, no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: HashMap::new() }
+    }
+
+    /// Adds classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum {momentum} outside [0,1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Adds decoupled L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamStore, grads: &GradStore) {
+        for (id, grad) in grads.iter() {
+            let value = params.get_mut(id);
+            let data = value.data_mut();
+            if self.momentum > 0.0 {
+                let vel = self
+                    .velocity
+                    .entry(id.index())
+                    .or_insert_with(|| vec![0.0; data.len()]);
+                assert_eq!(vel.len(), data.len(), "parameter shape changed under optimizer");
+                for ((w, &g), v) in data.iter_mut().zip(grad.data()).zip(vel.iter_mut()) {
+                    let g = g + self.weight_decay * *w;
+                    *v = self.momentum * *v + g;
+                    *w -= self.lr * *v;
+                }
+            } else {
+                for (w, &g) in data.iter_mut().zip(grad.data()) {
+                    let g = g + self.weight_decay * *w;
+                    *w -= self.lr * g;
+                }
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with optional decoupled weight decay.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: HashMap<usize, Vec<f32>>,
+    v: HashMap<usize, Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the standard β₁=0.9, β₂=0.999, ε=1e-8.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+
+    /// Custom betas.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Adds decoupled (AdamW-style) weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamStore, grads: &GradStore) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (id, grad) in grads.iter() {
+            let value = params.get_mut(id);
+            let data = value.data_mut();
+            let m = self
+                .m
+                .entry(id.index())
+                .or_insert_with(|| vec![0.0; data.len()]);
+            let v = self
+                .v
+                .entry(id.index())
+                .or_insert_with(|| vec![0.0; data.len()]);
+            assert_eq!(m.len(), data.len(), "parameter shape changed under optimizer");
+            for (((w, &g), m_i), v_i) in
+                data.iter_mut().zip(grad.data()).zip(m.iter_mut()).zip(v.iter_mut())
+            {
+                *m_i = self.beta1 * *m_i + (1.0 - self.beta1) * g;
+                *v_i = self.beta2 * *v_i + (1.0 - self.beta2) * g * g;
+                let m_hat = *m_i / bc1;
+                let v_hat = *v_i / bc2;
+                *w -= self.lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * *w);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// AdaGrad — useful for the sparse relation-feature updates in CLRM.
+#[derive(Debug, Clone)]
+pub struct AdaGrad {
+    lr: f32,
+    eps: f32,
+    accum: HashMap<usize, Vec<f32>>,
+}
+
+impl AdaGrad {
+    /// AdaGrad with ε=1e-10.
+    pub fn new(lr: f32) -> Self {
+        AdaGrad { lr, eps: 1e-10, accum: HashMap::new() }
+    }
+}
+
+impl Optimizer for AdaGrad {
+    fn step(&mut self, params: &mut ParamStore, grads: &GradStore) {
+        for (id, grad) in grads.iter() {
+            let value = params.get_mut(id);
+            let data = value.data_mut();
+            let acc = self
+                .accum
+                .entry(id.index())
+                .or_insert_with(|| vec![0.0; data.len()]);
+            for ((w, &g), a) in data.iter_mut().zip(grad.data()).zip(acc.iter_mut()) {
+                *a += g * g;
+                *w -= self.lr * g / (a.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use crate::Graph;
+
+    fn quadratic_step<O: Optimizer>(opt: &mut O, steps: usize) -> f32 {
+        // Minimize f(w) = sum((w - 3)^2) from w = 0.
+        let mut ps = ParamStore::new();
+        let w = ps.insert("w", Tensor::zeros([4]));
+        for _ in 0..steps {
+            let mut g = Graph::new();
+            let wv = g.param(&ps, w);
+            let target = g.constant(Tensor::full([4], 3.0));
+            let d = g.sub(wv, target);
+            let sq = g.square(d);
+            let loss = g.sum_all(sq);
+            let grads = g.backward(loss);
+            opt.step(&mut ps, &grads);
+        }
+        (ps.get(w).data()[0] - 3.0).abs()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(quadratic_step(&mut Sgd::new(0.1), 100) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        assert!(quadratic_step(&mut Sgd::new(0.05).with_momentum(0.9), 200) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(quadratic_step(&mut Adam::new(0.1), 300) < 1e-2);
+    }
+
+    #[test]
+    fn adagrad_converges_on_quadratic() {
+        assert!(quadratic_step(&mut AdaGrad::new(1.0), 300) < 1e-2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut ps = ParamStore::new();
+        let w = ps.insert("w", Tensor::full([2], 10.0));
+        let mut opt = Sgd::new(0.1).with_weight_decay(1.0);
+        // Zero-gradient step: only decay acts.
+        let mut g = Graph::new();
+        let wv = g.param(&ps, w);
+        let zero = g.constant(Tensor::zeros([2]));
+        let prod = g.mul(wv, zero);
+        let loss = g.sum_all(prod);
+        let grads = g.backward(loss);
+        opt.step(&mut ps, &grads);
+        assert!(ps.get(w).data()[0] < 10.0);
+    }
+
+    #[test]
+    fn learning_rate_mutation() {
+        let mut opt = Adam::new(0.1);
+        opt.set_learning_rate(0.5);
+        assert_eq!(opt.learning_rate(), 0.5);
+    }
+}

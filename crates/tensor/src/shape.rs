@@ -1,0 +1,180 @@
+//! Tensor shapes and index arithmetic.
+//!
+//! Shapes are row-major. Most of the library works with rank-1 and rank-2
+//! tensors (vectors and matrices); rank-3 appears for per-relation weight
+//! stacks and rank-4 never does. [`Shape`] is a thin wrapper over a
+//! `Vec<usize>` with the arithmetic the kernels need.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The dimensions of a [`crate::Tensor`], row-major.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from its dimensions.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// A scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of dimension `d`.
+    ///
+    /// # Panics
+    /// If `d >= rank()`.
+    pub fn dim(&self, d: usize) -> usize {
+        self.0[d]
+    }
+
+    /// Returns `(rows, cols)` for a rank-2 shape.
+    ///
+    /// # Panics
+    /// If the shape is not rank-2.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        assert_eq!(self.rank(), 2, "expected a matrix, got shape {self}");
+        (self.0[0], self.0[1])
+    }
+
+    /// Row-major strides.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flattens a multi-dimensional index to a linear offset.
+    ///
+    /// # Panics
+    /// If the index rank mismatches or any coordinate is out of bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.rank(),
+            "index rank {} does not match shape {self}",
+            index.len()
+        );
+        let mut off = 0;
+        let strides = self.strides();
+        for (d, (&i, &s)) in index.iter().zip(strides.iter()).enumerate() {
+            assert!(i < self.0[d], "index {i} out of bounds for dim {d} of {self}");
+            off += i * s;
+        }
+        off
+    }
+
+    /// True when both shapes have the same dims.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(vec![3, 4, 5]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 60);
+        assert_eq!(s.dim(1), 4);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_math() {
+        let s = Shape::new(vec![2, 3]);
+        assert_eq!(s.offset(&[0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2]), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_out_of_bounds_panics() {
+        let s = Shape::new(vec![2, 3]);
+        s.offset(&[2, 0]);
+    }
+
+    #[test]
+    fn matrix_view() {
+        let s = Shape::new(vec![7, 9]);
+        assert_eq!(s.as_matrix(), (7, 9));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

@@ -1,0 +1,1197 @@
+//! Reverse-mode automatic differentiation on an arena tape.
+//!
+//! A [`Graph`] records every operation as a node in a flat arena. Each
+//! node stores the operation, its input [`Var`]s and its forward value.
+//! [`Graph::backward`] seeds the loss gradient with 1 and sweeps the
+//! arena in reverse creation order (which is a valid reverse topological
+//! order because inputs always precede outputs), accumulating gradients
+//! into a [`GradStore`] keyed by [`ParamId`].
+//!
+//! The op set is exactly what the DEKG-ILP models and baselines need:
+//! elementwise arithmetic, matmul, gathers/scatters for embedding lookup
+//! and message passing, concatenation, reductions, pointwise
+//! nonlinearities, dropout and an `im2col`-style flat gather that powers
+//! the ConvE baseline's convolution.
+
+use crate::kernels;
+use crate::params::{GradStore, ParamId, ParamStore};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+/// Sentinel index for [`Graph::gather_flat`]: positions carrying it read
+/// as `0.0` and receive no gradient. Used to zero-pad `im2col` patches.
+pub const PAD: usize = usize::MAX;
+
+#[derive(Debug)]
+#[allow(dead_code)] // some payloads (e.g. the scalar in AddScalar) exist for Debug output only
+enum Op {
+    /// A leaf value; `Some(id)` when it is a trainable parameter.
+    Leaf(Option<ParamId>),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Div(Var, Var),
+    Neg(Var),
+    AddScalar(Var, f32),
+    MulScalar(Var, f32),
+    Matmul(Var, Var),
+    /// Select rows `idx` of a rank-2 input.
+    GatherRows(Var, Vec<usize>),
+    /// Select arbitrary flat offsets (or [`PAD`]) into a new shape.
+    GatherFlat(Var, Vec<usize>),
+    /// Same data, new shape.
+    Reshape(Var),
+    /// Concatenate along axis 0 (rows).
+    ConcatRows(Vec<Var>),
+    /// Concatenate rank-2 inputs along axis 1 (columns).
+    ConcatCols(Vec<Var>),
+    SumAll(Var),
+    MeanAll(Var),
+    /// Column sums of a rank-2 input: `[m, n] -> [n]`.
+    SumAxis0(Var),
+    /// Row sums of a rank-2 input: `[m, n] -> [m]`.
+    SumAxis1(Var),
+    /// Column means of a rank-2 input: `[m, n] -> [n]`.
+    MeanAxis0(Var),
+    Relu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Sqrt(Var),
+    Exp(Var),
+    Ln(Var),
+    Sin(Var),
+    Cos(Var),
+    Square(Var),
+    Abs(Var),
+    /// Multiply by a precomputed inverted-dropout mask.
+    Dropout(Var, Vec<f32>),
+    /// Stack scalar vars into a rank-1 tensor.
+    StackScalars(Vec<Var>),
+    /// `out[idx[e], :] += src[e, :]` over `rows` output rows.
+    ScatterAddRows { src: Var, idx: Vec<usize>, rows: usize },
+    /// Repeat a rank-1 `[d]` input as `rows` identical rows: `[rows, d]`.
+    BroadcastRow(Var, usize),
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+    needs_grad: bool,
+}
+
+/// A single-use computation tape.
+///
+/// See the [module documentation](self) for the usage pattern.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The shape of `v`'s value.
+    pub fn shape(&self, v: Var) -> &Shape {
+        self.nodes[v.0].value.shape()
+    }
+
+    fn push(&mut self, op: Op, value: Tensor, needs_grad: bool) -> Var {
+        let id = self.nodes.len();
+        self.nodes.push(Node { op, value, needs_grad });
+        Var(id)
+    }
+
+    fn needs(&self, v: Var) -> bool {
+        self.nodes[v.0].needs_grad
+    }
+
+    // ---- leaves ----
+
+    /// Mounts parameter `id` from `store` as a differentiable leaf.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(Op::Leaf(Some(id)), store.get(id).clone(), true)
+    }
+
+    /// Inserts a non-differentiable constant.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(Op::Leaf(None), value, false)
+    }
+
+    /// Inserts a scalar constant.
+    pub fn scalar(&mut self, value: f32) -> Var {
+        self.constant(Tensor::scalar(value))
+    }
+
+    // ---- arithmetic ----
+
+    /// Elementwise `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Add(a, b), v, ng)
+    }
+
+    /// Elementwise `a - b` (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert!(av.shape().same_as(bv.shape()), "sub: {} vs {}", av.shape(), bv.shape());
+        let data = av.data().iter().zip(bv.data()).map(|(&x, &y)| x - y).collect();
+        let v = Tensor::from_vec(av.shape().clone(), data);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Sub(a, b), v, ng)
+    }
+
+    /// Elementwise `a * b` (same shape).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.mul(&self.nodes[b.0].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Mul(a, b), v, ng)
+    }
+
+    /// Elementwise `a / b` (same shape).
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert!(av.shape().same_as(bv.shape()), "div: {} vs {}", av.shape(), bv.shape());
+        let data = av.data().iter().zip(bv.data()).map(|(&x, &y)| x / y).collect();
+        let v = Tensor::from_vec(av.shape().clone(), data);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Div(a, b), v, ng)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.scale(-1.0);
+        let ng = self.needs(a);
+        self.push(Op::Neg(a), v, ng)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x + s);
+        let ng = self.needs(a);
+        self.push(Op::AddScalar(a, s), v, ng)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.nodes[a.0].value.scale(s);
+        let ng = self.needs(a);
+        self.push(Op::MulScalar(a, s), v, ng)
+    }
+
+    /// Matrix product of rank-2 vars.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Matmul(a, b), v, ng)
+    }
+
+    // ---- structure ----
+
+    /// Selects rows `idx` of a rank-2 var, producing `[idx.len(), cols]`.
+    ///
+    /// This is the embedding-lookup primitive; indices may repeat.
+    pub fn gather_rows(&mut self, a: Var, idx: &[usize]) -> Var {
+        let av = &self.nodes[a.0].value;
+        let (rows, cols) = av.shape().as_matrix();
+        let mut data = Vec::with_capacity(idx.len() * cols);
+        for &i in idx {
+            assert!(i < rows, "gather_rows index {i} out of bounds for {rows} rows");
+            data.extend_from_slice(av.row(i));
+        }
+        let v = Tensor::from_vec(vec![idx.len(), cols], data);
+        let ng = self.needs(a);
+        self.push(Op::GatherRows(a, idx.to_vec()), v, ng)
+    }
+
+    /// Gathers arbitrary flat offsets of `a` into a tensor of `shape`.
+    ///
+    /// Offsets equal to [`PAD`] read as `0.0`. This is the `im2col`
+    /// primitive behind the ConvE baseline's `im2col` convolution.
+    ///
+    /// # Panics
+    /// If `idx.len() != shape.numel()` or any non-PAD offset is out of
+    /// bounds.
+    pub fn gather_flat(&mut self, a: Var, idx: &[usize], shape: impl Into<Shape>) -> Var {
+        let shape = shape.into();
+        assert_eq!(idx.len(), shape.numel(), "gather_flat: index/shape mismatch");
+        let av = self.nodes[a.0].value.data();
+        let data = idx
+            .iter()
+            .map(|&i| {
+                if i == PAD {
+                    0.0
+                } else {
+                    assert!(i < av.len(), "gather_flat offset {i} out of bounds");
+                    av[i]
+                }
+            })
+            .collect();
+        let v = Tensor::from_vec(shape, data);
+        let ng = self.needs(a);
+        self.push(Op::GatherFlat(a, idx.to_vec()), v, ng)
+    }
+
+    /// Reinterprets `a` under a new shape (same element count).
+    pub fn reshape(&mut self, a: Var, shape: impl Into<Shape>) -> Var {
+        let v = self.nodes[a.0].value.clone().reshape(shape);
+        let ng = self.needs(a);
+        self.push(Op::Reshape(a), v, ng)
+    }
+
+    /// Concatenates along axis 0. Rank-1 inputs concatenate into a longer
+    /// rank-1; rank-2 inputs stack rows (equal column counts required).
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows on empty input");
+        let first = self.nodes[parts[0].0].value.shape().clone();
+        let v = if first.rank() == 1 {
+            let mut data = Vec::new();
+            for &p in parts {
+                let pv = &self.nodes[p.0].value;
+                assert_eq!(pv.shape().rank(), 1, "concat_rows: mixed ranks");
+                data.extend_from_slice(pv.data());
+            }
+            let n = data.len();
+            Tensor::from_vec(vec![n], data)
+        } else {
+            let (_, cols) = first.as_matrix();
+            let mut rows = 0;
+            let mut data = Vec::new();
+            for &p in parts {
+                let pv = &self.nodes[p.0].value;
+                let (r, c) = pv.shape().as_matrix();
+                assert_eq!(c, cols, "concat_rows: column mismatch");
+                rows += r;
+                data.extend_from_slice(pv.data());
+            }
+            Tensor::from_vec(vec![rows, cols], data)
+        };
+        let ng = parts.iter().any(|&p| self.needs(p));
+        self.push(Op::ConcatRows(parts.to_vec()), v, ng)
+    }
+
+    /// Concatenates rank-2 inputs along axis 1 (equal row counts).
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols on empty input");
+        let (rows, _) = self.nodes[parts[0].0].value.shape().as_matrix();
+        let widths: Vec<usize> = parts
+            .iter()
+            .map(|&p| {
+                let (r, c) = self.nodes[p.0].value.shape().as_matrix();
+                assert_eq!(r, rows, "concat_cols: row mismatch");
+                c
+            })
+            .collect();
+        let total: usize = widths.iter().sum();
+        let mut data = Vec::with_capacity(rows * total);
+        for i in 0..rows {
+            for &p in parts {
+                data.extend_from_slice(self.nodes[p.0].value.row(i));
+            }
+        }
+        let v = Tensor::from_vec(vec![rows, total], data);
+        let ng = parts.iter().any(|&p| self.needs(p));
+        self.push(Op::ConcatCols(parts.to_vec()), v, ng)
+    }
+
+    // ---- reductions ----
+
+    /// Sum of all elements (scalar output).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.nodes[a.0].value.sum());
+        let ng = self.needs(a);
+        self.push(Op::SumAll(a), v, ng)
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.nodes[a.0].value.mean());
+        let ng = self.needs(a);
+        self.push(Op::MeanAll(a), v, ng)
+    }
+
+    /// Column sums of a rank-2 var: `[m, n] -> [n]`.
+    pub fn sum_axis0(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let (m, n) = av.shape().as_matrix();
+        let mut out = vec![0.0; n];
+        for i in 0..m {
+            kernels::add_assign(&mut out, av.row(i));
+        }
+        let ng = self.needs(a);
+        self.push(Op::SumAxis0(a), Tensor::from_vec(vec![n], out), ng)
+    }
+
+    /// Row sums of a rank-2 var: `[m, n] -> [m]`.
+    pub fn sum_axis1(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let (m, _n) = av.shape().as_matrix();
+        let out: Vec<f32> = (0..m).map(|i| av.row(i).iter().sum()).collect();
+        let ng = self.needs(a);
+        self.push(Op::SumAxis1(a), Tensor::from_vec(vec![m], out), ng)
+    }
+
+    /// Column means of a rank-2 var: `[m, n] -> [n]`.
+    pub fn mean_axis0(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let (m, n) = av.shape().as_matrix();
+        let mut out = vec![0.0; n];
+        for i in 0..m {
+            kernels::add_assign(&mut out, av.row(i));
+        }
+        let inv = if m == 0 { 0.0 } else { 1.0 / m as f32 };
+        for x in &mut out {
+            *x *= inv;
+        }
+        let ng = self.needs(a);
+        self.push(Op::MeanAxis0(a), Tensor::from_vec(vec![n], out), ng)
+    }
+
+    // ---- nonlinearities ----
+
+    /// `max(0, x)` elementwise.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let ng = self.needs(a);
+        self.push(Op::Relu(a), v, ng)
+    }
+
+    /// Logistic sigmoid elementwise.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let ng = self.needs(a);
+        self.push(Op::Sigmoid(a), v, ng)
+    }
+
+    /// Hyperbolic tangent elementwise.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::tanh);
+        let ng = self.needs(a);
+        self.push(Op::Tanh(a), v, ng)
+    }
+
+    /// Elementwise square root (inputs are expected non-negative).
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::sqrt);
+        let ng = self.needs(a);
+        self.push(Op::Sqrt(a), v, ng)
+    }
+
+    /// Elementwise `exp`.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::exp);
+        let ng = self.needs(a);
+        self.push(Op::Exp(a), v, ng)
+    }
+
+    /// Elementwise natural log.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::ln);
+        let ng = self.needs(a);
+        self.push(Op::Ln(a), v, ng)
+    }
+
+    /// Elementwise sine.
+    pub fn sin(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::sin);
+        let ng = self.needs(a);
+        self.push(Op::Sin(a), v, ng)
+    }
+
+    /// Elementwise cosine.
+    pub fn cos(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::cos);
+        let ng = self.needs(a);
+        self.push(Op::Cos(a), v, ng)
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x * x);
+        let ng = self.needs(a);
+        self.push(Op::Square(a), v, ng)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::abs);
+        let ng = self.needs(a);
+        self.push(Op::Abs(a), v, ng)
+    }
+
+    /// Inverted dropout: zeroes each element with probability `rate` and
+    /// scales survivors by `1/(1-rate)`. `rate == 0` is the identity.
+    pub fn dropout(&mut self, a: Var, rate: f32, rng: &mut impl Rng) -> Var {
+        assert!((0.0..1.0).contains(&rate), "dropout rate {rate} outside [0, 1)");
+        if rate == 0.0 {
+            return a;
+        }
+        let keep = 1.0 - rate;
+        let scale = 1.0 / keep;
+        let av = &self.nodes[a.0].value;
+        let mask: Vec<f32> = (0..av.numel())
+            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let data = av.data().iter().zip(&mask).map(|(&x, &m)| x * m).collect();
+        let v = Tensor::from_vec(av.shape().clone(), data);
+        let ng = self.needs(a);
+        self.push(Op::Dropout(a, mask), v, ng)
+    }
+
+    // ---- graph-structured ops ----
+
+    /// Stacks scalar vars into a rank-1 tensor `[parts.len()]`.
+    pub fn stack_scalars(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "stack_scalars on empty input");
+        let data: Vec<f32> = parts
+            .iter()
+            .map(|&p| {
+                let pv = &self.nodes[p.0].value;
+                assert_eq!(pv.numel(), 1, "stack_scalars: non-scalar input {}", pv.shape());
+                pv.data()[0]
+            })
+            .collect();
+        let n = data.len();
+        let ng = parts.iter().any(|&p| self.needs(p));
+        self.push(Op::StackScalars(parts.to_vec()), Tensor::from_vec(vec![n], data), ng)
+    }
+
+    /// Row scatter-add: output has `rows` rows; row `idx[e]` accumulates
+    /// `src[e, :]`. The message-aggregation primitive of the GNN.
+    ///
+    /// # Panics
+    /// If `idx.len()` differs from `src`'s row count or any index is out
+    /// of bounds.
+    pub fn scatter_add_rows(&mut self, src: Var, idx: &[usize], rows: usize) -> Var {
+        let sv = &self.nodes[src.0].value;
+        let (e, cols) = sv.shape().as_matrix();
+        assert_eq!(idx.len(), e, "scatter_add_rows: index count mismatch");
+        let mut out = Tensor::zeros([rows, cols]);
+        for (r, &target) in idx.iter().enumerate() {
+            assert!(target < rows, "scatter_add_rows target {target} out of bounds");
+            kernels::add_assign(out.row_mut(target), sv.row(r));
+        }
+        let ng = self.needs(src);
+        self.push(Op::ScatterAddRows { src, idx: idx.to_vec(), rows }, out, ng)
+    }
+
+    /// Repeats a rank-1 `[d]` var into `[rows, d]`.
+    pub fn broadcast_row(&mut self, a: Var, rows: usize) -> Var {
+        let av = &self.nodes[a.0].value;
+        assert_eq!(av.shape().rank(), 1, "broadcast_row expects rank-1, got {}", av.shape());
+        let d = av.numel();
+        let mut data = Vec::with_capacity(rows * d);
+        for _ in 0..rows {
+            data.extend_from_slice(av.data());
+        }
+        let ng = self.needs(a);
+        self.push(Op::BroadcastRow(a, rows), Tensor::from_vec(vec![rows, d], data), ng)
+    }
+
+    // ---- composites ----
+
+    /// Row-wise squared L2 distance between `[m, d]` vars: `[m]`.
+    pub fn rowwise_sq_dist(&mut self, a: Var, b: Var) -> Var {
+        let d = self.sub(a, b);
+        let sq = self.square(d);
+        self.sum_axis1(sq)
+    }
+
+    /// Row-wise Euclidean distance between `[m, d]` vars: `[m]`.
+    ///
+    /// A small epsilon keeps the sqrt differentiable at zero distance.
+    pub fn rowwise_dist(&mut self, a: Var, b: Var) -> Var {
+        let sq = self.rowwise_sq_dist(a, b);
+        let eps = self.add_scalar(sq, 1e-12);
+        self.sqrt(eps)
+    }
+
+    /// DistMult-style trilinear score per row: `sum(a * r * b, axis=1)`.
+    pub fn trilinear_rows(&mut self, a: Var, r: Var, b: Var) -> Var {
+        let ar = self.mul(a, r);
+        let arb = self.mul(ar, b);
+        self.sum_axis1(arb)
+    }
+
+    /// Margin ranking loss `mean(relu(margin - pos + neg))` over rank-1
+    /// score vectors.
+    pub fn margin_ranking_loss(&mut self, pos: Var, neg: Var, margin: f32) -> Var {
+        let diff = self.sub(neg, pos);
+        let shifted = self.add_scalar(diff, margin);
+        let hinge = self.relu(shifted);
+        self.mean_all(hinge)
+    }
+
+    // ---- backward ----
+
+    /// Runs the reverse sweep from the scalar `loss`, returning parameter
+    /// gradients.
+    ///
+    /// # Panics
+    /// If `loss` is not a scalar (1-element) value.
+    pub fn backward(&self, loss: Var) -> GradStore {
+        assert_eq!(
+            self.nodes[loss.0].value.numel(),
+            1,
+            "backward() needs a scalar loss, got {}",
+            self.nodes[loss.0].value.shape()
+        );
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::from_vec(
+            self.nodes[loss.0].value.shape().clone(),
+            vec![1.0],
+        ));
+
+        let mut store = GradStore::new();
+        for id in (0..=loss.0).rev() {
+            if !self.nodes[id].needs_grad {
+                continue;
+            }
+            let Some(grad) = grads[id].take() else { continue };
+            self.backprop_node(id, &grad, &mut grads, &mut store);
+        }
+        store
+    }
+
+    fn accum(&self, grads: &mut [Option<Tensor>], v: Var, delta: &Tensor) {
+        if !self.nodes[v.0].needs_grad {
+            return;
+        }
+        match &mut grads[v.0] {
+            Some(g) => kernels::add_assign(g.data_mut(), delta.data()),
+            slot @ None => *slot = Some(delta.clone()),
+        }
+    }
+
+    /// Like [`accum`] but takes ownership, avoiding a copy when the slot
+    /// is empty.
+    fn accum_owned(&self, grads: &mut [Option<Tensor>], v: Var, delta: Tensor) {
+        if !self.nodes[v.0].needs_grad {
+            return;
+        }
+        match &mut grads[v.0] {
+            Some(g) => kernels::add_assign(g.data_mut(), delta.data()),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn backprop_node(
+        &self,
+        id: usize,
+        grad: &Tensor,
+        grads: &mut [Option<Tensor>],
+        store: &mut GradStore,
+    ) {
+        let node = &self.nodes[id];
+        match &node.op {
+            Op::Leaf(Some(pid)) => store.accumulate(*pid, grad),
+            Op::Leaf(None) => {}
+            Op::Add(a, b) => {
+                self.accum(grads, *a, grad);
+                self.accum(grads, *b, grad);
+            }
+            Op::Sub(a, b) => {
+                self.accum(grads, *a, grad);
+                self.accum_owned(grads, *b, grad.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                if self.needs(*a) {
+                    self.accum_owned(grads, *a, grad.mul(&self.nodes[b.0].value));
+                }
+                if self.needs(*b) {
+                    self.accum_owned(grads, *b, grad.mul(&self.nodes[a.0].value));
+                }
+            }
+            Op::Div(a, b) => {
+                let bv = &self.nodes[b.0].value;
+                if self.needs(*a) {
+                    let d = grad
+                        .data()
+                        .iter()
+                        .zip(bv.data())
+                        .map(|(&g, &y)| g / y)
+                        .collect();
+                    self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
+                }
+                if self.needs(*b) {
+                    let av = &self.nodes[a.0].value;
+                    let d = grad
+                        .data()
+                        .iter()
+                        .zip(av.data().iter().zip(bv.data()))
+                        .map(|(&g, (&x, &y))| -g * x / (y * y))
+                        .collect();
+                    self.accum_owned(grads, *b, Tensor::from_vec(grad.shape().clone(), d));
+                }
+            }
+            Op::Neg(a) => self.accum_owned(grads, *a, grad.scale(-1.0)),
+            Op::AddScalar(a, _) => self.accum(grads, *a, grad),
+            Op::MulScalar(a, s) => self.accum_owned(grads, *a, grad.scale(*s)),
+            Op::Matmul(a, b) => {
+                let av = &self.nodes[a.0].value;
+                let bv = &self.nodes[b.0].value;
+                let (m, k) = av.shape().as_matrix();
+                let (_, n) = bv.shape().as_matrix();
+                if self.needs(*a) {
+                    // dA = dC * B^T
+                    let mut da = Tensor::zeros([m, k]);
+                    kernels::matmul_a_bt_acc(grad.data(), bv.data(), da.data_mut(), m, n, k);
+                    self.accum_owned(grads, *a, da);
+                }
+                if self.needs(*b) {
+                    // dB = A^T * dC
+                    let mut db = Tensor::zeros([k, n]);
+                    kernels::matmul_at_b_acc(av.data(), grad.data(), db.data_mut(), k, m, n);
+                    self.accum_owned(grads, *b, db);
+                }
+            }
+            Op::GatherRows(a, idx) => {
+                let (rows, cols) = self.nodes[a.0].value.shape().as_matrix();
+                let mut da = Tensor::zeros([rows, cols]);
+                for (r, &i) in idx.iter().enumerate() {
+                    kernels::add_assign(da.row_mut(i), grad.row(r));
+                }
+                self.accum_owned(grads, *a, da);
+            }
+            Op::GatherFlat(a, idx) => {
+                let mut da = Tensor::zeros(self.nodes[a.0].value.shape().clone());
+                let dd = da.data_mut();
+                for (pos, &i) in idx.iter().enumerate() {
+                    if i != PAD {
+                        dd[i] += grad.data()[pos];
+                    }
+                }
+                self.accum_owned(grads, *a, da);
+            }
+            Op::Reshape(a) => {
+                let da = grad.clone().reshape(self.nodes[a.0].value.shape().clone());
+                self.accum_owned(grads, *a, da);
+            }
+            Op::ConcatRows(parts) => {
+                let mut off = 0;
+                for &p in parts {
+                    let pv = &self.nodes[p.0].value;
+                    let n = pv.numel();
+                    if self.needs(p) {
+                        let slice = grad.data()[off..off + n].to_vec();
+                        self.accum_owned(
+                            grads,
+                            p,
+                            Tensor::from_vec(pv.shape().clone(), slice),
+                        );
+                    }
+                    off += n;
+                }
+            }
+            Op::ConcatCols(parts) => {
+                let (rows, _) = grad.shape().as_matrix();
+                let mut col_off = 0;
+                for &p in parts {
+                    let pv = &self.nodes[p.0].value;
+                    let (_, c) = pv.shape().as_matrix();
+                    if self.needs(p) {
+                        let mut dp = Tensor::zeros([rows, c]);
+                        for i in 0..rows {
+                            dp.row_mut(i)
+                                .copy_from_slice(&grad.row(i)[col_off..col_off + c]);
+                        }
+                        self.accum_owned(grads, p, dp);
+                    }
+                    col_off += c;
+                }
+            }
+            Op::SumAll(a) => {
+                let g = grad.item();
+                let da = Tensor::full(self.nodes[a.0].value.shape().clone(), g);
+                self.accum_owned(grads, *a, da);
+            }
+            Op::MeanAll(a) => {
+                let n = self.nodes[a.0].value.numel().max(1);
+                let g = grad.item() / n as f32;
+                let da = Tensor::full(self.nodes[a.0].value.shape().clone(), g);
+                self.accum_owned(grads, *a, da);
+            }
+            Op::SumAxis0(a) => {
+                let (m, n) = self.nodes[a.0].value.shape().as_matrix();
+                let mut da = Tensor::zeros([m, n]);
+                for i in 0..m {
+                    da.row_mut(i).copy_from_slice(grad.data());
+                }
+                self.accum_owned(grads, *a, da);
+            }
+            Op::SumAxis1(a) => {
+                let (m, n) = self.nodes[a.0].value.shape().as_matrix();
+                let mut da = Tensor::zeros([m, n]);
+                for i in 0..m {
+                    let g = grad.data()[i];
+                    for x in da.row_mut(i) {
+                        *x = g;
+                    }
+                }
+                self.accum_owned(grads, *a, da);
+            }
+            Op::MeanAxis0(a) => {
+                let (m, n) = self.nodes[a.0].value.shape().as_matrix();
+                let inv = if m == 0 { 0.0 } else { 1.0 / m as f32 };
+                let mut da = Tensor::zeros([m, n]);
+                for i in 0..m {
+                    for (x, &g) in da.row_mut(i).iter_mut().zip(grad.data()) {
+                        *x = g * inv;
+                    }
+                }
+                self.accum_owned(grads, *a, da);
+            }
+            Op::Relu(a) => {
+                let av = &self.nodes[a.0].value;
+                let d = grad
+                    .data()
+                    .iter()
+                    .zip(av.data())
+                    .map(|(&g, &x)| if x > 0.0 { g } else { 0.0 })
+                    .collect();
+                self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
+            }
+            Op::Sigmoid(a) => {
+                let yv = &node.value;
+                let d = grad
+                    .data()
+                    .iter()
+                    .zip(yv.data())
+                    .map(|(&g, &y)| g * y * (1.0 - y))
+                    .collect();
+                self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
+            }
+            Op::Tanh(a) => {
+                let yv = &node.value;
+                let d = grad
+                    .data()
+                    .iter()
+                    .zip(yv.data())
+                    .map(|(&g, &y)| g * (1.0 - y * y))
+                    .collect();
+                self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
+            }
+            Op::Sqrt(a) => {
+                let yv = &node.value;
+                let d = grad
+                    .data()
+                    .iter()
+                    .zip(yv.data())
+                    .map(|(&g, &y)| if y > 0.0 { g * 0.5 / y } else { 0.0 })
+                    .collect();
+                self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
+            }
+            Op::Exp(a) => {
+                let yv = &node.value;
+                let d = grad
+                    .data()
+                    .iter()
+                    .zip(yv.data())
+                    .map(|(&g, &y)| g * y)
+                    .collect();
+                self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
+            }
+            Op::Ln(a) => {
+                let av = &self.nodes[a.0].value;
+                let d = grad
+                    .data()
+                    .iter()
+                    .zip(av.data())
+                    .map(|(&g, &x)| g / x)
+                    .collect();
+                self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
+            }
+            Op::Sin(a) => {
+                let av = &self.nodes[a.0].value;
+                let d = grad
+                    .data()
+                    .iter()
+                    .zip(av.data())
+                    .map(|(&g, &x)| g * x.cos())
+                    .collect();
+                self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
+            }
+            Op::Cos(a) => {
+                let av = &self.nodes[a.0].value;
+                let d = grad
+                    .data()
+                    .iter()
+                    .zip(av.data())
+                    .map(|(&g, &x)| -g * x.sin())
+                    .collect();
+                self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
+            }
+            Op::Square(a) => {
+                let av = &self.nodes[a.0].value;
+                let d = grad
+                    .data()
+                    .iter()
+                    .zip(av.data())
+                    .map(|(&g, &x)| 2.0 * g * x)
+                    .collect();
+                self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
+            }
+            Op::Abs(a) => {
+                let av = &self.nodes[a.0].value;
+                let d = grad
+                    .data()
+                    .iter()
+                    .zip(av.data())
+                    .map(|(&g, &x)| if x >= 0.0 { g } else { -g })
+                    .collect();
+                self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
+            }
+            Op::Dropout(a, mask) => {
+                let d = grad
+                    .data()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&g, &m)| g * m)
+                    .collect();
+                self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
+            }
+            Op::StackScalars(parts) => {
+                for (i, &p) in parts.iter().enumerate() {
+                    if self.needs(p) {
+                        let dp = Tensor::from_vec(
+                            self.nodes[p.0].value.shape().clone(),
+                            vec![grad.data()[i]],
+                        );
+                        self.accum_owned(grads, p, dp);
+                    }
+                }
+            }
+            Op::ScatterAddRows { src, idx, rows: _ } => {
+                let (e, cols) = self.nodes[src.0].value.shape().as_matrix();
+                let mut ds = Tensor::zeros([e, cols]);
+                for (r, &target) in idx.iter().enumerate() {
+                    ds.row_mut(r).copy_from_slice(grad.row(target));
+                }
+                self.accum_owned(grads, *src, ds);
+            }
+            Op::BroadcastRow(a, rows) => {
+                let d = self.nodes[a.0].value.numel();
+                let mut da = Tensor::zeros([d]);
+                for r in 0..*rows {
+                    kernels::add_assign(da.data_mut(), grad.row(r));
+                }
+                self.accum_owned(grads, *a, da);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn store_with(shape: impl Into<Shape>, data: Vec<f32>) -> (ParamStore, ParamId) {
+        let mut ps = ParamStore::new();
+        let id = ps.insert("p", Tensor::from_vec(shape, data));
+        (ps, id)
+    }
+
+    /// Central-difference gradient check for a scalar function of one
+    /// parameter tensor.
+    fn grad_check(
+        shape: impl Into<Shape> + Clone,
+        data: Vec<f32>,
+        f: impl Fn(&mut Graph, Var) -> Var,
+    ) {
+        let (mut ps, id) = store_with(shape.clone(), data.clone());
+
+        let mut g = Graph::new();
+        let p = g.param(&ps, id);
+        let loss = f(&mut g, p);
+        let analytic = g.backward(loss);
+        let an = analytic.get(id).expect("param should have grad").clone();
+
+        let eps = 1e-3f32;
+        for i in 0..data.len() {
+            let orig = ps.get(id).data()[i];
+            ps.get_mut(id).data_mut()[i] = orig + eps;
+            let mut gp = Graph::new();
+            let pp = gp.param(&ps, id);
+            let lp = f(&mut gp, pp);
+            let fp = gp.value(lp).item();
+
+            ps.get_mut(id).data_mut()[i] = orig - eps;
+            let mut gm = Graph::new();
+            let pm = gm.param(&ps, id);
+            let lm = f(&mut gm, pm);
+            let fm = gm.value(lm).item();
+            ps.get_mut(id).data_mut()[i] = orig;
+
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = an.data()[i];
+            assert!(
+                (numeric - a).abs() < 1e-2 * (1.0 + numeric.abs().max(a.abs())),
+                "grad mismatch at {i}: numeric {numeric} vs analytic {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_sum_of_squares() {
+        grad_check([3], vec![1.0, -2.0, 0.5], |g, p| {
+            let sq = g.square(p);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn grad_matmul() {
+        grad_check([2, 3], vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5], |g, p| {
+            let w = g.constant(Tensor::from_vec([3, 2], vec![1.0, 2.0, -1.0, 0.5, 0.0, 1.0]));
+            let y = g.matmul(p, w);
+            let s = g.square(y);
+            g.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn grad_matmul_right_operand() {
+        grad_check([3, 2], vec![1.0, 2.0, -1.0, 0.5, 0.0, 1.0], |g, p| {
+            let x = g.constant(Tensor::from_vec([2, 3], vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5]));
+            let y = g.matmul(x, p);
+            let s = g.square(y);
+            g.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn grad_sigmoid_tanh_exp_ln() {
+        grad_check([3], vec![0.3, 1.2, 2.0], |g, p| {
+            let a = g.sigmoid(p);
+            let b = g.tanh(a);
+            let c = g.exp(b);
+            let d = g.ln(c);
+            g.sum_all(d)
+        });
+    }
+
+    #[test]
+    fn grad_sin_cos() {
+        grad_check([3], vec![0.1, -0.7, 2.2], |g, p| {
+            let s = g.sin(p);
+            let c = g.cos(p);
+            let m = g.mul(s, c);
+            g.sum_all(m)
+        });
+    }
+
+    #[test]
+    fn grad_div() {
+        grad_check([2], vec![1.5, -0.4], |g, p| {
+            let denom = g.constant(Tensor::from_vec([2], vec![2.0, 4.0]));
+            let q = g.div(p, denom);
+            g.sum_all(q)
+        });
+        // denominator side
+        grad_check([2], vec![2.0, 4.0], |g, p| {
+            let num = g.constant(Tensor::from_vec([2], vec![1.5, -0.4]));
+            let q = g.div(num, p);
+            g.sum_all(q)
+        });
+    }
+
+    #[test]
+    fn grad_gather_rows() {
+        grad_check([3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], |g, p| {
+            let sel = g.gather_rows(p, &[0, 2, 0]);
+            let s = g.square(sel);
+            g.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn grad_scatter_add() {
+        grad_check([3, 2], vec![1.0, -1.0, 0.5, 2.0, 0.0, 1.0], |g, p| {
+            let agg = g.scatter_add_rows(p, &[1, 0, 1], 2);
+            let s = g.square(agg);
+            g.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn grad_concat_cols_and_rows() {
+        grad_check([2, 2], vec![1.0, 2.0, 3.0, 4.0], |g, p| {
+            let c = g.constant(Tensor::from_vec([2, 1], vec![5.0, 6.0]));
+            let cat = g.concat_cols(&[p, c]);
+            let cat2 = g.concat_rows(&[cat, cat]);
+            let s = g.square(cat2);
+            g.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn grad_axis_reductions() {
+        grad_check([2, 3], vec![1.0, -2.0, 3.0, 0.5, 1.5, -0.5], |g, p| {
+            let s0 = g.sum_axis0(p);
+            let s1 = g.sum_axis1(p);
+            let m0 = g.mean_axis0(p);
+            let a = g.sum_all(s0);
+            let b = g.sum_all(s1);
+            let c = g.sum_all(m0);
+            let ab = g.add(a, b);
+            let abc = g.add(ab, c);
+            let sq = g.square(abc);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn grad_broadcast_row() {
+        grad_check([3], vec![0.5, -1.0, 2.0], |g, p| {
+            let b = g.broadcast_row(p, 4);
+            let s = g.square(b);
+            g.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn grad_trilinear() {
+        grad_check([2, 3], vec![0.2, -0.3, 0.7, 1.0, 0.1, -0.9], |g, p| {
+            let r = g.constant(Tensor::from_vec([2, 3], vec![1.0; 6]));
+            let b = g.constant(Tensor::from_vec([2, 3], vec![0.5, 0.5, 0.5, 1.0, -1.0, 1.0]));
+            let scores = g.trilinear_rows(p, r, b);
+            g.sum_all(scores)
+        });
+    }
+
+    #[test]
+    fn grad_rowwise_dist() {
+        grad_check([2, 2], vec![1.0, 2.0, 3.0, 4.0], |g, p| {
+            let b = g.constant(Tensor::from_vec([2, 2], vec![0.0, 0.5, 2.0, 7.0]));
+            let d = g.rowwise_dist(p, b);
+            g.sum_all(d)
+        });
+    }
+
+    #[test]
+    fn grad_margin_loss() {
+        grad_check([3], vec![0.2, 1.4, -0.1], |g, p| {
+            let neg = g.constant(Tensor::from_vec([3], vec![0.5, 0.1, 0.4]));
+            g.margin_ranking_loss(p, neg, 1.0)
+        });
+    }
+
+    #[test]
+    fn grad_gather_flat_with_pad() {
+        grad_check([4], vec![1.0, 2.0, 3.0, 4.0], |g, p| {
+            let sel = g.gather_flat(p, &[3, PAD, 0, 0], [4]);
+            let s = g.square(sel);
+            g.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn grad_stack_scalars() {
+        grad_check([2], vec![2.0, -1.0], |g, p| {
+            let s = g.sum_all(p);
+            let m = g.mean_all(p);
+            let stacked = g.stack_scalars(&[s, m]);
+            let sq = g.square(stacked);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn dropout_mask_consistency() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let (ps, id) = store_with([100], vec![1.0; 100]);
+        let mut g = Graph::new();
+        let p = g.param(&ps, id);
+        let d = g.dropout(p, 0.5, &mut rng);
+        let loss = g.sum_all(d);
+        let grads = g.backward(loss);
+        let grad = grads.get(id).unwrap();
+        // Gradient equals the mask: zero where dropped, 2.0 where kept.
+        for (&y, &dg) in g.value(d).data().iter().zip(grad.data()) {
+            assert_eq!(y, dg, "grad must equal mask entry");
+            assert!(y == 0.0 || (y - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dropout_zero_rate_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut g = Graph::new();
+        let c = g.constant(Tensor::ones([4]));
+        let d = g.dropout(c, 0.0, &mut rng);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn constants_get_no_grad() {
+        let (ps, id) = store_with([2], vec![1.0, 2.0]);
+        let mut g = Graph::new();
+        let p = g.param(&ps, id);
+        let c = g.constant(Tensor::ones([2]));
+        let s = g.mul(p, c);
+        let loss = g.sum_all(s);
+        let grads = g.backward(loss);
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads.get(id).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn reused_var_accumulates() {
+        // loss = sum(p * p_same_var) should give grad 2p.
+        let (ps, id) = store_with([2], vec![3.0, -2.0]);
+        let mut g = Graph::new();
+        let p = g.param(&ps, id);
+        let prod = g.mul(p, p);
+        let loss = g.sum_all(prod);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(id).unwrap().data(), &[6.0, -4.0]);
+    }
+
+    #[test]
+    fn param_mounted_twice_accumulates() {
+        let (ps, id) = store_with([1], vec![2.0]);
+        let mut g = Graph::new();
+        let p1 = g.param(&ps, id);
+        let p2 = g.param(&ps, id);
+        let s = g.add(p1, p2);
+        let loss = g.sum_all(s);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(id).unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_non_scalar() {
+        let (ps, id) = store_with([2], vec![1.0, 2.0]);
+        let mut g = Graph::new();
+        let p = g.param(&ps, id);
+        g.backward(p);
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based gradient verification: random op chains must match
+//! central-difference numerical gradients.
+
+use dekg_tensor::{Graph, ParamStore, Tensor, Var};
+use proptest::prelude::*;
+
+/// The pointwise ops safe to chain on arbitrary bounded inputs.
+#[derive(Debug, Clone, Copy)]
+enum PointOp {
+    Relu,
+    Sigmoid,
+    Tanh,
+    Square,
+    Sin,
+    Cos,
+    Abs,
+    AddScalar(i8),
+    MulScalar(i8),
+}
+
+fn apply(g: &mut Graph, v: Var, op: PointOp) -> Var {
+    match op {
+        PointOp::Relu => g.relu(v),
+        PointOp::Sigmoid => g.sigmoid(v),
+        PointOp::Tanh => g.tanh(v),
+        PointOp::Square => g.square(v),
+        PointOp::Sin => g.sin(v),
+        PointOp::Cos => g.cos(v),
+        PointOp::Abs => g.abs(v),
+        PointOp::AddScalar(s) => g.add_scalar(v, s as f32 * 0.1),
+        PointOp::MulScalar(s) => g.mul_scalar(v, s as f32 * 0.1),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = PointOp> {
+    prop_oneof![
+        Just(PointOp::Relu),
+        Just(PointOp::Sigmoid),
+        Just(PointOp::Tanh),
+        Just(PointOp::Square),
+        Just(PointOp::Sin),
+        Just(PointOp::Cos),
+        Just(PointOp::Abs),
+        any::<i8>().prop_map(PointOp::AddScalar),
+        any::<i8>().prop_map(PointOp::MulScalar),
+    ]
+}
+
+/// Evaluates `ops` applied to `data` and returns (value, analytic grad).
+fn forward_backward(data: &[f32], ops: &[PointOp]) -> (f32, Vec<f32>) {
+    let mut ps = ParamStore::new();
+    let w = ps.insert("w", Tensor::from_vec([data.len()], data.to_vec()));
+    let mut g = Graph::new();
+    let mut v = g.param(&ps, w);
+    for &op in ops {
+        v = apply(&mut g, v, op);
+    }
+    let loss = g.sum_all(v);
+    let grads = g.backward(loss);
+    let grad = grads
+        .get(w)
+        .map(|t| t.data().to_vec())
+        .unwrap_or_else(|| vec![0.0; data.len()]);
+    (g.value(loss).item(), grad)
+}
+
+/// Is the chain differentiable at `x` for all its intermediate values?
+/// (relu/abs have kinks at 0 where central differences disagree.)
+fn away_from_kinks(data: &[f32], ops: &[PointOp]) -> bool {
+    // Track values through the chain; require margin from each kink.
+    let mut values: Vec<f32> = data.to_vec();
+    for &op in ops {
+        for v in &mut values {
+            let x = *v;
+            if matches!(op, PointOp::Relu | PointOp::Abs) && x.abs() < 5e-2 {
+                return false;
+            }
+            *v = match op {
+                PointOp::Relu => x.max(0.0),
+                PointOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+                PointOp::Tanh => x.tanh(),
+                PointOp::Square => x * x,
+                PointOp::Sin => x.sin(),
+                PointOp::Cos => x.cos(),
+                PointOp::Abs => x.abs(),
+                PointOp::AddScalar(s) => x + s as f32 * 0.1,
+                PointOp::MulScalar(s) => x * s as f32 * 0.1,
+            };
+            if !v.is_finite() || v.abs() > 1e3 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_pointwise_chains_gradcheck(
+        data in prop::collection::vec(-1.5f32..1.5, 1..6),
+        ops in prop::collection::vec(op_strategy(), 1..5),
+    ) {
+        prop_assume!(away_from_kinks(&data, &ops));
+        let (_, analytic) = forward_backward(&data, &ops);
+        let eps = 1e-3f32;
+        for i in 0..data.len() {
+            let mut plus = data.clone();
+            plus[i] += eps;
+            let mut minus = data.clone();
+            minus[i] -= eps;
+            prop_assume!(away_from_kinks(&plus, &ops) && away_from_kinks(&minus, &ops));
+            let (fp, _) = forward_backward(&plus, &ops);
+            let (fm, _) = forward_backward(&minus, &ops);
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic[i];
+            let tol = 2e-2 * (1.0 + numeric.abs().max(a.abs()));
+            prop_assert!(
+                (numeric - a).abs() < tol,
+                "ops {:?} at index {}: numeric {} vs analytic {}",
+                ops, i, numeric, a
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_chain_gradcheck(
+        a in prop::collection::vec(-1.0f32..1.0, 6),
+        b in prop::collection::vec(-1.0f32..1.0, 6),
+    ) {
+        // loss = sum((A·B)²), grad wrt A checked numerically.
+        let f = |a_data: &[f32]| -> (f32, Vec<f32>) {
+            let mut ps = ParamStore::new();
+            let w = ps.insert("a", Tensor::from_vec([2, 3], a_data.to_vec()));
+            let mut g = Graph::new();
+            let av = g.param(&ps, w);
+            let bv = g.constant(Tensor::from_vec([3, 2], b.clone()));
+            let prod = g.matmul(av, bv);
+            let sq = g.square(prod);
+            let loss = g.sum_all(sq);
+            let grads = g.backward(loss);
+            (g.value(loss).item(), grads.get(w).unwrap().data().to_vec())
+        };
+        let (_, analytic) = f(&a);
+        let eps = 1e-3f32;
+        for i in 0..a.len() {
+            let mut plus = a.clone();
+            plus[i] += eps;
+            let mut minus = a.clone();
+            minus[i] -= eps;
+            let numeric = (f(&plus).0 - f(&minus).0) / (2.0 * eps);
+            prop_assert!(
+                (numeric - analytic[i]).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "index {i}: {numeric} vs {}", analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_never_produces_nan_on_finite_inputs(
+        data in prop::collection::vec(-3.0f32..3.0, 2..8),
+        ops in prop::collection::vec(op_strategy(), 1..6),
+    ) {
+        let (_, grad) = forward_backward(&data, &ops);
+        prop_assert!(grad.iter().all(|x| x.is_finite()), "{grad:?}");
+    }
+
+    #[test]
+    fn gather_rows_grad_counts_duplicates(
+        rows in 1usize..5,
+        cols in 1usize..4,
+        picks in prop::collection::vec(0usize..5, 1..8),
+    ) {
+        let picks: Vec<usize> = picks.into_iter().map(|p| p % rows).collect();
+        let mut ps = ParamStore::new();
+        let w = ps.insert("w", Tensor::ones([rows, cols]));
+        let mut g = Graph::new();
+        let wv = g.param(&ps, w);
+        let sel = g.gather_rows(wv, &picks);
+        let loss = g.sum_all(sel);
+        let grads = g.backward(loss);
+        let grad = grads.get(w).unwrap();
+        // d(loss)/d(row i) = (times row i was picked) per element.
+        for i in 0..rows {
+            let expect = picks.iter().filter(|&&p| p == i).count() as f32;
+            for c in 0..cols {
+                prop_assert_eq!(grad.at(&[i, c]), expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based checkpoint roundtrip: arbitrary parameter stores
+//! survive encode/decode bit-exactly, and arbitrary corruption never
+//! produces a silently-wrong store.
+
+use dekg_tensor::serialize::{decode, encode};
+use dekg_tensor::{ParamStore, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a store with 0..6 parameters of random small shapes.
+fn stores() -> impl Strategy<Value = ParamStore> {
+    prop::collection::vec(
+        (
+            "[a-z]{1,12}",
+            prop::collection::vec(1usize..5, 0..3), // dims (rank 0..2)
+        ),
+        0..6,
+    )
+    .prop_map(|entries| {
+        let mut ps = ParamStore::new();
+        let mut used = std::collections::HashSet::new();
+        for (i, (name, dims)) in entries.into_iter().enumerate() {
+            let name = if used.insert(name.clone()) { name } else { format!("{name}_{i}") };
+            let numel: usize = dims.iter().product();
+            let data: Vec<f32> = (0..numel).map(|k| (k as f32) * 0.5 - 1.0).collect();
+            ps.insert(name, Tensor::from_vec(dims, data));
+        }
+        ps
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_is_exact(ps in stores()) {
+        let bytes = encode(&ps);
+        let back = decode(&bytes).expect("decode own encoding");
+        prop_assert_eq!(back.len(), ps.len());
+        for (_, name, value) in ps.iter() {
+            let id = back.id_of(name).expect("name preserved");
+            prop_assert_eq!(back.get(id), value);
+        }
+    }
+
+    #[test]
+    fn truncation_always_detected(ps in stores(), frac in 0.0f64..1.0) {
+        let bytes = encode(&ps);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut == bytes.len() {
+            return Ok(());
+        }
+        // Any strict prefix must fail to decode (never a silent
+        // partial store) — the format has no trailing slack.
+        prop_assert!(decode(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
+    }
+
+    #[test]
+    fn header_bitflips_detected(ps in stores(), byte in 0usize..8, bit in 0u8..8) {
+        let mut bytes = encode(&ps).to_vec();
+        if byte >= bytes.len() {
+            return Ok(());
+        }
+        bytes[byte] ^= 1 << bit;
+        // A flipped magic/version byte must be rejected; a flipped
+        // count byte may decode fewer/more params only if it still
+        // parses — but never panics.
+        let _ = decode(&bytes);
+    }
+}

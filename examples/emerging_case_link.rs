@@ -1,0 +1,83 @@
+//! Case-linking scenario from the paper's motivation: a fresh criminal
+//! case (an emerging KG of suspects, locations, methods) shares no
+//! entity with the archive, yet a *bridging* link to an old case can
+//! crack both. This example also demonstrates the explainability API
+//! used for the paper's Fig. 8 heat maps: per-module endpoint
+//! embeddings reveal how much of a link's score comes from the
+//! semantic (CLRM) branch versus the topological (GSM) branch.
+//!
+//! ```sh
+//! cargo run --release --example emerging_case_link
+//! ```
+
+use dekg::core::explain::explain_link;
+use dekg::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // A mid-sized synthetic world stands in for the case archive: the
+    // generator's latent types play the role of modus-operandi classes.
+    let profile = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Eq).scaled(0.04);
+    let mut synth = SynthConfig::for_profile(profile, 99);
+    synth.num_test_enclosing = 20;
+    synth.num_test_bridging = 20;
+    let data = generate(&synth);
+    println!(
+        "archive: {} facts | new case file: {} facts (disconnected)\n",
+        data.original.len(),
+        data.emerging.len()
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let cfg = DekgIlpConfig { epochs: 6, ..DekgIlpConfig::quick() };
+    let mut model = DekgIlp::new(cfg, &data, &mut rng);
+    let report = model.fit(&data, &mut rng);
+    println!(
+        "trained DEKG-ILP in {:.1}s (loss {:.3} -> {:.3})\n",
+        report.seconds, report.initial_loss, report.final_loss
+    );
+
+    let graph = InferenceGraph::from_dataset(&data);
+
+    // Surface the strongest suspected connections between the archive
+    // and the new case file.
+    let mut ranked: Vec<(Triple, f32)> = data
+        .test_bridging
+        .iter()
+        .map(|t| (*t, model.score(&graph, t)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("strongest suspected archive <-> new-case connections:");
+    for (t, s) in ranked.iter().take(5) {
+        println!(
+            "  {} --{}--> {}   score {:.3}",
+            data.vocab.entity_name(t.head),
+            data.vocab.relation_name(t.rel),
+            data.vocab.entity_name(t.tail),
+            s
+        );
+    }
+
+    // Fig. 8-style module attribution: which module carries the signal?
+    let bridging = ranked[0].0;
+    let enclosing = data.test_enclosing[0];
+    println!("\nmodule activity (mean |activation| of endpoint embeddings):");
+    let mut table = Table::new(vec!["link class", "semantic (CLRM)", "topological (GSM)"]);
+    for (label, link) in [("enclosing", enclosing), ("bridging", bridging)] {
+        let ex = explain_link(&model, &graph, &link);
+        table.add_row(vec![
+            label.to_owned(),
+            format!("{:.4}", ex.semantic_activity()),
+            format!("{:.4}", ex.topological_activity()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let ex = explain_link(&model, &graph, &bridging);
+    println!("semantic heat map of the top bridging link (4 x 8):");
+    for row in ex.semantic_heatmap(4, 8) {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:>6.2}")).collect();
+        println!("  [{}]", cells.join(" "));
+    }
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper at the scaled protocol
+# documented in EXPERIMENTS.md. Text output lands in results/*.txt,
+# machine-readable rows in results/*.json.
+#
+# Usage: scripts/run_all_experiments.sh [extra flags passed to every binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+run() {
+    local bin="$1"; shift
+    echo "=== $bin $* ==="
+    cargo run --release -p dekg-bench --bin "$bin" -- "$@" | tee "results/$bin.txt"
+}
+
+EXTRA=("$@")
+
+run table1_capabilities
+run table2_datasets "${EXTRA[@]}"
+run table3_main "${EXTRA[@]}"
+run fig5_respective "${EXTRA[@]}"
+run fig6_ablation "${EXTRA[@]}"
+run fig7_complexity "${EXTRA[@]}"
+run table4_timing "${EXTRA[@]}"
+run fig8_casestudy "${EXTRA[@]}"
+run sweep_hyperparams --raw fb --split eq "${EXTRA[@]}"
+run ablation_protocol --raw fb --split eq "${EXTRA[@]}"
+
+echo "all experiments complete — see results/"

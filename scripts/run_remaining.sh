@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Internal driver: the experiment binaries not yet recorded, in cost
+# order. Used once during result collection; prefer
+# run_all_experiments.sh for a clean full rerun.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+run() {
+    local bin="$1"; shift
+    echo "=== $bin $* ==="
+    cargo run --release -p dekg-bench --bin "$bin" -- "$@" | tee "results/$bin.txt"
+}
+
+run table2_datasets
+run fig8_casestudy
+run fig7_complexity --epochs 1
+run ablation_protocol --raw fb --split eq
+run sweep_hyperparams --raw fb --split eq --epochs 5
+run fig6_ablation
+run table4_timing --epochs 3
+run table1_capabilities
+echo REMAINING_DONE

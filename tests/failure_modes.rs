@@ -1,0 +1,194 @@
+//! Failure-injection and edge-case tests: the stack must fail loudly
+//! on misuse and behave sensibly on degenerate-but-legal inputs.
+
+use dekg::prelude::*;
+use dekg::tensor::{Graph, ParamStore, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tiny_dataset() -> DekgDataset {
+    let profile = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Eq).scaled(0.02);
+    generate(&SynthConfig::for_profile(profile, 77))
+}
+
+// ---- loud failures on misuse ----
+
+#[test]
+#[should_panic(expected = "shape mismatch")]
+fn elementwise_shape_mismatch_panics() {
+    let a = Tensor::ones([2, 3]);
+    let b = Tensor::ones([3, 2]);
+    let _ = a.add(&b);
+}
+
+#[test]
+#[should_panic(expected = "matmul inner dims")]
+fn matmul_dim_mismatch_panics() {
+    let mut g = Graph::new();
+    let a = g.constant(Tensor::ones([2, 3]));
+    let b = g.constant(Tensor::ones([2, 3]));
+    g.matmul(a, b);
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn gather_out_of_bounds_panics() {
+    let mut g = Graph::new();
+    let a = g.constant(Tensor::ones([2, 3]));
+    g.gather_rows(a, &[5]);
+}
+
+#[test]
+#[should_panic(expected = "dropout rate")]
+fn dropout_rate_one_rejected() {
+    let mut g = Graph::new();
+    let a = g.constant(Tensor::ones([2]));
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    g.dropout(a, 1.0, &mut rng);
+}
+
+#[test]
+#[should_panic(expected = "epochs must be positive")]
+fn zero_epoch_config_rejected() {
+    let data = tiny_dataset();
+    let cfg = DekgIlpConfig { epochs: 0, ..DekgIlpConfig::quick() };
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let _ = DekgIlp::new(cfg, &data, &mut rng);
+}
+
+// ---- degenerate-but-legal inputs ----
+
+#[test]
+fn scoring_self_loop_candidates_is_fine() {
+    // Corruption can propose (e, r, e); the whole stack must score it.
+    let data = tiny_dataset();
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let model = DekgIlp::new(DekgIlpConfig::quick(), &data, &mut rng);
+    let graph = InferenceGraph::from_dataset(&data);
+    let e = EntityId(0);
+    let s = model.score(&graph, &Triple::new(e, RelationId(0), e));
+    assert!(s.is_finite());
+}
+
+#[test]
+fn scoring_isolated_pair_is_fine() {
+    // Candidate between two entities with zero degree in the inference
+    // graph (possible when ranking against unseen candidates).
+    let data = tiny_dataset();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let model = DekgIlp::new(DekgIlpConfig::quick(), &data, &mut rng);
+    // Training view: G' entities have no edges at all.
+    let graph = InferenceGraph::training_view(&data);
+    let a = EntityId(data.num_original_entities as u32);
+    let b = EntityId(data.num_original_entities as u32 + 1);
+    let s = model.score(&graph, &Triple::new(a, RelationId(0), b));
+    assert!(s.is_finite());
+}
+
+#[test]
+fn single_triple_training_works() {
+    // A one-fact original KG is legal; training must not divide by zero
+    // or panic on tiny batches.
+    let mut vocab = Vocab::new();
+    for n in ["a", "b", "x", "y"] {
+        vocab.intern_entity(n);
+    }
+    vocab.intern_relation("r");
+    let data = DekgDataset {
+        name: "micro".into(),
+        vocab,
+        num_original_entities: 2,
+        num_relations: 1,
+        original: TripleStore::from_triples([Triple::from_raw(0, 0, 1)]),
+        emerging: TripleStore::from_triples([Triple::from_raw(2, 0, 3)]),
+        valid: vec![],
+        test_enclosing: vec![Triple::from_raw(3, 0, 2)],
+        test_bridging: vec![Triple::from_raw(0, 0, 2)],
+    };
+    data.validate();
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut model = DekgIlp::new(
+        DekgIlpConfig { epochs: 2, batch_size: 4, ..DekgIlpConfig::quick() },
+        &data,
+        &mut rng,
+    );
+    let report = model.fit(&data, &mut rng);
+    assert!(report.final_loss.is_finite());
+    let graph = InferenceGraph::from_dataset(&data);
+    assert!(model.score(&graph, &data.test_bridging[0]).is_finite());
+}
+
+#[test]
+fn optimizer_handles_zero_gradients() {
+    use dekg::tensor::optim::{Adam, Optimizer};
+    let mut ps = ParamStore::new();
+    let w = ps.insert("w", Tensor::ones([3]));
+    let mut g = Graph::new();
+    let wv = g.param(&ps, w);
+    let zero = g.constant(Tensor::zeros([3]));
+    let prod = g.mul(wv, zero);
+    let loss = g.sum_all(prod);
+    let mut grads = g.backward(loss);
+    // Clipping a zero-norm gradient set must be a no-op, not a NaN.
+    grads.clip_global_norm(1.0);
+    let mut opt = Adam::new(0.1);
+    opt.step(&mut ps, &grads);
+    assert!(!ps.get(w).has_non_finite());
+}
+
+#[test]
+fn contrastive_sampling_on_single_relation_universe() {
+    use dekg::core::clrm::sampling;
+    use dekg::kg::ComponentRow;
+    // One relation total: o2 can never fire; negatives must still
+    // differ (o3 deletes the only relation) without panicking.
+    let row = ComponentRow::from_pairs([(RelationId(0), 3)]);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    for _ in 0..50 {
+        let n = sampling::negative_example(&row, 1, 2.0, &mut rng);
+        // Either emptied (deletion) or unchanged set is impossible:
+        assert!(n.is_empty() || n.count(RelationId(0)) > 0);
+    }
+}
+
+#[test]
+fn empty_rank_candidates_means_rank_one() {
+    // A fully filtered candidate set leaves only the truth.
+    assert_eq!(dekg::eval::rank_of(0.5, &[]), 1.0);
+}
+
+#[test]
+fn evaluation_with_tiny_candidate_cap() {
+    let data = tiny_dataset();
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let model = DekgIlp::new(DekgIlpConfig::quick(), &data, &mut rng);
+    let graph = InferenceGraph::from_dataset(&data);
+    let mix = TestMix::build(&data, MixRatio { enclosing: 1, bridging: 1 });
+    let cfg = ProtocolConfig {
+        num_candidates: Some(1),
+        seed: 5,
+        ..Default::default()
+    };
+    let r = evaluate(&model, &graph, &data, &mix, &cfg);
+    // With one candidate, every rank is 1, 1.5 or 2 → MRR ≥ 0.5.
+    assert!(r.overall.mrr >= 0.5, "mrr = {}", r.overall.mrr);
+}
+
+#[test]
+fn untrained_model_is_roughly_random() {
+    let data = tiny_dataset();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let model = DekgIlp::new(DekgIlpConfig::quick(), &data, &mut rng);
+    let graph = InferenceGraph::from_dataset(&data);
+    let mix = TestMix::build(&data, MixRatio { enclosing: 1, bridging: 1 });
+    let cfg = ProtocolConfig {
+        num_candidates: Some(20),
+        seed: 9,
+        tasks: vec![PredictionTask::Head, PredictionTask::Tail],
+        ..Default::default()
+    };
+    let r = evaluate(&model, &graph, &data, &mix, &cfg);
+    // Untrained scores are arbitrary but finite; MRR must land well
+    // below a trained model's and above zero.
+    assert!(r.overall.mrr > 0.0 && r.overall.mrr < 0.5, "mrr = {}", r.overall.mrr);
+}

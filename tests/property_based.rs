@@ -1,0 +1,189 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the stack.
+
+use dekg::kg::bfs::{bounded_distances, UNREACHED};
+use dekg::prelude::*;
+use dekg::tensor::{Graph, ParamStore, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a random small triple set over bounded universes.
+fn triples(max_e: u32, max_r: u32) -> impl Strategy<Value = Vec<Triple>> {
+    prop::collection::vec((0..max_e, 0..max_r, 0..max_e), 1..60)
+        .prop_map(|v| v.into_iter().map(|(h, r, t)| Triple::from_raw(h, r, t)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn store_roundtrips_membership(ts in triples(20, 5)) {
+        let store = TripleStore::from_triples(ts.clone());
+        for t in &ts {
+            prop_assert!(store.contains(t));
+        }
+        prop_assert!(store.len() <= ts.len());
+        // Degree sums equal 2·|T| minus loop corrections.
+        let loops = store.triples().iter().filter(|t| t.is_loop()).count();
+        let degree_sum: usize = store.entities().iter().map(|&e| store.degree(e)).sum();
+        prop_assert_eq!(degree_sum, 2 * store.len() - loops);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(ts in triples(16, 4)) {
+        let store = TripleStore::from_triples(ts);
+        let adj = Adjacency::from_store(&store, 16);
+        for e in 0..16u32 {
+            let e = EntityId(e);
+            for n in adj.neighbors(e) {
+                // The reverse entry must exist on the neighbor's side.
+                let back = adj
+                    .neighbors(n.entity)
+                    .iter()
+                    .any(|m| m.entity == e && m.rel == n.rel);
+                prop_assert!(back, "asymmetric adjacency at {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_steps(ts in triples(16, 3)) {
+        let store = TripleStore::from_triples(ts);
+        let adj = Adjacency::from_store(&store, 16);
+        let d = bounded_distances(&adj, EntityId(0), 16, None);
+        prop_assert_eq!(d[0], 0);
+        // Every reached node's distance is 1 more than some neighbor's.
+        for (i, &di) in d.iter().enumerate() {
+            if di > 0 {
+                let has_parent = adj
+                    .neighbors(EntityId(i as u32))
+                    .iter()
+                    .any(|n| d[n.entity.index()] == di - 1);
+                prop_assert!(has_parent, "node {i} at distance {di} has no parent");
+            }
+        }
+        // Neighbors of reached nodes differ by at most 1.
+        for (i, &di) in d.iter().enumerate() {
+            if di == UNREACHED { continue; }
+            for n in adj.neighbors(EntityId(i as u32)) {
+                let dn = d[n.entity.index()];
+                prop_assert!(dn != UNREACHED && (dn - di).abs() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn subgraph_endpoints_always_first(ts in triples(12, 3), h in 0..12u32, t in 0..12u32) {
+        let store = TripleStore::from_triples(ts);
+        let adj = Adjacency::from_store(&store, 12);
+        let ex = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union);
+        let sg = ex.extract(EntityId(h), EntityId(t), None);
+        prop_assert_eq!(sg.nodes[0], EntityId(h));
+        if h != t {
+            prop_assert_eq!(sg.nodes[1], EntityId(t));
+        }
+        // Edges reference valid local indices; distances within bounds.
+        for e in &sg.edges {
+            prop_assert!((e.src as usize) < sg.num_nodes());
+            prop_assert!((e.dst as usize) < sg.num_nodes());
+        }
+        for u in 0..sg.num_nodes() {
+            let (dh, dt) = sg.label(u);
+            prop_assert!((-1..=2).contains(&dh));
+            prop_assert!((-1..=2).contains(&dt));
+            // Union mode keeps only nodes reached from at least one side
+            // (endpoints exempt).
+            if u > 1 {
+                prop_assert!(dh != UNREACHED || dt != UNREACHED);
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_subgraph_is_subset_of_union(ts in triples(12, 3), h in 0..12u32, t in 0..12u32) {
+        let store = TripleStore::from_triples(ts);
+        let adj = Adjacency::from_store(&store, 12);
+        let uni = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union)
+            .extract(EntityId(h), EntityId(t), None);
+        let int = SubgraphExtractor::new(&adj, 2, ExtractionMode::Intersection)
+            .extract(EntityId(h), EntityId(t), None);
+        prop_assert!(int.num_nodes() <= uni.num_nodes());
+        for n in &int.nodes {
+            prop_assert!(uni.nodes.contains(n));
+        }
+    }
+
+    #[test]
+    fn component_tables_count_exactly(ts in triples(10, 4)) {
+        let store = TripleStore::from_triples(ts);
+        let tables = ComponentTable::from_store(&store, 10, 4);
+        // Total count over all entities = 2·|T| (each triple contributes
+        // one head-side and one tail-side count).
+        let total: u32 = (0..10u32).map(|e| tables.row(EntityId(e)).total()).sum();
+        prop_assert_eq!(total as usize, 2 * store.len());
+    }
+
+    #[test]
+    fn rank_of_is_within_bounds(scores in prop::collection::vec(-1e3f32..1e3, 0..50), s in -1e3f32..1e3) {
+        let r = dekg::eval::rank_of(s, &scores);
+        prop_assert!(r >= 1.0);
+        prop_assert!(r <= scores.len() as f64 + 1.0);
+    }
+
+    #[test]
+    fn autograd_linear_matches_analytic(data in prop::collection::vec(-2.0f32..2.0, 6)) {
+        // f(w) = sum(c * w) has gradient c exactly.
+        let mut ps = ParamStore::new();
+        let w = ps.insert("w", Tensor::from_vec([6], data.clone()));
+        let c: Vec<f32> = (0..6).map(|i| (i as f32) - 2.5).collect();
+        let mut g = Graph::new();
+        let wv = g.param(&ps, w);
+        let cv = g.constant(Tensor::from_vec([6], c.clone()));
+        let prod = g.mul(wv, cv);
+        let loss = g.sum_all(prod);
+        let grads = g.backward(loss);
+        let grad = grads.get(w).unwrap();
+        for (a, b) in grad.data().iter().zip(&c) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn negative_sampler_never_returns_known_positive_when_space_allows(
+        ts in triples(8, 2),
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let store = TripleStore::from_triples(ts);
+        if store.len() >= 8 * 8 { return Ok(()); } // saturated space
+        let stores = vec![&store];
+        let sampler = NegativeSampler::new(0..8, stores);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        if let Some(&pos) = store.triples().first() {
+            for _ in 0..20 {
+                let neg = sampler.corrupt(&pos, &mut rng);
+                // Either it's unknown, or the sampler exhausted retries
+                // (only possible in pathologically dense graphs, which
+                // the size guard above excludes for rel 0/1 corruption
+                // only probabilistically — so just require `neg != pos`).
+                prop_assert!(neg != pos);
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_merge_associative(ranks in prop::collection::vec(1.0f64..100.0, 1..40), split in 1usize..39) {
+        use dekg::eval::RankAccumulator;
+        let split = split.min(ranks.len());
+        let mut whole = RankAccumulator::new();
+        for &r in &ranks { whole.push(r); }
+        let mut left = RankAccumulator::new();
+        let mut right = RankAccumulator::new();
+        for &r in &ranks[..split] { left.push(r); }
+        for &r in &ranks[split..] { right.push(r); }
+        left.merge(&right);
+        let a = whole.finish();
+        let b = left.finish();
+        prop_assert!((a.mrr - b.mrr).abs() < 1e-12);
+        prop_assert_eq!(a.count, b.count);
+    }
+}

@@ -1,0 +1,234 @@
+//! Cross-crate invariants of the evaluation protocol and the DEKG
+//! data model.
+
+use dekg::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn dataset(seed: u64) -> DekgDataset {
+    let profile = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Eq).scaled(0.03);
+    generate(&SynthConfig::for_profile(profile, seed))
+}
+
+/// Scores by entity-id sum — deterministic, graph-independent.
+struct IdSum;
+
+impl LinkPredictor for IdSum {
+    fn name(&self) -> &'static str {
+        "idsum"
+    }
+    fn score_batch(&self, _g: &InferenceGraph, triples: &[Triple]) -> Vec<f32> {
+        triples
+            .iter()
+            .map(|t| (t.head.0 as f32) * 0.001 + (t.tail.0 as f32) * 0.0001)
+            .collect()
+    }
+    fn num_parameters(&self) -> usize {
+        0
+    }
+}
+
+#[test]
+fn full_protocol_filters_known_triples() {
+    let data = dataset(1);
+    let graph = InferenceGraph::from_dataset(&data);
+    let mix = TestMix::build(&data, MixRatio::for_split(SplitKind::Eq));
+    // Full protocol, no sampling: evaluating twice must be identical
+    // (no hidden nondeterminism in candidate construction).
+    let cfg = ProtocolConfig::default();
+    let a = evaluate(&IdSum, &graph, &data, &mix, &cfg);
+    let b = evaluate(&IdSum, &graph, &data, &mix, &cfg);
+    assert_eq!(a.overall, b.overall);
+}
+
+#[test]
+fn better_models_get_better_metrics() {
+    // An oracle that knows the truths must dominate a constant scorer
+    // on every metric — a basic monotonicity check of the harness.
+    struct Oracle(TripleStore);
+    impl LinkPredictor for Oracle {
+        fn name(&self) -> &'static str {
+            "oracle"
+        }
+        fn score_batch(&self, _g: &InferenceGraph, triples: &[Triple]) -> Vec<f32> {
+            triples
+                .iter()
+                .map(|t| if self.0.contains(t) { 1.0 } else { 0.0 })
+                .collect()
+        }
+        fn num_parameters(&self) -> usize {
+            0
+        }
+    }
+    struct Zero;
+    impl LinkPredictor for Zero {
+        fn name(&self) -> &'static str {
+            "zero"
+        }
+        fn score_batch(&self, _g: &InferenceGraph, triples: &[Triple]) -> Vec<f32> {
+            vec![0.0; triples.len()]
+        }
+        fn num_parameters(&self) -> usize {
+            0
+        }
+    }
+
+    let data = dataset(2);
+    let graph = InferenceGraph::from_dataset(&data);
+    let mix = TestMix::build(&data, MixRatio::for_split(SplitKind::Eq));
+    let mut truths = TripleStore::new();
+    for (t, _) in &mix.links {
+        truths.insert(*t);
+    }
+    let cfg = ProtocolConfig::default();
+    let oracle = evaluate(&Oracle(truths), &graph, &data, &mix, &cfg);
+    let zero = evaluate(&Zero, &graph, &data, &mix, &cfg);
+    assert!(oracle.overall.mrr > zero.overall.mrr);
+    assert!(oracle.overall.hits_at(1) > zero.overall.hits_at(1));
+    assert!(oracle.bridging.mrr > zero.bridging.mrr);
+}
+
+#[test]
+fn mix_ratios_respected_across_all_splits() {
+    let data = dataset(3);
+    for split in SplitKind::all() {
+        let mix = TestMix::build(&data, MixRatio::for_split(split));
+        let (e, b) = mix.class_counts();
+        let (re, rb) = split.ratio();
+        assert_eq!(e * rb, b * re, "{split:?}: {e}:{b} vs {re}:{rb}");
+    }
+}
+
+#[test]
+fn inference_graph_is_union_without_leakage() {
+    let data = dataset(4);
+    let graph = InferenceGraph::from_dataset(&data);
+    // Every observed triple present…
+    for t in data.original.triples().iter().chain(data.emerging.triples()) {
+        assert!(graph.store.contains(t));
+    }
+    // …and no held-out link leaked in.
+    for t in data
+        .valid
+        .iter()
+        .chain(&data.test_enclosing)
+        .chain(&data.test_bridging)
+    {
+        assert!(!graph.store.contains(t), "held-out {t} leaked into the inference graph");
+    }
+}
+
+#[test]
+fn bridging_subgraphs_disconnected_enclosing_not_pruned() {
+    let data = dataset(5);
+    let graph = InferenceGraph::from_dataset(&data);
+    let extractor = SubgraphExtractor::new(&graph.adjacency, 2, ExtractionMode::Union);
+    for t in &data.test_bridging {
+        let sg = extractor.extract(t.head, t.tail, None);
+        assert!(
+            sg.is_disconnected(),
+            "bridging subgraph for {t} should be disconnected"
+        );
+        // Union extraction must retain more than just the endpoints
+        // whenever either side has neighbors.
+        let head_deg = graph.adjacency.degree(t.head);
+        let tail_deg = graph.adjacency.degree(t.tail);
+        if head_deg + tail_deg > 0 {
+            assert!(sg.num_nodes() > 2, "union extraction kept only endpoints for {t}");
+        }
+    }
+}
+
+#[test]
+fn capability_matrix_agrees_with_observed_behaviour() {
+    // Table I says RuleN cannot do bridging; check the implementation
+    // agrees (scores zero ⇔ no capability).
+    let data = dataset(6);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut rulen = RuleN::new(Default::default());
+    rulen.fit(&data, &mut rng);
+    let graph = InferenceGraph::from_dataset(&data);
+    let cap = capability_of("RuleN");
+    assert!(!cap.dekg_bridging);
+    assert!(rulen
+        .score_batch(&graph, &data.test_bridging)
+        .iter()
+        .all(|&s| s == 0.0));
+}
+
+#[test]
+fn every_table1_model_is_implemented_and_trainable() {
+    // Table I lists ten methods; all ten exist in this repository and
+    // train end-to-end on a DEKG dataset.
+    use dekg::baselines::{conve::ConvEConfig, NeuralLpConfig};
+    let d = dataset(10);
+    let quick_embed = EmbeddingConfig { epochs: 2, ..EmbeddingConfig::quick() };
+    let quick_sub = SubgraphModelConfig { epochs: 1, ..SubgraphModelConfig::quick() };
+    let quick_ilp = DekgIlpConfig { epochs: 1, ..DekgIlpConfig::quick() };
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut models: Vec<Box<dyn TrainableModel>> = vec![
+        Box::new(TransE::new(quick_embed.clone(), &d, &mut rng)),
+        Box::new(RotatE::new(quick_embed.clone(), &d, &mut rng)),
+        Box::new(ConvE::new(
+            ConvEConfig { embed: quick_embed.clone(), ..ConvEConfig::quick() },
+            &d,
+            &mut rng,
+        )),
+        Box::new(Mean::new(quick_embed.clone(), &d, &mut rng)),
+        Box::new(Gen::new(quick_embed, &d, &mut rng)),
+        Box::new(NeuralLp::new(NeuralLpConfig { epochs: 2, ..Default::default() })),
+        Box::new(RuleN::new(Default::default())),
+        Box::new(Grail::new(quick_sub.clone(), &d, &mut rng)),
+        Box::new(Tact::new(quick_sub, &d, &mut rng)),
+        Box::new(DekgIlp::new(quick_ilp, &d, &mut rng)),
+    ];
+    let graph = InferenceGraph::from_dataset(&d);
+    let mut names = Vec::new();
+    for model in &mut models {
+        let report = model.fit(&d, &mut rng);
+        assert!(report.final_loss.is_finite(), "{}", model.name());
+        let s = model.score(&graph, &d.test_enclosing[0]);
+        assert!(s.is_finite(), "{}", model.name());
+        names.push(model.name());
+    }
+    // Names align with Table I's rows (same spelling).
+    for name in &names {
+        let _ = capability_of(name); // panics on unknown names
+    }
+    assert_eq!(names.len(), 10);
+}
+
+#[test]
+fn rule_family_cannot_score_bridging_links() {
+    // Table I: both rule-based methods lack DEKG-bridging capability;
+    // their implementations must agree (exact zeros).
+    use dekg::baselines::NeuralLpConfig;
+    let d = dataset(11);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let graph = InferenceGraph::from_dataset(&d);
+
+    let mut rulen = RuleN::new(Default::default());
+    rulen.fit(&d, &mut rng);
+    let mut nlp = NeuralLp::new(NeuralLpConfig { epochs: 2, ..Default::default() });
+    nlp.fit(&d, &mut rng);
+
+    for model in [&rulen as &dyn LinkPredictor, &nlp] {
+        assert!(!capability_of(model.name()).dekg_bridging);
+        let scores = model.score_batch(&graph, &d.test_bridging);
+        assert!(
+            scores.iter().all(|&s| s == 0.0),
+            "{} must score 0 on bridging links: {scores:?}",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn train_report_seconds_are_measured() {
+    let data = dataset(7);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut model = TransE::new(EmbeddingConfig { epochs: 2, ..EmbeddingConfig::quick() }, &data, &mut rng);
+    let report = model.fit(&data, &mut rng);
+    assert!(report.seconds > 0.0);
+    assert_eq!(report.epochs, 2);
+}
