@@ -3,10 +3,8 @@
 use serde::{Deserialize, Serialize};
 
 /// The model names of Table I, in paper order.
-pub const MODEL_NAMES: [&str; 10] = [
-    "TransE", "RotatE", "ConvE", "MEAN", "GEN", "Neural LP", "RuleN", "Grail", "TACT",
-    "DEKG-ILP",
-];
+pub const MODEL_NAMES: [&str; 10] =
+    ["TransE", "RotatE", "ConvE", "MEAN", "GEN", "Neural LP", "RuleN", "Grail", "TACT", "DEKG-ILP"];
 
 /// One row of Table I.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

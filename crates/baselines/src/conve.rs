@@ -34,12 +34,7 @@ pub struct ConvEConfig {
 
 impl Default for ConvEConfig {
     fn default() -> Self {
-        ConvEConfig {
-            embed: EmbeddingConfig::default(),
-            reshape_rows: 4,
-            filters: 4,
-            kernel: 3,
-        }
+        ConvEConfig { embed: EmbeddingConfig::default(), reshape_rows: 4, filters: 4, kernel: 3 }
     }
 }
 

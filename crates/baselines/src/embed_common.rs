@@ -85,10 +85,8 @@ where
     H: FnMut(&mut ParamStore),
 {
     let started = Instant::now();
-    let sampler = NegativeSampler::new(
-        0..dataset.num_original_entities as u32,
-        vec![&dataset.original],
-    );
+    let sampler =
+        NegativeSampler::new(0..dataset.num_original_entities as u32, vec![&dataset.original]);
     let mut opt = Adam::new(cfg.lr);
     let mut positives: Vec<Triple> = dataset.original.triples().to_vec();
     let mut initial_loss = 0.0;
@@ -162,7 +160,7 @@ impl RngCore for ShimRng<'_> {
         self.0.next_u64()
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.0.fill_bytes(dest)
+        self.0.fill_bytes(dest);
     }
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
         self.0.try_fill_bytes(dest)

@@ -97,8 +97,7 @@ impl Gen {
         let mut messages = Vec::with_capacity(neighbors.len().min(MAX_NEIGHBORS));
         for n in neighbors.iter().take(MAX_NEIGHBORS) {
             let n_emb = g.gather_rows(ent, &[n.entity.index()]);
-            let rows: Vec<usize> =
-                (n.rel.index() * dim..(n.rel.index() + 1) * dim).collect();
+            let rows: Vec<usize> = (n.rel.index() * dim..(n.rel.index() + 1) * dim).collect();
             let w_r = g.gather_rows(w_agg, &rows);
             messages.push(g.matmul(n_emb, w_r));
         }

@@ -63,19 +63,14 @@ impl LinkPredictor for Grail {
 
     fn score_batch(&self, graph: &InferenceGraph, triples: &[Triple]) -> Vec<f32> {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let extractor = SubgraphExtractor::new(
-            &graph.adjacency,
-            self.cfg.hops,
-            ExtractionMode::Intersection,
-        );
+        let extractor =
+            SubgraphExtractor::new(&graph.adjacency, self.cfg.hops, ExtractionMode::Intersection);
         triples
             .iter()
             .map(|t| {
                 let sg = extractor.extract(t.head, t.tail, None);
                 let mut g = Graph::new();
-                let s = self
-                    .gsm
-                    .score_subgraph(&mut g, &self.params, &sg, t.rel, false, &mut rng);
+                let s = self.gsm.score_subgraph(&mut g, &self.params, &sg, t.rel, false, &mut rng);
                 g.value(s).item()
             })
             .collect()
@@ -97,7 +92,14 @@ impl TrainableModel for Grail {
             ExtractionMode::Intersection,
             rng,
             |g, params, sg, rel, train, rng| {
-                gsm.score_subgraph(g, params, sg, rel, train, &mut crate::embed_common::ShimRng(rng))
+                gsm.score_subgraph(
+                    g,
+                    params,
+                    sg,
+                    rel,
+                    train,
+                    &mut crate::embed_common::ShimRng(rng),
+                )
             },
         )
     }
@@ -133,8 +135,7 @@ mod tests {
         );
         model.fit(&d, &mut rng);
         let graph = InferenceGraph::training_view(&d);
-        let sampler =
-            NegativeSampler::new(0..d.num_original_entities as u32, vec![&d.original]);
+        let sampler = NegativeSampler::new(0..d.num_original_entities as u32, vec![&d.original]);
         let pos: Vec<Triple> = d.original.triples().iter().copied().take(25).collect();
         let neg: Vec<Triple> = pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
         let ps: f32 = model.score_batch(&graph, &pos).iter().sum();

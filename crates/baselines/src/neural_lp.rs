@@ -102,24 +102,23 @@ impl NeuralLp {
             SoftBody::Same(r) => adj
                 .neighbors(t.head)
                 .iter()
-                .filter(|n| {
-                    n.rel == r && n.orientation == Orientation::Out && n.entity == t.tail
-                })
+                .filter(|n| n.rel == r && n.orientation == Orientation::Out && n.entity == t.tail)
                 .count() as f32,
             SoftBody::Inverse(r) => adj
                 .neighbors(t.head)
                 .iter()
                 .filter(|n| n.rel == r && n.orientation == Orientation::In && n.entity == t.tail)
                 .count() as f32,
-            SoftBody::Path(r1, rev1, r2, rev2) => dekg_kg::paths::count_two_paths_between(
-                adj, t.head, t.tail, r1, rev1, r2, rev2,
-            ) as f32,
+            SoftBody::Path(r1, rev1, r2, rev2) => {
+                dekg_kg::paths::count_two_paths_between(adj, t.head, t.tail, r1, rev1, r2, rev2)
+                    as f32
+            }
         }
     }
 
     /// The body-feature vector of a triple for one head relation.
     fn features(&self, adj: &Adjacency, rel: RelationId, t: &Triple) -> Vec<f32> {
-        let bodies = self.bodies.get(&rel).map(Vec::as_slice).unwrap_or(&[]);
+        let bodies = self.bodies.get(&rel).map_or(&[][..], Vec::as_slice);
         bodies
             .iter()
             .map(|b| {
@@ -152,7 +151,7 @@ impl NeuralLp {
                 }
             }
             // Path bodies: bounded walk from the head.
-            dekg_kg::paths::walk_two_paths(&adj, t.head, self.cfg.max_paths_per_entity, |p| {
+            dekg_kg::paths::walk_two_paths(adj, t.head, self.cfg.max_paths_per_entity, |p| {
                 if p.end == t.tail {
                     let b = SoftBody::Path(p.r1, p.rev1, p.r2, p.rev2);
                     *cooc.entry((t.rel, b)).or_default() += 1;
@@ -168,7 +167,9 @@ impl NeuralLp {
         }
         self.bodies.clear();
         for (rel, mut bodies) in grouped {
-            bodies.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0))));
+            bodies.sort_by(|a, b| {
+                b.1.cmp(&a.1).then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)))
+            });
             bodies.truncate(self.cfg.max_bodies_per_relation);
             self.bodies.insert(rel, bodies.into_iter().map(|(b, _)| b).collect());
         }
@@ -196,11 +197,7 @@ impl LinkPredictor for NeuralLp {
                 let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
                 let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
                 let z: f32 = exps.iter().sum();
-                feats
-                    .iter()
-                    .zip(&exps)
-                    .map(|(&f, &e)| f * e / z)
-                    .sum()
+                feats.iter().zip(&exps).map(|(&f, &e)| f * e / z).sum()
             })
             .collect()
     }
@@ -223,14 +220,14 @@ impl TrainableModel for NeuralLp {
         rels.sort();
         for rel in rels {
             let n = self.bodies[&rel].len();
-            let id = self.params.insert(format!("neurallp.alpha.{}", rel.index()), Tensor::zeros([1, n]));
+            let id = self
+                .params
+                .insert(format!("neurallp.alpha.{}", rel.index()), Tensor::zeros([1, n]));
             self.logits.insert(rel, id);
         }
 
-        let sampler = NegativeSampler::new(
-            0..dataset.num_original_entities as u32,
-            vec![&dataset.original],
-        );
+        let sampler =
+            NegativeSampler::new(0..dataset.num_original_entities as u32, vec![&dataset.original]);
         let mut opt = Adam::new(self.cfg.lr);
         let mut positives: Vec<Triple> = dataset
             .original

@@ -27,10 +27,8 @@ impl RotatE {
         cfg.validate();
         let mut params = ParamStore::new();
         let n = dataset.num_entities();
-        let ent_re =
-            params.insert("rotate.ent_re", init::xavier_uniform([n, cfg.dim], &mut rng));
-        let ent_im =
-            params.insert("rotate.ent_im", init::xavier_uniform([n, cfg.dim], &mut rng));
+        let ent_re = params.insert("rotate.ent_re", init::xavier_uniform([n, cfg.dim], &mut rng));
+        let ent_im = params.insert("rotate.ent_im", init::xavier_uniform([n, cfg.dim], &mut rng));
         let rel_phase = params.insert(
             "rotate.rel_phase",
             init::uniform(
@@ -102,12 +100,8 @@ impl LinkPredictor for RotatE {
             return Vec::new();
         }
         let mut g = Graph::new();
-        let s = score_rotate(
-            &mut g,
-            &self.params,
-            (self.ent_re, self.ent_im, self.rel_phase),
-            triples,
-        );
+        let s =
+            score_rotate(&mut g, &self.params, (self.ent_re, self.ent_im, self.rel_phase), triples);
         g.value(s).data().to_vec()
     }
 
@@ -171,10 +165,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let cfg = EmbeddingConfig::quick();
         let model = RotatE::new(cfg.clone(), &d, &mut rng);
-        assert_eq!(
-            model.num_parameters(),
-            (2 * d.num_entities() + d.num_relations) * cfg.dim
-        );
+        assert_eq!(model.num_parameters(), (2 * d.num_entities() + d.num_relations) * cfg.dim);
     }
 
     #[test]

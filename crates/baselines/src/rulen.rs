@@ -95,7 +95,7 @@ impl RuleN {
 
     /// The mined rules for one head relation (descending confidence).
     pub fn rules_for(&self, r: RelationId) -> &[Rule] {
-        self.rules.get(&r).map(Vec::as_slice).unwrap_or(&[])
+        self.rules.get(&r).map_or(&[][..], Vec::as_slice)
     }
 
     /// Checks whether `body` is observed between `(h, t)` in `adj`.
@@ -110,8 +110,7 @@ impl RuleN {
                 .iter()
                 .any(|n| n.rel == r && n.orientation == Orientation::In && n.entity == t.tail),
             RuleBody::Path { r1, rev1, r2, rev2 } => {
-                dekg_kg::paths::count_two_paths_between(adj, t.head, t.tail, r1, rev1, r2, rev2)
-                    > 0
+                dekg_kg::paths::count_two_paths_between(adj, t.head, t.tail, r1, rev1, r2, rev2) > 0
             }
         }
     }
@@ -184,18 +183,18 @@ impl TrainableModel for RuleN {
         // pass 1 finds (head, body) keys with at least one supporting
         // instantiation; pass 2 counts exact support and body counts
         // for those keys only.
-        let entities: Vec<_> = (0..dataset.num_original_entities as u32)
-            .map(dekg_kg::EntityId)
-            .collect();
+        let entities: Vec<_> =
+            (0..dataset.num_original_entities as u32).map(dekg_kg::EntityId).collect();
         let head_rels: Vec<RelationId> = store.relations().into_iter().collect();
-        let walk_paths = |mut visit: Box<dyn FnMut(dekg_kg::EntityId, dekg_kg::EntityId, RuleBody) + '_>| {
-            for &x in &entities {
-                dekg_kg::paths::walk_two_paths(&adj, x, self.cfg.max_paths_per_entity, |p| {
-                    let b = RuleBody::Path { r1: p.r1, rev1: p.rev1, r2: p.r2, rev2: p.rev2 };
-                    visit(p.start, p.end, b);
-                });
-            }
-        };
+        let walk_paths =
+            |mut visit: Box<dyn FnMut(dekg_kg::EntityId, dekg_kg::EntityId, RuleBody) + '_>| {
+                for &x in &entities {
+                    dekg_kg::paths::walk_two_paths(&adj, x, self.cfg.max_paths_per_entity, |p| {
+                        let b = RuleBody::Path { r1: p.r1, rev1: p.rev1, r2: p.r2, rev2: p.rev2 };
+                        visit(p.start, p.end, b);
+                    });
+                }
+            };
 
         let mut candidates: std::collections::HashSet<(RelationId, RuleBody)> =
             std::collections::HashSet::new();
@@ -230,10 +229,7 @@ impl TrainableModel for RuleN {
             if confidence < self.cfg.min_confidence {
                 continue;
             }
-            self.rules
-                .entry(*head)
-                .or_default()
-                .push(Rule { head: *head, body: *b, confidence });
+            self.rules.entry(*head).or_default().push(Rule { head: *head, body: *b, confidence });
         }
         for rules in self.rules.values_mut() {
             rules.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
@@ -242,8 +238,7 @@ impl TrainableModel for RuleN {
         TrainReport {
             epochs: 1,
             // "Loss" proxy: fraction of relations with no rules.
-            final_loss: 1.0
-                - self.rules.len() as f32 / dataset.num_relations.max(1) as f32,
+            final_loss: 1.0 - self.rules.len() as f32 / dataset.num_relations.max(1) as f32,
             initial_loss: 1.0,
             seconds: started.elapsed().as_secs_f64(),
         }
@@ -298,9 +293,7 @@ mod tests {
         model.fit(&d, &mut rng);
         let rules = model.rules_for(RelationId(0));
         assert!(
-            rules
-                .iter()
-                .any(|r| r.body == RuleBody::Same(RelationId(1)) && r.confidence > 0.99),
+            rules.iter().any(|r| r.body == RuleBody::Same(RelationId(1)) && r.confidence > 0.99),
             "expected r0(x,y) ← r1(x,y): {rules:?}"
         );
     }

@@ -106,10 +106,8 @@ where
 {
     let started = Instant::now();
     let train_graph = InferenceGraph::training_view(dataset);
-    let sampler = NegativeSampler::new(
-        0..dataset.num_original_entities as u32,
-        vec![&dataset.original],
-    );
+    let sampler =
+        NegativeSampler::new(0..dataset.num_original_entities as u32, vec![&dataset.original]);
     let mut opt = Adam::new(cfg.lr);
     let mut positives: Vec<Triple> = dataset.original.triples().to_vec();
     let mut initial_loss = 0.0;

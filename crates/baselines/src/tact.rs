@@ -67,10 +67,8 @@ impl Tact {
             &mut params,
             &mut rng,
         );
-        let rel_emb = params.insert(
-            "tact.rel_emb",
-            init::xavier_uniform([num_relations, cfg.dim], &mut rng),
-        );
+        let rel_emb =
+            params.insert("tact.rel_emb", init::xavier_uniform([num_relations, cfg.dim], &mut rng));
         let correlation = params.insert(
             "tact.correlation",
             init::xavier_uniform([num_relations, num_relations], &mut rng),
@@ -79,8 +77,7 @@ impl Tact {
             "tact.pattern_w",
             init::xavier_uniform([NUM_PATTERNS * cfg.dim, cfg.dim], &mut rng),
         );
-        let w_out =
-            params.insert("tact.w_out", init::xavier_uniform([5 * cfg.dim, 1], &mut rng));
+        let w_out = params.insert("tact.w_out", init::xavier_uniform([5 * cfg.dim, 1], &mut rng));
         Tact { cfg, params, encoder, num_relations, rel_emb, correlation, pattern_w, w_out }
     }
 
@@ -138,11 +135,9 @@ impl Tact {
             }
             let idx: Vec<usize> = rels.iter().map(|r| r.index()).collect();
             let embs = g.gather_rows(rel_emb, &idx); // [n_p, d]
-            // Correlation weights C[target, r'] per related relation.
-            let flat: Vec<usize> = rels
-                .iter()
-                .map(|r| target.index() * self.num_relations + r.index())
-                .collect();
+                                                     // Correlation weights C[target, r'] per related relation.
+            let flat: Vec<usize> =
+                rels.iter().map(|r| target.index() * self.num_relations + r.index()).collect();
             let w = g.gather_flat(corr, &flat, [rels.len(), 1]);
             let w_act = g.sigmoid(w);
             let w_wide = g.matmul(w_act, ones_row); // [n_p, d]
@@ -187,11 +182,8 @@ impl LinkPredictor for Tact {
 
     fn score_batch(&self, graph: &InferenceGraph, triples: &[Triple]) -> Vec<f32> {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let extractor = SubgraphExtractor::new(
-            &graph.adjacency,
-            self.cfg.hops,
-            ExtractionMode::Intersection,
-        );
+        let extractor =
+            SubgraphExtractor::new(&graph.adjacency, self.cfg.hops, ExtractionMode::Intersection);
         triples
             .iter()
             .map(|t| {
@@ -310,8 +302,7 @@ mod tests {
         let graph = InferenceGraph::training_view(&d);
         // A training triple whose subgraph has endpoint-incident edges.
         let t = d.original.triples()[0];
-        let extractor =
-            SubgraphExtractor::new(&graph.adjacency, 2, ExtractionMode::Intersection);
+        let extractor = SubgraphExtractor::new(&graph.adjacency, 2, ExtractionMode::Intersection);
         let sg = extractor.extract(t.head, t.tail, None);
         let mut g = Graph::new();
         let s = model.score_subgraph(&mut g, &model.params, &sg, t.rel, false, &mut rng);

@@ -91,9 +91,7 @@ impl TrainableModel for TransE {
             dataset,
             &cfg,
             rng,
-            |g, params, triples, _rng| {
-                score_transe(g, params, entities, relations, dim, triples)
-            },
+            |g, params, triples, _rng| score_transe(g, params, entities, relations, dim, triples),
             |params| crate::embed_common::normalize_rows(params.get_mut(entities)),
         )
     }
@@ -142,8 +140,7 @@ mod tests {
         assert!(report.improved(), "{report:?}");
 
         let graph = InferenceGraph::from_dataset(&d);
-        let sampler =
-            NegativeSampler::new(0..d.num_original_entities as u32, vec![&d.original]);
+        let sampler = NegativeSampler::new(0..d.num_original_entities as u32, vec![&d.original]);
         let pos: Vec<Triple> = d.original.triples().iter().copied().take(50).collect();
         let neg: Vec<Triple> = pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
         let ps: f32 = model.score_batch(&graph, &pos).iter().sum();
@@ -156,17 +153,11 @@ mod tests {
         let d = tiny_dataset(2);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let mut model = TransE::new(EmbeddingConfig::quick(), &d, &mut rng);
-        let unseen_row_before: Vec<f32> = model
-            .params
-            .get(model.entities)
-            .row(d.num_original_entities)
-            .to_vec();
+        let unseen_row_before: Vec<f32> =
+            model.params.get(model.entities).row(d.num_original_entities).to_vec();
         model.fit(&d, &mut rng);
-        let unseen_row_after: Vec<f32> = model
-            .params
-            .get(model.entities)
-            .row(d.num_original_entities)
-            .to_vec();
+        let unseen_row_after: Vec<f32> =
+            model.params.get(model.entities).row(d.num_original_entities).to_vec();
         // Unseen rows receive no gradient; only the (idempotent up to
         // float rounding) norm projection touches them.
         for (a, b) in unseen_row_before.iter().zip(&unseen_row_after) {
@@ -185,10 +176,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let cfg = EmbeddingConfig::quick();
         let model = TransE::new(cfg.clone(), &d, &mut rng);
-        assert_eq!(
-            model.num_parameters(),
-            (d.num_entities() + d.num_relations) * cfg.dim
-        );
+        assert_eq!(model.num_parameters(), (d.num_entities() + d.num_relations) * cfg.dim);
     }
 
     #[test]

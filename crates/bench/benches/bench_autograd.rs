@@ -92,11 +92,7 @@ fn bench_elementwise_chain(c: &mut Criterion) {
     // Baseline: the same math on a raw tensor without the tape.
     c.bench_function("elementwise_chain_raw_4096", |b| {
         b.iter(|| {
-            let y: f32 = x
-                .data()
-                .iter()
-                .map(|&v| (1.0 / (1.0 + (-v).exp())).tanh().exp())
-                .sum();
+            let y: f32 = x.data().iter().map(|&v| (1.0 / (1.0 + (-v).exp())).tanh().exp()).sum();
             black_box(y);
         });
     });

@@ -21,7 +21,11 @@ fn test_subgraph() -> (Subgraph, usize) {
     (ex.extract(link.head, link.tail, None), dataset.num_relations)
 }
 
-fn encoder(num_relations: usize, layers: usize, bases: Option<usize>) -> (SubgraphEncoder, ParamStore) {
+fn encoder(
+    num_relations: usize,
+    layers: usize,
+    bases: Option<usize>,
+) -> (SubgraphEncoder, ParamStore) {
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let mut params = ParamStore::new();
     let enc = SubgraphEncoder::new(

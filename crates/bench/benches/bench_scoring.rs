@@ -22,7 +22,8 @@ fn bench_scoring(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(0);
 
     // Lightly trained instances (scoring cost is training-independent).
-    let mut transe = TransE::new(EmbeddingConfig { epochs: 2, ..EmbeddingConfig::quick() }, &data, &mut rng);
+    let mut transe =
+        TransE::new(EmbeddingConfig { epochs: 2, ..EmbeddingConfig::quick() }, &data, &mut rng);
     transe.fit(&data, &mut rng);
     let mut rulen = RuleN::new(Default::default());
     rulen.fit(&data, &mut rng);

@@ -17,19 +17,14 @@ fn bench_extraction(c: &mut Criterion) {
     let bridging = dataset.test_bridging[0];
 
     let mut group = c.benchmark_group("subgraph_extraction");
-    for (mode_name, mode) in [
-        ("union", ExtractionMode::Union),
-        ("intersection", ExtractionMode::Intersection),
-    ] {
+    for (mode_name, mode) in
+        [("union", ExtractionMode::Union), ("intersection", ExtractionMode::Intersection)]
+    {
         for (class, link) in [("enclosing", enclosing), ("bridging", bridging)] {
-            group.bench_with_input(
-                BenchmarkId::new(mode_name, class),
-                &link,
-                |b, link| {
-                    let ex = SubgraphExtractor::new(&graph.adjacency, 2, mode);
-                    b.iter(|| black_box(ex.extract(link.head, link.tail, None)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(mode_name, class), &link, |b, link| {
+                let ex = SubgraphExtractor::new(&graph.adjacency, 2, mode);
+                b.iter(|| black_box(ex.extract(link.head, link.tail, None)));
+            });
         }
     }
     group.finish();

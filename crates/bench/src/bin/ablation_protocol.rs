@@ -32,10 +32,8 @@ struct Row {
 fn main() {
     let mut opts = ExperimentOpts::from_args();
     if opts.models.is_empty() {
-        opts.models = ["TransE", "RuleN", "Grail", "DEKG-ILP"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        opts.models =
+            ["TransE", "RuleN", "Grail", "DEKG-ILP"].iter().map(ToString::to_string).collect();
     }
     let raw = *opts.raw_kgs().first().unwrap_or(&RawKg::Fb15k237);
     let split = *opts.split_kinds().first().unwrap_or(&SplitKind::Eq);

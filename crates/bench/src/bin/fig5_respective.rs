@@ -17,14 +17,11 @@ fn main() {
     if opts.models.is_empty() {
         opts.models = ["TransE", "GEN", "RuleN", "Grail", "TACT", "DEKG-ILP"]
             .iter()
-            .map(|s| s.to_string())
+            .map(ToString::to_string)
             .collect();
     }
     let models = opts.model_names();
-    println!(
-        "Fig. 5 — enclosing-only vs bridging-only Hits@10 (scale {:.2})\n",
-        opts.scale
-    );
+    println!("Fig. 5 — enclosing-only vs bridging-only Hits@10 (scale {:.2})\n", opts.scale);
 
     let mut all_cells = Vec::new();
     for raw in opts.raw_kgs() {
@@ -48,10 +45,7 @@ fn main() {
                 ]);
             }
             println!("{}", table.render());
-            for (title, pick) in [
-                ("enclosing Hits@10", 0usize),
-                ("bridging Hits@10", 1usize),
-            ] {
+            for (title, pick) in [("enclosing Hits@10", 0usize), ("bridging Hits@10", 1usize)] {
                 let bars: Vec<(&str, f64)> = cells
                     .iter()
                     .map(|c| {

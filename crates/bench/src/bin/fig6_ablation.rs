@@ -13,7 +13,7 @@ use dekg_eval::Table;
 fn main() {
     let mut opts = ExperimentOpts::from_args();
     if opts.models.is_empty() {
-        opts.models = zoo::ABLATION_MODELS.iter().map(|s| s.to_string()).collect();
+        opts.models = zoo::ABLATION_MODELS.iter().map(ToString::to_string).collect();
     }
     let models = opts.model_names();
     println!("Fig. 6 — ablation study, Hits@10 per link class (scale {:.2})\n", opts.scale);
@@ -23,12 +23,8 @@ fn main() {
         for split in opts.split_kinds() {
             let cells = run_models_on_dataset(raw, split, &models, &opts);
             println!("== {} ==", cells[0].dataset);
-            let mut table = Table::new(vec![
-                "variant",
-                "enclosing H@10",
-                "bridging H@10",
-                "overall H@10",
-            ]);
+            let mut table =
+                Table::new(vec!["variant", "enclosing H@10", "bridging H@10", "overall H@10"]);
             for cell in &cells {
                 table.add_row(vec![
                     cell.model.clone(),
@@ -38,10 +34,8 @@ fn main() {
                 ]);
             }
             println!("{}", table.render());
-            let bars: Vec<(&str, f64)> = cells
-                .iter()
-                .map(|c| (c.model.as_str(), c.result.bridging.hits_at(10)))
-                .collect();
+            let bars: Vec<(&str, f64)> =
+                cells.iter().map(|c| (c.model.as_str(), c.result.bridging.hits_at(10))).collect();
             println!("bridging Hits@10:");
             println!("{}", bar_chart(&bars, 1.0, 40));
             all_cells.extend(cells);

@@ -83,18 +83,11 @@ fn main() {
     // Scaled dataset + trained models for timing.
     let scaled = opts.dataset(RawKg::Fb15k237, SplitKind::Me, 0);
     let graph = InferenceGraph::from_dataset(&scaled);
-    let links: Vec<_> = scaled
-        .test_enclosing
-        .iter()
-        .chain(&scaled.test_bridging)
-        .copied()
-        .collect();
+    let links: Vec<_> =
+        scaled.test_enclosing.iter().chain(&scaled.test_bridging).copied().collect();
 
-    let mut table = Table::new(vec![
-        "model",
-        "parameters (full scale, d=32)",
-        "inference s/50 links (scaled)",
-    ]);
+    let mut table =
+        Table::new(vec!["model", "parameters (full scale, d=32)", "inference s/50 links (scaled)"]);
     let mut rows = Vec::new();
     for name in ROSTER {
         let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);

@@ -47,10 +47,7 @@ fn main() {
 
     // The paper uses an enclosing link from FB15k-237 and a bridging
     // link from NELL-995; mirror that pairing.
-    let cases = [
-        (RawKg::Fb15k237, "enclosing"),
-        (RawKg::Nell995, "bridging"),
-    ];
+    let cases = [(RawKg::Fb15k237, "enclosing"), (RawKg::Nell995, "bridging")];
     let mut rows = Vec::new();
     for (raw, class) in cases {
         let dataset = opts.dataset(raw, SplitKind::Eq, 0);
@@ -60,11 +57,8 @@ fn main() {
         model.fit(&dataset, &mut rng);
         let graph = InferenceGraph::from_dataset(&dataset);
 
-        let link = if class == "enclosing" {
-            dataset.test_enclosing[0]
-        } else {
-            dataset.test_bridging[0]
-        };
+        let link =
+            if class == "enclosing" { dataset.test_enclosing[0] } else { dataset.test_bridging[0] };
         let ex = explain_link(&model, &graph, &link);
         let (sem, tpo) = side(8, 8, &ex);
 

@@ -33,10 +33,7 @@ fn main() {
     let raw = *opts.raw_kgs().first().unwrap_or(&RawKg::Fb15k237);
     let split = *opts.split_kinds().first().unwrap_or(&SplitKind::Eq);
     let dataset = opts.dataset(raw, split, 0);
-    println!(
-        "Section V-D — hyperparameter sweep on {} (validation MRR)\n",
-        dataset.name
-    );
+    println!("Section V-D — hyperparameter sweep on {} (validation MRR)\n", dataset.name);
 
     // Validation links live inside G, so models see the training view.
     let graph = InferenceGraph::training_view(&dataset);
@@ -52,7 +49,7 @@ fn main() {
     let protocol = ProtocolConfig {
         num_candidates: Some(opts.candidates.max(10)),
         seed: opts.seed,
-        threads: std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1),
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
         ..Default::default()
     };
 
@@ -86,7 +83,12 @@ fn main() {
     for &sigma in &[0.01f32, 0.1, 0.5, 1.0] {
         let (mrr, h10) = run(DekgIlpConfig { sigma, ..base.clone() });
         table.add_row(vec!["sigma".into(), sigma.to_string(), fmt3(mrr), fmt3(h10)]);
-        rows.push(SweepRow { axis: "sigma", value: sigma as f64, valid_mrr: mrr, valid_hits10: h10 });
+        rows.push(SweepRow {
+            axis: "sigma",
+            value: sigma as f64,
+            valid_mrr: mrr,
+            valid_hits10: h10,
+        });
     }
 
     println!("{}", table.render());

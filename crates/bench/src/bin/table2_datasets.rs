@@ -12,12 +12,15 @@ use dekg_eval::Table;
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    println!(
-        "Table II — dataset statistics (targets scaled by {:.2})\n",
-        opts.scale
-    );
+    println!("Table II — dataset statistics (targets scaled by {:.2})\n", opts.scale);
     let mut table = Table::new(vec![
-        "dataset", "graph", "|R| target", "|R| got", "|E| target", "|E| got", "|T| target",
+        "dataset",
+        "graph",
+        "|R| target",
+        "|R| got",
+        "|E| target",
+        "|E| got",
+        "|T| target",
         "|T| got",
     ]);
     let mut json_rows = Vec::new();

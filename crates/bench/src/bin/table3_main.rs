@@ -29,8 +29,7 @@ fn main() {
             let cells = run_models_on_dataset(raw, split, &models, &opts);
             let name = &cells[0].dataset;
             println!("== {name} ==");
-            let mut table =
-                Table::new(vec!["model", "MRR", "Hits@1", "Hits@5", "Hits@10"]);
+            let mut table = Table::new(vec!["model", "MRR", "Hits@1", "Hits@5", "Hits@10"]);
             for cell in &cells {
                 let m = &cell.result.overall;
                 table.add_row(vec![

@@ -32,12 +32,8 @@ fn main() {
         for split in opts.split_kinds() {
             let dataset = opts.dataset(raw, split, 0);
             let graph = InferenceGraph::from_dataset(&dataset);
-            let links: Vec<_> = dataset
-                .test_enclosing
-                .iter()
-                .chain(&dataset.test_bridging)
-                .copied()
-                .collect();
+            let links: Vec<_> =
+                dataset.test_enclosing.iter().chain(&dataset.test_bridging).copied().collect();
             println!("== {} ==", dataset.name);
             let mut table = Table::new(vec!["model", "T-T s/epoch", "T-I s/50 links"]);
             for name in opts.model_names() {
@@ -45,11 +41,7 @@ fn main() {
                 let (model, report) = zoo::build_and_train(&name, &dataset, &opts, &mut rng);
                 let per_epoch = report.seconds / report.epochs.max(1) as f64;
                 let t_i = time_inference_per_50(model.as_ref(), &graph, &links, 2);
-                table.add_row(vec![
-                    name.clone(),
-                    format!("{per_epoch:.3}"),
-                    format!("{t_i:.4}"),
-                ]);
+                table.add_row(vec![name.clone(), format!("{per_epoch:.3}"), format!("{t_i:.4}")]);
                 rows.push(Row {
                     dataset: dataset.name.clone(),
                     model: name,

@@ -19,8 +19,8 @@
 //! reproduces the paper's full protocol if you have the patience.
 
 use dekg_baselines::{
-    ConvE, EmbeddingConfig, Gen, Grail, Mean, NeuralLp, RotatE, RuleN, SubgraphModelConfig,
-    Tact, TransE,
+    ConvE, EmbeddingConfig, Gen, Grail, Mean, NeuralLp, RotatE, RuleN, SubgraphModelConfig, Tact,
+    TransE,
 };
 use dekg_core::{Ablation, DekgIlp, DekgIlpConfig, InferenceGraph, TrainReport, TrainableModel};
 use dekg_datasets::{
@@ -81,8 +81,7 @@ impl ExperimentOpts {
         while i < args.len() {
             let flag = args[i].as_str();
             let value = |i: usize| -> &str {
-                args.get(i + 1)
-                    .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+                args.get(i + 1).unwrap_or_else(|| panic!("flag {flag} needs a value"))
             };
             match flag {
                 "--scale" => opts.scale = value(i).parse().expect("--scale f64"),
@@ -146,7 +145,7 @@ impl ExperimentOpts {
     /// The models to run (Table III roster by default).
     pub fn model_names(&self) -> Vec<String> {
         if self.models.is_empty() {
-            zoo::TABLE3_MODELS.iter().map(|s| s.to_string()).collect()
+            zoo::TABLE3_MODELS.iter().map(ToString::to_string).collect()
         } else {
             self.models.clone()
         }
@@ -172,7 +171,7 @@ impl ExperimentOpts {
             ProtocolConfig::sampled(self.candidates)
         };
         p.seed = self.seed;
-        p.threads = std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1);
+        p.threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
         p
     }
 
@@ -194,8 +193,7 @@ pub mod zoo {
         ["TransE", "RotatE", "ConvE", "GEN", "RuleN", "Grail", "TACT", "DEKG-ILP"];
 
     /// The Fig. 6 ablation roster.
-    pub const ABLATION_MODELS: [&str; 4] =
-        ["DEKG-ILP", "DEKG-ILP-R", "DEKG-ILP-C", "DEKG-ILP-N"];
+    pub const ABLATION_MODELS: [&str; 4] = ["DEKG-ILP", "DEKG-ILP-R", "DEKG-ILP-C", "DEKG-ILP-N"];
 
     /// Builds and trains one model by its table name.
     ///
@@ -211,11 +209,8 @@ pub mod zoo {
         let embed_epochs = opts.epochs * 8;
         let embed = EmbeddingConfig { epochs: embed_epochs, ..EmbeddingConfig::quick() };
         let sub = SubgraphModelConfig { epochs: gnn_epochs, ..SubgraphModelConfig::quick() };
-        let ilp = |ablation| DekgIlpConfig {
-            epochs: gnn_epochs,
-            ablation,
-            ..DekgIlpConfig::quick()
-        };
+        let ilp =
+            |ablation| DekgIlpConfig { epochs: gnn_epochs, ablation, ..DekgIlpConfig::quick() };
 
         let mut model: Box<dyn TrainableModel> = match name {
             "TransE" => Box::new(TransE::new(embed, dataset, rng)),
@@ -243,17 +238,13 @@ pub mod zoo {
             "Grail" => Box::new(Grail::new(sub, dataset, rng)),
             "TACT" => Box::new(Tact::new(sub, dataset, rng)),
             "DEKG-ILP" => Box::new(DekgIlp::new(ilp(Ablation::full()), dataset, rng)),
-            "DEKG-ILP-R" => {
-                Box::new(DekgIlp::new(ilp(Ablation::without_semantic()), dataset, rng))
-            }
+            "DEKG-ILP-R" => Box::new(DekgIlp::new(ilp(Ablation::without_semantic()), dataset, rng)),
             "DEKG-ILP-C" => {
                 Box::new(DekgIlp::new(ilp(Ablation::without_contrastive()), dataset, rng))
             }
-            "DEKG-ILP-N" => Box::new(DekgIlp::new(
-                ilp(Ablation::without_improved_labeling()),
-                dataset,
-                rng,
-            )),
+            "DEKG-ILP-N" => {
+                Box::new(DekgIlp::new(ilp(Ablation::without_improved_labeling()), dataset, rng))
+            }
             other => panic!("unknown model {other:?}"),
         };
         let report = model.fit(dataset, rng);
@@ -316,8 +307,7 @@ pub fn run_models_on_dataset(
         let mix = TestMix::build(&dataset, MixRatio::for_split(split));
         let protocol = opts.protocol();
         for (m, name) in model_names.iter().enumerate() {
-            let mut rng =
-                ChaCha8Rng::seed_from_u64(opts.seed ^ ((run as u64) << 32) ^ (m as u64));
+            let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ ((run as u64) << 32) ^ (m as u64));
             let (model, report) = zoo::build_and_train(name, &dataset, opts, &mut rng);
             let result = evaluate(model.as_ref(), &graph, &dataset, &mix, &protocol);
             per_model[m].push(ModelCell {
@@ -369,11 +359,7 @@ mod tests {
 
     #[test]
     fn zoo_builds_every_table3_model() {
-        let opts = ExperimentOpts {
-            scale: 0.02,
-            epochs: 1,
-            ..ExperimentOpts::default()
-        };
+        let opts = ExperimentOpts { scale: 0.02, epochs: 1, ..ExperimentOpts::default() };
         let dataset = opts.dataset(RawKg::Wn18rr, SplitKind::Eq, 0);
         for name in zoo::TABLE3_MODELS {
             let mut rng = ChaCha8Rng::seed_from_u64(0);
@@ -396,12 +382,8 @@ mod tests {
 
     #[test]
     fn run_models_produces_cells() {
-        let opts = ExperimentOpts {
-            scale: 0.02,
-            epochs: 1,
-            candidates: 8,
-            ..ExperimentOpts::default()
-        };
+        let opts =
+            ExperimentOpts { scale: 0.02, epochs: 1, candidates: 8, ..ExperimentOpts::default() };
         let cells = run_models_on_dataset(
             RawKg::Wn18rr,
             SplitKind::Eq,
@@ -423,12 +405,8 @@ mod tests {
             runs: 2,
             ..ExperimentOpts::default()
         };
-        let cells = run_models_on_dataset(
-            RawKg::Wn18rr,
-            SplitKind::Eq,
-            &["RuleN".to_owned()],
-            &opts,
-        );
+        let cells =
+            run_models_on_dataset(RawKg::Wn18rr, SplitKind::Eq, &["RuleN".to_owned()], &opts);
         assert_eq!(cells.len(), 1);
         assert!(cells[0].result.overall.mrr.is_finite());
     }

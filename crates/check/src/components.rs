@@ -1,0 +1,128 @@
+//! Consistency checks between a [`ComponentTable`] and the triple
+//! store it claims to summarize.
+
+use crate::{emit_capped, Diagnostic, Severity};
+use dekg_kg::{ComponentTable, EntityId, RelationId, TripleStore};
+
+/// Verifies that `table` matches what [`ComponentTable::from_store`]
+/// would produce for `store` — i.e. every `a_i^k` count (Eq. 2 of the
+/// paper) agrees with the triples.
+///
+/// CLRM's entity representations are weighted sums over these counts;
+/// a stale or hand-edited table silently skews every unseen-entity
+/// embedding, so divergence is an error, not a warning.
+pub fn validate_component_table(table: &ComponentTable, store: &TripleStore) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let num_entities = table.num_entities();
+    let num_relations = table.num_relations();
+
+    let mut universe = Vec::new();
+    for t in store.triples() {
+        if t.head.index() >= num_entities || t.tail.index() >= num_entities {
+            universe.push(format!(
+                "triple {t} falls outside the table's {num_entities}-entity universe"
+            ));
+        } else if t.rel.index() >= num_relations {
+            universe.push(format!(
+                "triple {t} falls outside the table's {num_relations}-relation space"
+            ));
+        }
+    }
+    if !universe.is_empty() {
+        emit_capped(
+            out.as_mut(),
+            Severity::Error,
+            "component-universe",
+            "component-table",
+            universe,
+        );
+        // Recomputation would index out of bounds; stop here.
+        return out;
+    }
+
+    let rebuilt = ComponentTable::from_store(store, num_entities, num_relations);
+    let mut mismatches = Vec::new();
+    for i in 0..num_entities {
+        let e = EntityId(i as u32);
+        let (got, want) = (table.row(e), rebuilt.row(e));
+        if got == want {
+            continue;
+        }
+        mismatches.push(match first_divergence(got.entries(), want.entries()) {
+            Some((r, g, w)) => {
+                format!("entity {e}: relation {r} has count {g} in the table but {w} in the store")
+            }
+            None => format!("entity {e}: row diverges from the store"),
+        });
+    }
+    emit_capped(&mut out, Severity::Error, "component-mismatch", "component-table", mismatches);
+    out
+}
+
+/// First relation whose count differs between two sorted entry lists.
+fn first_divergence(
+    got: &[(RelationId, u32)],
+    want: &[(RelationId, u32)],
+) -> Option<(RelationId, u32, u32)> {
+    let count = |entries: &[(RelationId, u32)], r: RelationId| {
+        entries.iter().find(|&&(rel, _)| rel == r).map_or(0, |&(_, c)| c)
+    };
+    let mut rels: Vec<RelationId> = got.iter().chain(want).map(|&(r, _)| r).collect();
+    rels.sort_unstable();
+    rels.dedup();
+    rels.into_iter().find_map(|r| {
+        let (g, w) = (count(got, r), count(want, r));
+        (g != w).then_some((r, g, w))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dekg_kg::Triple;
+
+    fn t(h: u32, r: u32, ta: u32) -> Triple {
+        Triple::from_raw(h, r, ta)
+    }
+
+    #[test]
+    fn fresh_table_is_consistent() {
+        let store = TripleStore::from_triples([t(0, 0, 1), t(1, 1, 2), t(0, 1, 2)]);
+        let table = ComponentTable::from_store(&store, 3, 2);
+        assert!(validate_component_table(&table, &store).is_empty());
+    }
+
+    #[test]
+    fn stale_table_is_reported_with_the_diverging_count() {
+        let old = TripleStore::from_triples([t(0, 0, 1)]);
+        let mut store = old.clone();
+        store.insert(t(0, 1, 2)); // arrives after the table was built
+        let table = ComponentTable::from_store(&old, 3, 2);
+        let diags = validate_component_table(&table, &store);
+        assert!(!diags.is_empty());
+        assert!(diags.iter().all(|d| d.code == "component-mismatch"), "{diags:?}");
+        assert!(
+            diags[0].message.contains("count 0 in the table but 1 in the store"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn out_of_universe_store_is_reported_without_panicking() {
+        let store = TripleStore::from_triples([t(0, 0, 9)]);
+        let table = ComponentTable::from_store(&TripleStore::new(), 3, 2);
+        let diags = validate_component_table(&table, &store);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "component-universe");
+    }
+
+    #[test]
+    fn out_of_relation_space_is_reported() {
+        let store = TripleStore::from_triples([t(0, 5, 1)]);
+        let table = ComponentTable::from_store(&TripleStore::new(), 3, 2);
+        let diags = validate_component_table(&table, &store);
+        assert_eq!(diags[0].code, "component-universe");
+        assert!(diags[0].message.contains("2-relation"), "{}", diags[0].message);
+    }
+}

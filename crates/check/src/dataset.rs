@@ -1,0 +1,312 @@
+//! Invariant checks over a whole [`DekgDataset`].
+
+use crate::{emit_capped, Diagnostic, Severity};
+use dekg_datasets::{DekgDataset, LinkClass};
+use dekg_kg::{EntityId, Triple};
+use std::collections::HashSet;
+
+/// Validates every structural invariant of a DEKG dataset, returning
+/// all findings instead of stopping at the first.
+///
+/// Errors mean the dataset violates the paper's setting (Definitions
+/// 1–4) or refers to ids outside its own vocabulary; warnings flag
+/// structure that is legal but almost certainly unintended.
+pub fn validate(dataset: &DekgDataset) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let ids_ok = check_id_spaces(dataset, &mut out);
+    check_disconnectedness(dataset, &mut out);
+    check_heldout(dataset, &mut out);
+    if ids_ok {
+        check_coverage(dataset, &mut out);
+    }
+    out
+}
+
+/// Every `(area, triples)` pair of the dataset, held-out sets included.
+fn areas(dataset: &DekgDataset) -> [(&'static str, Vec<Triple>); 5] {
+    [
+        ("G", dataset.original.triples().to_vec()),
+        ("G'", dataset.emerging.triples().to_vec()),
+        ("valid", dataset.valid.clone()),
+        ("test-enclosing", dataset.test_enclosing.clone()),
+        ("test-bridging", dataset.test_bridging.clone()),
+    ]
+}
+
+/// Id hygiene: the seen/unseen partition is well formed and every
+/// triple stays inside the vocabulary. Returns whether all ids were in
+/// bounds (coverage checks index by id and need that).
+fn check_id_spaces(dataset: &DekgDataset, out: &mut Vec<Diagnostic>) -> bool {
+    let num_entities = dataset.num_entities();
+    if dataset.num_original_entities > num_entities {
+        out.push(Diagnostic::error(
+            "entity-partition",
+            None,
+            "vocab",
+            format!(
+                "num_original_entities {} exceeds the {num_entities}-entity vocabulary",
+                dataset.num_original_entities
+            ),
+        ));
+    }
+    if dataset.num_relations == 0 {
+        out.push(Diagnostic::error("relation-space", None, "vocab", "empty relation space"));
+    }
+    if dataset.num_relations != dataset.vocab.num_relations() {
+        out.push(Diagnostic::error(
+            "relation-space",
+            None,
+            "vocab",
+            format!(
+                "num_relations {} disagrees with the {}-relation vocabulary",
+                dataset.num_relations,
+                dataset.vocab.num_relations()
+            ),
+        ));
+    }
+
+    let mut clean = true;
+    for (area, triples) in areas(dataset) {
+        let mut findings = Vec::new();
+        for t in &triples {
+            if t.head.index() >= num_entities || t.tail.index() >= num_entities {
+                findings.push(format!(
+                    "triple {t} references an entity outside the {num_entities}-entity vocabulary"
+                ));
+            } else if t.rel.index() >= dataset.num_relations {
+                findings.push(format!(
+                    "triple {t} references a relation outside the {}-relation space",
+                    dataset.num_relations
+                ));
+            }
+        }
+        if !findings.is_empty() {
+            clean = false;
+            emit_capped(out, Severity::Error, "dangling-id", area, findings);
+        }
+    }
+    clean
+}
+
+/// The DEKG core invariant: `G ⊆ E×R×E`, `G' ⊆ E'×R×E'`, so the two
+/// graphs share no entity and no edge can connect them.
+fn check_disconnectedness(dataset: &DekgDataset, out: &mut Vec<Diagnostic>) {
+    let mut findings = Vec::new();
+    for t in dataset.original.triples() {
+        if !dataset.is_original(t.head) || !dataset.is_original(t.tail) {
+            findings.push(format!("original-KG triple {t} touches an unseen entity"));
+        }
+    }
+    if !findings.is_empty() {
+        emit_capped(out, Severity::Error, "cross-boundary-triple", "G", findings);
+    }
+    let mut findings = Vec::new();
+    for t in dataset.emerging.triples() {
+        if dataset.is_original(t.head) || dataset.is_original(t.tail) {
+            findings.push(format!(
+                "emerging-KG triple {t} touches a seen entity — G and G' are connected"
+            ));
+        }
+    }
+    if !findings.is_empty() {
+        emit_capped(out, Severity::Error, "cross-boundary-triple", "G'", findings);
+    }
+}
+
+/// Held-out links: correctly classified, absent from the observed
+/// graphs, and not repeated across held-out sets.
+fn check_heldout(dataset: &DekgDataset, out: &mut Vec<Diagnostic>) {
+    let sets: [(&'static str, &[Triple], Option<LinkClass>); 3] = [
+        ("valid", &dataset.valid, None),
+        ("test-enclosing", &dataset.test_enclosing, Some(LinkClass::Enclosing)),
+        ("test-bridging", &dataset.test_bridging, Some(LinkClass::Bridging)),
+    ];
+
+    for (area, triples, want) in sets {
+        let mut leaks = Vec::new();
+        let mut mislabeled = Vec::new();
+        for t in triples {
+            if dataset.original.contains(t) || dataset.emerging.contains(t) {
+                leaks.push(format!("held-out link {t} is present in the observed graph"));
+            }
+            let got = dataset.classify(t);
+            if got != want {
+                let got_name = got.map_or("transductive (inside G)", LinkClass::name);
+                let want_name = want.map_or("transductive (inside G)", LinkClass::name);
+                mislabeled
+                    .push(format!("link {t} is {got_name}, but this set holds {want_name} links"));
+            }
+        }
+        emit_capped(out, Severity::Error, "split-leak", area, leaks);
+        emit_capped(out, Severity::Error, "mislabeled-link", area, mislabeled);
+    }
+
+    let mut seen = HashSet::new();
+    let mut dups = Vec::new();
+    for (area, triples, _) in sets {
+        for t in triples {
+            if !seen.insert(*t) {
+                dups.push(format!("link {t} appears more than once across held-out sets ({area})"));
+            }
+        }
+    }
+    emit_capped(out, Severity::Warning, "duplicate-heldout", "held-out", dups);
+}
+
+/// Entities with no triples can neither be represented (empty
+/// component row) nor reached by any subgraph — almost always a
+/// generation or loading bug. One collapsed warning per graph.
+fn check_coverage(dataset: &DekgDataset, out: &mut Vec<Diagnostic>) {
+    let isolated = |range: std::ops::Range<usize>, store: &dekg_kg::TripleStore| {
+        range.filter(|&i| store.degree(EntityId(i as u32)) == 0).collect::<Vec<_>>()
+    };
+    for (area, ids) in [
+        ("G", isolated(0..dataset.num_original_entities, &dataset.original)),
+        ("G'", isolated(dataset.num_original_entities..dataset.num_entities(), &dataset.emerging)),
+    ] {
+        if ids.is_empty() {
+            continue;
+        }
+        let preview: Vec<String> = ids.iter().take(5).map(|i| format!("e{i}")).collect();
+        out.push(Diagnostic::warning(
+            "isolated-entity",
+            None,
+            area,
+            format!(
+                "{} entity(ies) of {area} appear in no triple: {}{}",
+                ids.len(),
+                preview.join(", "),
+                if ids.len() > 5 { ", …" } else { "" }
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dekg_kg::{TripleStore, Vocab};
+
+    /// `G = {a, b}`, `G' = {x, y}` — mirrors the generator invariants.
+    fn tiny() -> DekgDataset {
+        let mut vocab = Vocab::new();
+        for n in ["a", "b", "x", "y"] {
+            vocab.intern_entity(n);
+        }
+        vocab.intern_relation("r");
+        DekgDataset {
+            name: "tiny".into(),
+            vocab,
+            num_original_entities: 2,
+            num_relations: 1,
+            original: TripleStore::from_triples([Triple::from_raw(0, 0, 1)]),
+            emerging: TripleStore::from_triples([Triple::from_raw(2, 0, 3)]),
+            valid: vec![Triple::from_raw(1, 0, 0)],
+            test_enclosing: vec![Triple::from_raw(3, 0, 2)],
+            test_bridging: vec![Triple::from_raw(0, 0, 2)],
+        }
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_dataset_has_zero_diagnostics() {
+        assert!(validate(&tiny()).is_empty());
+    }
+
+    #[test]
+    fn connected_disconnected_kg_is_reported() {
+        let mut d = tiny();
+        d.emerging.insert(Triple::from_raw(0, 0, 3)); // crosses the boundary
+        let diags = validate(&d);
+        assert_eq!(codes(&diags), vec!["cross-boundary-triple"], "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("connected"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn leaked_test_triple_is_reported() {
+        let mut d = tiny();
+        let leak = d.test_enclosing[0];
+        d.emerging.insert(leak);
+        let diags = validate(&d);
+        assert_eq!(codes(&diags), vec!["split-leak"], "{diags:?}");
+        assert_eq!(diags[0].op, "test-enclosing");
+    }
+
+    #[test]
+    fn mislabeled_link_is_reported() {
+        let mut d = tiny();
+        // A fresh unseen–unseen link filed under the bridging set.
+        d.test_bridging.push(Triple::from_raw(2, 0, 2));
+        let diags = validate(&d);
+        assert_eq!(codes(&diags), vec!["mislabeled-link"], "{diags:?}");
+        assert!(diags[0].message.contains("enclosing"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn dangling_entity_id_is_reported() {
+        let mut d = tiny();
+        d.emerging.insert(Triple::from_raw(4, 0, 9)); // beyond the 4-entity vocab
+        let diags = validate(&d);
+        assert_eq!(codes(&diags), vec!["dangling-id"], "{diags:?}");
+        assert!(diags[0].message.contains("4-entity"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn dangling_relation_id_is_reported() {
+        let mut d = tiny();
+        d.valid.push(Triple::from_raw(0, 7, 1));
+        let diags = validate(&d);
+        assert_eq!(codes(&diags), vec!["dangling-id"], "{diags:?}");
+        assert!(diags[0].message.contains("relation"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn duplicate_heldout_link_warns() {
+        let mut d = tiny();
+        d.test_bridging.push(d.test_bridging[0]);
+        let diags = validate(&d);
+        assert_eq!(codes(&diags), vec!["duplicate-heldout"], "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn isolated_entity_warns() {
+        let mut d = tiny();
+        d.vocab.intern_entity("z"); // a fifth, unseen entity with no triples
+        let diags = validate(&d);
+        assert_eq!(codes(&diags), vec!["isolated-entity"], "{diags:?}");
+        assert!(diags[0].message.contains("e4"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn broken_partition_is_reported() {
+        let mut d = tiny();
+        d.num_original_entities = 9;
+        let diags = validate(&d);
+        assert!(codes(&diags).contains(&"entity-partition"), "{diags:?}");
+    }
+
+    #[test]
+    fn many_findings_collapse_past_cap() {
+        let mut d = tiny();
+        // Every seen–unseen pair in both directions, skipping the one
+        // that is already the bridging test link (that would also be a
+        // split leak): 7 crossing edges > CAP.
+        for h in 0..2 {
+            for t in 2..4 {
+                if (h, t) != (0, 2) {
+                    d.emerging.insert(Triple::from_raw(h, 0, t));
+                }
+                d.emerging.insert(Triple::from_raw(t, 0, h));
+            }
+        }
+        let diags = validate(&d);
+        assert!(diags.iter().all(|d| d.code == "cross-boundary-triple"), "{diags:?}");
+        assert_eq!(diags.len(), crate::CAP + 1);
+        assert!(diags.last().unwrap().message.contains("more finding"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Statistical plausibility checks against a [`DatasetProfile`].
+
+use crate::Diagnostic;
+use dekg_datasets::{DatasetProfile, DatasetStats, DekgDataset};
+
+/// Relative deviation past which a count is flagged.
+const TOLERANCE: f64 = 0.25;
+
+/// Density may drift further than raw counts before it is suspicious.
+const DENSITY_FACTOR: f64 = 2.0;
+
+/// Compares a dataset's degree/frequency statistics against a
+/// [`DatasetProfile`] (a Table II row, possibly scaled) and warns on
+/// wild deviations.
+///
+/// These are warnings, not errors: a loaded real split may legimately
+/// differ from its generation target, but a synthetic dataset that
+/// misses its own profile by more than [`TOLERANCE`] usually means the
+/// wrong profile, seed, or scale factor was used.
+pub fn validate_profile(dataset: &DekgDataset, profile: &DatasetProfile) -> Vec<Diagnostic> {
+    let stats = DatasetStats::of(dataset);
+    let mut out = Vec::new();
+    let pct = |got: usize, want: usize| (got as f64 - want as f64) / want as f64 * 100.0;
+    let mut count = |what: &str, got: usize, want: usize| {
+        if want == 0 {
+            return;
+        }
+        let dev = (got as f64 - want as f64).abs() / want as f64;
+        if dev > TOLERANCE {
+            out.push(Diagnostic::warning(
+                "stat-deviation",
+                None,
+                "profile",
+                format!(
+                    "{what}: {got} vs profile target {want} ({:+.0}%, tolerance ±{:.0}%)",
+                    pct(got, want),
+                    TOLERANCE * 100.0
+                ),
+            ));
+        }
+    };
+    count("G entities", stats.original.entities, profile.entities_g);
+    count("G triples", stats.original.triples, profile.triples_g);
+    count("G' entities", stats.emerging.entities, profile.entities_gp);
+    count("G' triples", stats.emerging.triples, profile.triples_gp);
+
+    // Relation *usage* may undershoot the space (rare relations can go
+    // unsampled) but must never overshoot it.
+    for (what, got, want) in [
+        ("G", stats.original.relations, profile.relations_g),
+        ("G'", stats.emerging.relations, profile.relations_gp),
+    ] {
+        if got > want {
+            out.push(Diagnostic::warning(
+                "stat-deviation",
+                None,
+                "profile",
+                format!("{what} uses {got} distinct relations, more than the profile's {want}"),
+            ));
+        }
+    }
+
+    let density = stats.density();
+    let target = profile.density_g();
+    if density < target / DENSITY_FACTOR || density > target * DENSITY_FACTOR {
+        out.push(Diagnostic::warning(
+            "degree-profile",
+            None,
+            "profile",
+            format!(
+                "G density |T|/|E| is {density:.2}, profile expects ~{target:.2} (factor-{DENSITY_FACTOR:.0} band)"
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dekg_datasets::{generate, RawKg, SplitKind, SynthConfig};
+
+    #[test]
+    fn generated_dataset_matches_its_own_profile() {
+        let profile = DatasetProfile::table2(RawKg::Nell995, SplitKind::Eq).scaled(0.3);
+        let d = generate(&SynthConfig::for_profile(profile, 9));
+        let diags = validate_profile(&d, &profile);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn wrong_profile_is_flagged() {
+        let scaled = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Eq).scaled(0.05);
+        let d = generate(&SynthConfig::for_profile(scaled, 3));
+        // Validate against the *unscaled* profile: counts are ~20x off.
+        let full = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Eq);
+        let diags = validate_profile(&d, &full);
+        assert!(diags.iter().any(|x| x.code == "stat-deviation"), "{diags:?}");
+        assert!(diags.iter().all(|x| x.severity == crate::Severity::Warning));
+    }
+
+    #[test]
+    fn relation_overshoot_is_flagged() {
+        let profile = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Eq).scaled(0.05);
+        let d = generate(&SynthConfig::for_profile(profile, 3));
+        let mut narrow = profile;
+        narrow.relations_g = 1;
+        narrow.relations_gp = 1;
+        let diags = validate_profile(&d, &narrow);
+        assert!(diags.iter().any(|x| x.message.contains("distinct relations")), "{diags:?}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Property test: every freshly generated synthetic dataset passes the
+//! full validator suite with zero diagnostics — the generator and the
+//! checker agree on what a well-formed DEKG is, across seeds, scales
+//! and raw-KG profiles.
+
+use dekg_check::{summarize, validate, validate_component_table, validate_profile};
+use dekg_datasets::{generate, DatasetProfile, RawKg, SplitKind, SynthConfig};
+use dekg_kg::ComponentTable;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fresh_synthetic_dataset_lints_clean(
+        seed in 0u64..1000,
+        raw_ix in 0usize..3,
+        split_ix in 0usize..3,
+        scale_step in 2u32..8,
+    ) {
+        let raw = RawKg::all()[raw_ix];
+        let split = SplitKind::all()[split_ix];
+        let scale = f64::from(scale_step) / 100.0;
+        let profile = DatasetProfile::table2(raw, split).scaled(scale);
+        let dataset = generate(&SynthConfig::for_profile(profile, seed));
+
+        let diags = validate(&dataset);
+        prop_assert!(diags.is_empty(), "dataset diagnostics: {diags:?}");
+
+        // The component table of the inference graph must agree with
+        // the union store it was built from.
+        let store = dataset.inference_store();
+        let table =
+            ComponentTable::from_store(&store, dataset.num_entities(), dataset.num_relations);
+        let diags = validate_component_table(&table, &store);
+        prop_assert!(diags.is_empty(), "component diagnostics: {diags:?}");
+
+        prop_assert!(summarize(&[]).is_clean());
+    }
+}
+
+/// The profile validator accepts a generated dataset against its own
+/// generation target at a representative scale (deterministic — the
+/// tolerance bands are statistical, so one well-chosen point beats a
+/// flaky sweep of tiny graphs where floors dominate).
+#[test]
+fn generated_dataset_is_statistically_plausible() {
+    let profile = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Eq).scaled(0.3);
+    let dataset = generate(&SynthConfig::for_profile(profile, 17));
+    let diags = validate_profile(&dataset, &profile);
+    assert!(diags.is_empty(), "{diags:?}");
+}

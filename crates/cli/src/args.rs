@@ -1,29 +1,50 @@
 //! Minimal `--flag value` parsing for the CLI.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Parsed command-line flags.
 #[derive(Debug, Default)]
 pub struct Flags {
     values: HashMap<String, String>,
+    switches: HashSet<String>,
 }
 
 impl Flags {
     /// Parses `--key value` pairs; rejects dangling flags.
+    ///
+    /// Thin switchless wrapper over [`Flags::parse_with_switches`];
+    /// `main` always goes through the switch-aware entry point, so
+    /// this survives for the test suite only.
+    #[cfg(test)]
     pub fn parse(argv: &[String]) -> Result<Flags, String> {
-        let mut values = HashMap::new();
+        Self::parse_with_switches(argv, &[])
+    }
+
+    /// Like [`Flags::parse`], but the named `switches` are valueless
+    /// booleans (`--check`): present or absent, never consuming the
+    /// next argument. Every other flag still requires a value.
+    pub fn parse_with_switches(argv: &[String], switches: &[&str]) -> Result<Flags, String> {
+        let mut flags = Flags::default();
         let mut i = 0;
         while i < argv.len() {
             let key = argv[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected a --flag, got {:?}", argv[i]))?;
-            let value = argv
-                .get(i + 1)
-                .ok_or_else(|| format!("flag --{key} needs a value"))?;
-            values.insert(key.to_owned(), value.clone());
+            if switches.contains(&key) {
+                flags.switches.insert(key.to_owned());
+                i += 1;
+                continue;
+            }
+            let value = argv.get(i + 1).ok_or_else(|| format!("flag --{key} needs a value"))?;
+            flags.values.insert(key.to_owned(), value.clone());
             i += 2;
         }
-        Ok(Flags { values })
+        Ok(flags)
+    }
+
+    /// True when a boolean switch was present on the command line.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.contains(key)
     }
 
     /// A required string flag.
@@ -56,7 +77,7 @@ mod tests {
     use super::*;
 
     fn argv(s: &[&str]) -> Vec<String> {
-        s.iter().map(|x| x.to_string()).collect()
+        s.iter().map(ToString::to_string).collect()
     }
 
     #[test]
@@ -84,5 +105,21 @@ mod tests {
         let f = Flags::parse(&argv(&["--epochs", "many"])).unwrap();
         let err = f.parse_or("epochs", 1usize).unwrap_err();
         assert!(err.contains("--epochs"));
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let f = Flags::parse_with_switches(&argv(&["--check", "--data", "d"]), &["check"]).unwrap();
+        assert!(f.switch("check"));
+        assert_eq!(f.required("data").unwrap(), "d");
+        assert!(!f.switch("verbose"));
+    }
+
+    #[test]
+    fn trailing_switch_is_not_dangling() {
+        let f = Flags::parse_with_switches(&argv(&["--data", "d", "--check"]), &["check"]).unwrap();
+        assert!(f.switch("check"));
+        // An unknown trailing flag is still a dangling-flag error.
+        assert!(Flags::parse_with_switches(&argv(&["--data"]), &["check"]).is_err());
     }
 }

@@ -3,11 +3,11 @@
 use crate::args::Flags;
 use dekg_core::{DekgIlp, DekgIlpConfig, InferenceGraph, LinkPredictor, TrainableModel};
 use dekg_datasets::{
-    generate as synth_generate, loader, DatasetProfile, DatasetStats, DekgDataset, MixRatio,
-    RawKg, SplitKind, SynthConfig, TestMix,
+    generate as synth_generate, loader, DatasetProfile, DatasetStats, DekgDataset, MixRatio, RawKg,
+    SplitKind, SynthConfig, TestMix,
 };
 use dekg_eval::{evaluate as run_eval, ProtocolConfig, Table};
-use dekg_kg::{EntityId, Triple};
+use dekg_kg::{ComponentTable, EntityId, Triple};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -18,7 +18,8 @@ dekg — DEKG-ILP inductive link prediction
 commands:
   generate  --raw fb|nell|wn --split eq|mb|me [--scale F] [--seed N] --out DIR
   stats     --data DIR
-  train     --data DIR [--epochs N] [--dim N] [--seed N] --ckpt FILE
+  check     --data DIR [--raw fb|nell|wn --split eq|mb|me [--scale F]]
+  train     --data DIR [--check] [--epochs N] [--dim N] [--seed N] --ckpt FILE
   evaluate  --data DIR --ckpt FILE [--candidates N] [--split eq|mb|me] [--seed N]
   predict   --data DIR --ckpt FILE --rel NAME (--head NAME | --tail NAME) [--top N]
   help
@@ -105,9 +106,71 @@ pub fn stats(flags: &Flags) -> CliResult {
     Ok(())
 }
 
+/// Runs every applicable KG validator over a dataset, printing each
+/// finding. Errors (broken invariants) fail the command; warnings are
+/// reported but tolerated. Shared by `dekg check` and `train --check`.
+fn run_validators(
+    dataset: &DekgDataset,
+    profile: Option<&DatasetProfile>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut diags = dekg_check::validate(dataset);
+    let store = dataset.inference_store();
+    let table = ComponentTable::from_store(&store, dataset.num_entities(), dataset.num_relations);
+    diags.extend(dekg_check::validate_component_table(&table, &store));
+    if let Some(p) = profile {
+        diags.extend(dekg_check::validate_profile(dataset, p));
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    let s = dekg_check::summarize(&diags);
+    if s.errors > 0 {
+        return Err(format!(
+            "dekg check: {} error(s), {} warning(s) in {}",
+            s.errors, s.warnings, dataset.name
+        )
+        .into());
+    }
+    if s.warnings > 0 {
+        println!("dekg check: {} warning(s), no errors in {}", s.warnings, dataset.name);
+    } else {
+        println!("dekg check: no findings in {}", dataset.name);
+    }
+    Ok(())
+}
+
+/// `dekg check` — static analysis of a dataset directory.
+///
+/// With `--raw`/`--split` (and optionally `--scale`), the dataset's
+/// statistics are additionally compared against that Table II profile.
+pub fn check(flags: &Flags) -> CliResult {
+    // Unchecked load: the whole point is to *report* broken invariants,
+    // which the normal loader turns into panics.
+    let dir = flags.required("data")?;
+    let dataset = loader::load_dir_unchecked(dir, dir)?;
+    let profile = match (flags.get("raw"), flags.get("split")) {
+        (Some(r), Some(s)) => {
+            let scale: f64 = flags.parse_or("scale", 0.1)?;
+            Some(DatasetProfile::table2(parse_raw(r)?, parse_split(s)?).scaled(scale))
+        }
+        (None, None) => None,
+        _ => return Err("profile checks need both --raw and --split".into()),
+    };
+    run_validators(&dataset, profile.as_ref())
+}
+
 /// `dekg train` — trains DEKG-ILP and writes a checkpoint pair.
 pub fn train(flags: &Flags) -> CliResult {
-    let dataset = load_dataset(flags)?;
+    // With --check, load unchecked so broken invariants surface as
+    // validator diagnostics instead of the loader's panic.
+    let dataset = if flags.switch("check") {
+        let dir = flags.required("data")?;
+        let dataset = loader::load_dir_unchecked(dir, dir)?;
+        run_validators(&dataset, None)?;
+        dataset
+    } else {
+        load_dataset(flags)?
+    };
     let ckpt = flags.required("ckpt")?;
     let seed: u64 = flags.parse_or("seed", 0)?;
     let cfg = DekgIlpConfig {
@@ -138,10 +201,7 @@ pub fn train(flags: &Flags) -> CliResult {
 }
 
 /// Rebuilds a model from a checkpoint pair.
-fn restore(
-    flags: &Flags,
-    dataset: &DekgDataset,
-) -> Result<DekgIlp, Box<dyn std::error::Error>> {
+fn restore(flags: &Flags, dataset: &DekgDataset) -> Result<DekgIlp, Box<dyn std::error::Error>> {
     let ckpt = flags.required("ckpt")?;
     let cfg: DekgIlpConfig =
         serde_json::from_str(&std::fs::read_to_string(format!("{ckpt}.json"))?)?;
@@ -199,10 +259,8 @@ pub fn predict(flags: &Flags) -> CliResult {
     let graph = InferenceGraph::from_dataset(&dataset);
 
     let rel_name = flags.required("rel")?;
-    let rel = dataset
-        .vocab
-        .relation(rel_name)
-        .ok_or_else(|| format!("unknown relation {rel_name:?}"))?;
+    let rel =
+        dataset.vocab.relation(rel_name).ok_or_else(|| format!("unknown relation {rel_name:?}"))?;
     let top: usize = flags.parse_or("top", 10)?;
 
     let (fixed, predict_tail) = match (flags.get("head"), flags.get("tail")) {
@@ -210,10 +268,8 @@ pub fn predict(flags: &Flags) -> CliResult {
         (None, Some(t)) => (t, false),
         _ => return Err("pass exactly one of --head or --tail".into()),
     };
-    let fixed_id = dataset
-        .vocab
-        .entity(fixed)
-        .ok_or_else(|| format!("unknown entity {fixed:?}"))?;
+    let fixed_id =
+        dataset.vocab.entity(fixed).ok_or_else(|| format!("unknown entity {fixed:?}"))?;
 
     let candidates: Vec<Triple> = (0..dataset.num_entities() as u32)
         .map(EntityId)

@@ -5,7 +5,8 @@
 //! ```text
 //! dekg generate --raw fb --split eq --scale 0.1 --seed 1 --out data/
 //! dekg stats    --data data/
-//! dekg train    --data data/ --epochs 10 --ckpt model.dekg
+//! dekg check    --data data/
+//! dekg train    --data data/ --check --epochs 10 --ckpt model.dekg
 //! dekg evaluate --data data/ --ckpt model.dekg --candidates 30
 //! dekg predict  --data data/ --ckpt model.dekg --head g_e0 --rel rel0 --top 5
 //! ```
@@ -28,7 +29,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let command = argv.remove(0);
-    let flags = match args::Flags::parse(&argv) {
+    // Valueless boolean switches, per command.
+    let switches: &[&str] = match command.as_str() {
+        "train" => &["check"],
+        _ => &[],
+    };
+    let flags = match args::Flags::parse_with_switches(&argv, switches) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", commands::USAGE);
@@ -38,6 +44,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => commands::generate(&flags),
         "stats" => commands::stats(&flags),
+        "check" => commands::check(&flags),
         "train" => commands::train(&flags),
         "evaluate" => commands::evaluate(&flags),
         "predict" => commands::predict(&flags),

@@ -66,14 +66,10 @@ impl Clrm {
         rng: &mut impl Rng,
     ) -> Self {
         assert!(num_relations > 0 && dim > 0);
-        let features = params.insert(
-            format!("{prefix}.features"),
-            init::xavier_uniform([num_relations, dim], rng),
-        );
-        let rel_sem = params.insert(
-            format!("{prefix}.rel_sem"),
-            init::xavier_uniform([num_relations, dim], rng),
-        );
+        let features = params
+            .insert(format!("{prefix}.features"), init::xavier_uniform([num_relations, dim], rng));
+        let rel_sem = params
+            .insert(format!("{prefix}.rel_sem"), init::xavier_uniform([num_relations, dim], rng));
         Clrm { num_relations, dim, features, rel_sem }
     }
 
@@ -255,10 +251,8 @@ mod tests {
     fn score_shape_and_symmetry() {
         let (ps, clrm, _) = setup();
         // DistMult is symmetric in head/tail when embeddings coincide.
-        let store = TripleStore::from_triples([
-            Triple::from_raw(0, 0, 1),
-            Triple::from_raw(1, 1, 0),
-        ]);
+        let store =
+            TripleStore::from_triples([Triple::from_raw(0, 0, 1), Triple::from_raw(1, 1, 0)]);
         let tables = ComponentTable::from_store(&store, 2, 4);
         let mut g = Graph::new();
         let fwd = clrm.score(&mut g, &ps, &tables, &[Triple::from_raw(0, 0, 1)]);
@@ -271,10 +265,8 @@ mod tests {
     fn unseen_entity_scoring_works_via_shared_relations() {
         let (ps, clrm, _) = setup();
         // Entities 0,1 "seen", 2,3 "unseen" — same relations though.
-        let store = TripleStore::from_triples([
-            Triple::from_raw(0, 0, 1),
-            Triple::from_raw(2, 0, 3),
-        ]);
+        let store =
+            TripleStore::from_triples([Triple::from_raw(0, 0, 1), Triple::from_raw(2, 0, 3)]);
         let tables = ComponentTable::from_store(&store, 4, 4);
         let mut g = Graph::new();
         // Bridging triple (0, r0, 3): must produce a finite score with

@@ -45,9 +45,8 @@ pub fn relation_addition(
     theta: f32,
     rng: &mut impl Rng,
 ) -> Option<ComponentRow> {
-    let absent: Vec<u32> = (0..num_relations as u32)
-        .filter(|&r| row.count(RelationId(r)) == 0)
-        .collect();
+    let absent: Vec<u32> =
+        (0..num_relations as u32).filter(|&r| row.count(RelationId(r)) == 0).collect();
     let &rel = absent.get(rng.gen_range(0..absent.len().max(1)))?;
     let mut out = row.clone();
     let cap = count_cap(row, theta);
@@ -86,9 +85,8 @@ pub fn negative_example(
     theta: f32,
     rng: &mut impl Rng,
 ) -> ComponentRow {
-    let relation_set = |r: &ComponentRow| -> Vec<u32> {
-        r.entries().iter().map(|&(rel, _)| rel.0).collect()
-    };
+    let relation_set =
+        |r: &ComponentRow| -> Vec<u32> { r.entries().iter().map(|&(rel, _)| rel.0).collect() };
     let original_set = relation_set(row);
     let mut out = row.clone();
     for _ in 0..rng.gen_range(1..=3) {
@@ -132,9 +130,7 @@ pub fn sample_pairs(
     rng: &mut impl Rng,
 ) -> (Vec<ComponentRow>, Vec<ComponentRow>) {
     let pos = (0..n).map(|_| positive_example(row, theta, rng)).collect();
-    let neg = (0..n)
-        .map(|_| negative_example(row, num_relations, theta, rng))
-        .collect();
+    let neg = (0..n).map(|_| negative_example(row, num_relations, theta, rng)).collect();
     (pos, neg)
 }
 

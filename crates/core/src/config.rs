@@ -182,10 +182,7 @@ impl DekgIlpConfig {
         assert!((0.0..1.0).contains(&self.edge_dropout), "edge_dropout in [0,1)");
         assert!(self.hops > 0 && self.gnn_layers > 0 && self.attn_dim > 0);
         assert!(self.grad_clip > 0.0);
-        assert!(
-            self.lr_decay > 0.0 && self.lr_decay <= 1.0,
-            "lr_decay must be in (0, 1]"
-        );
+        assert!(self.lr_decay > 0.0 && self.lr_decay <= 1.0, "lr_decay must be in (0, 1]");
     }
 }
 

@@ -68,7 +68,7 @@ fn mean_abs<'a>(values: impl Iterator<Item = &'a f32>) -> f32 {
 pub fn heatmap(a: &[f32], b: &[f32], rows: usize, cols: usize) -> Vec<Vec<f32>> {
     let mut flat: Vec<f32> = a.iter().chain(b).copied().collect();
     flat.resize(rows * cols, 0.0);
-    flat.chunks(cols).take(rows).map(|c| c.to_vec()).collect()
+    flat.chunks(cols).take(rows).map(<[f32]>::to_vec).collect()
 }
 
 /// Computes the explanation of one link under a (usually trained) model.

@@ -38,12 +38,9 @@ impl Gsm {
     ) -> Self {
         let dim = encoder_cfg.dim;
         let num_relations = encoder_cfg.num_relations;
-        let encoder =
-            SubgraphEncoder::new(encoder_cfg, &format!("{prefix}.encoder"), params, rng);
-        let rel_tpo = params.insert(
-            format!("{prefix}.rel_tpo"),
-            init::xavier_uniform([num_relations, dim], rng),
-        );
+        let encoder = SubgraphEncoder::new(encoder_cfg, &format!("{prefix}.encoder"), params, rng);
+        let rel_tpo = params
+            .insert(format!("{prefix}.rel_tpo"), init::xavier_uniform([num_relations, dim], rng));
         let w_out =
             params.insert(format!("{prefix}.w_out"), init::xavier_uniform([4 * dim, 1], rng));
         Gsm { encoder, dim, rel_tpo, w_out }
@@ -119,10 +116,7 @@ impl Gsm {
     ) -> (Vec<f32>, Vec<f32>) {
         let mut g = Graph::new();
         let enc = self.encoder.encode(&mut g, params, sg, false, rng);
-        (
-            g.value(enc.head).row(0).to_vec(),
-            g.value(enc.tail).row(0).to_vec(),
-        )
+        (g.value(enc.head).row(0).to_vec(), g.value(enc.tail).row(0).to_vec())
     }
 }
 
@@ -170,8 +164,11 @@ mod tests {
     fn scalar_score_shape() {
         let (ps, gsm, mut rng) = setup();
         let (_, adj) = chain();
-        let sg = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union)
-            .extract(EntityId(0), EntityId(3), None);
+        let sg = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union).extract(
+            EntityId(0),
+            EntityId(3),
+            None,
+        );
         let mut g = Graph::new();
         let s = gsm.score_subgraph(&mut g, &ps, &sg, RelationId(1), false, &mut rng);
         assert_eq!(g.shape(s).dims(), &[1, 1]);
@@ -182,8 +179,11 @@ mod tests {
     fn relation_changes_score() {
         let (ps, gsm, mut rng) = setup();
         let (_, adj) = chain();
-        let sg = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union)
-            .extract(EntityId(0), EntityId(3), None);
+        let sg = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union).extract(
+            EntityId(0),
+            EntityId(3),
+            None,
+        );
         let mut g = Graph::new();
         let s0 = gsm.score_subgraph(&mut g, &ps, &sg, RelationId(0), false, &mut rng);
         let s1 = gsm.score_subgraph(&mut g, &ps, &sg, RelationId(1), false, &mut rng);
@@ -195,13 +195,14 @@ mod tests {
         // The whole point of GSM: a bridging link's two-component
         // subgraph still yields a usable score.
         let (ps, gsm, mut rng) = setup();
-        let store = TripleStore::from_triples([
-            Triple::from_raw(0, 0, 1),
-            Triple::from_raw(2, 1, 3),
-        ]);
+        let store =
+            TripleStore::from_triples([Triple::from_raw(0, 0, 1), Triple::from_raw(2, 1, 3)]);
         let adj = Adjacency::from_store(&store, 4);
-        let sg = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union)
-            .extract(EntityId(0), EntityId(2), None);
+        let sg = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union).extract(
+            EntityId(0),
+            EntityId(2),
+            None,
+        );
         assert!(sg.is_disconnected());
         let mut g = Graph::new();
         let s = gsm.score_subgraph(&mut g, &ps, &sg, RelationId(0), false, &mut rng);
@@ -212,8 +213,11 @@ mod tests {
     fn training_signal_reaches_all_parts() {
         let (ps, gsm, mut rng) = setup();
         let (_, adj) = chain();
-        let sg = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union)
-            .extract(EntityId(0), EntityId(3), None);
+        let sg = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union).extract(
+            EntityId(0),
+            EntityId(3),
+            None,
+        );
         let mut g = Graph::new();
         let s = gsm.score_subgraph(&mut g, &ps, &sg, RelationId(1), false, &mut rng);
         let sq = g.square(s);
@@ -222,17 +226,18 @@ mod tests {
         // W, r_tpo and at least one encoder weight must receive grads.
         assert!(grads.get(ps.id_of("gsm.w_out").unwrap()).is_some());
         assert!(grads.get(ps.id_of("gsm.rel_tpo").unwrap()).is_some());
-        assert!(grads
-            .get(ps.id_of("gsm.encoder.layer0.w_self").unwrap())
-            .is_some());
+        assert!(grads.get(ps.id_of("gsm.encoder.layer0.w_self").unwrap()).is_some());
     }
 
     #[test]
     fn endpoint_embeddings_have_dim_width() {
         let (ps, gsm, mut rng) = setup();
         let (_, adj) = chain();
-        let sg = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union)
-            .extract(EntityId(1), EntityId(2), None);
+        let sg = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union).extract(
+            EntityId(1),
+            EntityId(2),
+            None,
+        );
         let (h, t) = gsm.embed_endpoints(&ps, &sg, &mut rng);
         assert_eq!(h.len(), 8);
         assert_eq!(t.len(), 8);

@@ -42,8 +42,8 @@ pub mod config;
 pub mod explain;
 pub mod gsm;
 pub mod model;
-pub mod traits;
 pub mod train;
+pub mod traits;
 
 /// Convenient glob-import surface.
 pub mod prelude {

@@ -160,17 +160,12 @@ impl DekgIlp {
         // φ_tpo: batched tapes with parameters mounted once per chunk
         // (chunking bounds tape memory on large candidate sets).
         const CHUNK: usize = 64;
-        let extractor = SubgraphExtractor::new(
-            &graph.adjacency,
-            self.cfg.hops,
-            self.cfg.extraction_mode(),
-        );
+        let extractor =
+            SubgraphExtractor::new(&graph.adjacency, self.cfg.hops, self.cfg.extraction_mode());
         let mut out = Vec::with_capacity(triples.len());
         for (chunk_i, chunk) in triples.chunks(CHUNK).enumerate() {
-            let subgraphs: Vec<(dekg_kg::Subgraph, dekg_kg::RelationId)> = chunk
-                .iter()
-                .map(|t| (extractor.extract(t.head, t.tail, None), t.rel))
-                .collect();
+            let subgraphs: Vec<(dekg_kg::Subgraph, dekg_kg::RelationId)> =
+                chunk.iter().map(|t| (extractor.extract(t.head, t.tail, None), t.rel)).collect();
             let items: Vec<(&dekg_kg::Subgraph, dekg_kg::RelationId)> =
                 subgraphs.iter().map(|(sg, r)| (sg, *r)).collect();
             let tpo = self.gsm.score_subgraphs_eval(&self.params, &items);
@@ -240,10 +235,8 @@ mod tests {
     fn ablation_r_has_no_clrm() {
         let d = tiny_dataset();
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let cfg = DekgIlpConfig {
-            ablation: Ablation::without_semantic(),
-            ..DekgIlpConfig::quick()
-        };
+        let cfg =
+            DekgIlpConfig { ablation: Ablation::without_semantic(), ..DekgIlpConfig::quick() };
         let model = DekgIlp::new(cfg, &d, &mut rng);
         assert!(model.clrm().is_none());
         assert_eq!(model.name(), "DEKG-ILP-R");
@@ -259,10 +252,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let full = DekgIlp::new(DekgIlpConfig::quick(), &d, &mut rng);
         let mut rng2 = ChaCha8Rng::seed_from_u64(0);
-        let cfg_r = DekgIlpConfig {
-            ablation: Ablation::without_semantic(),
-            ..DekgIlpConfig::quick()
-        };
+        let cfg_r =
+            DekgIlpConfig { ablation: Ablation::without_semantic(), ..DekgIlpConfig::quick() };
         let no_sem = DekgIlp::new(cfg_r, &d, &mut rng2);
         // CLRM adds exactly 2·|R|·d parameters.
         let expected_extra = 2 * d.num_relations * full.config().dim;

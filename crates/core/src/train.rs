@@ -34,10 +34,8 @@ pub fn train(model: &mut DekgIlp, dataset: &DekgDataset, rng: &mut dyn RngCore) 
     let started = Instant::now();
 
     let train_graph = InferenceGraph::training_view(dataset);
-    let mut sampler = NegativeSampler::new(
-        0..dataset.num_original_entities as u32,
-        vec![&dataset.original],
-    );
+    let mut sampler =
+        NegativeSampler::new(0..dataset.num_original_entities as u32, vec![&dataset.original]);
     if cfg.bernoulli_negatives {
         sampler = sampler.with_bernoulli(&dataset.original);
     }
@@ -78,11 +76,8 @@ pub fn train(model: &mut DekgIlp, dataset: &DekgDataset, rng: &mut dyn RngCore) 
             };
 
             // φ_tpo per triple.
-            let extractor = SubgraphExtractor::new(
-                &train_graph.adjacency,
-                cfg.hops,
-                cfg.extraction_mode(),
-            );
+            let extractor =
+                SubgraphExtractor::new(&train_graph.adjacency, cfg.hops, cfg.extraction_mode());
             let tpo_pos = score_side(model, &gsm, &extractor, &pos_rep, true, &mut g, rng);
             let tpo_neg = score_side(model, &gsm, &extractor, &negs, false, &mut g, rng);
 
@@ -93,10 +88,8 @@ pub fn train(model: &mut DekgIlp, dataset: &DekgDataset, rng: &mut dyn RngCore) 
             // Contrastive term over the batch's distinct entities.
             if let Some(clrm) = &clrm {
                 if cfg.ablation.use_contrastive && cfg.sigma > 0.0 {
-                    let entities: BTreeSet<EntityId> = batch
-                        .iter()
-                        .flat_map(|t| [t.head, t.tail])
-                        .collect();
+                    let entities: BTreeSet<EntityId> =
+                        batch.iter().flat_map(|t| [t.head, t.tail]).collect();
                     let mut terms: Vec<Var> = Vec::with_capacity(entities.len());
                     for e in entities {
                         let anchor = train_graph.tables.row(e);
@@ -201,10 +194,7 @@ pub fn train_with_validation(
     rng: &mut dyn RngCore,
 ) -> ValidatedTrainReport {
     assert!(val_cfg.eval_every > 0 && val_cfg.patience > 0);
-    assert!(
-        !dataset.valid.is_empty(),
-        "train_with_validation needs a non-empty validation set"
-    );
+    assert!(!dataset.valid.is_empty(), "train_with_validation needs a non-empty validation set");
     let total_epochs = model.config().epochs;
     let chunk_cfg_epochs = val_cfg.eval_every.min(total_epochs);
 
@@ -367,7 +357,7 @@ impl RngCore for RngShim<'_> {
         self.0.next_u64()
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.0.fill_bytes(dest)
+        self.0.fill_bytes(dest);
     }
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
         self.0.try_fill_bytes(dest)
@@ -408,11 +398,7 @@ mod tests {
     fn training_reduces_loss() {
         let d = tiny_dataset(1);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let mut model = DekgIlp::new(
-            DekgIlpConfig { epochs: 6, ..quick_cfg() },
-            &d,
-            &mut rng,
-        );
+        let mut model = DekgIlp::new(DekgIlpConfig { epochs: 6, ..quick_cfg() }, &d, &mut rng);
         let report = model.fit(&d, &mut rng);
         assert_eq!(report.epochs, 6);
         assert!(
@@ -434,8 +420,7 @@ mod tests {
         // On *training* triples, positives should beat random
         // corruptions on average — the basic sanity of Eq. 14.
         let graph = InferenceGraph::training_view(&d);
-        let sampler =
-            NegativeSampler::new(0..d.num_original_entities as u32, vec![&d.original]);
+        let sampler = NegativeSampler::new(0..d.num_original_entities as u32, vec![&d.original]);
         let positives: Vec<Triple> = d.original.triples().iter().copied().take(30).collect();
         let negatives: Vec<Triple> =
             positives.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
@@ -489,12 +474,8 @@ mod tests {
     fn lr_decay_and_bernoulli_options_train() {
         let d = tiny_dataset(5);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let cfg = DekgIlpConfig {
-            epochs: 3,
-            lr_decay: 0.8,
-            bernoulli_negatives: true,
-            ..quick_cfg()
-        };
+        let cfg =
+            DekgIlpConfig { epochs: 3, lr_decay: 0.8, bernoulli_negatives: true, ..quick_cfg() };
         let mut model = DekgIlp::new(cfg, &d, &mut rng);
         let report = model.fit(&d, &mut rng);
         assert!(report.final_loss.is_finite());

@@ -41,8 +41,21 @@ impl std::error::Error for LoadError {}
 /// # Panics
 /// If the loaded files violate the DEKG invariants (cross edges, leaked
 /// test links, …) — malformed *content* is a bug in the data, not a
-/// recoverable condition.
+/// recoverable condition. Use [`load_dir_unchecked`] to inspect broken
+/// data without dying on the first violation.
 pub fn load_dir(dir: impl AsRef<Path>, name: &str) -> Result<DekgDataset, LoadError> {
+    let dataset = load_dir_unchecked(dir, name)?;
+    dataset.validate();
+    Ok(dataset)
+}
+
+/// [`load_dir`] without the invariant self-check.
+///
+/// This exists for diagnostic tools (`dekg check`) that want to report
+/// *every* violation in a malformed directory instead of panicking at
+/// the first one; anything that trains or evaluates should go through
+/// [`load_dir`].
+pub fn load_dir_unchecked(dir: impl AsRef<Path>, name: &str) -> Result<DekgDataset, LoadError> {
     let dir = dir.as_ref();
     let mut vocab = Vocab::new();
     let load = |vocab: &mut Vocab, file: &'static str| {
@@ -57,7 +70,7 @@ pub fn load_dir(dir: impl AsRef<Path>, name: &str) -> Result<DekgDataset, LoadEr
     let test_bridging = load(&mut vocab, "test_bridging.txt")?;
 
     let num_relations = vocab.num_relations();
-    let dataset = DekgDataset {
+    Ok(DekgDataset {
         name: name.to_owned(),
         vocab,
         num_original_entities,
@@ -67,9 +80,7 @@ pub fn load_dir(dir: impl AsRef<Path>, name: &str) -> Result<DekgDataset, LoadEr
         valid: valid_store.triples().to_vec(),
         test_enclosing: test_enclosing.triples().to_vec(),
         test_bridging: test_bridging.triples().to_vec(),
-    };
-    dataset.validate();
-    Ok(dataset)
+    })
 }
 
 /// Writes a dataset back out in the same layout (for inspection or for
@@ -90,10 +101,7 @@ pub fn save_dir(dataset: &DekgDataset, dir: impl AsRef<Path>) -> std::io::Result
         "test_enclosing.txt",
         &TripleStore::from_triples(dataset.test_enclosing.iter().copied()),
     )?;
-    write(
-        "test_bridging.txt",
-        &TripleStore::from_triples(dataset.test_bridging.iter().copied()),
-    )?;
+    write("test_bridging.txt", &TripleStore::from_triples(dataset.test_bridging.iter().copied()))?;
     Ok(())
 }
 
@@ -116,6 +124,23 @@ mod tests {
         assert_eq!(back.test_bridging.len(), d.test_bridging.len());
         assert_eq!(back.num_relations, d.num_relations);
         back.validate();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unchecked_load_tolerates_broken_invariants() {
+        let profile = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Eq).scaled(0.03);
+        let d = generate(&SynthConfig::for_profile(profile, 4));
+        let dir = std::env::temp_dir().join("dekg_loader_unchecked_test");
+        save_dir(&d, &dir).unwrap();
+        // Append an edge crossing the G/G' boundary.
+        use std::io::Write;
+        let mut f =
+            std::fs::OpenOptions::new().append(true).open(dir.join("emerging.txt")).unwrap();
+        writeln!(f, "g_e0\trel0\tp_e1").unwrap();
+        drop(f);
+        let back = load_dir_unchecked(&dir, "broken").unwrap();
+        assert_eq!(back.emerging.len(), d.emerging.len() + 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

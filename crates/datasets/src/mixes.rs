@@ -53,35 +53,19 @@ impl TestMix {
         let n_enc = (k * ratio.enclosing).min(dataset.test_enclosing.len());
         let n_bri = (k * ratio.bridging).min(dataset.test_bridging.len());
         let mut links = Vec::with_capacity(n_enc + n_bri);
-        links.extend(
-            dataset.test_enclosing[..n_enc]
-                .iter()
-                .map(|&t| (t, LinkClass::Enclosing)),
-        );
-        links.extend(
-            dataset.test_bridging[..n_bri]
-                .iter()
-                .map(|&t| (t, LinkClass::Bridging)),
-        );
+        links.extend(dataset.test_enclosing[..n_enc].iter().map(|&t| (t, LinkClass::Enclosing)));
+        links.extend(dataset.test_bridging[..n_bri].iter().map(|&t| (t, LinkClass::Bridging)));
         TestMix { links }
     }
 
     /// Only the links of one class.
     pub fn of_class(&self, class: LinkClass) -> Vec<Triple> {
-        self.links
-            .iter()
-            .filter(|(_, c)| *c == class)
-            .map(|(t, _)| *t)
-            .collect()
+        self.links.iter().filter(|(_, c)| *c == class).map(|(t, _)| *t).collect()
     }
 
     /// Count per class: `(enclosing, bridging)`.
     pub fn class_counts(&self) -> (usize, usize) {
-        let enc = self
-            .links
-            .iter()
-            .filter(|(_, c)| *c == LinkClass::Enclosing)
-            .count();
+        let enc = self.links.iter().filter(|(_, c)| *c == LinkClass::Enclosing).count();
         (enc, self.links.len() - enc)
     }
 

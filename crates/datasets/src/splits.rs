@@ -83,12 +83,7 @@ impl DekgDataset {
     /// complement used by the filtered ranking protocol.
     pub fn heldout_store(&self) -> TripleStore {
         let mut store = TripleStore::new();
-        for t in self
-            .valid
-            .iter()
-            .chain(&self.test_enclosing)
-            .chain(&self.test_bridging)
-        {
+        for t in self.valid.iter().chain(&self.test_enclosing).chain(&self.test_bridging) {
             store.insert(*t);
         }
         store
@@ -121,11 +116,7 @@ impl DekgDataset {
             assert!(!self.emerging.contains(t), "test link {t} leaked into G'");
         }
         for t in &self.test_bridging {
-            assert_eq!(
-                self.classify(t),
-                Some(LinkClass::Bridging),
-                "mislabeled bridging link {t}"
-            );
+            assert_eq!(self.classify(t), Some(LinkClass::Bridging), "mislabeled bridging link {t}");
             assert!(!self.original.contains(t) && !self.emerging.contains(t));
         }
         for t in &self.valid {

@@ -88,9 +88,8 @@ mod tests {
         let profile = DatasetProfile::table2(RawKg::Nell995, SplitKind::Eq).scaled(0.3);
         let d = generate(&SynthConfig::for_profile(profile, 9));
         let s = DatasetStats::of(&d);
-        let close = |got: usize, want: usize| {
-            (got as f64 - want as f64).abs() / want as f64 <= 0.15
-        };
+        let close =
+            |got: usize, want: usize| (got as f64 - want as f64).abs() / want as f64 <= 0.15;
         assert!(close(s.original.entities, profile.entities_g), "{s:?}");
         assert!(close(s.original.triples, profile.triples_g), "{s:?}");
         assert!(close(s.emerging.triples, profile.triples_gp), "{s:?}");

@@ -241,13 +241,11 @@ fn fill_fresh(
     while out.len() < budget && attempts < max_attempts {
         attempts += 1;
         let proposal = match &closure {
-            Some(state) if rng.gen::<f64>() < closure_fraction => {
-                state.draw(world, rel_limit, rng)
-            }
+            Some(state) if rng.gen::<f64>() < closure_fraction => state.draw(world, rel_limit, rng),
             _ => None,
         };
-        let t = proposal
-            .unwrap_or_else(|| draw_triple(world, head_side, tail_side, rel_limit, rng));
+        let t =
+            proposal.unwrap_or_else(|| draw_triple(world, head_side, tail_side, rel_limit, rng));
         if t.is_loop() {
             continue;
         }
@@ -367,13 +365,7 @@ pub fn generate(cfg: &SynthConfig) -> DekgDataset {
         acc += 1.0 / ((r + 1) as f64).powf(cfg.zipf_exponent);
         rel_cdf.push(acc);
     }
-    let world = World {
-        types,
-        signatures,
-        rel_cdf,
-        num_types: cfg.num_types,
-        noise: cfg.noise,
-    };
+    let world = World { types, signatures, rel_cdf, num_types: cfg.num_types, noise: cfg.noise };
 
     let g_buckets = Buckets::new(0..p.entities_g, &world);
     let gp_buckets = Buckets::new(p.entities_g..total_entities, &world);
@@ -397,7 +389,13 @@ pub fn generate(cfg: &SynthConfig) -> DekgDataset {
     );
     let mut original = TripleStore::from_triples(g_triples);
     connect_isolated(
-        &world, &g_buckets, 0..p.entities_g, p.relations_g, &mut original, &mut seen, &mut rng,
+        &world,
+        &g_buckets,
+        0..p.entities_g,
+        p.relations_g,
+        &mut original,
+        &mut seen,
+        &mut rng,
     );
 
     // --- emerging KG G' (restricted to the most frequent relations) ---
@@ -464,7 +462,8 @@ pub fn generate(cfg: &SynthConfig) -> DekgDataset {
         while test_bridging.len() < cfg.num_test_bridging && attempts < max_attempts {
             attempts += 1;
             let forward = rng.gen::<bool>();
-            let (hs, ts) = if forward { (&g_buckets, &gp_buckets) } else { (&gp_buckets, &g_buckets) };
+            let (hs, ts) =
+                if forward { (&g_buckets, &gp_buckets) } else { (&gp_buckets, &g_buckets) };
             let t = draw_triple(&world, hs, ts, p.relations_gp, &mut rng);
             if seen.insert(t) {
                 test_bridging.push(t);
@@ -542,10 +541,7 @@ mod tests {
         let d = generate(&small_cfg(5));
         let adj_g = Adjacency::from_store(&d.original, d.num_entities());
         for i in 0..d.num_original_entities {
-            assert!(
-                adj_g.degree(EntityId(i as u32)) > 0,
-                "G entity {i} is isolated"
-            );
+            assert!(adj_g.degree(EntityId(i as u32)) > 0, "G entity {i} is isolated");
         }
         let adj_gp = Adjacency::from_store(&d.emerging, d.num_entities());
         for i in d.num_original_entities..d.num_entities() {
@@ -629,12 +625,8 @@ mod tests {
         without.closure_fraction = 0.0;
         let d_with = generate(&with);
         let d_without = generate(&without);
-        let f_with = connected_fraction(
-            &d_with.test_enclosing,
-            &d_with.emerging,
-            d_with.num_entities(),
-            2,
-        );
+        let f_with =
+            connected_fraction(&d_with.test_enclosing, &d_with.emerging, d_with.num_entities(), 2);
         let f_without = connected_fraction(
             &d_without.test_enclosing,
             &d_without.emerging,

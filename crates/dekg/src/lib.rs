@@ -56,15 +56,13 @@ pub mod prelude {
         TrainableModel,
     };
     pub use dekg_datasets::{
-        generate, DatasetProfile, DatasetStats, DekgDataset, LinkClass, MixRatio,
-        NegativeSampler, RawKg, SplitKind, SynthConfig, TestMix,
+        generate, DatasetProfile, DatasetStats, DekgDataset, LinkClass, MixRatio, NegativeSampler,
+        RawKg, SplitKind, SynthConfig, TestMix,
     };
-    pub use dekg_eval::{
-        evaluate, EvalResult, Metrics, PredictionTask, ProtocolConfig, Table,
-    };
+    pub use dekg_eval::{evaluate, EvalResult, Metrics, PredictionTask, ProtocolConfig, Table};
     pub use dekg_kg::{
-        Adjacency, ComponentTable, EntityId, ExtractionMode, KnowledgeGraph, RelationId,
-        Subgraph, SubgraphExtractor, Triple, TripleStore, Vocab,
+        Adjacency, ComponentTable, EntityId, ExtractionMode, KnowledgeGraph, RelationId, Subgraph,
+        SubgraphExtractor, Triple, TripleStore, Vocab,
     };
 }
 

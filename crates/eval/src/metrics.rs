@@ -92,11 +92,7 @@ impl RankAccumulator {
         let n = self.count as f64;
         Metrics {
             mrr: self.reciprocal_sum / n,
-            hits: [
-                self.hit_counts[0] / n,
-                self.hit_counts[1] / n,
-                self.hit_counts[2] / n,
-            ],
+            hits: [self.hit_counts[0] / n, self.hit_counts[1] / n, self.hit_counts[2] / n],
             count: self.count,
         }
     }
@@ -152,9 +148,9 @@ mod tests {
         let mut b = RankAccumulator::new();
         for (i, &r) in ranks.iter().enumerate() {
             if i % 2 == 0 {
-                a.push(r)
+                a.push(r);
             } else {
-                b.push(r)
+                b.push(r);
             }
         }
         a.merge(&b);

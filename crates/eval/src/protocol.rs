@@ -66,14 +66,8 @@ impl ProtocolConfig {
     /// A CPU-friendly configuration: 50 sampled candidates, all tasks,
     /// as many threads as available (capped at 8).
     pub fn sampled(num_candidates: usize) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get().min(8))
-            .unwrap_or(1);
-        ProtocolConfig {
-            num_candidates: Some(num_candidates),
-            threads,
-            ..Self::default()
-        }
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
+        ProtocolConfig { num_candidates: Some(num_candidates), threads, ..Self::default() }
     }
 }
 
@@ -104,12 +98,7 @@ pub fn evaluate(
     cfg: &ProtocolConfig,
 ) -> EvalResult {
     let mut filter = graph.store.clone();
-    for t in dataset
-        .valid
-        .iter()
-        .chain(&dataset.test_enclosing)
-        .chain(&dataset.test_bridging)
-    {
+    for t in dataset.valid.iter().chain(&dataset.test_enclosing).chain(&dataset.test_bridging) {
         filter.insert(*t);
     }
     evaluate_with_filter(model, graph, &filter, &mix.links, cfg)
@@ -183,12 +172,7 @@ pub fn evaluate_with_filter(
         overall: overall.finish(),
         enclosing: enclosing.finish(),
         bridging: bridging.finish(),
-        by_task: cfg
-            .tasks
-            .iter()
-            .zip(&per_task)
-            .map(|(&t, acc)| (t, acc.finish()))
-            .collect(),
+        by_task: cfg.tasks.iter().zip(&per_task).map(|(&t, acc)| (t, acc.finish())).collect(),
     }
 }
 
@@ -208,10 +192,7 @@ mod tests {
             "oracle"
         }
         fn score_batch(&self, _graph: &InferenceGraph, triples: &[Triple]) -> Vec<f32> {
-            triples
-                .iter()
-                .map(|t| if self.truths.contains(t) { 1.0 } else { 0.0 })
-                .collect()
+            triples.iter().map(|t| if self.truths.contains(t) { 1.0 } else { 0.0 }).collect()
         }
         fn num_parameters(&self) -> usize {
             0
@@ -325,20 +306,10 @@ mod tests {
         assert_eq!(task_total, result.overall.count);
         // Tiny dataset → few relations → the constant model's relation
         // task has far better (tie-averaged) MRR than entity tasks.
-        let rel_mrr = result
-            .by_task
-            .iter()
-            .find(|(t, _)| *t == PredictionTask::Relation)
-            .unwrap()
-            .1
-            .mrr;
-        let head_mrr = result
-            .by_task
-            .iter()
-            .find(|(t, _)| *t == PredictionTask::Head)
-            .unwrap()
-            .1
-            .mrr;
+        let rel_mrr =
+            result.by_task.iter().find(|(t, _)| *t == PredictionTask::Relation).unwrap().1.mrr;
+        let head_mrr =
+            result.by_task.iter().find(|(t, _)| *t == PredictionTask::Head).unwrap().1.mrr;
         assert!(rel_mrr > head_mrr, "{rel_mrr} vs {head_mrr}");
     }
 
@@ -347,12 +318,8 @@ mod tests {
         let d = dataset();
         let graph = InferenceGraph::from_dataset(&d);
         let mix = TestMix::build(&d, MixRatio { enclosing: 1, bridging: 1 });
-        let cfg = ProtocolConfig {
-            num_candidates: Some(10),
-            threads: 2,
-            seed: 3,
-            ..Default::default()
-        };
+        let cfg =
+            ProtocolConfig { num_candidates: Some(10), threads: 2, seed: 3, ..Default::default() };
         let a = evaluate(&Constant, &graph, &d, &mix, &cfg);
         let b = evaluate(&Constant, &graph, &d, &mix, &cfg);
         assert_eq!(a.overall, b.overall);

@@ -99,14 +99,8 @@ pub fn filtered_rank(
     sample: Option<usize>,
     rng: &mut impl Rng,
 ) -> f64 {
-    let candidates = filtered_candidates(
-        query,
-        graph.num_entities,
-        graph.num_relations,
-        filter,
-        sample,
-        rng,
-    );
+    let candidates =
+        filtered_candidates(query, graph.num_entities, graph.num_relations, filter, sample, rng);
     let truth = query.truth();
     // One batch: the truth first, then all candidates.
     let mut batch = Vec::with_capacity(candidates.len() + 1);
@@ -143,14 +137,7 @@ mod tests {
         let truth = Triple::from_raw(0, 0, 1);
         let filter = TripleStore::from_triples([Triple::from_raw(2, 0, 1)]);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let cands = filtered_candidates(
-            &RankQuery::Head(truth),
-            5,
-            1,
-            &filter,
-            None,
-            &mut rng,
-        );
+        let cands = filtered_candidates(&RankQuery::Head(truth), 5, 1, &filter, None, &mut rng);
         // Heads 0 (truth) and 2 (filtered) removed → 1, 3, 4 remain.
         assert_eq!(cands.len(), 3);
         assert!(!cands.contains(&truth));
@@ -162,14 +149,8 @@ mod tests {
         let truth = Triple::from_raw(0, 2, 1);
         let filter = TripleStore::new();
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let cands = filtered_candidates(
-            &RankQuery::Relation(truth),
-            10,
-            4,
-            &filter,
-            None,
-            &mut rng,
-        );
+        let cands =
+            filtered_candidates(&RankQuery::Relation(truth), 10, 4, &filter, None, &mut rng);
         assert_eq!(cands.len(), 3); // relations 0,1,3
         assert!(cands.iter().all(|c| c.head == truth.head && c.tail == truth.tail));
     }
@@ -179,14 +160,8 @@ mod tests {
         let truth = Triple::from_raw(0, 0, 1);
         let filter = TripleStore::new();
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let cands = filtered_candidates(
-            &RankQuery::Tail(truth),
-            1000,
-            1,
-            &filter,
-            Some(20),
-            &mut rng,
-        );
+        let cands =
+            filtered_candidates(&RankQuery::Tail(truth), 1000, 1, &filter, Some(20), &mut rng);
         assert_eq!(cands.len(), 20);
     }
 

@@ -169,8 +169,11 @@ mod tests {
             Triple::from_raw(2, 0, 3),
         ]);
         let adj = Adjacency::from_store(&store, 4);
-        SubgraphExtractor::new(&adj, 2, ExtractionMode::Union)
-            .extract(EntityId(0), EntityId(3), None)
+        SubgraphExtractor::new(&adj, 2, ExtractionMode::Union).extract(
+            EntityId(0),
+            EntityId(3),
+            None,
+        )
     }
 
     fn tiny_cfg() -> SubgraphEncoderConfig {

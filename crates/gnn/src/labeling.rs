@@ -44,17 +44,11 @@ pub fn node_features(sg: &Subgraph, hops: u32, _mode: LabelingMode) -> Tensor {
         let (dh, dt) = sg.label(u);
         let row = &mut data[u * 2 * width..(u + 1) * 2 * width];
         if dh >= 0 {
-            assert!(
-                (dh as u32) <= hops,
-                "distance {dh} exceeds labeling bound {hops}"
-            );
+            assert!((dh as u32) <= hops, "distance {dh} exceeds labeling bound {hops}");
             row[dh as usize] = 1.0;
         }
         if dt >= 0 {
-            assert!(
-                (dt as u32) <= hops,
-                "distance {dt} exceeds labeling bound {hops}"
-            );
+            assert!((dt as u32) <= hops, "distance {dt} exceeds labeling bound {hops}");
             row[width + dt as usize] = 1.0;
         }
     }
@@ -96,8 +90,11 @@ mod tests {
         let store =
             TripleStore::from_triples([Triple::from_raw(0, 0, 1), Triple::from_raw(2, 0, 3)]);
         let adj = Adjacency::from_store(&store, 4);
-        let sg = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union)
-            .extract(EntityId(0), EntityId(2), None);
+        let sg = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union).extract(
+            EntityId(0),
+            EntityId(2),
+            None,
+        );
         let f = node_features(&sg, 2, LabelingMode::Improved);
         // Head (local 0): one-hot(0) from head, all-zero from tail.
         let w = 3;

@@ -181,10 +181,8 @@ impl RgcnLayer {
             let ones_row = g.constant(Tensor::ones([1, self.cfg.out_dim]));
 
             for (rel, edge_ids) in &by_rel {
-                let srcs: Vec<usize> =
-                    edge_ids.iter().map(|&i| sg.edges[i].src as usize).collect();
-                let dsts: Vec<usize> =
-                    edge_ids.iter().map(|&i| sg.edges[i].dst as usize).collect();
+                let srcs: Vec<usize> = edge_ids.iter().map(|&i| sg.edges[i].src as usize).collect();
+                let dsts: Vec<usize> = edge_ids.iter().map(|&i| sg.edges[i].dst as usize).collect();
                 let n_e = edge_ids.len();
 
                 let w_r = self.relation_weight(g, mounted, *rel);
@@ -259,8 +257,11 @@ mod tests {
             Triple::from_raw(2, 0, 0),
         ]);
         let adj = Adjacency::from_store(&store, 3);
-        SubgraphExtractor::new(&adj, 2, ExtractionMode::Union)
-            .extract(EntityId(0), EntityId(2), None)
+        SubgraphExtractor::new(&adj, 2, ExtractionMode::Union).extract(
+            EntityId(0),
+            EntityId(2),
+            None,
+        )
     }
 
     fn cfg(bases: Option<usize>) -> RgcnLayerConfig {
@@ -305,12 +306,7 @@ mod tests {
         };
         RgcnLayer::new(big.clone(), "l", &mut full, &mut rng);
         let mut based = ParamStore::new();
-        RgcnLayer::new(
-            RgcnLayerConfig { num_bases: Some(4), ..big },
-            "l",
-            &mut based,
-            &mut rng,
-        );
+        RgcnLayer::new(RgcnLayerConfig { num_bases: Some(4), ..big }, "l", &mut based, &mut rng);
         assert!(based.num_scalars() < full.num_scalars());
     }
 
@@ -319,8 +315,11 @@ mod tests {
         // Bridging link between two isolated entities.
         let store = TripleStore::from_triples([Triple::from_raw(3, 0, 4)]);
         let adj = Adjacency::from_store(&store, 5);
-        let sg = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union)
-            .extract(EntityId(0), EntityId(1), None);
+        let sg = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union).extract(
+            EntityId(0),
+            EntityId(1),
+            None,
+        );
         assert_eq!(sg.num_edges(), 0);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let mut ps = ParamStore::new();
@@ -392,7 +391,7 @@ mod tests {
                 let (fm, _) = loss_of(&ps);
                 ps.get_mut(id).data_mut()[i] = orig;
                 let numeric = (fp - fm) / (2.0 * eps);
-                let a = analytic.get(id).map(|g| g.data()[i]).unwrap_or(0.0);
+                let a = analytic.get(id).map_or(0.0, |g| g.data()[i]);
                 // relu kinks make a few coordinates noisy; tolerate a
                 // generous relative error but catch sign/major errors.
                 assert!(

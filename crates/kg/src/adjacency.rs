@@ -62,30 +62,21 @@ impl Adjacency {
             offsets[i + 1] = offsets[i] + counts[i];
         }
         let total = offsets[num_entities] as usize;
-        let mut entries = vec![
-            Neighbor {
-                entity: EntityId(0),
-                rel: RelationId(0),
-                orientation: Orientation::Out
-            };
-            total
-        ];
+        let mut entries =
+            vec![
+                Neighbor { entity: EntityId(0), rel: RelationId(0), orientation: Orientation::Out };
+                total
+            ];
         let mut cursor: Vec<u32> = offsets[..num_entities].to_vec();
         for t in store.triples() {
             let h = t.head.index();
-            entries[cursor[h] as usize] = Neighbor {
-                entity: t.tail,
-                rel: t.rel,
-                orientation: Orientation::Out,
-            };
+            entries[cursor[h] as usize] =
+                Neighbor { entity: t.tail, rel: t.rel, orientation: Orientation::Out };
             cursor[h] += 1;
             if !t.is_loop() {
                 let ta = t.tail.index();
-                entries[cursor[ta] as usize] = Neighbor {
-                    entity: t.head,
-                    rel: t.rel,
-                    orientation: Orientation::In,
-                };
+                entries[cursor[ta] as usize] =
+                    Neighbor { entity: t.head, rel: t.rel, orientation: Orientation::In };
                 cursor[ta] += 1;
             }
         }

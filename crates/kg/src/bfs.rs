@@ -72,8 +72,7 @@ mod tests {
 
     fn line_graph(n: u32) -> Adjacency {
         // 0 - 1 - 2 - ... - (n-1)
-        let store =
-            TripleStore::from_triples((0..n - 1).map(|i| Triple::from_raw(i, 0, i + 1)));
+        let store = TripleStore::from_triples((0..n - 1).map(|i| Triple::from_raw(i, 0, i + 1)));
         Adjacency::from_store(&store, n as usize)
     }
 
@@ -124,10 +123,8 @@ mod tests {
     #[test]
     fn direction_is_ignored() {
         // Edges all point *into* node 0; BFS still crosses them.
-        let store = TripleStore::from_triples([
-            Triple::from_raw(1, 0, 0),
-            Triple::from_raw(2, 0, 1),
-        ]);
+        let store =
+            TripleStore::from_triples([Triple::from_raw(1, 0, 0), Triple::from_raw(2, 0, 1)]);
         let adj = Adjacency::from_store(&store, 3);
         let d = bounded_distances(&adj, EntityId(0), 5, None);
         assert_eq!(d, vec![0, 1, 2]);
@@ -143,10 +140,8 @@ mod tests {
     #[test]
     fn disconnected_components_unreached() {
         // 0 - 1 and 2 - 3 in separate components (the DEKG scenario).
-        let store = TripleStore::from_triples([
-            Triple::from_raw(0, 0, 1),
-            Triple::from_raw(2, 0, 3),
-        ]);
+        let store =
+            TripleStore::from_triples([Triple::from_raw(0, 0, 1), Triple::from_raw(2, 0, 3)]);
         let adj = Adjacency::from_store(&store, 4);
         let d = bounded_distances(&adj, EntityId(0), 10, None);
         assert_eq!(d[2], UNREACHED);

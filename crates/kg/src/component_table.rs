@@ -44,10 +44,7 @@ impl ComponentRow {
 
     /// The count `a_i^k` for relation `k` (0 when absent).
     pub fn count(&self, r: RelationId) -> u32 {
-        self.entries
-            .binary_search_by_key(&r, |&(rel, _)| rel)
-            .map(|i| self.entries[i].1)
-            .unwrap_or(0)
+        self.entries.binary_search_by_key(&r, |&(rel, _)| rel).map_or(0, |i| self.entries[i].1)
     }
 
     /// Sets the count for a relation (removing the entry when 0).

@@ -40,11 +40,7 @@ impl KnowledgeGraph {
 
     /// Checks a fact by names; `false` when any name is unknown.
     pub fn has_fact(&self, head: &str, rel: &str, tail: &str) -> bool {
-        match (
-            self.vocab.entity(head),
-            self.vocab.relation(rel),
-            self.vocab.entity(tail),
-        ) {
+        match (self.vocab.entity(head), self.vocab.relation(rel), self.vocab.entity(tail)) {
             (Some(h), Some(r), Some(t)) => self.store.contains(&Triple::new(h, r, t)),
             _ => false,
         }

@@ -48,10 +48,7 @@ impl From<io::Error> for ParseError {
 /// Parses TSV triples from a reader, interning into `vocab`.
 ///
 /// Blank lines and lines starting with `#` are skipped.
-pub fn read_triples(
-    reader: impl Read,
-    vocab: &mut Vocab,
-) -> Result<TripleStore, ParseError> {
+pub fn read_triples(reader: impl Read, vocab: &mut Vocab) -> Result<TripleStore, ParseError> {
     let mut store = TripleStore::new();
     let buf = BufReader::new(reader);
     for (i, line) in buf.lines().enumerate() {
@@ -61,11 +58,10 @@ pub fn read_triples(
             continue;
         }
         let mut fields = trimmed.split('\t');
-        let (h, r, t) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
-            (Some(h), Some(r), Some(t), None) => (h, r, t),
-            _ => {
-                return Err(ParseError::BadLine { line: i + 1, content: trimmed.to_owned() })
-            }
+        let (Some(h), Some(r), Some(t), None) =
+            (fields.next(), fields.next(), fields.next(), fields.next())
+        else {
+            return Err(ParseError::BadLine { line: i + 1, content: trimmed.to_owned() });
         };
         let head = vocab.intern_entity(h);
         let rel = vocab.intern_relation(r);
@@ -76,20 +72,13 @@ pub fn read_triples(
 }
 
 /// Loads a TSV triple file from disk.
-pub fn load_triples(
-    path: impl AsRef<Path>,
-    vocab: &mut Vocab,
-) -> Result<TripleStore, ParseError> {
+pub fn load_triples(path: impl AsRef<Path>, vocab: &mut Vocab) -> Result<TripleStore, ParseError> {
     let file = std::fs::File::open(path)?;
     read_triples(file, vocab)
 }
 
 /// Writes triples as TSV using the vocabulary's names.
-pub fn write_triples(
-    store: &TripleStore,
-    vocab: &Vocab,
-    mut writer: impl Write,
-) -> io::Result<()> {
+pub fn write_triples(store: &TripleStore, vocab: &Vocab, mut writer: impl Write) -> io::Result<()> {
     let mut line = String::new();
     for t in store.triples() {
         line.clear();
@@ -148,8 +137,7 @@ mod tests {
     #[test]
     fn write_read_roundtrip() {
         let mut vocab = Vocab::new();
-        let store =
-            read_triples("x\tp\ty\ny\tq\tz\n".as_bytes(), &mut vocab).unwrap();
+        let store = read_triples("x\tp\ty\ny\tq\tz\n".as_bytes(), &mut vocab).unwrap();
         let mut out = Vec::new();
         write_triples(&store, &vocab, &mut out).unwrap();
         let mut vocab2 = Vocab::new();

@@ -33,12 +33,7 @@ pub struct TwoPath {
 ///
 /// Deterministic: neighbors are walked in adjacency order. Self-loops
 /// are allowed as atoms; paths ending back at `x` are skipped.
-pub fn walk_two_paths(
-    adj: &Adjacency,
-    x: EntityId,
-    budget: usize,
-    mut visit: impl FnMut(TwoPath),
-) {
+pub fn walk_two_paths(adj: &Adjacency, x: EntityId, budget: usize, mut visit: impl FnMut(TwoPath)) {
     let mut remaining = budget;
     for n1 in adj.neighbors(x) {
         let z = n1.entity;
@@ -123,10 +118,7 @@ mod tests {
         let adj = Adjacency::from_store(&store, 3);
         let mut found = Vec::new();
         walk_two_paths(&adj, EntityId(0), 100, |p| found.push(p));
-        let hit = found
-            .iter()
-            .find(|p| p.end == EntityId(2))
-            .expect("path 0 ~ 1 ~ 2 must exist");
+        let hit = found.iter().find(|p| p.end == EntityId(2)).expect("path 0 ~ 1 ~ 2 must exist");
         assert!(hit.rev1, "first atom is traversed against direction");
         assert!(!hit.rev2);
     }
@@ -159,12 +151,7 @@ mod tests {
 
     #[test]
     fn counting_matches_enumeration() {
-        let store = TripleStore::from_triples([
-            t(0, 0, 1),
-            t(1, 1, 2),
-            t(0, 0, 3),
-            t(3, 1, 2),
-        ]);
+        let store = TripleStore::from_triples([t(0, 0, 1), t(1, 1, 2), t(0, 0, 3), t(3, 1, 2)]);
         let adj = Adjacency::from_store(&store, 4);
         // Two (r0, fwd)(r1, fwd) paths from 0 to 2: via 1 and via 3.
         let n = count_two_paths_between(

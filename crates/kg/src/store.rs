@@ -73,37 +73,24 @@ impl TripleStore {
 
     /// Triples whose head is `e`.
     pub fn with_head(&self, e: EntityId) -> impl Iterator<Item = Triple> + '_ {
-        self.by_head
-            .get(&e)
-            .into_iter()
-            .flatten()
-            .map(|&i| self.triples[i as usize])
+        self.by_head.get(&e).into_iter().flatten().map(|&i| self.triples[i as usize])
     }
 
     /// Triples whose tail is `e`.
     pub fn with_tail(&self, e: EntityId) -> impl Iterator<Item = Triple> + '_ {
-        self.by_tail
-            .get(&e)
-            .into_iter()
-            .flatten()
-            .map(|&i| self.triples[i as usize])
+        self.by_tail.get(&e).into_iter().flatten().map(|&i| self.triples[i as usize])
     }
 
     /// Triples touching `e` on either side (head triples first).
     pub fn touching(&self, e: EntityId) -> impl Iterator<Item = Triple> + '_ {
         self.with_head(e).chain(
-            self.with_tail(e)
-                .filter(move |t| !t.is_loop()), // loops already yielded by with_head
+            self.with_tail(e).filter(move |t| !t.is_loop()), // loops already yielded by with_head
         )
     }
 
     /// Triples with relation `r`.
     pub fn with_relation(&self, r: RelationId) -> impl Iterator<Item = Triple> + '_ {
-        self.by_relation
-            .get(&r)
-            .into_iter()
-            .flatten()
-            .map(|&i| self.triples[i as usize])
+        self.by_relation.get(&r).into_iter().flatten().map(|&i| self.triples[i as usize])
     }
 
     /// Degree of `e` counting both directions (loops count once).

@@ -141,12 +141,7 @@ impl<'a> SubgraphExtractor<'a> {
     /// triple during training so the model cannot read the answer off
     /// the graph. Both endpoints are always retained, even when
     /// completely isolated (the bridging-link case).
-    pub fn extract(
-        &self,
-        head: EntityId,
-        tail: EntityId,
-        exclude: Option<Triple>,
-    ) -> Subgraph {
+    pub fn extract(&self, head: EntityId, tail: EntityId, exclude: Option<Triple>) -> Subgraph {
         let dist_h = bounded_distances(self.adj, head, self.hops, Some(tail));
         let dist_t = bounded_distances(self.adj, tail, self.hops, Some(head));
 
@@ -216,12 +211,7 @@ mod tests {
     /// Two components: {0,1,2,3} chained and {4,5} chained — a DEKG-like
     /// layout where (0, r, 4) would be a bridging link.
     fn two_component_graph() -> (TripleStore, Adjacency) {
-        let store = TripleStore::from_triples([
-            t(0, 0, 1),
-            t(1, 0, 2),
-            t(2, 0, 3),
-            t(4, 1, 5),
-        ]);
+        let store = TripleStore::from_triples([t(0, 0, 1), t(1, 0, 2), t(2, 0, 3), t(4, 1, 5)]);
         let adj = Adjacency::from_store(&store, 6);
         (store, adj)
     }
@@ -286,10 +276,7 @@ mod tests {
         let with = ex.extract(EntityId(0), EntityId(1), None);
         let without = ex.extract(EntityId(0), EntityId(1), Some(t(0, 0, 1)));
         assert_eq!(with.num_edges(), without.num_edges() + 1);
-        assert!(!without
-            .edges
-            .iter()
-            .any(|e| e.src == 0 && e.dst == 1 && e.rel == RelationId(0)));
+        assert!(!without.edges.iter().any(|e| e.src == 0 && e.dst == 1 && e.rel == RelationId(0)));
     }
 
     #[test]

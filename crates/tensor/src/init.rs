@@ -82,8 +82,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let t = normal([10_000], 1.0, 2.0, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
-            / t.numel() as f32;
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.numel() as f32;
         assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

@@ -7,8 +7,8 @@
 
 /// `out[i] = a[i] + b[i]`.
 pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
-    debug_assert_eq!(a.len(), b.len());
-    debug_assert_eq!(a.len(), out.len());
+    debug_assert_eq!(a.len(), b.len(), "add: operand lengths differ");
+    debug_assert_eq!(a.len(), out.len(), "add: output length differs from operands");
     for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
         *o = x + y;
     }
@@ -16,7 +16,7 @@ pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
 
 /// `out[i] += a[i]` — gradient accumulation.
 pub fn add_assign(out: &mut [f32], a: &[f32]) {
-    debug_assert_eq!(a.len(), out.len());
+    debug_assert_eq!(a.len(), out.len(), "add_assign: accumulator length differs from input");
     for (o, &x) in out.iter_mut().zip(a) {
         *o += x;
     }
@@ -24,7 +24,7 @@ pub fn add_assign(out: &mut [f32], a: &[f32]) {
 
 /// `out[i] += s * a[i]`.
 pub fn axpy(s: f32, a: &[f32], out: &mut [f32]) {
-    debug_assert_eq!(a.len(), out.len());
+    debug_assert_eq!(a.len(), out.len(), "axpy: accumulator length differs from input");
     for (o, &x) in out.iter_mut().zip(a) {
         *o += s * x;
     }
@@ -32,7 +32,8 @@ pub fn axpy(s: f32, a: &[f32], out: &mut [f32]) {
 
 /// `out[i] = a[i] * b[i]`.
 pub fn mul(a: &[f32], b: &[f32], out: &mut [f32]) {
-    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), b.len(), "mul: operand lengths differ");
+    debug_assert_eq!(a.len(), out.len(), "mul: output length differs from operands");
     for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
         *o = x * y;
     }
@@ -40,7 +41,8 @@ pub fn mul(a: &[f32], b: &[f32], out: &mut [f32]) {
 
 /// `out[i] += a[i] * b[i]` — fused multiply-accumulate.
 pub fn mul_acc(a: &[f32], b: &[f32], out: &mut [f32]) {
-    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), b.len(), "mul_acc: operand lengths differ");
+    debug_assert_eq!(a.len(), out.len(), "mul_acc: output length differs from operands");
     for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
         *o += x * y;
     }
@@ -51,9 +53,9 @@ pub fn mul_acc(a: &[f32], b: &[f32], out: &mut [f32]) {
 /// Loop order (m, k, n) keeps the inner loop streaming over contiguous
 /// rows of `b` and `c`, which the compiler auto-vectorizes.
 pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
+    debug_assert_eq!(a.len(), m * k, "matmul: lhs is not [{m}, {k}]");
+    debug_assert_eq!(b.len(), k * n, "matmul: rhs is not [{k}, {n}]");
+    debug_assert_eq!(c.len(), m * n, "matmul: output is not [{m}, {n}]");
     c.fill(0.0);
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
@@ -72,9 +74,9 @@ pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize)
 
 /// `c[m,n] += a[m,k] * b[k,n]` — accumulating variant for gradients.
 pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
+    debug_assert_eq!(a.len(), m * k, "matmul_acc: lhs is not [{m}, {k}]");
+    debug_assert_eq!(b.len(), k * n, "matmul_acc: rhs is not [{k}, {n}]");
+    debug_assert_eq!(c.len(), m * n, "matmul_acc: output is not [{m}, {n}]");
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
@@ -95,9 +97,9 @@ pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
 /// Used by matmul backward for the left operand without materializing a
 /// transpose.
 pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), k * m);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
+    debug_assert_eq!(a.len(), k * m, "matmul_at_b_acc: lhs is not [{k}, {m}]");
+    debug_assert_eq!(b.len(), k * n, "matmul_at_b_acc: rhs is not [{k}, {n}]");
+    debug_assert_eq!(c.len(), m * n, "matmul_at_b_acc: output is not [{m}, {n}]");
     for p in 0..k {
         let a_row = &a[p * m..(p + 1) * m];
         let b_row = &b[p * n..(p + 1) * n];
@@ -117,9 +119,9 @@ pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
 ///
 /// Used by matmul backward for the right operand.
 pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
-    debug_assert_eq!(c.len(), m * n);
+    debug_assert_eq!(a.len(), m * k, "matmul_a_bt_acc: lhs is not [{m}, {k}]");
+    debug_assert_eq!(b.len(), n * k, "matmul_a_bt_acc: rhs is not [{n}, {k}]");
+    debug_assert_eq!(c.len(), m * n, "matmul_a_bt_acc: output is not [{m}, {n}]");
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
@@ -136,8 +138,8 @@ pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
 
 /// Transposes a row-major `[m, n]` matrix into `out` as `[n, m]`.
 pub fn transpose(a: &[f32], out: &mut [f32], m: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * n);
-    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * n, "transpose: input is not [{m}, {n}]");
+    debug_assert_eq!(out.len(), m * n, "transpose: output cannot hold [{n}, {m}]");
     for i in 0..m {
         for j in 0..n {
             out[j * m + i] = a[i * n + j];
@@ -147,7 +149,7 @@ pub fn transpose(a: &[f32], out: &mut [f32], m: usize, n: usize) {
 
 /// Dot product.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), b.len(), "dot: operand lengths differ");
     a.iter().zip(b).map(|(&x, &y)| x * y).sum()
 }
 

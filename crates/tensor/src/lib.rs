@@ -39,6 +39,7 @@
 //! assert!(params.get(w).data()[0] < 1.0);
 //! ```
 
+pub mod check;
 pub mod init;
 pub mod kernels;
 pub mod optim;
@@ -48,6 +49,7 @@ pub mod shape;
 pub mod tape;
 pub mod tensor;
 
+pub use check::{Diagnostic, Severity, ShapeError, ShapeErrorKind};
 pub use params::{GradStore, ParamId, ParamStore};
 pub use shape::Shape;
 pub use tape::{Graph, Var};

@@ -54,10 +54,7 @@ impl Optimizer for Sgd {
             let value = params.get_mut(id);
             let data = value.data_mut();
             if self.momentum > 0.0 {
-                let vel = self
-                    .velocity
-                    .entry(id.index())
-                    .or_insert_with(|| vec![0.0; data.len()]);
+                let vel = self.velocity.entry(id.index()).or_insert_with(|| vec![0.0; data.len()]);
                 assert_eq!(vel.len(), data.len(), "parameter shape changed under optimizer");
                 for ((w, &g), v) in data.iter_mut().zip(grad.data()).zip(vel.iter_mut()) {
                     let g = g + self.weight_decay * *w;
@@ -133,14 +130,8 @@ impl Optimizer for Adam {
         for (id, grad) in grads.iter() {
             let value = params.get_mut(id);
             let data = value.data_mut();
-            let m = self
-                .m
-                .entry(id.index())
-                .or_insert_with(|| vec![0.0; data.len()]);
-            let v = self
-                .v
-                .entry(id.index())
-                .or_insert_with(|| vec![0.0; data.len()]);
+            let m = self.m.entry(id.index()).or_insert_with(|| vec![0.0; data.len()]);
+            let v = self.v.entry(id.index()).or_insert_with(|| vec![0.0; data.len()]);
             assert_eq!(m.len(), data.len(), "parameter shape changed under optimizer");
             for (((w, &g), m_i), v_i) in
                 data.iter_mut().zip(grad.data()).zip(m.iter_mut()).zip(v.iter_mut())
@@ -183,10 +174,7 @@ impl Optimizer for AdaGrad {
         for (id, grad) in grads.iter() {
             let value = params.get_mut(id);
             let data = value.data_mut();
-            let acc = self
-                .accum
-                .entry(id.index())
-                .or_insert_with(|| vec![0.0; data.len()]);
+            let acc = self.accum.entry(id.index()).or_insert_with(|| vec![0.0; data.len()]);
             for ((w, &g), a) in data.iter_mut().zip(grad.data()).zip(acc.iter_mut()) {
                 *a += g * g;
                 *w -= self.lr * g / (a.sqrt() + self.eps);

@@ -41,10 +41,7 @@ impl ParamStore {
     /// If `name` is already registered.
     pub fn insert(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         let name = name.into();
-        assert!(
-            !self.by_name.contains_key(&name),
-            "duplicate parameter name {name:?}"
-        );
+        assert!(!self.by_name.contains_key(&name), "duplicate parameter name {name:?}");
         let id = self.values.len();
         self.by_name.insert(name.clone(), id);
         self.names.push(name);
@@ -91,10 +88,7 @@ impl ParamStore {
 
     /// Iterates over `(id, name, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
-        self.values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+        self.values.iter().enumerate().map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
     }
 }
 
@@ -148,11 +142,7 @@ impl GradStore {
 
     /// Global L2 norm over all gradients.
     pub fn global_norm(&self) -> f32 {
-        self.grads
-            .values()
-            .map(|g| crate::kernels::norm_sq(g.data()))
-            .sum::<f32>()
-            .sqrt()
+        self.grads.values().map(|g| crate::kernels::norm_sq(g.data())).sum::<f32>().sqrt()
     }
 
     /// Scales all gradients so the global norm is at most `max_norm`.

@@ -96,9 +96,8 @@ pub fn decode(mut buf: &[u8]) -> Result<ParamStore, DecodeError> {
         if buf.remaining() < name_len {
             return Err(DecodeError::Truncated);
         }
-        let name = std::str::from_utf8(&buf[..name_len])
-            .map_err(|_| DecodeError::BadName)?
-            .to_owned();
+        let name =
+            std::str::from_utf8(&buf[..name_len]).map_err(|_| DecodeError::BadName)?.to_owned();
         buf.advance(name_len);
         if buf.remaining() < 4 {
             return Err(DecodeError::Truncated);

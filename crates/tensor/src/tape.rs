@@ -21,7 +21,14 @@ use rand::Rng;
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Var(usize);
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The node's arena index — matches [`crate::check::Diagnostic::node`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Sentinel index for [`Graph::gather_flat`]: positions carrying it read
 /// as `0.0` and receive no gradient. Used to zero-pad `im2col` patches.
@@ -29,7 +36,7 @@ pub const PAD: usize = usize::MAX;
 
 #[derive(Debug)]
 #[allow(dead_code)] // some payloads (e.g. the scalar in AddScalar) exist for Debug output only
-enum Op {
+pub(crate) enum Op {
     /// A leaf value; `Some(id)` when it is a trainable parameter.
     Leaf(Option<ParamId>),
     Add(Var, Var),
@@ -73,7 +80,11 @@ enum Op {
     /// Stack scalar vars into a rank-1 tensor.
     StackScalars(Vec<Var>),
     /// `out[idx[e], :] += src[e, :]` over `rows` output rows.
-    ScatterAddRows { src: Var, idx: Vec<usize>, rows: usize },
+    ScatterAddRows {
+        src: Var,
+        idx: Vec<usize>,
+        rows: usize,
+    },
     /// Repeat a rank-1 `[d]` input as `rows` identical rows: `[rows, d]`.
     BroadcastRow(Var, usize),
 }
@@ -128,6 +139,33 @@ impl Graph {
         self.nodes[v.0].needs_grad
     }
 
+    /// The recorded op of a node (linter access).
+    pub(crate) fn node_op(&self, v: Var) -> &Op {
+        &self.nodes[v.0].op
+    }
+
+    /// The recorded forward value of a node (linter access).
+    pub(crate) fn node_value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// True when `v` is a non-parameter leaf — a value the linter may
+    /// treat as provably constant.
+    pub(crate) fn is_constant(&self, v: Var) -> bool {
+        matches!(self.nodes[v.0].op, Op::Leaf(None))
+    }
+
+    /// Runs the centralized shape inference of [`crate::check`] for an
+    /// op about to be recorded, panicking with the typed
+    /// [`crate::check::ShapeError`]'s message on failure. This is the
+    /// single place eager construction validates shapes and indices.
+    fn expect_shape(&self, op: &Op, declared: Option<&Shape>) -> Shape {
+        match self.infer_shape(op, declared) {
+            Ok(shape) => shape,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
     // ---- leaves ----
 
     /// Mounts parameter `id` from `store` as a differentiable leaf.
@@ -149,38 +187,44 @@ impl Graph {
 
     /// Elementwise `a + b` (same shape).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let op = Op::Add(a, b);
+        self.expect_shape(&op, None);
         let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
         let ng = self.needs(a) || self.needs(b);
-        self.push(Op::Add(a, b), v, ng)
+        self.push(op, v, ng)
     }
 
     /// Elementwise `a - b` (same shape).
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let op = Op::Sub(a, b);
+        let shape = self.expect_shape(&op, None);
         let av = &self.nodes[a.0].value;
         let bv = &self.nodes[b.0].value;
-        assert!(av.shape().same_as(bv.shape()), "sub: {} vs {}", av.shape(), bv.shape());
         let data = av.data().iter().zip(bv.data()).map(|(&x, &y)| x - y).collect();
-        let v = Tensor::from_vec(av.shape().clone(), data);
+        let v = Tensor::from_vec(shape, data);
         let ng = self.needs(a) || self.needs(b);
-        self.push(Op::Sub(a, b), v, ng)
+        self.push(op, v, ng)
     }
 
     /// Elementwise `a * b` (same shape).
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let op = Op::Mul(a, b);
+        self.expect_shape(&op, None);
         let v = self.nodes[a.0].value.mul(&self.nodes[b.0].value);
         let ng = self.needs(a) || self.needs(b);
-        self.push(Op::Mul(a, b), v, ng)
+        self.push(op, v, ng)
     }
 
     /// Elementwise `a / b` (same shape).
     pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let op = Op::Div(a, b);
+        let shape = self.expect_shape(&op, None);
         let av = &self.nodes[a.0].value;
         let bv = &self.nodes[b.0].value;
-        assert!(av.shape().same_as(bv.shape()), "div: {} vs {}", av.shape(), bv.shape());
         let data = av.data().iter().zip(bv.data()).map(|(&x, &y)| x / y).collect();
-        let v = Tensor::from_vec(av.shape().clone(), data);
+        let v = Tensor::from_vec(shape, data);
         let ng = self.needs(a) || self.needs(b);
-        self.push(Op::Div(a, b), v, ng)
+        self.push(op, v, ng)
     }
 
     /// Elementwise negation.
@@ -206,9 +250,11 @@ impl Graph {
 
     /// Matrix product of rank-2 vars.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let op = Op::Matmul(a, b);
+        self.expect_shape(&op, None);
         let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
         let ng = self.needs(a) || self.needs(b);
-        self.push(Op::Matmul(a, b), v, ng)
+        self.push(op, v, ng)
     }
 
     // ---- structure ----
@@ -217,16 +263,17 @@ impl Graph {
     ///
     /// This is the embedding-lookup primitive; indices may repeat.
     pub fn gather_rows(&mut self, a: Var, idx: &[usize]) -> Var {
+        let op = Op::GatherRows(a, idx.to_vec());
+        let shape = self.expect_shape(&op, None);
         let av = &self.nodes[a.0].value;
-        let (rows, cols) = av.shape().as_matrix();
+        let (_, cols) = av.shape().as_matrix();
         let mut data = Vec::with_capacity(idx.len() * cols);
         for &i in idx {
-            assert!(i < rows, "gather_rows index {i} out of bounds for {rows} rows");
             data.extend_from_slice(av.row(i));
         }
-        let v = Tensor::from_vec(vec![idx.len(), cols], data);
+        let v = Tensor::from_vec(shape, data);
         let ng = self.needs(a);
-        self.push(Op::GatherRows(a, idx.to_vec()), v, ng)
+        self.push(op, v, ng)
     }
 
     /// Gathers arbitrary flat offsets of `a` into a tensor of `shape`.
@@ -239,84 +286,53 @@ impl Graph {
     /// bounds.
     pub fn gather_flat(&mut self, a: Var, idx: &[usize], shape: impl Into<Shape>) -> Var {
         let shape = shape.into();
-        assert_eq!(idx.len(), shape.numel(), "gather_flat: index/shape mismatch");
+        let op = Op::GatherFlat(a, idx.to_vec());
+        let shape = self.expect_shape(&op, Some(&shape));
         let av = self.nodes[a.0].value.data();
-        let data = idx
-            .iter()
-            .map(|&i| {
-                if i == PAD {
-                    0.0
-                } else {
-                    assert!(i < av.len(), "gather_flat offset {i} out of bounds");
-                    av[i]
-                }
-            })
-            .collect();
+        let data = idx.iter().map(|&i| if i == PAD { 0.0 } else { av[i] }).collect();
         let v = Tensor::from_vec(shape, data);
         let ng = self.needs(a);
-        self.push(Op::GatherFlat(a, idx.to_vec()), v, ng)
+        self.push(op, v, ng)
     }
 
     /// Reinterprets `a` under a new shape (same element count).
     pub fn reshape(&mut self, a: Var, shape: impl Into<Shape>) -> Var {
+        let shape = shape.into();
+        let op = Op::Reshape(a);
+        let shape = self.expect_shape(&op, Some(&shape));
         let v = self.nodes[a.0].value.clone().reshape(shape);
         let ng = self.needs(a);
-        self.push(Op::Reshape(a), v, ng)
+        self.push(op, v, ng)
     }
 
     /// Concatenates along axis 0. Rank-1 inputs concatenate into a longer
     /// rank-1; rank-2 inputs stack rows (equal column counts required).
     pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
-        assert!(!parts.is_empty(), "concat_rows on empty input");
-        let first = self.nodes[parts[0].0].value.shape().clone();
-        let v = if first.rank() == 1 {
-            let mut data = Vec::new();
-            for &p in parts {
-                let pv = &self.nodes[p.0].value;
-                assert_eq!(pv.shape().rank(), 1, "concat_rows: mixed ranks");
-                data.extend_from_slice(pv.data());
-            }
-            let n = data.len();
-            Tensor::from_vec(vec![n], data)
-        } else {
-            let (_, cols) = first.as_matrix();
-            let mut rows = 0;
-            let mut data = Vec::new();
-            for &p in parts {
-                let pv = &self.nodes[p.0].value;
-                let (r, c) = pv.shape().as_matrix();
-                assert_eq!(c, cols, "concat_rows: column mismatch");
-                rows += r;
-                data.extend_from_slice(pv.data());
-            }
-            Tensor::from_vec(vec![rows, cols], data)
-        };
+        let op = Op::ConcatRows(parts.to_vec());
+        let shape = self.expect_shape(&op, None);
+        let mut data = Vec::with_capacity(shape.numel());
+        for &p in parts {
+            data.extend_from_slice(self.nodes[p.0].value.data());
+        }
+        let v = Tensor::from_vec(shape, data);
         let ng = parts.iter().any(|&p| self.needs(p));
-        self.push(Op::ConcatRows(parts.to_vec()), v, ng)
+        self.push(op, v, ng)
     }
 
     /// Concatenates rank-2 inputs along axis 1 (equal row counts).
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
-        assert!(!parts.is_empty(), "concat_cols on empty input");
-        let (rows, _) = self.nodes[parts[0].0].value.shape().as_matrix();
-        let widths: Vec<usize> = parts
-            .iter()
-            .map(|&p| {
-                let (r, c) = self.nodes[p.0].value.shape().as_matrix();
-                assert_eq!(r, rows, "concat_cols: row mismatch");
-                c
-            })
-            .collect();
-        let total: usize = widths.iter().sum();
+        let op = Op::ConcatCols(parts.to_vec());
+        let shape = self.expect_shape(&op, None);
+        let (rows, total) = shape.as_matrix();
         let mut data = Vec::with_capacity(rows * total);
         for i in 0..rows {
             for &p in parts {
                 data.extend_from_slice(self.nodes[p.0].value.row(i));
             }
         }
-        let v = Tensor::from_vec(vec![rows, total], data);
+        let v = Tensor::from_vec(shape, data);
         let ng = parts.iter().any(|&p| self.needs(p));
-        self.push(Op::ConcatCols(parts.to_vec()), v, ng)
+        self.push(op, v, ng)
     }
 
     // ---- reductions ----
@@ -337,6 +353,8 @@ impl Graph {
 
     /// Column sums of a rank-2 var: `[m, n] -> [n]`.
     pub fn sum_axis0(&mut self, a: Var) -> Var {
+        let op = Op::SumAxis0(a);
+        self.expect_shape(&op, None);
         let av = &self.nodes[a.0].value;
         let (m, n) = av.shape().as_matrix();
         let mut out = vec![0.0; n];
@@ -344,20 +362,24 @@ impl Graph {
             kernels::add_assign(&mut out, av.row(i));
         }
         let ng = self.needs(a);
-        self.push(Op::SumAxis0(a), Tensor::from_vec(vec![n], out), ng)
+        self.push(op, Tensor::from_vec(vec![n], out), ng)
     }
 
     /// Row sums of a rank-2 var: `[m, n] -> [m]`.
     pub fn sum_axis1(&mut self, a: Var) -> Var {
+        let op = Op::SumAxis1(a);
+        self.expect_shape(&op, None);
         let av = &self.nodes[a.0].value;
         let (m, _n) = av.shape().as_matrix();
         let out: Vec<f32> = (0..m).map(|i| av.row(i).iter().sum()).collect();
         let ng = self.needs(a);
-        self.push(Op::SumAxis1(a), Tensor::from_vec(vec![m], out), ng)
+        self.push(op, Tensor::from_vec(vec![m], out), ng)
     }
 
     /// Column means of a rank-2 var: `[m, n] -> [n]`.
     pub fn mean_axis0(&mut self, a: Var) -> Var {
+        let op = Op::MeanAxis0(a);
+        self.expect_shape(&op, None);
         let av = &self.nodes[a.0].value;
         let (m, n) = av.shape().as_matrix();
         let mut out = vec![0.0; n];
@@ -369,7 +391,7 @@ impl Graph {
             *x *= inv;
         }
         let ng = self.needs(a);
-        self.push(Op::MeanAxis0(a), Tensor::from_vec(vec![n], out), ng)
+        self.push(op, Tensor::from_vec(vec![n], out), ng)
     }
 
     // ---- nonlinearities ----
@@ -454,9 +476,8 @@ impl Graph {
         let keep = 1.0 - rate;
         let scale = 1.0 / keep;
         let av = &self.nodes[a.0].value;
-        let mask: Vec<f32> = (0..av.numel())
-            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
-            .collect();
+        let mask: Vec<f32> =
+            (0..av.numel()).map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 }).collect();
         let data = av.data().iter().zip(&mask).map(|(&x, &m)| x * m).collect();
         let v = Tensor::from_vec(av.shape().clone(), data);
         let ng = self.needs(a);
@@ -467,18 +488,11 @@ impl Graph {
 
     /// Stacks scalar vars into a rank-1 tensor `[parts.len()]`.
     pub fn stack_scalars(&mut self, parts: &[Var]) -> Var {
-        assert!(!parts.is_empty(), "stack_scalars on empty input");
-        let data: Vec<f32> = parts
-            .iter()
-            .map(|&p| {
-                let pv = &self.nodes[p.0].value;
-                assert_eq!(pv.numel(), 1, "stack_scalars: non-scalar input {}", pv.shape());
-                pv.data()[0]
-            })
-            .collect();
-        let n = data.len();
+        let op = Op::StackScalars(parts.to_vec());
+        let shape = self.expect_shape(&op, None);
+        let data: Vec<f32> = parts.iter().map(|&p| self.nodes[p.0].value.data()[0]).collect();
         let ng = parts.iter().any(|&p| self.needs(p));
-        self.push(Op::StackScalars(parts.to_vec()), Tensor::from_vec(vec![n], data), ng)
+        self.push(op, Tensor::from_vec(shape, data), ng)
     }
 
     /// Row scatter-add: output has `rows` rows; row `idx[e]` accumulates
@@ -488,29 +502,28 @@ impl Graph {
     /// If `idx.len()` differs from `src`'s row count or any index is out
     /// of bounds.
     pub fn scatter_add_rows(&mut self, src: Var, idx: &[usize], rows: usize) -> Var {
+        let op = Op::ScatterAddRows { src, idx: idx.to_vec(), rows };
+        let shape = self.expect_shape(&op, None);
         let sv = &self.nodes[src.0].value;
-        let (e, cols) = sv.shape().as_matrix();
-        assert_eq!(idx.len(), e, "scatter_add_rows: index count mismatch");
-        let mut out = Tensor::zeros([rows, cols]);
+        let mut out = Tensor::zeros(shape);
         for (r, &target) in idx.iter().enumerate() {
-            assert!(target < rows, "scatter_add_rows target {target} out of bounds");
             kernels::add_assign(out.row_mut(target), sv.row(r));
         }
         let ng = self.needs(src);
-        self.push(Op::ScatterAddRows { src, idx: idx.to_vec(), rows }, out, ng)
+        self.push(op, out, ng)
     }
 
     /// Repeats a rank-1 `[d]` var into `[rows, d]`.
     pub fn broadcast_row(&mut self, a: Var, rows: usize) -> Var {
+        let op = Op::BroadcastRow(a, rows);
+        let shape = self.expect_shape(&op, None);
         let av = &self.nodes[a.0].value;
-        assert_eq!(av.shape().rank(), 1, "broadcast_row expects rank-1, got {}", av.shape());
-        let d = av.numel();
-        let mut data = Vec::with_capacity(rows * d);
+        let mut data = Vec::with_capacity(shape.numel());
         for _ in 0..rows {
             data.extend_from_slice(av.data());
         }
         let ng = self.needs(a);
-        self.push(Op::BroadcastRow(a, rows), Tensor::from_vec(vec![rows, d], data), ng)
+        self.push(op, Tensor::from_vec(shape, data), ng)
     }
 
     // ---- composites ----
@@ -561,11 +574,15 @@ impl Graph {
             "backward() needs a scalar loss, got {}",
             self.nodes[loss.0].value.shape()
         );
+        // In debug builds, lint the tape's structural invariants before
+        // sweeping so corruption fails loudly at its origin node rather
+        // than as garbage gradients. Release builds skip this.
+        #[cfg(debug_assertions)]
+        if let Some(d) = self.structural_diagnostics(loss).first() {
+            panic!("tape linter: {d}");
+        }
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
-        grads[loss.0] = Some(Tensor::from_vec(
-            self.nodes[loss.0].value.shape().clone(),
-            vec![1.0],
-        ));
+        grads[loss.0] = Some(Tensor::from_vec(self.nodes[loss.0].value.shape().clone(), vec![1.0]));
 
         let mut store = GradStore::new();
         for id in (0..=loss.0).rev() {
@@ -630,12 +647,7 @@ impl Graph {
             Op::Div(a, b) => {
                 let bv = &self.nodes[b.0].value;
                 if self.needs(*a) {
-                    let d = grad
-                        .data()
-                        .iter()
-                        .zip(bv.data())
-                        .map(|(&g, &y)| g / y)
-                        .collect();
+                    let d = grad.data().iter().zip(bv.data()).map(|(&g, &y)| g / y).collect();
                     self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
                 }
                 if self.needs(*b) {
@@ -699,11 +711,7 @@ impl Graph {
                     let n = pv.numel();
                     if self.needs(p) {
                         let slice = grad.data()[off..off + n].to_vec();
-                        self.accum_owned(
-                            grads,
-                            p,
-                            Tensor::from_vec(pv.shape().clone(), slice),
-                        );
+                        self.accum_owned(grads, p, Tensor::from_vec(pv.shape().clone(), slice));
                     }
                     off += n;
                 }
@@ -717,8 +725,7 @@ impl Graph {
                     if self.needs(p) {
                         let mut dp = Tensor::zeros([rows, c]);
                         for i in 0..rows {
-                            dp.row_mut(i)
-                                .copy_from_slice(&grad.row(i)[col_off..col_off + c]);
+                            dp.row_mut(i).copy_from_slice(&grad.row(i)[col_off..col_off + c]);
                         }
                         self.accum_owned(grads, p, dp);
                     }
@@ -778,22 +785,14 @@ impl Graph {
             }
             Op::Sigmoid(a) => {
                 let yv = &node.value;
-                let d = grad
-                    .data()
-                    .iter()
-                    .zip(yv.data())
-                    .map(|(&g, &y)| g * y * (1.0 - y))
-                    .collect();
+                let d =
+                    grad.data().iter().zip(yv.data()).map(|(&g, &y)| g * y * (1.0 - y)).collect();
                 self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
             }
             Op::Tanh(a) => {
                 let yv = &node.value;
-                let d = grad
-                    .data()
-                    .iter()
-                    .zip(yv.data())
-                    .map(|(&g, &y)| g * (1.0 - y * y))
-                    .collect();
+                let d =
+                    grad.data().iter().zip(yv.data()).map(|(&g, &y)| g * (1.0 - y * y)).collect();
                 self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
             }
             Op::Sqrt(a) => {
@@ -808,52 +807,27 @@ impl Graph {
             }
             Op::Exp(a) => {
                 let yv = &node.value;
-                let d = grad
-                    .data()
-                    .iter()
-                    .zip(yv.data())
-                    .map(|(&g, &y)| g * y)
-                    .collect();
+                let d = grad.data().iter().zip(yv.data()).map(|(&g, &y)| g * y).collect();
                 self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
             }
             Op::Ln(a) => {
                 let av = &self.nodes[a.0].value;
-                let d = grad
-                    .data()
-                    .iter()
-                    .zip(av.data())
-                    .map(|(&g, &x)| g / x)
-                    .collect();
+                let d = grad.data().iter().zip(av.data()).map(|(&g, &x)| g / x).collect();
                 self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
             }
             Op::Sin(a) => {
                 let av = &self.nodes[a.0].value;
-                let d = grad
-                    .data()
-                    .iter()
-                    .zip(av.data())
-                    .map(|(&g, &x)| g * x.cos())
-                    .collect();
+                let d = grad.data().iter().zip(av.data()).map(|(&g, &x)| g * x.cos()).collect();
                 self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
             }
             Op::Cos(a) => {
                 let av = &self.nodes[a.0].value;
-                let d = grad
-                    .data()
-                    .iter()
-                    .zip(av.data())
-                    .map(|(&g, &x)| -g * x.sin())
-                    .collect();
+                let d = grad.data().iter().zip(av.data()).map(|(&g, &x)| -g * x.sin()).collect();
                 self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
             }
             Op::Square(a) => {
                 let av = &self.nodes[a.0].value;
-                let d = grad
-                    .data()
-                    .iter()
-                    .zip(av.data())
-                    .map(|(&g, &x)| 2.0 * g * x)
-                    .collect();
+                let d = grad.data().iter().zip(av.data()).map(|(&g, &x)| 2.0 * g * x).collect();
                 self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
             }
             Op::Abs(a) => {
@@ -867,12 +841,7 @@ impl Graph {
                 self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
             }
             Op::Dropout(a, mask) => {
-                let d = grad
-                    .data()
-                    .iter()
-                    .zip(mask)
-                    .map(|(&g, &m)| g * m)
-                    .collect();
+                let d = grad.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
                 self.accum_owned(grads, *a, Tensor::from_vec(grad.shape().clone(), d));
             }
             Op::StackScalars(parts) => {
@@ -906,6 +875,36 @@ impl Graph {
     }
 }
 
+/// Fault injection for linter tests: these deliberately record broken
+/// nodes that the eager constructors would reject, so
+/// [`Graph::check`](crate::check) has something to find.
+#[cfg(test)]
+impl Graph {
+    /// Records a `GatherRows` without bounds validation; out-of-range
+    /// rows read as zeros.
+    pub(crate) fn fault_gather_rows_unchecked(&mut self, a: Var, idx: &[usize]) -> Var {
+        let av = &self.nodes[a.0].value;
+        let (rows, cols) = av.shape().as_matrix();
+        let mut data = Vec::with_capacity(idx.len() * cols);
+        for &i in idx {
+            if i < rows {
+                data.extend_from_slice(av.row(i));
+            } else {
+                data.extend(std::iter::repeat(0.0).take(cols));
+            }
+        }
+        let v = Tensor::from_vec(vec![idx.len(), cols], data);
+        let ng = self.needs(a);
+        self.push(Op::GatherRows(a, idx.to_vec()), v, ng)
+    }
+
+    /// Overwrites a node's recorded forward value, breaking the
+    /// op/value shape agreement the linter verifies.
+    pub(crate) fn fault_override_value(&mut self, v: Var, value: Tensor) {
+        self.nodes[v.0].value = value;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -920,6 +919,7 @@ mod tests {
 
     /// Central-difference gradient check for a scalar function of one
     /// parameter tensor.
+    #[allow(clippy::needless_pass_by_value)] // call-site ergonomics: literals go in directly
     fn grad_check(
         shape: impl Into<Shape> + Clone,
         data: Vec<f32>,

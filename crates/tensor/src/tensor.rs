@@ -1,5 +1,6 @@
 //! The dense `f32` tensor value type.
 
+use crate::check::{ShapeError, ShapeErrorKind};
 use crate::kernels;
 use crate::shape::Shape;
 use serde::{Deserialize, Serialize};
@@ -21,16 +22,27 @@ impl Tensor {
     /// Creates a tensor from a shape and backing data.
     ///
     /// # Panics
-    /// If `data.len() != shape.numel()`.
+    /// If `data.len() != shape.numel()`. Use [`Tensor::try_from_vec`]
+    /// for a fallible variant.
     pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        match Self::try_from_vec(shape, data) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Tensor::from_vec`]: returns a typed [`ShapeError`]
+    /// when the buffer does not fill the shape.
+    pub fn try_from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self, ShapeError> {
         let shape = shape.into();
-        assert_eq!(
-            data.len(),
-            shape.numel(),
-            "data length {} does not match shape {shape}",
-            data.len()
-        );
-        Tensor { shape, data }
+        if data.len() != shape.numel() {
+            return Err(ShapeError::new(
+                "from_vec",
+                ShapeErrorKind::Arity,
+                format!("data length {} does not match shape {shape}", data.len()),
+            ));
+        }
+        Ok(Tensor { shape, data })
     }
 
     /// A tensor filled with zeros.
@@ -122,17 +134,28 @@ impl Tensor {
     /// Reinterprets the buffer under a new shape with the same `numel`.
     ///
     /// # Panics
-    /// If the element counts differ.
-    pub fn reshape(mut self, shape: impl Into<Shape>) -> Self {
+    /// If the element counts differ. Use [`Tensor::try_reshape`] for a
+    /// fallible variant.
+    pub fn reshape(self, shape: impl Into<Shape>) -> Self {
+        match self.try_reshape(shape) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Tensor::reshape`]: returns a typed [`ShapeError`]
+    /// when the element counts differ.
+    pub fn try_reshape(mut self, shape: impl Into<Shape>) -> Result<Self, ShapeError> {
         let shape = shape.into();
-        assert_eq!(
-            shape.numel(),
-            self.data.len(),
-            "cannot reshape {} elements to {shape}",
-            self.data.len()
-        );
+        if shape.numel() != self.data.len() {
+            return Err(ShapeError::new(
+                "reshape",
+                ShapeErrorKind::Mismatch,
+                format!("cannot reshape {} elements to {shape}", self.data.len()),
+            ));
+        }
         self.shape = shape;
-        self
+        Ok(self)
     }
 
     /// Elementwise sum: `self + other`.
@@ -223,16 +246,38 @@ impl Tensor {
     /// Stacks rank-1 tensors of equal length into a rank-2 tensor.
     ///
     /// # Panics
-    /// If `rows` is empty or the lengths differ.
+    /// If `rows` is empty or the lengths differ. Use
+    /// [`Tensor::try_stack_rows`] for a fallible variant.
     pub fn stack_rows(rows: &[&[f32]]) -> Tensor {
-        assert!(!rows.is_empty(), "stack_rows on empty input");
-        let cols = rows[0].len();
+        match Self::try_stack_rows(rows) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Tensor::stack_rows`]: returns a typed [`ShapeError`]
+    /// on an empty input or ragged rows.
+    pub fn try_stack_rows(rows: &[&[f32]]) -> Result<Tensor, ShapeError> {
+        let Some(first) = rows.first() else {
+            return Err(ShapeError::new(
+                "stack_rows",
+                ShapeErrorKind::Arity,
+                "stack_rows on empty input",
+            ));
+        };
+        let cols = first.len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
-            assert_eq!(r.len(), cols, "stack_rows with ragged rows");
+            if r.len() != cols {
+                return Err(ShapeError::new(
+                    "stack_rows",
+                    ShapeErrorKind::Mismatch,
+                    format!("stack_rows with ragged rows: {cols} vs {}", r.len()),
+                ));
+            }
             data.extend_from_slice(r);
         }
-        Tensor::from_vec(vec![rows.len(), cols], data)
+        Ok(Tensor { shape: Shape::new(vec![rows.len(), cols]), data })
     }
 
     fn assert_same_shape(&self, other: &Tensor, op: &str) {

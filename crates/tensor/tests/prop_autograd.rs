@@ -57,10 +57,7 @@ fn forward_backward(data: &[f32], ops: &[PointOp]) -> (f32, Vec<f32>) {
     }
     let loss = g.sum_all(v);
     let grads = g.backward(loss);
-    let grad = grads
-        .get(w)
-        .map(|t| t.data().to_vec())
-        .unwrap_or_else(|| vec![0.0; data.len()]);
+    let grad = grads.get(w).map_or_else(|| vec![0.0; data.len()], |t| t.data().to_vec());
     (g.value(loss).item(), grad)
 }
 

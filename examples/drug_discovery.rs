@@ -112,8 +112,11 @@ fn build_dataset() -> DekgDataset {
 
 fn main() {
     let data = build_dataset();
-    println!("pharmacology KG: {} facts; emerging compound KG: {} facts\n",
-        data.original.len(), data.emerging.len());
+    println!(
+        "pharmacology KG: {} facts; emerging compound KG: {} facts\n",
+        data.original.len(),
+        data.emerging.len()
+    );
 
     let mut rng = ChaCha8Rng::seed_from_u64(11);
     let cfg = DekgIlpConfig {
@@ -147,10 +150,9 @@ fn main() {
     }
     pairs.sort_by(|a, b| b.2.total_cmp(&a.2));
     for (old, new, s) in pairs.iter().take(6) {
-        let truth = data
-            .test_bridging
-            .iter()
-            .any(|t| data.vocab.entity_name(t.head) == old && data.vocab.entity_name(t.tail) == new);
+        let truth = data.test_bridging.iter().any(|t| {
+            data.vocab.entity_name(t.head) == old && data.vocab.entity_name(t.tail) == new
+        });
         println!(
             "  {:<14} interacts_with {:<16} {:>8.3}{}",
             old,
@@ -165,8 +167,7 @@ fn main() {
         let rank = pairs
             .iter()
             .position(|(o, n, _)| {
-                *o == data.vocab.entity_name(truth.head)
-                    && *n == data.vocab.entity_name(truth.tail)
+                *o == data.vocab.entity_name(truth.head) && *n == data.vocab.entity_name(truth.tail)
             })
             .map(|p| p + 1);
         if let Some(rank) = rank {

@@ -42,11 +42,8 @@ fn main() {
 
     // Surface the strongest suspected connections between the archive
     // and the new case file.
-    let mut ranked: Vec<(Triple, f32)> = data
-        .test_bridging
-        .iter()
-        .map(|t| (*t, model.score(&graph, t)))
-        .collect();
+    let mut ranked: Vec<(Triple, f32)> =
+        data.test_bridging.iter().map(|t| (*t, model.score(&graph, t))).collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("strongest suspected archive <-> new-case connections:");
     for (t, s) in ranked.iter().take(5) {

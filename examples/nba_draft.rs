@@ -117,7 +117,11 @@ fn build_dataset() -> DekgDataset {
 
 fn main() {
     let data = build_dataset();
-    println!("original KG:  {} triples over {} entities", data.original.len(), data.num_original_entities);
+    println!(
+        "original KG:  {} triples over {} entities",
+        data.original.len(),
+        data.num_original_entities
+    );
     println!(
         "emerging KG:  {} triples over {} unseen entities\n",
         data.emerging.len(),
@@ -135,10 +139,7 @@ fn main() {
     };
     let mut model = DekgIlp::new(cfg, &data, &mut rng);
     let report = model.fit(&data, &mut rng);
-    println!(
-        "trained DEKG-ILP: loss {:.3} -> {:.3}\n",
-        report.initial_loss, report.final_loss
-    );
+    println!("trained DEKG-ILP: loss {:.3} -> {:.3}\n", report.initial_loss, report.final_loss);
 
     // Rank the true draft destination against every other entity.
     let graph = InferenceGraph::from_dataset(&data);

@@ -58,13 +58,7 @@ fn main() {
     let mix = TestMix::build(&data, MixRatio::for_split(SplitKind::Eq));
     let protocol = ProtocolConfig::sampled(30);
 
-    let mut table = Table::new(vec![
-        "model",
-        "MRR",
-        "Hits@10",
-        "enclosing H@10",
-        "bridging H@10",
-    ]);
+    let mut table = Table::new(vec!["model", "MRR", "Hits@10", "enclosing H@10", "bridging H@10"]);
     for model in [&dekg_ilp as &dyn LinkPredictor, &grail] {
         let r = evaluate(model, &graph, &data, &mix, &protocol);
         table.add_row(vec![

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Pre-merge gate: formatting, the workspace lint wall, the test suite,
+# and an end-to-end generate -> check round trip through the `dekg`
+# binary. Everything here must pass before a PR merges (see ROADMAP.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace --offline
+
+echo "==> dekg generate + dekg check round trip"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run -q --release --offline -p dekg-cli -- \
+    generate --raw fb --split eq --scale 0.05 --seed 1 --out "$tmp/data"
+cargo run -q --release --offline -p dekg-cli -- \
+    check --data "$tmp/data" --raw fb --split eq --scale 0.05
+
+echo "==> all checks passed"

@@ -1,0 +1,229 @@
+//! Offline stand-in for the subset of the `bytes` crate used by the
+//! DKGT checkpoint format: [`Bytes`], [`BytesMut`], and the
+//! [`Buf`]/[`BufMut`] cursor traits, backed by plain `Vec<u8>`.
+//!
+//! The real crate's zero-copy reference counting is deliberately
+//! omitted — checkpoints are encoded once and written to disk, so an
+//! owned buffer is equivalent here.
+
+#![deny(unsafe_code)]
+
+/// An immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.to_vec() }
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Self {
+        b.data
+    }
+}
+
+/// A growable byte buffer for encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// A cursor over readable bytes. Implemented for `&[u8]`, where
+/// consuming methods advance the slice itself.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    /// If `n > self.remaining()`.
+    fn advance(&mut self, n: usize);
+
+    /// Copies bytes into `dst`, advancing past them.
+    ///
+    /// # Panics
+    /// If fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        *self = &self[n..];
+    }
+}
+
+/// A sink for writable bytes.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"HDR!");
+        buf.put_u32_le(7);
+        buf.put_f32_le(1.5);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 12);
+
+        let mut cursor: &[u8] = &frozen;
+        let mut magic = [0u8; 4];
+        cursor.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"HDR!");
+        assert_eq!(cursor.get_u32_le(), 7);
+        assert_eq!(cursor.get_f32_le(), 1.5);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_moves_slice() {
+        let data = [1u8, 2, 3, 4];
+        let mut cursor: &[u8] = &data;
+        cursor.advance(2);
+        assert_eq!(cursor, &[3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut cursor: &[u8] = &[1u8];
+        let _ = cursor.get_u32_le();
+    }
+}

@@ -1,0 +1,289 @@
+//! Offline stand-in for the subset of `criterion` this workspace's
+//! benches use: the [`Criterion`] builder, benchmark groups,
+//! [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistical analysis (outlier detection, regression fitting, HTML
+//! reports) is intentionally absent. `iter` warms up once, then times
+//! batches of calls against the configured measurement budget and
+//! prints the mean wall-clock time per iteration — enough to compare
+//! kernels locally while keeping the benches compiling and runnable
+//! offline.
+
+#![deny(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, &id.to_string(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { config: self.clone(), name: name.into(), _parent: self }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        sample_size: config.sample_size,
+        measurement_time: config.measurement_time,
+        warm_up_time: config.warm_up_time,
+        mean: None,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) => println!(
+            "bench: {label:<40} {:>12.3} ns/iter ({} iterations)",
+            mean.as_nanos() as f64,
+            bencher.iterations
+        ),
+        None => println!("bench: {label:<40} (no measurement)"),
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    config: Criterion,
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&self.config, &label, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    // By-value `id` matches the real criterion signature.
+    #[allow(clippy::needless_pass_by_value)]
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&self.config, &label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark by function name and/or parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    /// An id carrying just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mean: Option<Duration>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` and records the mean duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: at least one call, until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+
+        // Measurement: up to `sample_size` samples within the budget.
+        let mut total = Duration::ZERO;
+        let mut count: u64 = 0;
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            total += t0.elapsed();
+            count += 1;
+            if budget_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+
+        if count > 0 {
+            self.mean = Some(total / u32::try_from(count).unwrap_or(u32::MAX));
+            self.iterations = count;
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runner, mirroring criterion's
+/// two accepted forms (`name/config/targets` and plain list).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u32;
+        quick().bench_function("trivial", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_labels_and_inputs() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let input = 21u64;
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("double", input), &input, |b, &i| {
+            b.iter(|| seen = i * 2);
+        });
+        group.finish();
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+
+    criterion_group!(plain_form, noop_bench);
+    criterion_group! {
+        name = config_form;
+        config = quick();
+        targets = noop_bench, noop_bench
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn macro_forms_expand() {
+        // Both expansions must produce callable functions.
+        let _: fn() = plain_form;
+        let _: fn() = config_form;
+    }
+}

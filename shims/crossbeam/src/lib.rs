@@ -1,0 +1,104 @@
+//! Offline stand-in for the part of `crossbeam` this workspace uses:
+//! [`thread::scope`] with crossbeam's closure signature (the spawned
+//! closure receives a scope reference for nested spawns), implemented
+//! on top of `std::thread::scope`.
+//!
+//! Since Rust 1.63 the standard library's scoped threads provide the
+//! same borrow-into-threads guarantee crossbeam pioneered, so this
+//! shim is a thin calling-convention adapter, not a reimplementation.
+
+#![deny(unsafe_code)]
+
+/// Scoped-thread API matching `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// The result of a scope or a joined thread: `Err` carries a panic
+    /// payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; threads spawned through it may borrow from the
+    /// enclosing stack frame (`'env`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure
+        /// receives a scope reference so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread; `Err` is the panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be
+    /// spawned; all are joined before this returns.
+    ///
+    /// Always returns `Ok`: with std scoped threads, a panic in an
+    /// unjoined child propagates as a panic here rather than an `Err`
+    /// (panics in *joined* children still surface through
+    /// [`ScopedJoinHandle::join`], which is how this workspace
+    /// consumes them).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).sum::<u64>()
+        })
+        .expect("scope failed");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panic_surfaces_through_join() {
+        let caught = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .expect("scope failed");
+        assert!(caught);
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let n = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21u32).join().expect("inner") * 2)
+                .join()
+                .expect("outer")
+        })
+        .expect("scope failed");
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,692 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses:
+//! the [`strategy::Strategy`] trait (ranges, tuples, `Just`, `any`,
+//! regex-like string patterns, `collection::vec`, `prop_map`,
+//! `prop_oneof!`), the [`proptest!`] test macro with
+//! `proptest_config`, and the assume/assert macros.
+//!
+//! Two deliberate simplifications versus the real crate:
+//!
+//! * **No shrinking.** A failing case reports the case number and the
+//!   assertion message; inputs are regenerable because generation is
+//!   fully deterministic (each case is keyed by its index).
+//! * **Deterministic seeding.** Real proptest draws OS entropy per
+//!   run; here every run of a test explores the same case sequence,
+//!   which suits a reproducibility-focused repo.
+
+#![deny(unsafe_code)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Generates values of an associated type from the test RNG.
+    ///
+    /// Object safe: `prop_map`/`boxed` are `Self: Sized` combinators,
+    /// so `dyn Strategy<Value = T>` works for [`BoxedStrategy`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy { inner: std::rc::Rc::new(self) }
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { inner: std::rc::Rc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Uniform choice between boxed strategies (the `prop_oneof!`
+    /// backend; real proptest's weights are not needed here).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics on an empty option list.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.inner().gen_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: rand::SampleUniform,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.inner().gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        T: rand::SampleUniform,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.inner().gen_range(self.clone())
+        }
+    }
+
+    /// `&str` as a pattern strategy: see [`crate::string::generate`]
+    /// for the supported regex subset.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Samples an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_std {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.inner().gen()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_std!(u8, u32, u64, usize, i8, bool, f32, f64);
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy over the whole domain of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// An inclusive-of-low, exclusive-of-high length range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.inner().gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Pattern-string generation for `&str` strategies.
+pub mod string {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A parsed atom: the characters it can produce.
+    struct Atom {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates a string from a small regex subset: literal
+    /// characters, character classes `[a-z0-9_]` (ranges and
+    /// literals), and quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+    /// (star/plus capped at 8 repetitions).
+    ///
+    /// # Panics
+    /// On syntax outside this subset, with the offending pattern in
+    /// the message.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse(pattern);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.inner().gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                let idx = rng.inner().gen_range(0..atom.choices.len());
+                out.push(atom.choices[idx]);
+            }
+        }
+        out
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pattern}`"))
+                        + i;
+                    let class = &chars[i + 1..close];
+                    i = close + 1;
+                    expand_class(class, pattern)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("dangling `\\` in pattern `{pattern}`"));
+                    i += 1;
+                    match c {
+                        'd' => ('0'..='9').collect(),
+                        'w' => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+                        other => vec![other],
+                    }
+                }
+                c if c == '(' || c == ')' || c == '|' => {
+                    panic!(
+                        "pattern `{pattern}`: groups/alternation unsupported by the proptest shim"
+                    )
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+            atoms.push(Atom { choices, min, max });
+        }
+        atoms
+    }
+
+    fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+        assert!(!class.is_empty(), "empty character class in pattern `{pattern}`");
+        assert!(class[0] != '^', "negated classes unsupported by the proptest shim: `{pattern}`");
+        let mut choices = Vec::new();
+        let mut k = 0;
+        while k < class.len() {
+            if k + 2 < class.len() && class[k + 1] == '-' {
+                let (lo, hi) = (class[k], class[k + 2]);
+                assert!(lo <= hi, "inverted range in class of pattern `{pattern}`");
+                for c in lo..=hi {
+                    choices.push(c);
+                }
+                k += 3;
+            } else {
+                choices.push(class[k]);
+                k += 1;
+            }
+        }
+        choices
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+        match chars.get(*i) {
+            Some('{') => {
+                let close = chars[*i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed `{{` in pattern `{pattern}`"))
+                    + *i;
+                let body: String = chars[*i + 1..close].iter().collect();
+                *i = close + 1;
+                let parse_n = |s: &str| {
+                    s.trim()
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| panic!("bad quantifier in pattern `{pattern}`"))
+                };
+                match body.split_once(',') {
+                    Some((lo, hi)) => (parse_n(lo), parse_n(hi)),
+                    None => {
+                        let n = parse_n(&body);
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                *i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+/// Case driving, configuration, and error plumbing.
+pub mod test_runner {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// The RNG handed to strategies; deterministic per case index.
+    pub struct TestRng {
+        rng: ChaCha8Rng,
+    }
+
+    impl TestRng {
+        /// A fresh RNG for one case.
+        pub fn for_case(case: u64) -> Self {
+            // Offset so case 0 doesn't collide with common user seeds.
+            TestRng { rng: ChaCha8Rng::seed_from_u64(0x70726F70 ^ case.wrapping_mul(0x9E37_79B9)) }
+        }
+
+        /// The underlying rand-compatible generator.
+        pub fn inner(&mut self) -> &mut ChaCha8Rng {
+            &mut self.rng
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is retried.
+        Reject(String),
+        /// `prop_assert!`/`prop_assert_eq!` failed; the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// A rejection with a message.
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted cases required.
+        pub cases: u32,
+        /// Cap on total `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases, ..Config::default() }
+        }
+    }
+
+    /// Drives `run_one` until `config.cases` cases pass.
+    ///
+    /// # Panics
+    /// On the first failing case (carrying its message and case
+    /// number), or when the rejection budget is exhausted.
+    pub fn run_cases<F>(config: &Config, mut run_one: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut accepted: u32 = 0;
+        let mut rejected: u32 = 0;
+        let mut case: u64 = 0;
+        while accepted < config.cases {
+            let mut rng = TestRng::for_case(case);
+            case += 1;
+            match run_one(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "proptest shim: too many prop_assume! rejections \
+                         ({rejected} rejects for {accepted} accepted cases)"
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "proptest case {case_num} failed: {message}\n\
+                         (deterministic: rerun reproduces this case)",
+                        case_num = case - 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// One-glob import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Uniform choice among the listed strategies (weights unsupported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Rejects the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)*),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies. Supports the optional leading
+/// `#![proptest_config(expr)]` attribute.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion backend of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])+
+        fn $name:ident( $($arg_pat:pat in $arg_strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])+
+            #[allow(unreachable_code)]
+            fn $name() {
+                let config = $config;
+                $crate::test_runner::run_cases(&config, |prop_rng| {
+                    $(
+                        let $arg_pat =
+                            $crate::strategy::Strategy::generate(&($arg_strategy), prop_rng);
+                    )+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = crate::test_runner::TestRng::for_case(3);
+        for _ in 0..50 {
+            let s = crate::string::generate("[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn determinism_per_case() {
+        let strat = prop::collection::vec(0u32..100, 1..10);
+        let a = {
+            let mut rng = crate::test_runner::TestRng::for_case(7);
+            strat.generate(&mut rng)
+        };
+        let b = {
+            let mut rng = crate::test_runner::TestRng::for_case(7);
+            strat.generate(&mut rng)
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fixed_len_vec() {
+        let strat = prop::collection::vec(-1.0f32..1.0, 6);
+        let mut rng = crate::test_runner::TestRng::for_case(0);
+        assert_eq!(strat.generate(&mut rng).len(), 6);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 3usize..9, y in -2.0f64..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn assume_and_early_return(v in prop::collection::vec(0u8..10, 0..5)) {
+            if v.is_empty() {
+                return Ok(());
+            }
+            prop_assume!(v[0] < 9);
+            prop_assert!(v[0] <= 8);
+        }
+
+        #[test]
+        fn oneof_and_map(op in prop_oneof![
+            Just(0usize),
+            (1usize..4).prop_map(|n| n * 10),
+            any::<bool>().prop_map(|b| if b { 100 } else { 200 }),
+        ]) {
+            prop_assert!(
+                op == 0 || op == 10 || op == 20 || op == 30 || op == 100 || op == 200,
+                "unexpected value {op}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failure_panics_with_case_number() {
+        crate::test_runner::run_cases(&crate::test_runner::Config::with_cases(4), |_| {
+            Err(crate::test_runner::TestCaseError::fail("forced"))
+        });
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline stand-in for `rand_chacha`: a from-scratch ChaCha stream
+//! cipher used as a deterministic PRNG.
+//!
+//! Implements the ChaCha quarter-round/block function exactly as
+//! specified in RFC 8439 (reduced-round variants included), keyed from
+//! a 32-byte seed with a 64-bit block counter. The keystream is
+//! therefore seed-stable across runs, platforms and compiler versions —
+//! the property every experiment and test in this workspace relies on.
+//!
+//! Only the surface the workspace uses is provided: the
+//! [`ChaCha8Rng`] / [`ChaCha12Rng`] / [`ChaCha20Rng`] types with
+//! `rand`'s [`RngCore`] + [`SeedableRng`] traits.
+
+#![deny(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The RFC 8439 constant words "expand 32-byte k".
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// Runs `rounds` ChaCha rounds over the block for `counter` and writes
+/// the 16 output words.
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: usize, out: &mut [u32; 16]) {
+    debug_assert!(rounds.is_multiple_of(2), "ChaCha uses double rounds");
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    state[14] = 0; // nonce (unused as a PRNG)
+    state[15] = 0;
+
+    let mut working = state;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    for (o, (&w, &s)) in out.iter_mut().zip(working.iter().zip(&state)) {
+        *o = w.wrapping_add(s);
+    }
+}
+
+/// A ChaCha keystream generator with `R` rounds.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const R: usize> {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    /// Next unconsumed word in `buffer`; 16 means "refill".
+    cursor: usize,
+}
+
+impl<const R: usize> ChaChaRng<R> {
+    fn refill(&mut self) {
+        chacha_block(&self.key, self.counter, R, &mut self.buffer);
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+}
+
+impl<const R: usize> SeedableRng for ChaChaRng<R> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        ChaChaRng { key, counter: 0, buffer: [0; 16], cursor: 16 }
+    }
+}
+
+impl<const R: usize> RngCore for ChaChaRng<R> {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+/// ChaCha with 8 rounds — the workspace's default experiment PRNG.
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// ChaCha with 20 rounds (the RFC 8439 cipher).
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 test vector: key 00 01 02 .. 1f, 20 rounds.
+    ///
+    /// Our counter/nonce layout zeroes the nonce words, so we check the
+    /// raw block function with the RFC's key and counter = 1 after
+    /// substituting the RFC nonce with zeros is *not* the RFC output;
+    /// instead we verify the core quarter-round vector from §2.1.1,
+    /// which is layout-independent.
+    #[test]
+    fn quarter_round_rfc_vector() {
+        let mut state = [0u32; 16];
+        state[0] = 0x11111111;
+        state[1] = 0x01020304;
+        state[2] = 0x9b8d6f43;
+        state[3] = 0x01234567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a92f4);
+        assert_eq!(state[1], 0xcb1cf8ce);
+        assert_eq!(state[2], 0x4581472e);
+        assert_eq!(state[3], 0x5881c4bb);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams should differ almost everywhere");
+    }
+
+    #[test]
+    fn fill_bytes_matches_words() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        let mut buf = [0u8; 12];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u32().to_le_bytes();
+        let w1 = b.next_u32().to_le_bytes();
+        let w2 = b.next_u32().to_le_bytes();
+        assert_eq!(&buf[..4], &w0);
+        assert_eq!(&buf[4..8], &w1);
+        assert_eq!(&buf[8..12], &w2);
+    }
+
+    #[test]
+    fn rounds_variants_compile_and_differ() {
+        let mut r8 = ChaCha8Rng::seed_from_u64(0);
+        let mut r20 = ChaCha20Rng::seed_from_u64(0);
+        // Same key schedule, different round counts -> different streams.
+        assert_ne!(r8.next_u64(), r20.next_u64());
+    }
+}

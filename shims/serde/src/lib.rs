@@ -1,0 +1,576 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The real serde models serialization as a visitor-driven protocol
+//! over arbitrary data formats. This workspace only ever serializes to
+//! and from JSON (via the sibling `serde_json` shim), so the shim
+//! collapses the protocol to a single self-describing [`Value`] tree:
+//!
+//! * [`Serialize`] renders a type into a [`Value`],
+//! * [`Deserialize`] rebuilds a type from a [`Value`].
+//!
+//! The `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//! `serde_derive` shim) generate the same externally-tagged layout real
+//! serde would emit for the plain structs and enums found in this
+//! workspace, so on-disk JSON stays interchangeable with a future
+//! switch back to the real crates.
+
+#![deny(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-style number: preserves the integer/float distinction so
+/// 64-bit ids and counts round-trip exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A signed integer.
+    I(i64),
+    /// An unsigned integer.
+    U(u64),
+    /// A double-precision float.
+    F(f64),
+}
+
+impl Number {
+    /// The value as an `f64` (lossy for huge integers).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::I(v) => v as f64,
+            Number::U(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+
+    /// The value as a `u64` when exactly representable.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::I(v) => u64::try_from(v).ok(),
+            Number::U(v) => Some(v),
+            Number::F(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The value as an `i64` when exactly representable.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::I(v) => Some(v),
+            Number::U(v) => i64::try_from(v).ok(),
+            Number::F(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Some(v as i64),
+            Number::F(_) => None,
+        }
+    }
+}
+
+/// A self-describing JSON-like value tree.
+///
+/// Objects keep insertion order (a `Vec` of pairs) so serialized output
+/// is stable and diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Num(Number),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with preserved key order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object's pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The array's elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a field in an object's pairs.
+pub fn field<'v>(pairs: &'v [(String, Value)], name: &str) -> Result<&'v Value, DeError> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}`")))
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Renders `self` into a [`Value`].
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds `Self` from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses the value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ----
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => n
+                        .as_u64()
+                        .and_then(|x| <$t>::try_from(x).ok())
+                        .ok_or_else(|| DeError::new(concat!("number out of range for ", stringify!($t)))),
+                    _ => Err(DeError::new(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::I(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => n
+                        .as_i64()
+                        .and_then(|x| <$t>::try_from(x).ok())
+                        .ok_or_else(|| DeError::new(concat!("number out of range for ", stringify!($t)))),
+                    _ => Err(DeError::new(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Num(n) => Ok(n.as_f64() as f32),
+            _ => Err(DeError::new("expected f32")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Num(n) => Ok(n.as_f64()),
+            _ => Err(DeError::new("expected f64")),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the parsed string to satisfy the `'static` lifetime.
+    ///
+    /// Only `&'static str` *fields* in derived configs/reports use
+    /// this; those are parsed a handful of times per process, so the
+    /// leak is bounded and deliberate.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(DeError::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap_or('\0')),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+// ---- containers ----
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::new("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = v
+            .as_array()
+            .ok_or_else(|| DeError::new("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect::<Result<_, _>>()?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::new("expected 2-tuple"))?;
+        if items.len() != 2 {
+            return Err(DeError::new("expected 2-tuple"));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::new("expected 3-tuple"))?;
+        if items.len() != 3 {
+            return Err(DeError::new("expected 3-tuple"));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?, C::from_value(&items[2])?))
+    }
+}
+
+/// Renders a key's value form as a JSON object key, matching
+/// serde_json: strings stay as-is, numbers and booleans become their
+/// decimal rendering. Newtype ids (e.g. `EntityId(u32)`) serialize
+/// transparently to numbers and so land here as numeric keys.
+fn key_to_string(v: &Value) -> Result<String, &'static str> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        Value::Num(Number::U(u)) => Ok(u.to_string()),
+        Value::Num(Number::I(i)) => Ok(i.to_string()),
+        Value::Num(Number::F(f)) => Ok(f.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        _ => Err("map key does not serialize to a string or number"),
+    }
+}
+
+/// Parses an object key back into a key type: first as a string value,
+/// then as each numeric interpretation. Mirrors [`key_to_string`].
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_value(&Value::Str(key.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(u) = key.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::Num(Number::U(u))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = key.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Num(Number::I(i))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(f) = key.parse::<f64>() {
+        if let Ok(k) = K::from_value(&Value::Num(Number::F(f))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(b) = key.parse::<bool>() {
+        if let Ok(k) = K::from_value(&Value::Bool(b)) {
+            return Ok(k);
+        }
+    }
+    Err(DeError::new(format!("unparseable map key `{key}`")))
+}
+
+impl<K: Serialize, V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(&k.to_value()).unwrap_or_else(|msg| panic!("{msg}"));
+                (key, v.to_value())
+            })
+            .collect();
+        // HashMap iteration order is unstable; sort for deterministic
+        // output.
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<
+        K: Deserialize + std::hash::Hash + Eq,
+        V: Deserialize,
+        S: std::hash::BuildHasher + Default,
+    > Deserialize for HashMap<K, V, S>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let pairs = v.as_object().ok_or_else(|| DeError::new("expected object"))?;
+        let mut out = HashMap::with_capacity_and_hasher(pairs.len(), S::default());
+        for (k, val) in pairs {
+            out.insert(key_from_string(k)?, V::from_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_to_string(&k.to_value()).unwrap_or_else(|msg| panic!("{msg}"));
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let pairs = v.as_object().ok_or_else(|| DeError::new("expected object"))?;
+        let mut out = BTreeMap::new();
+        for (k, val) in pairs {
+            out.insert(key_from_string(k)?, V::from_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize + std::cmp::Eq + std::hash::Hash, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashSet<T, S>
+{
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::cmp::Eq + std::hash::Hash, S: std::hash::BuildHasher + Default>
+    Deserialize for std::collections::HashSet<T, S>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::new("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(u8::from_value(&300u32.to_value()).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), 1usize);
+        m.insert("b".to_string(), 2usize);
+        let back: HashMap<String, usize> = HashMap::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+
+        let pair = ("x".to_string(), 9u64);
+        assert_eq!(<(String, u64)>::from_value(&pair.to_value()).unwrap(), pair);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let none: Option<u32> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&5u32.to_value()).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let err = field(&[], "alpha").unwrap_err();
+        assert!(err.to_string().contains("alpha"));
+    }
+}

@@ -1,0 +1,409 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` without `syn`/`quote`.
+//!
+//! The input item is parsed directly from the raw `TokenStream` — this
+//! workspace only derives on plain non-generic structs and enums, so a
+//! small hand-written parser suffices. Generated impls target the
+//! `serde` shim's value-tree traits (`to_value`/`from_value`) and
+//! reproduce real serde's default JSON layout: structs as objects,
+//! newtype structs transparently, enums externally tagged (unit
+//! variants as bare strings, newtype variants as `{"Tag": value}`,
+//! tuple variants as `{"Tag": [..]}`, struct variants as
+//! `{"Tag": {..}}`).
+
+#![deny(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shapes of a field list.
+enum Fields {
+    /// `struct S;` or a unit enum variant.
+    Unit,
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(T, U);` — arity only.
+    Tuple(usize),
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// A parsed derive input.
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skips attributes (`#[...]` / doc comments) and visibility
+/// (`pub`, `pub(crate)`, ...) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses a brace-delimited named-field list into field names.
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < group_tokens.len() {
+        i = skip_attrs_and_vis(group_tokens, i);
+        let Some(TokenTree::Ident(name)) = group_tokens.get(i) else {
+            break;
+        };
+        names.push(name.to_string());
+        // Skip to the comma that ends this field. Angle brackets don't
+        // nest as token groups, so track `<`/`>` depth manually; shifts
+        // (`>>` as two puncts) still balance because each closes one.
+        let mut depth = 0i32;
+        i += 1;
+        while i < group_tokens.len() {
+            match &group_tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Counts the fields of a paren-delimited tuple field list.
+fn count_tuple_fields(group_tokens: &[TokenTree]) -> usize {
+    if group_tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for tok in group_tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    count
+}
+
+/// Parses the body of an enum into variants.
+fn parse_variants(group_tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < group_tokens.len() {
+        i = skip_attrs_and_vis(group_tokens, i);
+        let Some(TokenTree::Ident(name)) = group_tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match group_tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Named(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Tuple(count_tuple_fields(&inner))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip a possible discriminant (`= expr`) and the trailing comma.
+        while i < group_tokens.len() {
+            if let TokenTree::Punct(p) = &group_tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+/// Parses the whole derive input.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (deriving on `{name}`)");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(count_tuple_fields(&inner))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    parse_variants(&inner)
+                }
+                other => panic!("serde shim derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Derives the serde shim's `Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "serde::Value::Null".to_string(),
+                Fields::Named(names) => {
+                    let pairs: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f}))")
+                        })
+                        .collect();
+                    format!("serde::Value::Object(vec![{}])", pairs.join(", "))
+                }
+                // Newtype structs are transparent, wider tuples are arrays
+                // — both as in real serde.
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> =
+                        (0..*n).map(|k| format!("serde::Serialize::to_value(&self.{k})")).collect();
+                    format!("serde::Value::Array(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let tag = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{tag} => serde::Value::Str({tag:?}.to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{tag}(f0) => serde::Value::Object(vec![({tag:?}.to_string(), serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Serialize::to_value(f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{tag}({binds}) => serde::Value::Object(vec![({tag:?}.to_string(), serde::Value::Array(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds = fs.join(", ");
+                            let pairs: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{tag} {{ {binds} }} => serde::Value::Object(vec![({tag:?}.to_string(), serde::Value::Object(vec![{pairs}]))]),",
+                                pairs = pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("serde shim derive: generated Serialize impl failed to parse")
+}
+
+/// Derives the serde shim's `Deserialize` (value-tree parsing).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("let _ = v; Ok({name})"),
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: serde::Deserialize::from_value(serde::field(pairs, {f:?})?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let pairs = v.as_object().ok_or_else(|| serde::DeError::new(\"expected object for `{name}`\"))?;\n\
+                         Ok({name} {{ {inits} }})",
+                        inits = inits.join("\n")
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                        .collect();
+                    format!(
+                        "let items = v.as_array().ok_or_else(|| serde::DeError::new(\"expected array for `{name}`\"))?;\n\
+                         if items.len() != {n} {{\n\
+                             return Err(serde::DeError::new(\"wrong tuple arity for `{name}`\"));\n\
+                         }}\n\
+                         Ok({name}({items}))",
+                        items = items.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{tag:?} => Ok({name}::{tag}),", tag = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let tag = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "{tag:?} => Ok({name}::{tag}(serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "{tag:?} => {{\n\
+                                     let items = payload.as_array().ok_or_else(|| serde::DeError::new(\"expected array payload for `{name}::{tag}`\"))?;\n\
+                                     if items.len() != {n} {{\n\
+                                         return Err(serde::DeError::new(\"wrong tuple arity for `{name}::{tag}`\"));\n\
+                                     }}\n\
+                                     Ok({name}::{tag}({items}))\n\
+                                 }}",
+                                items = items.join(", ")
+                            ))
+                        }
+                        Fields::Named(fs) => {
+                            let inits: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(serde::field(fields, {f:?})?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{tag:?} => {{\n\
+                                     let fields = payload.as_object().ok_or_else(|| serde::DeError::new(\"expected object payload for `{name}::{tag}`\"))?;\n\
+                                     Ok({name}::{tag} {{ {inits} }})\n\
+                                 }}",
+                                inits = inits.join("\n")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         match v {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(serde::DeError::new(format!(\"unknown unit variant `{{other}}` for `{name}`\"))),\n\
+                             }},\n\
+                             serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                                 let (tag, payload) = &pairs[0];\n\
+                                 let _ = payload;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => Err(serde::DeError::new(format!(\"unknown variant `{{other}}` for `{name}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(serde::DeError::new(\"expected string or single-key object for `{name}`\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("serde shim derive: generated Deserialize impl failed to parse")
+}

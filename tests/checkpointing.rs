@@ -38,7 +38,8 @@ fn dekg_ilp_checkpoint_roundtrip() {
 fn checkpoint_preserves_every_parameter() {
     let data = dataset();
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let mut model = TransE::new(EmbeddingConfig { epochs: 2, ..EmbeddingConfig::quick() }, &data, &mut rng);
+    let mut model =
+        TransE::new(EmbeddingConfig { epochs: 2, ..EmbeddingConfig::quick() }, &data, &mut rng);
     model.fit(&data, &mut rng);
 
     // TransE exposes no params() accessor on the trait; serialize via

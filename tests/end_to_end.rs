@@ -27,7 +27,8 @@ fn protocol() -> ProtocolConfig {
 fn dekg_ilp_full_pipeline_beats_random() {
     let data = benchmark(1);
     let mut rng = ChaCha8Rng::seed_from_u64(0);
-    let mut model = DekgIlp::new(DekgIlpConfig { epochs: 6, ..DekgIlpConfig::quick() }, &data, &mut rng);
+    let mut model =
+        DekgIlp::new(DekgIlpConfig { epochs: 6, ..DekgIlpConfig::quick() }, &data, &mut rng);
     let report = model.fit(&data, &mut rng);
     assert!(report.improved(), "training must reduce the loss: {report:?}");
 
@@ -40,11 +41,7 @@ fn dekg_ilp_full_pipeline_beats_random() {
     assert!(result.overall.mrr > 0.25, "mrr = {}", result.overall.mrr);
     assert!(result.overall.hits_at(10) > 0.5, "h@10 = {}", result.overall.hits_at(10));
     // And the bridging side must carry real signal (the paper's point).
-    assert!(
-        result.bridging.hits_at(10) > 0.45,
-        "bridging h@10 = {}",
-        result.bridging.hits_at(10)
-    );
+    assert!(result.bridging.hits_at(10) > 0.45, "bridging h@10 = {}", result.bridging.hits_at(10));
 }
 
 #[test]
@@ -52,7 +49,8 @@ fn dekg_ilp_outranks_grail_on_bridging_links() {
     let data = benchmark(2);
     let mut rng = ChaCha8Rng::seed_from_u64(0);
 
-    let mut ilp = DekgIlp::new(DekgIlpConfig { epochs: 6, ..DekgIlpConfig::quick() }, &data, &mut rng);
+    let mut ilp =
+        DekgIlp::new(DekgIlpConfig { epochs: 6, ..DekgIlpConfig::quick() }, &data, &mut rng);
     ilp.fit(&data, &mut rng);
     let mut grail = Grail::new(
         SubgraphModelConfig { epochs: 6, ..SubgraphModelConfig::quick() },
@@ -151,9 +149,5 @@ fn gsm_sees_real_subgraph_signal_on_enclosing_links() {
     let mix = TestMix::build(&data, MixRatio::for_split(SplitKind::Eq));
     let r = evaluate(&model, &graph, &data, &mix, &protocol());
     // Better than the ~0.38 random Hits@10 on enclosing links.
-    assert!(
-        r.enclosing.hits_at(10) > 0.42,
-        "enclosing h@10 = {}",
-        r.enclosing.hits_at(10)
-    );
+    assert!(r.enclosing.hits_at(10) > 0.42, "enclosing h@10 = {}", r.enclosing.hits_at(10));
 }

@@ -164,11 +164,7 @@ fn evaluation_with_tiny_candidate_cap() {
     let model = DekgIlp::new(DekgIlpConfig::quick(), &data, &mut rng);
     let graph = InferenceGraph::from_dataset(&data);
     let mix = TestMix::build(&data, MixRatio { enclosing: 1, bridging: 1 });
-    let cfg = ProtocolConfig {
-        num_candidates: Some(1),
-        seed: 5,
-        ..Default::default()
-    };
+    let cfg = ProtocolConfig { num_candidates: Some(1), seed: 5, ..Default::default() };
     let r = evaluate(&model, &graph, &data, &mix, &cfg);
     // With one candidate, every rank is 1, 1.5 or 2 → MRR ≥ 0.5.
     assert!(r.overall.mrr >= 0.5, "mrr = {}", r.overall.mrr);

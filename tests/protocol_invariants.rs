@@ -18,10 +18,7 @@ impl LinkPredictor for IdSum {
         "idsum"
     }
     fn score_batch(&self, _g: &InferenceGraph, triples: &[Triple]) -> Vec<f32> {
-        triples
-            .iter()
-            .map(|t| (t.head.0 as f32) * 0.001 + (t.tail.0 as f32) * 0.0001)
-            .collect()
+        triples.iter().map(|t| (t.head.0 as f32) * 0.001 + (t.tail.0 as f32) * 0.0001).collect()
     }
     fn num_parameters(&self) -> usize {
         0
@@ -51,10 +48,7 @@ fn better_models_get_better_metrics() {
             "oracle"
         }
         fn score_batch(&self, _g: &InferenceGraph, triples: &[Triple]) -> Vec<f32> {
-            triples
-                .iter()
-                .map(|t| if self.0.contains(t) { 1.0 } else { 0.0 })
-                .collect()
+            triples.iter().map(|t| if self.0.contains(t) { 1.0 } else { 0.0 }).collect()
         }
         fn num_parameters(&self) -> usize {
             0
@@ -108,12 +102,7 @@ fn inference_graph_is_union_without_leakage() {
         assert!(graph.store.contains(t));
     }
     // …and no held-out link leaked in.
-    for t in data
-        .valid
-        .iter()
-        .chain(&data.test_enclosing)
-        .chain(&data.test_bridging)
-    {
+    for t in data.valid.iter().chain(&data.test_enclosing).chain(&data.test_bridging) {
         assert!(!graph.store.contains(t), "held-out {t} leaked into the inference graph");
     }
 }
@@ -125,10 +114,7 @@ fn bridging_subgraphs_disconnected_enclosing_not_pruned() {
     let extractor = SubgraphExtractor::new(&graph.adjacency, 2, ExtractionMode::Union);
     for t in &data.test_bridging {
         let sg = extractor.extract(t.head, t.tail, None);
-        assert!(
-            sg.is_disconnected(),
-            "bridging subgraph for {t} should be disconnected"
-        );
+        assert!(sg.is_disconnected(), "bridging subgraph for {t} should be disconnected");
         // Union extraction must retain more than just the endpoints
         // whenever either side has neighbors.
         let head_deg = graph.adjacency.degree(t.head);
@@ -150,10 +136,7 @@ fn capability_matrix_agrees_with_observed_behaviour() {
     let graph = InferenceGraph::from_dataset(&data);
     let cap = capability_of("RuleN");
     assert!(!cap.dekg_bridging);
-    assert!(rulen
-        .score_batch(&graph, &data.test_bridging)
-        .iter()
-        .all(|&s| s == 0.0));
+    assert!(rulen.score_batch(&graph, &data.test_bridging).iter().all(|&s| s == 0.0));
 }
 
 #[test]
@@ -227,7 +210,8 @@ fn rule_family_cannot_score_bridging_links() {
 fn train_report_seconds_are_measured() {
     let data = dataset(7);
     let mut rng = ChaCha8Rng::seed_from_u64(0);
-    let mut model = TransE::new(EmbeddingConfig { epochs: 2, ..EmbeddingConfig::quick() }, &data, &mut rng);
+    let mut model =
+        TransE::new(EmbeddingConfig { epochs: 2, ..EmbeddingConfig::quick() }, &data, &mut rng);
     let report = model.fit(&data, &mut rng);
     assert!(report.seconds > 0.0);
     assert_eq!(report.epochs, 2);
