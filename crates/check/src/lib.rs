@@ -70,6 +70,15 @@ pub use dataset::validate;
 pub use dekg_tensor::{Diagnostic, Severity};
 pub use profile::validate_profile;
 
+/// Runs the full per-op gradient-check suite from
+/// [`dekg_tensor::gradcheck`]: every `Op` variant's finite-difference
+/// check plus the coverage audit that fails when a variant has no
+/// registered check. This is the semantic counterpart to the
+/// structural tape linter — invoked by `dekg check --grads`.
+pub fn validate_grads(seed: u64) -> Vec<Diagnostic> {
+    dekg_tensor::gradcheck::run_all(seed)
+}
+
 /// Counts of findings by severity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Summary {
@@ -142,6 +151,12 @@ mod tests {
         assert_eq!(s, Summary { errors: 2, warnings: 1 });
         assert!(!s.is_clean());
         assert!(summarize(&[]).is_clean());
+    }
+
+    #[test]
+    fn validate_grads_is_clean() {
+        let diags = validate_grads(7);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

@@ -18,8 +18,9 @@ dekg — DEKG-ILP inductive link prediction
 commands:
   generate  --raw fb|nell|wn --split eq|mb|me [--scale F] [--seed N] --out DIR
   stats     --data DIR
-  check     --data DIR [--raw fb|nell|wn --split eq|mb|me [--scale F]]
-  train     --data DIR [--check] [--epochs N] [--dim N] [--seed N] --ckpt FILE
+  check     --data DIR [--raw fb|nell|wn --split eq|mb|me [--scale F]] [--grads] [--seed N]
+  train     --data DIR [--check] [--epochs N] [--dim N] [--seed N]
+            [--gradcheck-every N] --ckpt FILE
   evaluate  --data DIR --ckpt FILE [--candidates N] [--split eq|mb|me] [--seed N]
   predict   --data DIR --ckpt FILE --rel NAME (--head NAME | --tail NAME) [--top N]
   help
@@ -143,6 +144,11 @@ fn run_validators(
 ///
 /// With `--raw`/`--split` (and optionally `--scale`), the dataset's
 /// statistics are additionally compared against that Table II profile.
+/// With `--grads`, the autograd engine itself is verified on top of
+/// the dataset checks: the per-op finite-difference suite (with its
+/// coverage audit over every `Op` variant) and a differential
+/// re-execution of one production training batch by the f64 reference
+/// interpreter.
 pub fn check(flags: &Flags) -> CliResult {
     // Unchecked load: the whole point is to *report* broken invariants,
     // which the normal loader turns into panics.
@@ -156,7 +162,32 @@ pub fn check(flags: &Flags) -> CliResult {
         (None, None) => None,
         _ => return Err("profile checks need both --raw and --split".into()),
     };
-    run_validators(&dataset, profile.as_ref())
+    run_validators(&dataset, profile.as_ref())?;
+    if flags.switch("grads") {
+        run_grad_checks(&dataset, flags.parse_or("seed", 0)?)?;
+    }
+    Ok(())
+}
+
+/// The semantic autograd checks behind `dekg check --grads`.
+fn run_grad_checks(dataset: &DekgDataset, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
+    println!("gradcheck: finite-difference suite over every Op variant…");
+    let mut diags = dekg_check::validate_grads(seed);
+    println!("gradcheck: re-executing a training batch on {} in f64…", dataset.name);
+    diags.extend(dekg_core::grad_check_dataset(dataset, seed));
+    for d in &diags {
+        println!("{d}");
+    }
+    let s = dekg_check::summarize(&diags);
+    if s.errors > 0 {
+        return Err(format!(
+            "dekg check --grads: {} error(s), {} warning(s)",
+            s.errors, s.warnings
+        )
+        .into());
+    }
+    println!("dekg check --grads: all gradients verified");
+    Ok(())
 }
 
 /// `dekg train` — trains DEKG-ILP and writes a checkpoint pair.
@@ -176,6 +207,7 @@ pub fn train(flags: &Flags) -> CliResult {
     let cfg = DekgIlpConfig {
         epochs: flags.parse_or("epochs", 10)?,
         dim: flags.parse_or("dim", 32)?,
+        gradcheck_every: flags.parse_or("gradcheck-every", 0)?,
         ..DekgIlpConfig::paper()
     };
     cfg.validate();

@@ -5,7 +5,7 @@
 //! ```text
 //! dekg generate --raw fb --split eq --scale 0.1 --seed 1 --out data/
 //! dekg stats    --data data/
-//! dekg check    --data data/
+//! dekg check    --data data/ --grads
 //! dekg train    --data data/ --check --epochs 10 --ckpt model.dekg
 //! dekg evaluate --data data/ --ckpt model.dekg --candidates 30
 //! dekg predict  --data data/ --ckpt model.dekg --head g_e0 --rel rel0 --top 5
@@ -32,6 +32,7 @@ fn main() -> ExitCode {
     // Valueless boolean switches, per command.
     let switches: &[&str] = match command.as_str() {
         "train" => &["check"],
+        "check" => &["grads"],
         _ => &[],
     };
     let flags = match args::Flags::parse_with_switches(&argv, switches) {

@@ -98,6 +98,12 @@ pub struct DekgIlpConfig {
     /// default is 4 bases); keeps GSM's parameter complexity at
     /// `O(|R|·d·l)` as analyzed in the paper's Section V-H.
     pub num_bases: Option<usize>,
+    /// When positive, every N-th training batch is re-verified by the
+    /// f64 reference interpreter (`Graph::diff_check`): forward values
+    /// and parameter gradients are compared against the optimized
+    /// kernels, and training aborts on divergence. `0` (the default)
+    /// disables the spot check.
+    pub gradcheck_every: usize,
     /// Ablation switches.
     pub ablation: Ablation,
 }
@@ -122,6 +128,7 @@ impl Default for DekgIlpConfig {
             lr_decay: 1.0,
             bernoulli_negatives: false,
             num_bases: Some(4),
+            gradcheck_every: 0,
             ablation: Ablation::full(),
         }
     }

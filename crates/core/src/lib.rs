@@ -54,4 +54,5 @@ pub mod prelude {
 
 pub use config::{Ablation, DekgIlpConfig};
 pub use model::DekgIlp;
+pub use train::{batch_loss, grad_check_dataset};
 pub use traits::{InferenceGraph, LinkPredictor, TrainReport, TrainableModel};

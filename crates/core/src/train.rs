@@ -17,7 +17,7 @@ use crate::traits::{InferenceGraph, TrainReport};
 use dekg_datasets::{DekgDataset, NegativeSampler};
 use dekg_kg::{EntityId, SubgraphExtractor, Triple};
 use dekg_tensor::optim::{Adam, Optimizer};
-use dekg_tensor::{Graph, Var};
+use dekg_tensor::{Diagnostic, Graph, Severity, Var};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore};
 use std::collections::BTreeSet;
@@ -39,13 +39,12 @@ pub fn train(model: &mut DekgIlp, dataset: &DekgDataset, rng: &mut dyn RngCore) 
     if cfg.bernoulli_negatives {
         sampler = sampler.with_bernoulli(&dataset.original);
     }
-    let clrm = model.clrm().cloned();
-    let gsm = model.gsm().clone();
     let mut opt = Adam::new(cfg.lr);
 
     let mut positives: Vec<Triple> = dataset.original.triples().to_vec();
     let mut initial_loss = 0.0f32;
     let mut final_loss = 0.0f32;
+    let mut step = 0usize;
 
     for epoch in 0..cfg.epochs {
         positives.shuffle(rng);
@@ -53,76 +52,24 @@ pub fn train(model: &mut DekgIlp, dataset: &DekgDataset, rng: &mut dyn RngCore) 
         let mut batches = 0usize;
 
         for batch in positives.chunks(cfg.batch_size) {
-            // Negatives: neg_per_pos per positive, aligned by repetition.
-            let mut pos_rep = Vec::with_capacity(batch.len() * cfg.neg_per_pos);
-            let mut negs = Vec::with_capacity(batch.len() * cfg.neg_per_pos);
-            for t in batch {
-                for _ in 0..cfg.neg_per_pos {
-                    pos_rep.push(*t);
-                    negs.push(sampler.corrupt(t, rng));
-                }
-            }
-
             let mut g = Graph::new();
-
-            // φ_sem over both sides in one tape.
-            let (sem_pos, sem_neg) = match &clrm {
-                Some(clrm) => {
-                    let p = clrm.score(&mut g, model.params(), &train_graph.tables, &pos_rep);
-                    let n = clrm.score(&mut g, model.params(), &train_graph.tables, &negs);
-                    (Some(p), Some(n))
-                }
-                None => (None, None),
-            };
-
-            // φ_tpo per triple.
-            let extractor =
-                SubgraphExtractor::new(&train_graph.adjacency, cfg.hops, cfg.extraction_mode());
-            let tpo_pos = score_side(model, &gsm, &extractor, &pos_rep, true, &mut g, rng);
-            let tpo_neg = score_side(model, &gsm, &extractor, &negs, false, &mut g, rng);
-
-            let phi_pos = combine(&mut g, sem_pos, tpo_pos);
-            let phi_neg = combine(&mut g, sem_neg, tpo_neg);
-            let mut loss = g.margin_ranking_loss(phi_pos, phi_neg, cfg.margin);
-
-            // Contrastive term over the batch's distinct entities.
-            if let Some(clrm) = &clrm {
-                if cfg.ablation.use_contrastive && cfg.sigma > 0.0 {
-                    let entities: BTreeSet<EntityId> =
-                        batch.iter().flat_map(|t| [t.head, t.tail]).collect();
-                    let mut terms: Vec<Var> = Vec::with_capacity(entities.len());
-                    for e in entities {
-                        let anchor = train_graph.tables.row(e);
-                        if anchor.is_empty() {
-                            continue;
-                        }
-                        let (pos, neg) = sampling::sample_pairs(
-                            anchor,
-                            dataset.num_relations,
-                            cfg.theta,
-                            cfg.num_contrastive,
-                            rng,
-                        );
-                        terms.push(clrm.contrastive_loss(
-                            &mut g,
-                            model.params(),
-                            anchor,
-                            &pos,
-                            &neg,
-                            cfg.margin,
-                        ));
-                    }
-                    if !terms.is_empty() {
-                        let stacked = g.stack_scalars(&terms);
-                        let lc = g.mean_all(stacked);
-                        let scaled = g.mul_scalar(lc, cfg.sigma);
-                        loss = g.add(loss, scaled);
-                    }
-                }
-            }
+            let loss = batch_loss(&mut g, model, dataset, &train_graph, &sampler, batch, rng);
 
             let loss_val = g.value(loss).item();
             debug_assert!(loss_val.is_finite(), "non-finite training loss");
+
+            if cfg.gradcheck_every > 0 && step % cfg.gradcheck_every == 0 {
+                let diags = g.diff_check(loss, Some(model.params()));
+                for d in &diags {
+                    eprintln!("gradcheck[step {step}]: {d}");
+                }
+                assert!(
+                    diags.iter().all(|d| d.severity != Severity::Error),
+                    "interpreter disagrees with kernels at step {step}; training aborted"
+                );
+            }
+            step += 1;
+
             let mut grads = g.backward(loss);
             grads.clip_global_norm(cfg.grad_clip);
             opt.step(model.params_mut(), &grads);
@@ -315,6 +262,121 @@ fn protocol_eval(
     }
 }
 
+/// Records one training batch's combined objective (Eq. 15) on `g` and
+/// returns the scalar loss `Var`.
+///
+/// This is the full per-batch tape used by [`train`]: negative
+/// sampling (Eq. 12), `φ_sem + φ_tpo` scoring of both sides
+/// (Eq. 4 + 11 + 13), the margin ranking loss (Eq. 14), and the
+/// σ-weighted contrastive term (Eq. 7). It is public so correctness
+/// tooling (`dekg check --grads`, the gradcheck test suite) can verify
+/// the exact production tape rather than an approximation of it.
+pub fn batch_loss(
+    g: &mut Graph,
+    model: &DekgIlp,
+    dataset: &DekgDataset,
+    train_graph: &InferenceGraph,
+    sampler: &NegativeSampler<'_>,
+    batch: &[Triple],
+    rng: &mut impl Rng,
+) -> Var {
+    let cfg = model.config();
+
+    // Negatives: neg_per_pos per positive, aligned by repetition.
+    let mut pos_rep = Vec::with_capacity(batch.len() * cfg.neg_per_pos);
+    let mut negs = Vec::with_capacity(batch.len() * cfg.neg_per_pos);
+    for t in batch {
+        for _ in 0..cfg.neg_per_pos {
+            pos_rep.push(*t);
+            negs.push(sampler.corrupt(t, rng));
+        }
+    }
+
+    // φ_sem over both sides in one tape.
+    let (sem_pos, sem_neg) = match model.clrm() {
+        Some(clrm) => {
+            let p = clrm.score(g, model.params(), &train_graph.tables, &pos_rep);
+            let n = clrm.score(g, model.params(), &train_graph.tables, &negs);
+            (Some(p), Some(n))
+        }
+        None => (None, None),
+    };
+
+    // φ_tpo per triple.
+    let extractor = SubgraphExtractor::new(&train_graph.adjacency, cfg.hops, cfg.extraction_mode());
+    let tpo_pos = score_side(model, model.gsm(), &extractor, &pos_rep, true, g, rng);
+    let tpo_neg = score_side(model, model.gsm(), &extractor, &negs, false, g, rng);
+
+    let phi_pos = combine(g, sem_pos, tpo_pos);
+    let phi_neg = combine(g, sem_neg, tpo_neg);
+    let mut loss = g.margin_ranking_loss(phi_pos, phi_neg, cfg.margin);
+
+    // Contrastive term over the batch's distinct entities.
+    if let Some(clrm) = model.clrm() {
+        if cfg.ablation.use_contrastive && cfg.sigma > 0.0 {
+            let entities: BTreeSet<EntityId> =
+                batch.iter().flat_map(|t| [t.head, t.tail]).collect();
+            let mut terms: Vec<Var> = Vec::with_capacity(entities.len());
+            for e in entities {
+                let anchor = train_graph.tables.row(e);
+                if anchor.is_empty() {
+                    continue;
+                }
+                let (pos, neg) = sampling::sample_pairs(
+                    anchor,
+                    dataset.num_relations,
+                    cfg.theta,
+                    cfg.num_contrastive,
+                    rng,
+                );
+                terms.push(clrm.contrastive_loss(
+                    g,
+                    model.params(),
+                    anchor,
+                    &pos,
+                    &neg,
+                    cfg.margin,
+                ));
+            }
+            if !terms.is_empty() {
+                let stacked = g.stack_scalars(&terms);
+                let lc = g.mean_all(stacked);
+                let scaled = g.mul_scalar(lc, cfg.sigma);
+                loss = g.add(loss, scaled);
+            }
+        }
+    }
+    loss
+}
+
+/// Builds a small fresh model on `dataset`, records one production
+/// training batch with [`batch_loss`], and differentially checks the
+/// tape against the f64 reference interpreter.
+///
+/// Returns the interpreter's findings (empty = clean). This is the
+/// semantic half of `dekg check --grads`: it exercises the CLRM, GSM
+/// and combined Eq. 15 objectives end-to-end on real data rather than
+/// per-op fixtures.
+pub fn grad_check_dataset(dataset: &DekgDataset, seed: u64) -> Vec<Diagnostic> {
+    use rand::SeedableRng;
+    let cfg = crate::config::DekgIlpConfig {
+        dim: 8,
+        num_contrastive: 2,
+        gnn_layers: 2,
+        attn_dim: 4,
+        ..crate::config::DekgIlpConfig::quick()
+    };
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let model = DekgIlp::new(cfg, dataset, &mut rng);
+    let train_graph = InferenceGraph::training_view(dataset);
+    let sampler =
+        NegativeSampler::new(0..dataset.num_original_entities as u32, vec![&dataset.original]);
+    let batch: Vec<Triple> = dataset.original.triples().iter().copied().take(8).collect();
+    let mut g = Graph::new();
+    let loss = batch_loss(&mut g, &model, dataset, &train_graph, &sampler, &batch, &mut rng);
+    g.diff_check(loss, Some(model.params()))
+}
+
 /// Scores one side (positives or negatives) topologically, returning a
 /// stacked `[n]` Var. Positives exclude their own edge from the
 /// subgraph so the model cannot read the answer off the graph.
@@ -369,17 +431,11 @@ mod tests {
     use super::*;
     use crate::config::{Ablation, DekgIlpConfig};
     use crate::traits::{LinkPredictor, TrainableModel};
-    use dekg_datasets::{generate, DatasetProfile, RawKg, SplitKind, SynthConfig};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
     fn tiny_dataset(seed: u64) -> DekgDataset {
-        let profile = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Eq).scaled(0.015);
-        let mut cfg = SynthConfig::for_profile(profile, seed);
-        cfg.num_test_enclosing = 10;
-        cfg.num_test_bridging = 10;
-        cfg.num_valid = 10;
-        generate(&cfg)
+        dekg_datasets::tiny_fixture(seed)
     }
 
     fn quick_cfg() -> DekgIlpConfig {
@@ -493,5 +549,148 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    /// Central-difference spot check over randomly sampled parameter
+    /// coordinates: perturbs each coordinate by `±ε`, re-evaluates the
+    /// loss with `eval` (which must be deterministic in the parameters
+    /// — reseed any internal rngs per call), and compares the slope
+    /// against the analytic gradient in `grads`.
+    fn fd_spot_check(
+        model: &mut DekgIlp,
+        grads: &dekg_tensor::GradStore,
+        eval: &dyn Fn(&DekgIlp) -> f64,
+        samples: usize,
+        seed: u64,
+    ) {
+        use rand::Rng as _;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ids: Vec<(dekg_tensor::ParamId, usize)> =
+            model.params().iter().map(|(id, _, t)| (id, t.data().len())).collect();
+        for _ in 0..samples {
+            let (id, len) = ids[rng.gen_range(0..ids.len())];
+            let k = rng.gen_range(0..len);
+            let x = model.params().get(id).data()[k];
+            let eps = 5e-3 * (1.0 + x.abs());
+            let hi = x + eps;
+            let lo = x - eps;
+            model.params_mut().get_mut(id).data_mut()[k] = hi;
+            let f_hi = eval(model);
+            model.params_mut().get_mut(id).data_mut()[k] = lo;
+            let f_lo = eval(model);
+            model.params_mut().get_mut(id).data_mut()[k] = x;
+            let denom = f64::from(hi) - f64::from(lo);
+            let fd = (f_hi - f_lo) / denom;
+            let an = grads.get(id).map_or(0.0, |t| f64::from(t.data()[k]));
+            let tol = 5e-3 + 3e-2 * fd.abs().max(an.abs());
+            assert!(
+                (fd - an).abs() <= tol,
+                "param {} coord {k}: central difference {fd} vs analytic {an} (tol {tol})",
+                model.params().name_of(id),
+            );
+        }
+    }
+
+    #[test]
+    fn clrm_losses_pass_finite_difference_check() {
+        let d = tiny_dataset(11);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut model = DekgIlp::new(quick_cfg(), &d, &mut rng);
+        let graph = InferenceGraph::training_view(&d);
+        let triples: Vec<Triple> = d.original.triples().iter().copied().take(6).collect();
+
+        let build = |m: &DekgIlp| -> (Graph, Var) {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            let clrm = m.clrm().expect("full model has CLRM");
+            let mut g = Graph::new();
+            let scores = clrm.score(&mut g, m.params(), &graph.tables, &triples);
+            let sem = g.mean_all(scores);
+            let anchor = graph.tables.row(triples[0].head);
+            let (pos, neg) = sampling::sample_pairs(anchor, d.num_relations, 2.0, 2, &mut rng);
+            let lc = clrm.contrastive_loss(&mut g, m.params(), anchor, &pos, &neg, 1.0);
+            let loss = g.add(sem, lc);
+            (g, loss)
+        };
+        let eval = |m: &DekgIlp| -> f64 {
+            let (g, loss) = build(m);
+            f64::from(g.value(loss).item())
+        };
+        let (g, loss) = build(&model);
+        let diags = g.diff_check(loss, Some(model.params()));
+        assert!(diags.is_empty(), "CLRM tape should be clean: {diags:?}");
+        let grads = g.backward(loss);
+        fd_spot_check(&mut model, &grads, &eval, 15, 101);
+    }
+
+    #[test]
+    fn gsm_loss_passes_finite_difference_check() {
+        let d = tiny_dataset(12);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut model = DekgIlp::new(quick_cfg(), &d, &mut rng);
+        let graph = InferenceGraph::training_view(&d);
+        let cfg = model.config().clone();
+        let triples: Vec<Triple> = d.original.triples().iter().copied().take(3).collect();
+
+        let build = |m: &DekgIlp| -> (Graph, Var) {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let extractor =
+                SubgraphExtractor::new(&graph.adjacency, cfg.hops, cfg.extraction_mode());
+            let mut g = Graph::new();
+            let scores = score_side(m, m.gsm(), &extractor, &triples, true, &mut g, &mut rng);
+            let loss = g.mean_all(scores);
+            (g, loss)
+        };
+        let eval = |m: &DekgIlp| -> f64 {
+            let (g, loss) = build(m);
+            f64::from(g.value(loss).item())
+        };
+        let (g, loss) = build(&model);
+        let diags = g.diff_check(loss, Some(model.params()));
+        assert!(diags.is_empty(), "GSM tape should be clean: {diags:?}");
+        let grads = g.backward(loss);
+        fd_spot_check(&mut model, &grads, &eval, 15, 202);
+    }
+
+    #[test]
+    fn combined_objective_passes_finite_difference_check() {
+        let d = tiny_dataset(13);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut model = DekgIlp::new(quick_cfg(), &d, &mut rng);
+        let graph = InferenceGraph::training_view(&d);
+        let sampler = NegativeSampler::new(0..d.num_original_entities as u32, vec![&d.original]);
+        let batch: Vec<Triple> = d.original.triples().iter().copied().take(4).collect();
+
+        let build = |m: &DekgIlp| -> (Graph, Var) {
+            let mut rng = ChaCha8Rng::seed_from_u64(21);
+            let mut g = Graph::new();
+            let loss = batch_loss(&mut g, m, &d, &graph, &sampler, &batch, &mut rng);
+            (g, loss)
+        };
+        let eval = |m: &DekgIlp| -> f64 {
+            let (g, loss) = build(m);
+            f64::from(g.value(loss).item())
+        };
+        let (g, loss) = build(&model);
+        let diags = g.diff_check(loss, Some(model.params()));
+        assert!(diags.is_empty(), "Eq. 15 tape should be clean: {diags:?}");
+        let grads = g.backward(loss);
+        fd_spot_check(&mut model, &grads, &eval, 12, 303);
+    }
+
+    #[test]
+    fn grad_check_dataset_is_clean() {
+        let d = tiny_dataset(9);
+        let diags = grad_check_dataset(&d, 0);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn training_with_gradcheck_every_runs_clean() {
+        let d = tiny_dataset(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let cfg = DekgIlpConfig { epochs: 1, gradcheck_every: 31, ..quick_cfg() };
+        let mut model = DekgIlp::new(cfg, &d, &mut rng);
+        let report = model.fit(&d, &mut rng);
+        assert!(report.final_loss.is_finite());
     }
 }

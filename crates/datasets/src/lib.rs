@@ -37,4 +37,4 @@ pub use negatives::NegativeSampler;
 pub use profiles::{DatasetProfile, RawKg, SplitKind};
 pub use splits::{DekgDataset, LinkClass};
 pub use stats::DatasetStats;
-pub use synth::{generate, SynthConfig};
+pub use synth::{generate, tiny_fixture, SynthConfig};

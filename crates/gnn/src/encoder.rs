@@ -240,6 +240,25 @@ mod tests {
     }
 
     #[test]
+    fn encoder_tape_passes_differential_check() {
+        // The full R-GCN stack — gather/scatter message passing,
+        // attention, edge dropout — re-executed by the f64 reference
+        // interpreter must match the optimized kernels on every node
+        // value and every parameter gradient.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut ps = ParamStore::new();
+        let enc = SubgraphEncoder::new(tiny_cfg(), "gsm", &mut ps, &mut rng);
+        let sg = chain_subgraph();
+        let mut g = Graph::new();
+        let out = enc.encode(&mut g, &ps, &sg, true, &mut rng);
+        let pooled = g.sum_all(out.graph);
+        let head = g.sum_all(out.head);
+        let loss = g.add(pooled, head);
+        let diags = g.diff_check(loss, Some(&ps));
+        assert!(diags.is_empty(), "encoder tape should be clean: {diags:?}");
+    }
+
+    #[test]
     fn paper_defaults_sane() {
         let cfg = SubgraphEncoderConfig::paper_defaults(14);
         assert_eq!(cfg.dim, 32);

@@ -182,45 +182,100 @@ impl fmt::Display for ShapeError {
 
 impl std::error::Error for ShapeError {}
 
+/// Every op mnemonic the tape can record, indexed by [`op_ordinal`].
+///
+/// This table is the single source of truth that the dekg-grad coverage
+/// audit ([`crate::gradcheck::coverage_gaps`]) walks: every entry must
+/// have a registered finite-difference gradcheck. Adding an [`Op`]
+/// variant without extending both the exhaustive match in `op_ordinal`
+/// and this table fails to compile (non-exhaustive match) or panics on
+/// the first diagnostic that names the new op (index out of bounds) —
+/// either way, new ops cannot land unverified.
+pub const ALL_OPS: &[&str] = &[
+    "Param",
+    "Constant",
+    "Add",
+    "Sub",
+    "Mul",
+    "Div",
+    "Neg",
+    "AddScalar",
+    "MulScalar",
+    "Matmul",
+    "GatherRows",
+    "GatherFlat",
+    "Reshape",
+    "ConcatRows",
+    "ConcatCols",
+    "SumAll",
+    "MeanAll",
+    "SumAxis0",
+    "SumAxis1",
+    "MeanAxis0",
+    "Relu",
+    "Sigmoid",
+    "Tanh",
+    "Sqrt",
+    "Exp",
+    "Ln",
+    "Sin",
+    "Cos",
+    "Square",
+    "Abs",
+    "Dropout",
+    "StackScalars",
+    "ScatterAddRows",
+    "BroadcastRow",
+];
+
+/// Position of `op`'s mnemonic in [`ALL_OPS`].
+///
+/// Deliberately written without a wildcard arm: a new `Op` variant must
+/// be given an ordinal here, a name in [`ALL_OPS`], and a gradcheck in
+/// [`crate::gradcheck`] before the workspace compiles and tests green.
+pub(crate) fn op_ordinal(op: &Op) -> usize {
+    match op {
+        Op::Leaf(Some(_)) => 0,
+        Op::Leaf(None) => 1,
+        Op::Add(..) => 2,
+        Op::Sub(..) => 3,
+        Op::Mul(..) => 4,
+        Op::Div(..) => 5,
+        Op::Neg(..) => 6,
+        Op::AddScalar(..) => 7,
+        Op::MulScalar(..) => 8,
+        Op::Matmul(..) => 9,
+        Op::GatherRows(..) => 10,
+        Op::GatherFlat(..) => 11,
+        Op::Reshape(..) => 12,
+        Op::ConcatRows(..) => 13,
+        Op::ConcatCols(..) => 14,
+        Op::SumAll(..) => 15,
+        Op::MeanAll(..) => 16,
+        Op::SumAxis0(..) => 17,
+        Op::SumAxis1(..) => 18,
+        Op::MeanAxis0(..) => 19,
+        Op::Relu(..) => 20,
+        Op::Sigmoid(..) => 21,
+        Op::Tanh(..) => 22,
+        Op::Sqrt(..) => 23,
+        Op::Exp(..) => 24,
+        Op::Ln(..) => 25,
+        Op::Sin(..) => 26,
+        Op::Cos(..) => 27,
+        Op::Square(..) => 28,
+        Op::Abs(..) => 29,
+        Op::Dropout(..) => 30,
+        Op::StackScalars(..) => 31,
+        Op::ScatterAddRows { .. } => 32,
+        Op::BroadcastRow(..) => 33,
+    }
+}
+
 /// Short mnemonic for an op, safe to embed in diagnostics (never dumps
 /// index payloads).
 pub(crate) fn op_mnemonic(op: &Op) -> &'static str {
-    match op {
-        Op::Leaf(Some(_)) => "Param",
-        Op::Leaf(None) => "Constant",
-        Op::Add(..) => "Add",
-        Op::Sub(..) => "Sub",
-        Op::Mul(..) => "Mul",
-        Op::Div(..) => "Div",
-        Op::Neg(..) => "Neg",
-        Op::AddScalar(..) => "AddScalar",
-        Op::MulScalar(..) => "MulScalar",
-        Op::Matmul(..) => "Matmul",
-        Op::GatherRows(..) => "GatherRows",
-        Op::GatherFlat(..) => "GatherFlat",
-        Op::Reshape(..) => "Reshape",
-        Op::ConcatRows(..) => "ConcatRows",
-        Op::ConcatCols(..) => "ConcatCols",
-        Op::SumAll(..) => "SumAll",
-        Op::MeanAll(..) => "MeanAll",
-        Op::SumAxis0(..) => "SumAxis0",
-        Op::SumAxis1(..) => "SumAxis1",
-        Op::MeanAxis0(..) => "MeanAxis0",
-        Op::Relu(..) => "Relu",
-        Op::Sigmoid(..) => "Sigmoid",
-        Op::Tanh(..) => "Tanh",
-        Op::Sqrt(..) => "Sqrt",
-        Op::Exp(..) => "Exp",
-        Op::Ln(..) => "Ln",
-        Op::Sin(..) => "Sin",
-        Op::Cos(..) => "Cos",
-        Op::Square(..) => "Square",
-        Op::Abs(..) => "Abs",
-        Op::Dropout(..) => "Dropout",
-        Op::StackScalars(..) => "StackScalars",
-        Op::ScatterAddRows { .. } => "ScatterAddRows",
-        Op::BroadcastRow(..) => "BroadcastRow",
-    }
+    ALL_OPS[op_ordinal(op)]
 }
 
 /// Calls `f` with every input [`Var`] of `op`, in recording order.
@@ -646,6 +701,29 @@ impl Graph {
                         Some(id),
                         "Sqrt",
                         format!("takes sqrt of constant node {} with a negative value", a.0),
+                    ));
+                }
+                _ => {}
+            }
+            // Non-finite op *payloads*: these corrupt gradients (the
+            // backward rules multiply by them) even when every node
+            // value still looks finite, so they are flagged separately
+            // from the value sweep below.
+            match op {
+                Op::Dropout(_, mask) if mask.iter().any(|m| !m.is_finite()) => {
+                    out.push(Diagnostic::warning(
+                        "non-finite-mask",
+                        Some(id),
+                        "Dropout",
+                        "recorded dropout mask contains NaN or Inf".to_string(),
+                    ));
+                }
+                Op::AddScalar(_, s) | Op::MulScalar(_, s) if !s.is_finite() => {
+                    out.push(Diagnostic::warning(
+                        "non-finite-scalar",
+                        Some(id),
+                        op_mnemonic(op),
+                        format!("scalar payload {s} is not finite"),
                     ));
                 }
                 _ => {}

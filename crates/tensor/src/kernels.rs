@@ -52,6 +52,12 @@ pub fn mul_acc(a: &[f32], b: &[f32], out: &mut [f32]) {
 ///
 /// Loop order (m, k, n) keeps the inner loop streaming over contiguous
 /// rows of `b` and `c`, which the compiler auto-vectorizes.
+///
+/// Exact `0.0` entries of `a` are skipped (component tables and one-hot
+/// features are sparse), so a zero left factor annihilates its term
+/// even against non-finite `b` entries: `0 · Inf ≡ 0`, never `NaN`.
+/// `k == 0` leaves `c` all zeros (empty-sum convention). Both behaviors
+/// are contractual — the f64 reference interpreter replicates them.
 pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k, "matmul: lhs is not [{m}, {k}]");
     debug_assert_eq!(b.len(), k * n, "matmul: rhs is not [{k}, {n}]");
@@ -73,6 +79,8 @@ pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize)
 }
 
 /// `c[m,n] += a[m,k] * b[k,n]` — accumulating variant for gradients.
+///
+/// Shares [`matmul`]'s zero-skip contract on `a`.
 pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k, "matmul_acc: lhs is not [{m}, {k}]");
     debug_assert_eq!(b.len(), k * n, "matmul_acc: rhs is not [{k}, {n}]");
@@ -95,7 +103,7 @@ pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
 /// `c[m,n] += a^T[m,k] * b[k,n]` where `a` is stored as `[k, m]`.
 ///
 /// Used by matmul backward for the left operand without materializing a
-/// transpose.
+/// transpose. Shares [`matmul`]'s zero-skip contract on `a`.
 pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), k * m, "matmul_at_b_acc: lhs is not [{k}, {m}]");
     debug_assert_eq!(b.len(), k * n, "matmul_at_b_acc: rhs is not [{k}, {n}]");
@@ -117,7 +125,10 @@ pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
 
 /// `c[m,n] += a[m,k] * b^T[k,n]` where `b` is stored as `[n, k]`.
 ///
-/// Used by matmul backward for the right operand.
+/// Used by matmul backward for the right operand. Unlike the other
+/// matmul kernels this one performs a plain dot product per output
+/// element with **no** zero skipping — its access pattern gains nothing
+/// from sparsity — so non-finite values propagate unconditionally here.
 pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k, "matmul_a_bt_acc: lhs is not [{m}, {k}]");
     debug_assert_eq!(b.len(), n * k, "matmul_a_bt_acc: rhs is not [{n}, {k}]");

@@ -40,7 +40,9 @@
 //! ```
 
 pub mod check;
+pub mod gradcheck;
 pub mod init;
+pub mod interp;
 pub mod kernels;
 pub mod optim;
 pub mod params;
@@ -49,7 +51,8 @@ pub mod shape;
 pub mod tape;
 pub mod tensor;
 
-pub use check::{Diagnostic, Severity, ShapeError, ShapeErrorKind};
+pub use check::{Diagnostic, Severity, ShapeError, ShapeErrorKind, ALL_OPS};
+pub use interp::DiffBudget;
 pub use params::{GradStore, ParamId, ParamStore};
 pub use shape::Shape;
 pub use tape::{Graph, Var};

@@ -256,4 +256,45 @@ mod tests {
         opt.set_learning_rate(0.5);
         assert_eq!(opt.learning_rate(), 0.5);
     }
+
+    /// Runs 10 optimization steps of a small two-parameter model from
+    /// seed `seed` and returns the final parameter bit patterns.
+    fn ten_steps<O: Optimizer>(opt: &mut O, seed: u64) -> Vec<Vec<u32>> {
+        use crate::init;
+        use rand::{Rng, SeedableRng};
+        use rand_chacha::ChaCha8Rng;
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ps = ParamStore::new();
+        let w1 = ps.insert("w1", init::xavier_uniform([3, 4], &mut rng));
+        let w2 = ps.insert("w2", init::xavier_uniform([4, 2], &mut rng));
+        for _ in 0..10 {
+            let x = Tensor::from_vec([2, 3], (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect());
+            let mut g = Graph::new();
+            let xv = g.constant(x);
+            let w1v = g.param(&ps, w1);
+            let w2v = g.param(&ps, w2);
+            let h = g.matmul(xv, w1v);
+            let h = g.tanh(h);
+            let y = g.matmul(h, w2v);
+            let sq = g.square(y);
+            let loss = g.mean_all(sq);
+            let grads = g.backward(loss);
+            opt.step(&mut ps, &grads);
+        }
+        [w1, w2].iter().map(|&id| ps.get(id).data().iter().map(|x| x.to_bits()).collect()).collect()
+    }
+
+    /// Two runs from identical seeds must produce bit-identical
+    /// parameters after 10 steps — optimizer state must not depend on
+    /// iteration order of its internal maps or any hidden entropy.
+    #[test]
+    fn optimizers_are_bitwise_deterministic() {
+        assert_eq!(
+            ten_steps(&mut Sgd::new(0.05).with_momentum(0.9), 3),
+            ten_steps(&mut Sgd::new(0.05).with_momentum(0.9), 3)
+        );
+        assert_eq!(ten_steps(&mut Adam::new(0.01), 3), ten_steps(&mut Adam::new(0.01), 3));
+        assert_eq!(ten_steps(&mut AdaGrad::new(0.1), 3), ten_steps(&mut AdaGrad::new(0.1), 3));
+    }
 }

@@ -34,8 +34,12 @@ impl Var {
 /// as `0.0` and receive no gradient. Used to zero-pad `im2col` patches.
 pub const PAD: usize = usize::MAX;
 
+// Every payload is read by the f64 reference interpreter in
+// `interp.rs`, which re-executes recorded tapes from this enum alone.
+// When adding a variant: extend `check::ALL_OPS`/`op_ordinal`, the
+// interpreter (forward + backward), and register a gradcheck in
+// `gradcheck::registry` — the coverage audit fails until all exist.
 #[derive(Debug)]
-#[allow(dead_code)] // some payloads (e.g. the scalar in AddScalar) exist for Debug output only
 pub(crate) enum Op {
     /// A leaf value; `Some(id)` when it is a trainable parameter.
     Leaf(Option<ParamId>),
@@ -249,6 +253,14 @@ impl Graph {
     }
 
     /// Matrix product of rank-2 vars.
+    ///
+    /// Edge-case contract (the reference interpreter replicates both,
+    /// see `interp.rs`):
+    /// * an exact `0.0` entry of `a` annihilates its whole term — even
+    ///   against `Inf`/`NaN` in `b` — because the kernel skips zero
+    ///   left factors (`kernels::matmul`'s sparsity shortcut);
+    /// * a `0`-length inner dimension (`[m, 0] × [0, n]`) produces an
+    ///   all-zero `[m, n]` result, the empty-sum convention.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let op = Op::Matmul(a, b);
         self.expect_shape(&op, None);
@@ -280,6 +292,9 @@ impl Graph {
     ///
     /// Offsets equal to [`PAD`] read as `0.0`. This is the `im2col`
     /// primitive behind the ConvE baseline's `im2col` convolution.
+    /// A row of exclusively `PAD` offsets is legal: it reads all zeros
+    /// and routes no gradient anywhere — the backward pass produces an
+    /// explicit zero gradient for `a`, not a missing one.
     ///
     /// # Panics
     /// If `idx.len() != shape.numel()` or any non-PAD offset is out of
@@ -345,6 +360,9 @@ impl Graph {
     }
 
     /// Mean of all elements (scalar output).
+    ///
+    /// The mean of an empty var is defined as `0.0` (and its backward
+    /// pass divides by `numel().max(1)`), matching the interpreter.
     pub fn mean_all(&mut self, a: Var) -> Var {
         let v = Tensor::scalar(self.nodes[a.0].value.mean());
         let ng = self.needs(a);
@@ -377,6 +395,9 @@ impl Graph {
     }
 
     /// Column means of a rank-2 var: `[m, n] -> [n]`.
+    ///
+    /// `m == 0` yields the zero vector (empty-mean convention, same as
+    /// [`Graph::mean_all`]).
     pub fn mean_axis0(&mut self, a: Var) -> Var {
         let op = Op::MeanAxis0(a);
         self.expect_shape(&op, None);

@@ -1,0 +1,136 @@
+//! Property-based differential testing: for random small graphs, the
+//! pure-f64 reference interpreter must agree with the optimized f32
+//! kernels on every forward value, and the textbook f64 reverse sweep
+//! must agree with the tape's `backward()` on every parameter
+//! gradient. `Graph::diff_check` performs both comparisons; the
+//! property is that it finds nothing.
+//!
+//! No kink avoidance is needed (unlike the finite-difference
+//! properties in `prop_autograd.rs`): both sides branch on the same
+//! recorded values, so `Relu`/`Abs` at exactly zero still agree.
+
+use dekg_tensor::{Graph, ParamStore, Tensor, Var};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Pointwise chain steps; `AddB`/`MulB` mix in a second parameter so
+/// gradient accumulation across multiple uses is exercised.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Relu,
+    Abs,
+    Sigmoid,
+    Tanh,
+    Sin,
+    Cos,
+    Square,
+    Neg,
+    AddScalar(i8),
+    MulScalar(i8),
+    AddB,
+    MulB,
+    Dropout,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        Just(Step::Relu),
+        Just(Step::Abs),
+        Just(Step::Sigmoid),
+        Just(Step::Tanh),
+        Just(Step::Sin),
+        Just(Step::Cos),
+        Just(Step::Square),
+        Just(Step::Neg),
+        any::<i8>().prop_map(Step::AddScalar),
+        any::<i8>().prop_map(Step::MulScalar),
+        Just(Step::AddB),
+        Just(Step::MulB),
+        Just(Step::Dropout),
+    ]
+}
+
+fn apply(g: &mut Graph, v: Var, b: Var, step: Step, dseed: u64) -> Var {
+    match step {
+        Step::Relu => g.relu(v),
+        Step::Abs => g.abs(v),
+        Step::Sigmoid => g.sigmoid(v),
+        Step::Tanh => g.tanh(v),
+        Step::Sin => g.sin(v),
+        Step::Cos => g.cos(v),
+        Step::Square => g.square(v),
+        Step::Neg => g.neg(v),
+        Step::AddScalar(s) => g.add_scalar(v, f32::from(s) * 0.1),
+        Step::MulScalar(s) => g.mul_scalar(v, f32::from(s) * 0.1),
+        Step::AddB => g.add(v, b),
+        Step::MulB => g.mul(v, b),
+        Step::Dropout => {
+            let mut rng = ChaCha8Rng::seed_from_u64(dseed);
+            g.dropout(v, 0.3, &mut rng)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn interpreter_matches_kernels_forward_and_backward(
+        m in 1usize..4,
+        n in 1usize..4,
+        data in prop::collection::vec(-1.5f32..1.5, 9),
+        bdata in prop::collection::vec(-1.5f32..1.5, 9),
+        cdata in prop::collection::vec(-1.0f32..1.0, 6),
+        steps in prop::collection::vec(step_strategy(), 0..5),
+        structural in 0u8..4,
+        reduce in 0u8..5,
+        picks in prop::collection::vec(0usize..16, 1..5),
+        dseed in any::<u64>(),
+    ) {
+        let mut ps = ParamStore::new();
+        let a = ps.insert("a", Tensor::from_vec([m, n], data[..m * n].to_vec()));
+        let b = ps.insert("b", Tensor::from_vec([m, n], bdata[..m * n].to_vec()));
+
+        let mut g = Graph::new();
+        let bv = g.param(&ps, b);
+        let mut v = g.param(&ps, a);
+        for (i, &s) in steps.iter().enumerate() {
+            v = apply(&mut g, v, bv, s, dseed.wrapping_add(i as u64));
+        }
+        v = match structural {
+            0 => v,
+            1 => {
+                let picks: Vec<usize> = picks.iter().map(|p| p % m).collect();
+                g.gather_rows(v, &picks)
+            }
+            2 => g.concat_rows(&[v, v]),
+            _ => {
+                let c = g.constant(Tensor::from_vec([n, 2], cdata[..n * 2].to_vec()));
+                g.matmul(v, c)
+            }
+        };
+        let loss = match reduce {
+            0 => g.sum_all(v),
+            1 => g.mean_all(v),
+            2 => {
+                let s = g.sum_axis0(v);
+                g.sum_all(s)
+            }
+            3 => {
+                let s = g.sum_axis1(v);
+                g.sum_all(s)
+            }
+            _ => {
+                let s = g.mean_axis0(v);
+                g.sum_all(s)
+            }
+        };
+
+        let diags = g.diff_check(loss, Some(&ps));
+        prop_assert!(
+            diags.is_empty(),
+            "steps {steps:?} structural {structural} reduce {reduce}: {diags:?}"
+        );
+    }
+}

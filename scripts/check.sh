@@ -14,12 +14,15 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test --workspace"
 cargo test -q --workspace --offline
 
-echo "==> dekg generate + dekg check round trip"
+echo "==> dekg generate + dekg check --grads round trip"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 cargo run -q --release --offline -p dekg-cli -- \
     generate --raw fb --split eq --scale 0.05 --seed 1 --out "$tmp/data"
+# --grads runs the finite-difference suite over every Op variant (the
+# coverage audit fails on any unregistered variant) plus an f64
+# re-execution of one training batch on the generated dataset.
 cargo run -q --release --offline -p dekg-cli -- \
-    check --data "$tmp/data" --raw fb --split eq --scale 0.05
+    check --data "$tmp/data" --raw fb --split eq --scale 0.05 --grads
 
 echo "==> all checks passed"
