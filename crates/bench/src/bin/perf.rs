@@ -1,0 +1,316 @@
+//! The tracked performance harness behind `BENCH_perf.json`.
+//!
+//! Times the three optimized hot paths on the synthetic FB15k-237
+//! profile — enclosing-subgraph extraction, one training epoch, and the
+//! full filtered-ranking evaluation — each as the *seed pipeline*
+//! versus the current one. For extraction and training the seed is
+//! dense `O(|E|)` extraction on one thread versus sparse extraction on
+//! `--threads` workers; for evaluation the seed additionally scores
+//! through the autograd tape, while the current pipeline uses the
+//! forward-only inference path ([`dekg_core::ScoringPath`]). Every
+//! timed pair is also checked for identical output, so the speedups are
+//! measured against a bit-equal baseline, not a different computation.
+//!
+//! ```sh
+//! cargo run --release -p dekg-bench --bin perf
+//! cargo run --release -p dekg-bench --bin perf -- --threads 2 --scale 0.05 --out /tmp/p.json
+//! ```
+//!
+//! See the "Performance" section of `EXPERIMENTS.md` for how these
+//! numbers relate to the paper's Table IV, and `DESIGN.md` for why the
+//! parallel pipeline is bitwise-deterministic.
+
+use dekg_core::{DekgIlp, DekgIlpConfig, InferenceGraph, ScoringPath, TrainableModel};
+use dekg_datasets::{
+    generate, DatasetProfile, DekgDataset, MixRatio, RawKg, SplitKind, SynthConfig, TestMix,
+};
+use dekg_eval::{evaluate, EvalResult, ProtocolConfig};
+use dekg_kg::{DistanceBackend, EntityId, SubgraphExtractor, Triple};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::time::Instant;
+
+struct Opts {
+    scale: f64,
+    seed: u64,
+    threads: usize,
+    candidates: usize,
+    epochs: usize,
+    out: String,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            scale: 0.08,
+            seed: 1,
+            threads: 4,
+            candidates: 30,
+            epochs: 2,
+            out: "BENCH_perf.json".into(),
+        }
+    }
+}
+
+impl Opts {
+    fn from_args() -> Self {
+        let mut o = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = |i: usize| -> &str {
+                args.get(i + 1).unwrap_or_else(|| panic!("flag {flag} needs a value"))
+            };
+            match flag {
+                "--scale" => o.scale = value(i).parse().expect("--scale f64"),
+                "--seed" => o.seed = value(i).parse().expect("--seed u64"),
+                "--threads" => o.threads = value(i).parse().expect("--threads usize"),
+                "--candidates" => o.candidates = value(i).parse().expect("--candidates usize"),
+                "--epochs" => o.epochs = value(i).parse().expect("--epochs usize"),
+                "--out" => o.out = value(i).to_owned(),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --scale F --seed N --threads N --candidates N --epochs N --out FILE"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other:?} (try --help)"),
+            }
+            i += 2;
+        }
+        assert!(o.threads >= 1, "--threads must be at least 1");
+        o
+    }
+}
+
+/// One timed pipeline configuration.
+#[derive(Serialize)]
+struct Timed {
+    backend: String,
+    threads: usize,
+    seconds: f64,
+}
+
+/// A timed section: baseline (seed pipeline) vs current, plus derived
+/// speedup and the proof that both computed the same output.
+#[derive(Serialize)]
+struct Section {
+    baseline: Timed,
+    current: Timed,
+    /// `baseline.seconds / current.seconds`.
+    speedup: f64,
+    /// Both variants produced bitwise-identical results.
+    outputs_identical: bool,
+}
+
+fn section(baseline: Timed, current: Timed, outputs_identical: bool) -> Section {
+    let speedup = if current.seconds > 0.0 { baseline.seconds / current.seconds } else { 0.0 };
+    Section { baseline, current, speedup, outputs_identical }
+}
+
+#[derive(Serialize)]
+struct Report {
+    dataset: String,
+    scale: f64,
+    seed: u64,
+    threads: usize,
+    candidates: usize,
+    epochs: usize,
+    /// Worker threads actually available on this machine — on a 1-core
+    /// host the parallel numbers measure overhead, and the speedups
+    /// below come from the forward-only scoring path and the sparse
+    /// extraction backend, not from threads.
+    available_parallelism: usize,
+    extraction: Section,
+    train_epoch: Section,
+    eval: Section,
+    eval_queries: usize,
+    /// The headline number: end-to-end evaluation, seed pipeline (tape
+    /// scoring, dense extraction, serial) vs current (forward-only
+    /// scoring, sparse extraction, `threads` workers).
+    end_to_end_eval_speedup: f64,
+}
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool")
+}
+
+/// Extraction section: every test link, dense/serial vs sparse/parallel.
+fn time_extraction(dataset: &DekgDataset, graph: &InferenceGraph, threads: usize) -> Section {
+    let links: Vec<(EntityId, EntityId, Option<Triple>)> = dataset
+        .test_enclosing
+        .iter()
+        .chain(&dataset.test_bridging)
+        .map(|t| (t.head, t.tail, None))
+        .collect();
+    let hops = 2;
+    let dense = SubgraphExtractor::new(&graph.adjacency, hops, dekg_kg::ExtractionMode::Union)
+        .with_backend(DistanceBackend::DenseReference);
+    let sparse = SubgraphExtractor::new(&graph.adjacency, hops, dekg_kg::ExtractionMode::Union);
+
+    let start = Instant::now();
+    let base_out: Vec<_> = links.iter().map(|&(h, t, ex)| dense.extract(h, t, ex)).collect();
+    let base_secs = start.elapsed().as_secs_f64();
+
+    let p = pool(threads);
+    let start = Instant::now();
+    let cur_out = p.install(|| sparse.extract_batch(&links));
+    let cur_secs = start.elapsed().as_secs_f64();
+
+    section(
+        Timed { backend: "dense".into(), threads: 1, seconds: base_secs },
+        Timed { backend: "sparse".into(), threads, seconds: cur_secs },
+        base_out == cur_out,
+    )
+}
+
+/// One training epoch, seed pipeline vs current. Training draws from
+/// the RNG stream, so "identical output" is checked on the final loss
+/// of two runs from the same seed.
+fn time_train_epoch(dataset: &DekgDataset, opts: &Opts) -> Section {
+    let run = |backend: DistanceBackend, threads: usize| -> (f64, f32) {
+        let cfg = DekgIlpConfig { epochs: 1, ..DekgIlpConfig::quick() };
+        let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+        let mut model = DekgIlp::new(cfg, dataset, &mut rng);
+        model.set_distance_backend(backend);
+        let p = pool(threads);
+        let report = p.install(|| model.fit(dataset, &mut rng));
+        (report.seconds, report.final_loss)
+    };
+    let (base_secs, base_loss) = run(DistanceBackend::DenseReference, 1);
+    let (cur_secs, cur_loss) = run(DistanceBackend::Sparse, opts.threads);
+    section(
+        Timed { backend: "dense".into(), threads: 1, seconds: base_secs },
+        Timed { backend: "sparse".into(), threads: opts.threads, seconds: cur_secs },
+        base_loss == cur_loss,
+    )
+}
+
+/// Full filtered-ranking evaluation, seed pipeline vs current.
+fn time_eval(
+    dataset: &DekgDataset,
+    graph: &InferenceGraph,
+    opts: &Opts,
+) -> (Section, usize, EvalResult) {
+    let cfg = DekgIlpConfig { epochs: opts.epochs, ..DekgIlpConfig::quick() };
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let mut model = DekgIlp::new(cfg, dataset, &mut rng);
+    model.fit(dataset, &mut rng);
+
+    let mix = TestMix::build(dataset, MixRatio::for_split(SplitKind::Eq));
+    let mut protocol = ProtocolConfig::sampled(opts.candidates);
+    protocol.seed = opts.seed;
+
+    // Baseline: the seed pipeline — scoring through the autograd tape,
+    // dense extraction, one thread.
+    protocol.threads = 1;
+    model.set_distance_backend(DistanceBackend::DenseReference);
+    model.set_scoring_path(ScoringPath::TapeReference);
+    let base = evaluate(&model, graph, dataset, &mix, &protocol);
+
+    // Current: forward-only scoring, sparse extraction, N threads.
+    protocol.threads = opts.threads;
+    model.set_distance_backend(DistanceBackend::Sparse);
+    model.set_scoring_path(ScoringPath::Inference);
+    let cur = evaluate(&model, graph, dataset, &mix, &protocol);
+
+    let identical = base.overall == cur.overall
+        && base.enclosing == cur.enclosing
+        && base.bridging == cur.bridging;
+    let s = section(
+        Timed { backend: "tape+dense".into(), threads: 1, seconds: base.timing.wall_seconds },
+        Timed {
+            backend: "inference+sparse".into(),
+            threads: opts.threads,
+            seconds: cur.timing.wall_seconds,
+        },
+        identical,
+    );
+    let queries = cur.timing.queries;
+    (s, queries, cur)
+}
+
+fn main() {
+    let opts = Opts::from_args();
+    let profile = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Eq).scaled(opts.scale);
+    let mut synth = SynthConfig::for_profile(profile, opts.seed);
+    synth.num_test_enclosing = synth.num_test_enclosing.clamp(40, 120);
+    synth.num_test_bridging = synth.num_test_bridging.clamp(40, 120);
+    let dataset = generate(&synth);
+    let graph = InferenceGraph::from_dataset(&dataset);
+    println!(
+        "perf harness on {} (scale {:.2}, {} threads requested, {} available)",
+        dataset.name,
+        opts.scale,
+        opts.threads,
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+
+    println!("timing subgraph extraction…");
+    let extraction = time_extraction(&dataset, &graph, opts.threads);
+    println!(
+        "  dense/serial {:.3}s  sparse/{}t {:.3}s  speedup {:.2}x  identical: {}",
+        extraction.baseline.seconds,
+        opts.threads,
+        extraction.current.seconds,
+        extraction.speedup,
+        extraction.outputs_identical
+    );
+
+    println!("timing one training epoch…");
+    let train_epoch = time_train_epoch(&dataset, &opts);
+    println!(
+        "  dense/serial {:.2}s  sparse/{}t {:.2}s  speedup {:.2}x  identical loss: {}",
+        train_epoch.baseline.seconds,
+        opts.threads,
+        train_epoch.current.seconds,
+        train_epoch.speedup,
+        train_epoch.outputs_identical
+    );
+
+    println!("timing full evaluation…");
+    let (eval, eval_queries, result) = time_eval(&dataset, &graph, &opts);
+    println!(
+        "  tape+dense/serial {:.2}s  inference+sparse/{}t {:.2}s  speedup {:.2}x  \
+         identical metrics: {}  ({} queries, {:.1}/s)",
+        eval.baseline.seconds,
+        opts.threads,
+        eval.current.seconds,
+        eval.speedup,
+        eval.outputs_identical,
+        eval_queries,
+        result.timing.queries_per_second
+    );
+
+    let report = Report {
+        dataset: dataset.name.clone(),
+        scale: opts.scale,
+        seed: opts.seed,
+        threads: opts.threads,
+        candidates: opts.candidates,
+        epochs: opts.epochs,
+        available_parallelism: std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get),
+        end_to_end_eval_speedup: eval.speedup,
+        extraction,
+        train_epoch,
+        eval,
+        eval_queries,
+    };
+    if let Err(e) = dekg_eval::report::save_json(std::path::Path::new(&opts.out), &report) {
+        eprintln!("could not write {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    println!(
+        "end-to-end eval speedup {:.2}x — report written to {}",
+        report.end_to_end_eval_speedup, opts.out
+    );
+    assert!(
+        report.extraction.outputs_identical
+            && report.train_epoch.outputs_identical
+            && report.eval.outputs_identical,
+        "parallel/sparse pipeline diverged from the serial/dense baseline"
+    );
+}

@@ -7,17 +7,16 @@
 
 use dekg_bench::{zoo, ExperimentOpts};
 use dekg_core::InferenceGraph;
-use dekg_eval::{time_inference_per_50, Table};
+use dekg_eval::{time_inference_per_50, Table, TimingResult};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 
+/// One dataset's worth of Table IV rows.
 #[derive(Serialize)]
-struct Row {
+struct DatasetTiming {
     dataset: String,
-    model: String,
-    train_seconds_per_epoch: f64,
-    inference_seconds_per_50: f64,
+    rows: Vec<TimingResult>,
 }
 
 fn main() {
@@ -27,7 +26,7 @@ fn main() {
         opts.scale
     );
 
-    let mut rows = Vec::new();
+    let mut out = Vec::new();
     for raw in opts.raw_kgs() {
         for split in opts.split_kinds() {
             let dataset = opts.dataset(raw, split, 0);
@@ -35,23 +34,30 @@ fn main() {
             let links: Vec<_> =
                 dataset.test_enclosing.iter().chain(&dataset.test_bridging).copied().collect();
             println!("== {} ==", dataset.name);
-            let mut table = Table::new(vec!["model", "T-T s/epoch", "T-I s/50 links"]);
+            let mut table = Table::new(vec!["model", "T-T s/epoch", "T-I s/50 links", "params"]);
+            let mut rows = Vec::new();
             for name in opts.model_names() {
                 let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
                 let (model, report) = zoo::build_and_train(&name, &dataset, &opts, &mut rng);
                 let per_epoch = report.seconds / report.epochs.max(1) as f64;
                 let t_i = time_inference_per_50(model.as_ref(), &graph, &links, 2);
-                table.add_row(vec![name.clone(), format!("{per_epoch:.3}"), format!("{t_i:.4}")]);
-                rows.push(Row {
-                    dataset: dataset.name.clone(),
+                table.add_row(vec![
+                    name.clone(),
+                    format!("{per_epoch:.3}"),
+                    format!("{t_i:.4}"),
+                    format!("{}", model.num_parameters()),
+                ]);
+                rows.push(TimingResult {
                     model: name,
                     train_seconds_per_epoch: per_epoch,
                     inference_seconds_per_50: t_i,
+                    parameters: model.num_parameters(),
                 });
             }
             println!("{}", table.render());
+            out.push(DatasetTiming { dataset: dataset.name.clone(), rows });
         }
     }
-    opts.save_json("table4_timing.json", &rows);
+    opts.save_json("table4_timing.json", &out);
     println!("raw rows saved to {}/table4_timing.json", opts.out_dir);
 }

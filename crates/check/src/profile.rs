@@ -15,7 +15,7 @@ const DENSITY_FACTOR: f64 = 2.0;
 ///
 /// These are warnings, not errors: a loaded real split may legimately
 /// differ from its generation target, but a synthetic dataset that
-/// misses its own profile by more than [`TOLERANCE`] usually means the
+/// misses its own profile by more than `TOLERANCE` (25%) usually means the
 /// wrong profile, seed, or scale factor was used.
 pub fn validate_profile(dataset: &DekgDataset, profile: &DatasetProfile) -> Vec<Diagnostic> {
     let stats = DatasetStats::of(dataset);

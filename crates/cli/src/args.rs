@@ -20,7 +20,7 @@ impl Flags {
         Self::parse_with_switches(argv, &[])
     }
 
-    /// Like [`Flags::parse`], but the named `switches` are valueless
+    /// Like `Flags::parse`, but the named `switches` are valueless
     /// booleans (`--check`): present or absent, never consuming the
     /// next argument. Every other flag still requires a value.
     pub fn parse_with_switches(argv: &[String], switches: &[&str]) -> Result<Flags, String> {

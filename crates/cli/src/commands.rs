@@ -20,8 +20,9 @@ commands:
   stats     --data DIR
   check     --data DIR [--raw fb|nell|wn --split eq|mb|me [--scale F]] [--grads] [--seed N]
   train     --data DIR [--check] [--epochs N] [--dim N] [--seed N]
-            [--gradcheck-every N] --ckpt FILE
+            [--gradcheck-every N] [--threads N] --ckpt FILE
   evaluate  --data DIR --ckpt FILE [--candidates N] [--split eq|mb|me] [--seed N]
+            [--threads N]
   predict   --data DIR --ckpt FILE --rel NAME (--head NAME | --tail NAME) [--top N]
   help
 ";
@@ -212,15 +213,24 @@ pub fn train(flags: &Flags) -> CliResult {
     };
     cfg.validate();
 
+    let threads: usize = flags.parse_or("threads", 0)?;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut model = DekgIlp::new(cfg.clone(), &dataset, &mut rng);
     println!(
-        "training DEKG-ILP on {} ({} triples, {} relations)…",
+        "training DEKG-ILP on {} ({} triples, {} relations, {} thread(s))…",
         dataset.name,
         dataset.original.len(),
-        dataset.num_relations
+        dataset.num_relations,
+        if threads == 0 { rayon::current_num_threads() } else { threads }
     );
-    let report = model.fit(&dataset, &mut rng);
+    // `--threads 0` (the default) keeps rayon's ambient worker count.
+    // The pool only scopes *where* work runs; per-item seeding keeps the
+    // result bitwise-identical at any thread count (see DESIGN.md).
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| format!("--threads: {e}"))?;
+    let report = pool.install(|| model.fit(&dataset, &mut rng));
     println!(
         "done: {} epochs, loss {:.4} -> {:.4}, {:.1}s",
         report.epochs, report.initial_loss, report.final_loss, report.seconds
@@ -260,6 +270,10 @@ pub fn evaluate(flags: &Flags) -> CliResult {
         ProtocolConfig::sampled(candidates)
     };
     protocol.seed = flags.parse_or("seed", 0)?;
+    let threads: usize = flags.parse_or("threads", 0)?;
+    if threads > 0 {
+        protocol.threads = threads;
+    }
 
     let graph = InferenceGraph::from_dataset(&dataset);
     let mix = TestMix::build(&dataset, MixRatio::for_split(split));
@@ -281,6 +295,11 @@ pub fn evaluate(flags: &Flags) -> CliResult {
         ]);
     }
     println!("{}", table.render());
+    let t = &result.timing;
+    println!(
+        "{} queries over {} links in {:.2}s ({:.1} queries/s, {} thread(s))",
+        t.queries, t.links, t.wall_seconds, t.queries_per_second, t.threads
+    );
     Ok(())
 }
 

@@ -13,7 +13,7 @@
 
 use dekg_gnn::{SubgraphEncoder, SubgraphEncoderConfig};
 use dekg_kg::Subgraph;
-use dekg_tensor::{init, Graph, ParamId, ParamStore, Var};
+use dekg_tensor::{init, kernels, Graph, ParamId, ParamStore, Var};
 use rand::Rng;
 
 /// The GSM parameters: the subgraph encoder plus the topological
@@ -104,6 +104,35 @@ impl Gsm {
             out.push(g.value(s).item());
         }
         out
+    }
+
+    /// Scores many subgraphs through the forward-only encoder — no
+    /// autograd tape at all. Bitwise identical to
+    /// [`Gsm::score_subgraphs_eval`] (same kernels, same op order; see
+    /// [`dekg_gnn::SubgraphEncoder::encode_inference`]) but skips the
+    /// tape's node bookkeeping, which dominates evaluation cost.
+    pub fn score_subgraphs_inference(
+        &self,
+        params: &ParamStore,
+        items: &[(&Subgraph, dekg_kg::RelationId)],
+    ) -> Vec<f32> {
+        let rel_tpo = params.get(self.rel_tpo);
+        let w = params.get(self.w_out).data();
+        let d = self.dim;
+        let mut cat = vec![0.0f32; 4 * d];
+        items
+            .iter()
+            .map(|(sg, rel)| {
+                let enc = self.encoder.encode_inference(params, sg);
+                cat[..d].copy_from_slice(&enc.graph);
+                cat[d..2 * d].copy_from_slice(&enc.head);
+                cat[2 * d..3 * d].copy_from_slice(&enc.tail);
+                cat[3 * d..].copy_from_slice(rel_tpo.row(rel.index()));
+                let mut out = [0.0f32];
+                kernels::matmul(&cat, w, &mut out, 1, 4 * d, 1);
+                out[0]
+            })
+            .collect()
     }
 
     /// The endpoint embeddings `(h_i^L, h_j^L)` of a subgraph — used by
@@ -227,6 +256,30 @@ mod tests {
         assert!(grads.get(ps.id_of("gsm.w_out").unwrap()).is_some());
         assert!(grads.get(ps.id_of("gsm.rel_tpo").unwrap()).is_some());
         assert!(grads.get(ps.id_of("gsm.encoder.layer0.w_self").unwrap()).is_some());
+    }
+
+    #[test]
+    fn inference_scores_bitwise_match_tape_scores() {
+        // The eval protocol ranks with the forward-only path; if it
+        // drifted from the tape by even one ULP, rankings could differ
+        // between training-time probes and evaluation.
+        for num_bases in [None, Some(2)] {
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            let mut ps = ParamStore::new();
+            let gsm =
+                Gsm::new(SubgraphEncoderConfig { num_bases, ..cfg() }, "gsm", &mut ps, &mut rng);
+            let (_, adj) = chain();
+            let extractor = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union);
+            let sgs: Vec<_> = [(0, 3), (1, 2), (0, 2), (2, 3)]
+                .iter()
+                .map(|&(h, t)| extractor.extract(EntityId(h), EntityId(t), None))
+                .collect();
+            let items: Vec<(&Subgraph, RelationId)> =
+                sgs.iter().enumerate().map(|(i, sg)| (sg, RelationId((i % 3) as u32))).collect();
+            let tape = gsm.score_subgraphs_eval(&ps, &items);
+            let fast = gsm.score_subgraphs_inference(&ps, &items);
+            assert_eq!(tape, fast, "num_bases {num_bases:?}");
+        }
     }
 
     #[test]

@@ -48,11 +48,11 @@ pub mod traits;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::config::{Ablation, DekgIlpConfig};
-    pub use crate::model::DekgIlp;
+    pub use crate::model::{DekgIlp, ScoringPath};
     pub use crate::traits::{InferenceGraph, LinkPredictor, TrainReport, TrainableModel};
 }
 
 pub use config::{Ablation, DekgIlpConfig};
-pub use model::DekgIlp;
+pub use model::{DekgIlp, ScoringPath};
 pub use train::{batch_loss, grad_check_dataset};
 pub use traits::{InferenceGraph, LinkPredictor, TrainReport, TrainableModel};

@@ -7,9 +7,26 @@ use crate::gsm::Gsm;
 use crate::traits::{InferenceGraph, LinkPredictor, TrainReport, TrainableModel};
 use dekg_datasets::DekgDataset;
 use dekg_gnn::SubgraphEncoderConfig;
-use dekg_kg::{SubgraphExtractor, Triple};
+use dekg_kg::{DistanceBackend, SubgraphExtractor, Triple};
 use dekg_tensor::{Graph, ParamStore};
 use rand::RngCore;
+
+/// Which GSM implementation evaluation scoring runs through.
+///
+/// Both produce bitwise-identical scores (a tested invariant); training
+/// always uses the tape, since it needs gradients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringPath {
+    /// Forward-only kernels, no autograd tape — the default: evaluation
+    /// needs no gradients, and the tape's node bookkeeping dominates
+    /// scoring cost.
+    #[default]
+    Inference,
+    /// Score through the autograd tape
+    /// ([`Gsm::score_subgraphs_eval`]) — the seed pipeline, kept as the
+    /// baseline the perf harness measures against.
+    TapeReference,
+}
 
 /// DEKG-ILP: CLRM ⊕ GSM.
 ///
@@ -25,6 +42,13 @@ pub struct DekgIlp {
     clrm: Option<Clrm>,
     gsm: Gsm,
     num_relations: usize,
+    /// Extraction implementation — runtime state, not a hyperparameter:
+    /// both backends produce bit-identical subgraphs, so it is kept out
+    /// of the serialized config (checkpoint `.json` stays stable).
+    distance_backend: DistanceBackend,
+    /// GSM scoring implementation — runtime state like the extraction
+    /// backend, and kept out of the config for the same reason.
+    scoring_path: ScoringPath,
 }
 
 impl DekgIlp {
@@ -55,7 +79,40 @@ impl DekgIlp {
             &mut params,
             &mut rng,
         );
-        DekgIlp { cfg, params, clrm, gsm, num_relations }
+        DekgIlp {
+            cfg,
+            params,
+            clrm,
+            gsm,
+            num_relations,
+            distance_backend: DistanceBackend::default(),
+            scoring_path: ScoringPath::default(),
+        }
+    }
+
+    /// The subgraph-extraction backend scoring runs on.
+    pub fn distance_backend(&self) -> DistanceBackend {
+        self.distance_backend
+    }
+
+    /// Switches the extraction backend. [`DistanceBackend::DenseReference`]
+    /// is the seed implementation, kept so the perf harness can measure
+    /// the sparse backend against an identical-output baseline.
+    pub fn set_distance_backend(&mut self, backend: DistanceBackend) {
+        self.distance_backend = backend;
+    }
+
+    /// The GSM implementation evaluation scoring runs through.
+    pub fn scoring_path(&self) -> ScoringPath {
+        self.scoring_path
+    }
+
+    /// Switches the GSM scoring implementation.
+    /// [`ScoringPath::TapeReference`] is the seed pipeline, kept so the
+    /// perf harness can measure the forward-only path against an
+    /// identical-output baseline.
+    pub fn set_scoring_path(&mut self, path: ScoringPath) {
+        self.scoring_path = path;
     }
 
     /// The model configuration.
@@ -158,17 +215,38 @@ impl DekgIlp {
         }
 
         // φ_tpo: batched tapes with parameters mounted once per chunk
-        // (chunking bounds tape memory on large candidate sets).
+        // (chunking bounds tape memory on large candidate sets). Chunks
+        // are independent — each gets its own tape and mount — so they
+        // fan out over the ambient rayon thread count; scoring is a
+        // pure function of (params, subgraph), and the ordered collect
+        // makes the result identical to the serial loop.
         const CHUNK: usize = 64;
+        use rayon::prelude::*;
         let extractor =
-            SubgraphExtractor::new(&graph.adjacency, self.cfg.hops, self.cfg.extraction_mode());
+            SubgraphExtractor::new(&graph.adjacency, self.cfg.hops, self.cfg.extraction_mode())
+                .with_backend(self.distance_backend);
+        let chunks: Vec<&[Triple]> = triples.chunks(CHUNK).collect();
+        let tpo_chunks: Vec<Vec<f32>> = chunks
+            .par_iter()
+            .map(|chunk| {
+                let subgraphs: Vec<(dekg_kg::Subgraph, dekg_kg::RelationId)> = chunk
+                    .iter()
+                    .map(|t| (extractor.extract(t.head, t.tail, None), t.rel))
+                    .collect();
+                let items: Vec<(&dekg_kg::Subgraph, dekg_kg::RelationId)> =
+                    subgraphs.iter().map(|(sg, r)| (sg, *r)).collect();
+                match self.scoring_path {
+                    ScoringPath::Inference => {
+                        self.gsm.score_subgraphs_inference(&self.params, &items)
+                    }
+                    ScoringPath::TapeReference => {
+                        self.gsm.score_subgraphs_eval(&self.params, &items)
+                    }
+                }
+            })
+            .collect();
         let mut out = Vec::with_capacity(triples.len());
-        for (chunk_i, chunk) in triples.chunks(CHUNK).enumerate() {
-            let subgraphs: Vec<(dekg_kg::Subgraph, dekg_kg::RelationId)> =
-                chunk.iter().map(|t| (extractor.extract(t.head, t.tail, None), t.rel)).collect();
-            let items: Vec<(&dekg_kg::Subgraph, dekg_kg::RelationId)> =
-                subgraphs.iter().map(|(sg, r)| (sg, *r)).collect();
-            let tpo = self.gsm.score_subgraphs_eval(&self.params, &items);
+        for (chunk_i, tpo) in tpo_chunks.into_iter().enumerate() {
             for (j, s) in tpo.into_iter().enumerate() {
                 out.push(sem[chunk_i * CHUNK + j] + s);
             }
@@ -229,6 +307,26 @@ mod tests {
         let graph = InferenceGraph::from_dataset(&d);
         let batch = &d.test_enclosing[..2.min(d.test_enclosing.len())];
         assert_eq!(model.score_batch(&graph, batch), model.score_batch(&graph, batch));
+    }
+
+    #[test]
+    fn scoring_paths_are_bitwise_identical() {
+        // Train briefly so parameters are away from init, then check
+        // the forward-only path against the tape on real test links.
+        let d = tiny_dataset();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let cfg = DekgIlpConfig { epochs: 1, ..DekgIlpConfig::quick() };
+        let mut model = DekgIlp::new(cfg, &d, &mut rng);
+        model.fit(&d, &mut rng);
+        let graph = InferenceGraph::from_dataset(&d);
+        let batch: Vec<Triple> =
+            d.test_enclosing.iter().chain(&d.test_bridging).copied().take(12).collect();
+
+        assert_eq!(model.scoring_path(), ScoringPath::Inference);
+        let fast = model.score_batch(&graph, &batch);
+        model.set_scoring_path(ScoringPath::TapeReference);
+        let tape = model.score_batch(&graph, &batch);
+        assert_eq!(fast, tape);
     }
 
     #[test]

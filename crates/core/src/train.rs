@@ -282,15 +282,15 @@ pub fn batch_loss(
 ) -> Var {
     let cfg = model.config();
 
-    // Negatives: neg_per_pos per positive, aligned by repetition.
-    let mut pos_rep = Vec::with_capacity(batch.len() * cfg.neg_per_pos);
-    let mut negs = Vec::with_capacity(batch.len() * cfg.neg_per_pos);
-    for t in batch {
-        for _ in 0..cfg.neg_per_pos {
-            pos_rep.push(*t);
-            negs.push(sampler.corrupt(t, rng));
-        }
-    }
+    // Negatives: neg_per_pos per positive, aligned by repetition. One
+    // master seed is drawn from the training stream, then corruption
+    // fans out in parallel under per-slot child seeds (Eq. 12; see
+    // dekg_datasets::seeding) — the batch is a pure function of the
+    // seed regardless of thread count.
+    let neg_master: u64 = rng.gen();
+    let pos_rep: Vec<Triple> =
+        batch.iter().flat_map(|t| std::iter::repeat(*t).take(cfg.neg_per_pos)).collect();
+    let negs = sampler.corrupt_batch(batch, cfg.neg_per_pos, neg_master);
 
     // φ_sem over both sides in one tape.
     let (sem_pos, sem_neg) = match model.clrm() {
@@ -303,7 +303,8 @@ pub fn batch_loss(
     };
 
     // φ_tpo per triple.
-    let extractor = SubgraphExtractor::new(&train_graph.adjacency, cfg.hops, cfg.extraction_mode());
+    let extractor = SubgraphExtractor::new(&train_graph.adjacency, cfg.hops, cfg.extraction_mode())
+        .with_backend(model.distance_backend());
     let tpo_pos = score_side(model, model.gsm(), &extractor, &pos_rep, true, g, rng);
     let tpo_neg = score_side(model, model.gsm(), &extractor, &negs, false, g, rng);
 
@@ -380,6 +381,11 @@ pub fn grad_check_dataset(dataset: &DekgDataset, seed: u64) -> Vec<Diagnostic> {
 /// Scores one side (positives or negatives) topologically, returning a
 /// stacked `[n]` Var. Positives exclude their own edge from the
 /// subgraph so the model cannot read the answer off the graph.
+///
+/// Subgraph extraction fans out over the ambient rayon thread count
+/// (it consumes no randomness, so the dropout RNG stream is untouched);
+/// tape recording stays serial because the autograd graph and the
+/// dropout stream are inherently ordered.
 fn score_side(
     model: &DekgIlp,
     gsm: &crate::gsm::Gsm,
@@ -389,11 +395,12 @@ fn score_side(
     g: &mut Graph,
     rng: &mut impl Rng,
 ) -> Var {
+    let links: Vec<(EntityId, EntityId, Option<Triple>)> =
+        triples.iter().map(|t| (t.head, t.tail, exclude_self.then_some(*t))).collect();
+    let subgraphs = extractor.extract_batch(&links);
     let mut scores = Vec::with_capacity(triples.len());
-    for t in triples {
-        let exclude = exclude_self.then_some(*t);
-        let sg = extractor.extract(t.head, t.tail, exclude);
-        let s = gsm.score_subgraph(g, model.params(), &sg, t.rel, true, rng);
+    for (t, sg) in triples.iter().zip(&subgraphs) {
+        let s = gsm.score_subgraph(g, model.params(), sg, t.rel, true, rng);
         scores.push(s);
     }
     let stacked = g.stack_scalars(&scores);

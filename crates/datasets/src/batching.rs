@@ -1,0 +1,152 @@
+//! Epoch batch assembly: shuffle → chunk → parallel negative sampling.
+//!
+//! Algorithm 1 consumes the training triples as shuffled fixed-size
+//! batches, each paired with `neg_per_pos` corruptions per positive
+//! (Eq. 12). Assembly is embarrassingly parallel *if* the randomness is
+//! split correctly; this module does that with the
+//! [`crate::seeding::split_seed`] scheme:
+//!
+//! * index 0 under the master seed shuffles the positives,
+//! * index `1 + b` becomes the negative-sampling master seed of batch
+//!   `b`, which [`NegativeSampler::corrupt_batch`] further splits per
+//!   output slot.
+//!
+//! Batches are then built concurrently over the ambient `rayon` thread
+//! count, and the whole epoch is a pure function of
+//! `(positives, master_seed)` — bitwise-identical at any thread count.
+
+use crate::negatives::NegativeSampler;
+use crate::seeding::{item_rng, split_seed};
+use dekg_kg::Triple;
+use rand::seq::SliceRandom;
+
+/// One assembled training batch.
+///
+/// `positives[k]` is the positive that `negatives[k]` corrupts: each
+/// original positive appears `neg_per_pos` times consecutively, so the
+/// two sides align index-by-index for the margin loss (Eq. 14).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainingBatch {
+    /// Positives, each repeated `neg_per_pos` times.
+    pub positives: Vec<Triple>,
+    /// One corruption per repeated positive, index-aligned.
+    pub negatives: Vec<Triple>,
+}
+
+/// Assembles one epoch of training batches.
+///
+/// Shuffles `positives`, chunks them into `batch_size` groups, and
+/// draws `neg_per_pos` negatives per positive — batches in parallel,
+/// negatives per-slot-seeded. See the module docs for the seed-split
+/// layout; the output depends only on the inputs and `master_seed`.
+///
+/// # Panics
+/// If `batch_size` or `neg_per_pos` is zero.
+pub fn assemble_epoch(
+    positives: &[Triple],
+    batch_size: usize,
+    neg_per_pos: usize,
+    sampler: &NegativeSampler<'_>,
+    master_seed: u64,
+) -> Vec<TrainingBatch> {
+    use rayon::prelude::*;
+    assert!(batch_size > 0, "batch_size must be positive");
+    assert!(neg_per_pos > 0, "neg_per_pos must be positive");
+
+    let mut shuffled = positives.to_vec();
+    shuffled.shuffle(&mut item_rng(master_seed, 0));
+
+    let chunks: Vec<(usize, &[Triple])> = shuffled.chunks(batch_size).enumerate().collect();
+    chunks
+        .par_iter()
+        .map(|&(b, chunk)| {
+            build_batch(chunk, neg_per_pos, sampler, split_seed(master_seed, 1 + b as u64))
+        })
+        .collect()
+}
+
+/// Builds one aligned batch: repeats each positive `neg_per_pos` times
+/// and corrupts every repetition under the per-slot seeding of
+/// [`NegativeSampler::corrupt_batch`].
+pub fn build_batch(
+    chunk: &[Triple],
+    neg_per_pos: usize,
+    sampler: &NegativeSampler<'_>,
+    batch_seed: u64,
+) -> TrainingBatch {
+    let positives: Vec<Triple> =
+        chunk.iter().flat_map(|t| std::iter::repeat(*t).take(neg_per_pos)).collect();
+    let negatives = sampler.corrupt_batch(chunk, neg_per_pos, batch_seed);
+    TrainingBatch { positives, negatives }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dekg_kg::TripleStore;
+
+    fn t(h: u32, r: u32, ta: u32) -> Triple {
+        Triple::from_raw(h, r, ta)
+    }
+
+    fn fixture() -> (TripleStore, Vec<Triple>) {
+        let positives: Vec<Triple> = (0..37).map(|i| t(i % 6, i % 2, (i + 1) % 6)).collect();
+        let store = TripleStore::from_triples(positives.clone());
+        (store, positives)
+    }
+
+    #[test]
+    fn epoch_is_thread_count_invariant() {
+        let (store, positives) = fixture();
+        let stores = vec![&store];
+        let sampler = NegativeSampler::new(0..30, stores);
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| assemble_epoch(&positives, 8, 2, &sampler, 0xFEED))
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+        assert_eq!(serial, run(3));
+    }
+
+    #[test]
+    fn epoch_covers_every_positive_exactly_once() {
+        let (store, positives) = fixture();
+        let stores = vec![&store];
+        let sampler = NegativeSampler::new(0..30, stores);
+        let batches = assemble_epoch(&positives, 10, 3, &sampler, 1);
+        let mut seen: Vec<Triple> =
+            batches.iter().flat_map(|b| b.positives.iter().copied().step_by(3)).collect();
+        let mut expect = positives.clone();
+        seen.sort_unstable_by_key(|t| (t.head, t.rel, t.tail));
+        expect.sort_unstable_by_key(|t| (t.head, t.rel, t.tail));
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn batches_are_aligned_and_sized() {
+        let (store, positives) = fixture();
+        let stores = vec![&store];
+        let sampler = NegativeSampler::new(0..30, stores);
+        let batches = assemble_epoch(&positives, 8, 2, &sampler, 2);
+        assert_eq!(batches.len(), 37usize.div_ceil(8));
+        for b in &batches {
+            assert_eq!(b.positives.len(), b.negatives.len());
+            for (p, n) in b.positives.iter().zip(&b.negatives) {
+                assert_eq!(p.rel, n.rel, "corruption must preserve the relation");
+                assert!(p.head == n.head || p.tail == n.tail);
+            }
+        }
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        let (store, positives) = fixture();
+        let stores = vec![&store];
+        let sampler = NegativeSampler::new(0..30, stores);
+        assert_ne!(
+            assemble_epoch(&positives, 8, 2, &sampler, 3),
+            assemble_epoch(&positives, 8, 2, &sampler, 4)
+        );
+    }
+}

@@ -24,17 +24,21 @@
 //! * [`loader`] — GraIL-format directory loading so real splits can be
 //!   substituted when available.
 
+pub mod batching;
 pub mod loader;
 pub mod mixes;
 pub mod negatives;
 pub mod profiles;
+pub mod seeding;
 pub mod splits;
 pub mod stats;
 pub mod synth;
 
+pub use batching::{assemble_epoch, TrainingBatch};
 pub use mixes::{MixRatio, TestMix};
 pub use negatives::NegativeSampler;
 pub use profiles::{DatasetProfile, RawKg, SplitKind};
+pub use seeding::{item_rng, split_seed};
 pub use splits::{DekgDataset, LinkClass};
 pub use stats::DatasetStats;
 pub use synth::{generate, tiny_fixture, SynthConfig};

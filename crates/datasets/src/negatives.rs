@@ -97,6 +97,30 @@ impl<'a> NegativeSampler<'a> {
     pub fn corrupt_n(&self, positive: &Triple, n: usize, rng: &mut impl Rng) -> Vec<Triple> {
         (0..n).map(|_| self.corrupt(positive, rng)).collect()
     }
+
+    /// Draws `neg_per_pos` negatives for every positive, in parallel.
+    ///
+    /// Output slot `i * neg_per_pos + j` holds the `j`-th corruption of
+    /// `positives[i]` and is sampled from its own ChaCha8 stream seeded
+    /// with [`crate::seeding::split_seed`]`(master_seed, slot)`. The
+    /// result is therefore a pure function of `(positives, master_seed)`
+    /// — independent of thread count and chunking — and identical to
+    /// running the corruptions in a serial loop.
+    pub fn corrupt_batch(
+        &self,
+        positives: &[Triple],
+        neg_per_pos: usize,
+        master_seed: u64,
+    ) -> Vec<Triple> {
+        use rayon::prelude::*;
+        (0..positives.len() * neg_per_pos)
+            .into_par_iter()
+            .map(|slot| {
+                let mut rng = crate::seeding::item_rng(master_seed, slot as u64);
+                self.corrupt(&positives[slot / neg_per_pos], &mut rng)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +224,41 @@ mod tests {
         let negs: Vec<Triple> = (0..100).map(|_| sampler.corrupt(&positive, &mut rng)).collect();
         assert!(negs.iter().any(|n| n.head != positive.head));
         assert!(negs.iter().any(|n| n.tail != positive.tail));
+    }
+
+    #[test]
+    fn corrupt_batch_is_thread_count_invariant() {
+        let store = TripleStore::from_triples([t(0, 0, 1), t(1, 0, 2), t(2, 0, 3)]);
+        let stores = vec![&store];
+        let sampler = NegativeSampler::new(0..40, stores);
+        let positives: Vec<Triple> = (0..25).map(|i| t(i % 4, 0, (i + 1) % 4)).collect();
+        let run = |threads: usize| -> Vec<Triple> {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| sampler.corrupt_batch(&positives, 3, 0xDEC0))
+        };
+        let serial = run(1);
+        assert_eq!(serial.len(), 75);
+        assert_eq!(serial, run(4));
+        assert_eq!(serial, run(7));
+        // And the serial path equals an explicit per-slot loop.
+        let explicit: Vec<Triple> = (0..75u64)
+            .map(|slot| {
+                let mut rng = crate::seeding::item_rng(0xDEC0, slot);
+                sampler.corrupt(&positives[slot as usize / 3], &mut rng)
+            })
+            .collect();
+        assert_eq!(serial, explicit);
+    }
+
+    #[test]
+    fn corrupt_batch_respects_sampler_semantics() {
+        let store = TripleStore::from_triples([t(0, 0, 1), t(0, 0, 0), t(1, 0, 1), t(2, 0, 1)]);
+        let stores = vec![&store];
+        let sampler = NegativeSampler::new(0..3, stores);
+        let positives = vec![t(0, 0, 1); 20];
+        for neg in sampler.corrupt_batch(&positives, 2, 5) {
+            assert!(!store.contains(&neg), "sampled a known positive {neg}");
+        }
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Deterministic seed splitting for parallel sampling.
+//!
+//! The hermetic-RNG rule of this workspace is that every run is a pure
+//! function of its seeds. Parallel sampling threatens that: if workers
+//! share one RNG stream, the interleaving (and therefore the output)
+//! depends on thread count and scheduling. The fix is to never share a
+//! stream — each sampled *item* gets its own child seed derived from
+//! `(master_seed, item_index)` by [`split_seed`], and its own short
+//! ChaCha8 stream from [`item_rng`].
+//!
+//! Because the child seed depends only on the master seed and the item
+//! index, the result of a parallel map over items is bitwise-identical
+//! to the serial loop — at any thread count, under any chunking. This
+//! is the scheme behind `NegativeSampler::corrupt_batch`, epoch
+//! assembly in [`crate::batching`], and the per-query seeding in
+//! `dekg-eval`; `DESIGN.md` has the full design note.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Derives a decorrelated per-item seed from `(master, index)`.
+///
+/// Uses the SplitMix64 output mixer (Steele, Lea & Flood, "Fast
+/// Splittable Pseudorandom Number Generators", OOPSLA 2014): the index
+/// is spread by the golden-ratio increment and the mix finalizer makes
+/// every output bit depend on every input bit, so consecutive indices
+/// yield statistically independent child seeds.
+pub fn split_seed(master: u64, index: u64) -> u64 {
+    let mut z =
+        master ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The hermetic per-item RNG: a ChaCha8 stream seeded with
+/// [`split_seed`]`(master, index)`.
+pub fn item_rng(master: u64, index: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(split_seed(master, index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn split_is_deterministic() {
+        assert_eq!(split_seed(42, 7), split_seed(42, 7));
+    }
+
+    #[test]
+    fn neighboring_indices_decorrelate() {
+        // Consecutive indices must not produce near-identical seeds.
+        let a = split_seed(0, 0);
+        let b = split_seed(0, 1);
+        assert_ne!(a, b);
+        let differing = (a ^ b).count_ones();
+        assert!(differing > 16, "only {differing} differing bits between indices 0 and 1");
+    }
+
+    #[test]
+    fn master_seeds_separate_streams() {
+        assert_ne!(split_seed(1, 0), split_seed(2, 0));
+    }
+
+    #[test]
+    fn item_rng_streams_are_independent_of_order() {
+        // Drawing from item 5's rng is unaffected by whether item 4's
+        // was ever created — the property parallel maps rely on.
+        let mut direct = item_rng(9, 5);
+        let _ = item_rng(9, 4).gen::<u64>();
+        let mut after = item_rng(9, 5);
+        assert_eq!(direct.gen::<u64>(), after.gen::<u64>());
+    }
+}

@@ -1,14 +1,21 @@
 //! The full evaluation protocol: all prediction forms over a labeled
 //! test mix, with per-class breakdowns and thread-parallel scoring.
+//!
+//! Parallelism is query-granular with per-query child seeds (see
+//! `dekg_datasets::seeding`): query `q` — the `t`-th prediction form of
+//! the `l`-th link — samples its candidates from a ChaCha8 stream
+//! seeded by `split_seed(cfg.seed, q)`, and ranks are folded into the
+//! accumulators in query order after the parallel map returns. Both
+//! choices make the result bitwise-identical at any thread count.
 
 use crate::metrics::{Metrics, RankAccumulator};
 use crate::ranking::{filtered_rank, RankQuery};
+use crate::timing::EvalTiming;
 use dekg_core::{InferenceGraph, LinkPredictor};
 use dekg_datasets::{DekgDataset, LinkClass, TestMix};
 use dekg_kg::{Triple, TripleStore};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Which prediction forms to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -84,6 +91,8 @@ pub struct EvalResult {
     /// Metrics per prediction form, in the order of `cfg.tasks`.
     /// Diagnoses e.g. rule methods' relation-task tie floor.
     pub by_task: Vec<(PredictionTask, Metrics)>,
+    /// Wall-clock and throughput counters for this run.
+    pub timing: EvalTiming,
 }
 
 /// Runs the protocol for one model over a labeled test mix.
@@ -105,6 +114,11 @@ pub fn evaluate(
 }
 
 /// Lower-level entry point with an explicit filter store.
+///
+/// Queries fan out over `cfg.threads` rayon workers; candidate
+/// sampling is per-query-seeded and the rank reduction is an ordered
+/// serial fold, so the metrics are bitwise-identical to a sequential
+/// run at any thread count (see the module docs).
 pub fn evaluate_with_filter(
     model: &dyn LinkPredictor,
     graph: &InferenceGraph,
@@ -112,67 +126,62 @@ pub fn evaluate_with_filter(
     links: &[(Triple, LinkClass)],
     cfg: &ProtocolConfig,
 ) -> EvalResult {
+    use rayon::prelude::*;
     assert!(!cfg.tasks.is_empty(), "no prediction tasks configured");
     let threads = cfg.threads.max(1);
+    let started = Instant::now();
 
-    // Each worker owns accumulators per class and per task; merge at
-    // the end.
-    type Partial = (RankAccumulator, RankAccumulator, Vec<RankAccumulator>);
-    let chunk = links.len().div_ceil(threads.max(1)).max(1);
-    let partials: Vec<Partial> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (w, part) in links.chunks(chunk).enumerate() {
-            let tasks = cfg.tasks.clone();
-            let sample = cfg.num_candidates;
-            let seed = cfg.seed;
-            handles.push(scope.spawn(move |_| {
-                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9E37));
-                let mut enc = RankAccumulator::new();
-                let mut bri = RankAccumulator::new();
-                let mut per_task = vec![RankAccumulator::new(); tasks.len()];
-                for (triple, class) in part {
-                    let acc = match class {
-                        LinkClass::Enclosing => &mut enc,
-                        LinkClass::Bridging => &mut bri,
-                    };
-                    for (t, task) in tasks.iter().enumerate() {
-                        let rank = filtered_rank(
-                            model,
-                            graph,
-                            &task.query(*triple),
-                            filter,
-                            sample,
-                            &mut rng,
-                        );
-                        acc.push(rank);
-                        per_task[t].push(rank);
-                    }
-                }
-                (enc, bri, per_task)
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("eval worker panicked")).collect()
-    })
-    .expect("crossbeam scope failed");
+    // One record per (link, prediction-form) query, carrying its
+    // flattened index — the query's seed-split index, stable under any
+    // chunking of the parallel map.
+    let queries: Vec<(u64, Triple, LinkClass, usize)> = links
+        .iter()
+        .enumerate()
+        .flat_map(|(li, &(triple, class))| {
+            (0..cfg.tasks.len())
+                .map(move |ti| ((li * cfg.tasks.len() + ti) as u64, triple, class, ti))
+        })
+        .collect();
 
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("eval pool");
+    let ranks: Vec<f64> = pool.install(|| {
+        queries
+            .par_iter()
+            .map(|&(qi, triple, _, ti)| {
+                let mut rng = dekg_datasets::item_rng(cfg.seed, qi);
+                filtered_rank(
+                    model,
+                    graph,
+                    &cfg.tasks[ti].query(triple),
+                    filter,
+                    cfg.num_candidates,
+                    &mut rng,
+                )
+            })
+            .collect()
+    });
+
+    // Ordered fold of ranks into per-class and per-task accumulators.
     let mut enclosing = RankAccumulator::new();
     let mut bridging = RankAccumulator::new();
     let mut per_task = vec![RankAccumulator::new(); cfg.tasks.len()];
-    for (e, b, ts) in &partials {
-        enclosing.merge(e);
-        bridging.merge(b);
-        for (acc, t) in per_task.iter_mut().zip(ts) {
-            acc.merge(t);
+    for (&(_, _, class, ti), &rank) in queries.iter().zip(&ranks) {
+        match class {
+            LinkClass::Enclosing => enclosing.push(rank),
+            LinkClass::Bridging => bridging.push(rank),
         }
+        per_task[ti].push(rank);
     }
     let mut overall = enclosing.clone();
     overall.merge(&bridging);
 
+    let wall_seconds = started.elapsed().as_secs_f64();
     EvalResult {
         overall: overall.finish(),
         enclosing: enclosing.finish(),
         bridging: bridging.finish(),
         by_task: cfg.tasks.iter().zip(&per_task).map(|(&t, acc)| (t, acc.finish())).collect(),
+        timing: EvalTiming::new(wall_seconds, queries.len(), links.len(), threads),
     }
 }
 
@@ -311,6 +320,43 @@ mod tests {
         let head_mrr =
             result.by_task.iter().find(|(t, _)| *t == PredictionTask::Head).unwrap().1.mrr;
         assert!(rel_mrr > head_mrr, "{rel_mrr} vs {head_mrr}");
+    }
+
+    #[test]
+    fn sampled_protocol_is_thread_count_invariant() {
+        // Stronger than determinism: with per-query child seeds the
+        // *sampled* protocol must produce identical metrics at any
+        // thread count, not just across repeat runs at the same count.
+        let d = dataset();
+        let graph = InferenceGraph::from_dataset(&d);
+        let mix = TestMix::build(&d, MixRatio { enclosing: 1, bridging: 1 });
+        let run = |threads: usize| {
+            let cfg =
+                ProtocolConfig { num_candidates: Some(10), threads, seed: 3, ..Default::default() };
+            evaluate(&Constant, &graph, &d, &mix, &cfg)
+        };
+        let serial = run(1);
+        for threads in [2, 4, 5] {
+            let par = run(threads);
+            assert_eq!(serial.overall, par.overall, "threads={threads}");
+            assert_eq!(serial.enclosing, par.enclosing, "threads={threads}");
+            assert_eq!(serial.bridging, par.bridging, "threads={threads}");
+            assert_eq!(serial.by_task, par.by_task, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn timing_counters_are_recorded() {
+        let d = dataset();
+        let graph = InferenceGraph::from_dataset(&d);
+        let mix = TestMix::build(&d, MixRatio { enclosing: 1, bridging: 1 });
+        let cfg = ProtocolConfig { threads: 2, ..Default::default() };
+        let result = evaluate(&Constant, &graph, &d, &mix, &cfg);
+        assert_eq!(result.timing.links, mix.len());
+        assert_eq!(result.timing.queries, mix.len() * 3);
+        assert_eq!(result.timing.threads, 2);
+        assert!(result.timing.wall_seconds > 0.0);
+        assert!(result.timing.queries_per_second > 0.0);
     }
 
     #[test]

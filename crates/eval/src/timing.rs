@@ -11,16 +11,48 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// One model's timing row.
+///
+/// `model` is an owned `String` so rows can be built for
+/// dynamically-named configurations (ablations, thread-count sweeps),
+/// not just compile-time model names.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TimingResult {
     /// Model name.
-    pub model: &'static str,
+    pub model: String,
     /// Training seconds per epoch.
     pub train_seconds_per_epoch: f64,
     /// Seconds to score 50 links.
     pub inference_seconds_per_50: f64,
     /// Parameter count.
     pub parameters: usize,
+}
+
+/// Wall-clock and throughput counters for one evaluation run, recorded
+/// by `evaluate_with_filter` and carried on `EvalResult`.
+///
+/// `PartialEq` deliberately ignores nothing — compare `Metrics` fields
+/// when asserting determinism; timing is measurement, not output.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EvalTiming {
+    /// End-to-end wall-clock seconds for the protocol run.
+    pub wall_seconds: f64,
+    /// Ranking queries executed (links × prediction forms).
+    pub queries: usize,
+    /// Test links evaluated.
+    pub links: usize,
+    /// Worker threads the run was configured with.
+    pub threads: usize,
+    /// Queries per wall-clock second.
+    pub queries_per_second: f64,
+}
+
+impl EvalTiming {
+    /// Builds the counters, deriving throughput from the wall clock.
+    pub fn new(wall_seconds: f64, queries: usize, links: usize, threads: usize) -> Self {
+        let queries_per_second =
+            if wall_seconds > 0.0 { queries as f64 / wall_seconds } else { 0.0 };
+        EvalTiming { wall_seconds, queries, links, threads, queries_per_second }
+    }
 }
 
 /// Measures the average wall-clock time to score 50 links, cycling

@@ -2,9 +2,9 @@
 //! baselines.
 
 use crate::labeling::{feature_width, node_features, LabelingMode};
-use crate::rgcn::{RgcnLayer, RgcnLayerConfig};
+use crate::rgcn::{group_edges_by_relation, RgcnLayer, RgcnLayerConfig};
 use dekg_kg::Subgraph;
-use dekg_tensor::{Graph, ParamStore, Var};
+use dekg_tensor::{kernels, Graph, ParamStore, Var};
 use rand::Rng;
 
 /// Configuration for a [`SubgraphEncoder`].
@@ -55,6 +55,21 @@ pub struct EncodedSubgraph {
     pub head: Var,
     /// Tail embedding `h_j^L` as `[1, dim]`.
     pub tail: Var,
+}
+
+/// The forward-only counterpart of [`EncodedSubgraph`]: plain buffers
+/// instead of tape handles, produced by
+/// [`SubgraphEncoder::encode_inference`].
+#[derive(Debug, Clone)]
+pub struct InferenceEncoding {
+    /// All node embeddings `h^L`, row-major `[n, dim]`.
+    pub nodes: Vec<f32>,
+    /// Average-pooled graph embedding `h_G^L` as `[dim]`.
+    pub graph: Vec<f32>,
+    /// Head embedding `h_i^L` as `[dim]`.
+    pub head: Vec<f32>,
+    /// Tail embedding `h_j^L` as `[dim]`.
+    pub tail: Vec<f32>,
 }
 
 /// A stack of [`RgcnLayer`]s with labeling-based input features and
@@ -152,6 +167,35 @@ impl SubgraphEncoder {
         let head = g.gather_rows(h, &[0]);
         let tail = g.gather_rows(h, &[1]);
         EncodedSubgraph { nodes: h, graph, head, tail }
+    }
+
+    /// Forward-only encoding: no tape, no dropout. Bitwise identical to
+    /// [`SubgraphEncoder::encode_mounted`] with `train = false` — same
+    /// kernels, same op order (see [`RgcnLayer::forward_inference`]).
+    /// This is the evaluation fast path: it skips the autograd tape's
+    /// node bookkeeping, which dominates scoring cost at eval time.
+    pub fn encode_inference(&self, params: &ParamStore, sg: &Subgraph) -> InferenceEncoding {
+        let by_rel = group_edges_by_relation(sg, None);
+        let mut h = node_features(sg, self.cfg.hops, self.cfg.labeling).into_vec();
+        for layer in &self.layers {
+            h = layer.forward_inference(params, sg, &h, &by_rel);
+        }
+
+        let n = sg.num_nodes();
+        let dim = self.cfg.dim;
+        // Average-pool readout, replicating the tape's mean_axis0:
+        // accumulate rows in order, then scale by 1/n.
+        let mut graph = vec![0.0f32; dim];
+        for row in h.chunks_exact(dim) {
+            kernels::add_assign(&mut graph, row);
+        }
+        let inv = if n == 0 { 0.0 } else { 1.0 / n as f32 };
+        for x in &mut graph {
+            *x *= inv;
+        }
+        let head = h[..dim].to_vec();
+        let tail = h[dim..2 * dim].to_vec();
+        InferenceEncoding { nodes: h, graph, head, tail }
     }
 }
 
@@ -256,6 +300,59 @@ mod tests {
         let loss = g.add(pooled, head);
         let diags = g.diff_check(loss, Some(&ps));
         assert!(diags.is_empty(), "encoder tape should be clean: {diags:?}");
+    }
+
+    #[test]
+    fn inference_path_is_bitwise_identical_to_tape() {
+        // The forward-only path must reproduce the tape path bit for
+        // bit — evaluation switches between them expecting identical
+        // rankings. Exercised with and without basis decomposition and
+        // under both labeling modes.
+        for (num_bases, labeling) in [
+            (None, LabelingMode::Improved),
+            (None, LabelingMode::Grail),
+            (Some(3), LabelingMode::Improved),
+            (Some(3), LabelingMode::Grail),
+        ] {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let mut ps = ParamStore::new();
+            let enc = SubgraphEncoder::new(
+                SubgraphEncoderConfig { num_bases, labeling, ..tiny_cfg() },
+                "gsm",
+                &mut ps,
+                &mut rng,
+            );
+            let sg = chain_subgraph();
+
+            let mut g = Graph::new();
+            let tape = enc.encode(&mut g, &ps, &sg, false, &mut rng);
+            let fast = enc.encode_inference(&ps, &sg);
+
+            assert_eq!(g.value(tape.nodes).data(), &fast.nodes[..], "{num_bases:?} {labeling:?}");
+            assert_eq!(g.value(tape.graph).data(), &fast.graph[..], "{num_bases:?} {labeling:?}");
+            assert_eq!(g.value(tape.head).data(), &fast.head[..], "{num_bases:?} {labeling:?}");
+            assert_eq!(g.value(tape.tail).data(), &fast.tail[..], "{num_bases:?} {labeling:?}");
+        }
+    }
+
+    #[test]
+    fn inference_path_handles_edgeless_subgraphs() {
+        let store = TripleStore::from_triples([Triple::from_raw(3, 0, 4)]);
+        let adj = Adjacency::from_store(&store, 5);
+        let sg = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union).extract(
+            EntityId(0),
+            EntityId(1),
+            None,
+        );
+        assert_eq!(sg.num_edges(), 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut ps = ParamStore::new();
+        let enc = SubgraphEncoder::new(tiny_cfg(), "gsm", &mut ps, &mut rng);
+        let mut g = Graph::new();
+        let tape = enc.encode(&mut g, &ps, &sg, false, &mut rng);
+        let fast = enc.encode_inference(&ps, &sg);
+        assert_eq!(g.value(tape.nodes).data(), &fast.nodes[..]);
+        assert_eq!(g.value(tape.graph).data(), &fast.graph[..]);
     }
 
     #[test]

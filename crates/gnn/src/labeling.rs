@@ -55,6 +55,17 @@ pub fn node_features(sg: &Subgraph, hops: u32, _mode: LabelingMode) -> Tensor {
     Tensor::from_vec(vec![n, 2 * width], data)
 }
 
+/// Builds feature matrices for a batch of subgraphs in parallel.
+///
+/// Fans out over the ambient `rayon` thread count; featurization is a
+/// pure function of each subgraph, and results come back in input
+/// order, so the output is identical to mapping [`node_features`] over
+/// the batch serially — at any thread count.
+pub fn node_features_batch(sgs: &[Subgraph], hops: u32, mode: LabelingMode) -> Vec<Tensor> {
+    use rayon::prelude::*;
+    sgs.par_iter().map(|sg| node_features(sg, hops, mode)).collect()
+}
+
 /// The input feature width for a given hop bound.
 pub fn feature_width(hops: u32) -> usize {
     2 * (hops as usize + 1)
@@ -125,6 +136,18 @@ mod tests {
             let ones = f.row(u).iter().filter(|&&x| x == 1.0).count();
             assert!(ones <= 2);
             assert!(f.row(u).iter().all(|&x| x == 0.0 || x == 1.0));
+        }
+    }
+
+    #[test]
+    fn batch_features_match_serial() {
+        let sgs: Vec<Subgraph> = (1..3).map(|h| line_subgraph(h, ExtractionMode::Union)).collect();
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let batch = pool.install(|| node_features_batch(&sgs, 2, LabelingMode::Improved));
+        for (sg, f) in sgs.iter().zip(&batch) {
+            let serial = node_features(sg, 2, LabelingMode::Improved);
+            assert_eq!(f.shape().dims(), serial.shape().dims());
+            assert_eq!(f.data(), serial.data());
         }
     }
 

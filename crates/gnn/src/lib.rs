@@ -16,6 +16,6 @@ pub mod encoder;
 pub mod labeling;
 pub mod rgcn;
 
-pub use encoder::{EncodedSubgraph, SubgraphEncoder, SubgraphEncoderConfig};
+pub use encoder::{EncodedSubgraph, InferenceEncoding, SubgraphEncoder, SubgraphEncoderConfig};
 pub use labeling::{node_features, LabelingMode};
 pub use rgcn::{RgcnLayer, RgcnLayerConfig};

@@ -2,7 +2,7 @@
 
 use crate::adjacency::Adjacency;
 use crate::vocab::EntityId;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Distance value for "unreached within the hop bound".
 pub const UNREACHED: i32 = -1;
@@ -46,6 +46,48 @@ pub fn bounded_distances(
     // Note: a blocked node may still be *reached* (labeling needs
     // d(i, j) for the opposite endpoint); it is just never expanded.
     dist
+}
+
+/// Sparse variant of [`bounded_distances`]: visits the same nodes with
+/// the same semantics but returns only `(node, distance)` pairs for the
+/// nodes actually reached, in BFS discovery order.
+///
+/// Cost is proportional to the size of the visited neighborhood instead
+/// of `O(|E|)` for the dense distance vector, which is the difference
+/// between per-extraction cost scaling with the whole graph and scaling
+/// with the (much smaller) t-hop subgraph. BFS layer distances are
+/// unique, so for every reached node the reported distance is identical
+/// to the dense variant's — [`crate::subgraph::SubgraphExtractor`]
+/// relies on this to make the two extraction backends bit-identical.
+pub fn sparse_bounded_distances(
+    adj: &Adjacency,
+    start: EntityId,
+    max_hops: u32,
+    blocked: Option<EntityId>,
+) -> Vec<(EntityId, i32)> {
+    let mut dist: HashMap<EntityId, i32> = HashMap::new();
+    dist.insert(start, 0);
+    let mut order = vec![(start, 0)];
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[&u];
+        if du as u32 >= max_hops {
+            continue;
+        }
+        if Some(u) == blocked && u != start {
+            continue; // paths may end at the blocked node but not pass through it
+        }
+        for n in adj.neighbors(u) {
+            let v = n.entity;
+            if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(v) {
+                slot.insert(du + 1);
+                order.push((v, du + 1));
+                queue.push_back(v);
+            }
+        }
+    }
+    order
 }
 
 /// Nodes within `max_hops` of `start` (excluding paths through
@@ -135,6 +177,63 @@ mod tests {
         let adj = line_graph(5);
         let n = neighborhood(&adj, EntityId(2), 1, None);
         assert_eq!(n, vec![EntityId(1), EntityId(2), EntityId(3)]);
+    }
+
+    /// Sparse and dense BFS must report identical distances for every
+    /// reached node, and the sparse result must cover exactly the
+    /// reached set.
+    fn assert_sparse_matches_dense(
+        adj: &Adjacency,
+        start: EntityId,
+        max_hops: u32,
+        blocked: Option<EntityId>,
+    ) {
+        let dense = bounded_distances(adj, start, max_hops, blocked);
+        let sparse = sparse_bounded_distances(adj, start, max_hops, blocked);
+        let reached = dense.iter().filter(|&&d| d != UNREACHED).count();
+        assert_eq!(sparse.len(), reached);
+        for &(e, d) in &sparse {
+            assert_eq!(dense[e.index()], d, "distance mismatch at {e:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_matches_dense_on_line() {
+        let adj = line_graph(6);
+        for hops in 1..5 {
+            assert_sparse_matches_dense(&adj, EntityId(0), hops, None);
+            assert_sparse_matches_dense(&adj, EntityId(2), hops, Some(EntityId(4)));
+            assert_sparse_matches_dense(&adj, EntityId(3), hops, Some(EntityId(3)));
+        }
+    }
+
+    #[test]
+    fn sparse_matches_dense_with_branching() {
+        let store = TripleStore::from_triples([
+            Triple::from_raw(0, 0, 1),
+            Triple::from_raw(1, 0, 3),
+            Triple::from_raw(0, 0, 2),
+            Triple::from_raw(2, 0, 3),
+            Triple::from_raw(3, 1, 4),
+            Triple::from_raw(5, 1, 6),
+        ]);
+        let adj = Adjacency::from_store(&store, 7);
+        for start in 0..7 {
+            for hops in 1..4 {
+                assert_sparse_matches_dense(&adj, EntityId(start), hops, None);
+                assert_sparse_matches_dense(&adj, EntityId(start), hops, Some(EntityId(3)));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_discovery_order_is_layered() {
+        let adj = line_graph(5);
+        let sparse = sparse_bounded_distances(&adj, EntityId(0), 10, None);
+        let dists: Vec<i32> = sparse.iter().map(|&(_, d)| d).collect();
+        let mut sorted = dists.clone();
+        sorted.sort_unstable();
+        assert_eq!(dists, sorted, "BFS order must be non-decreasing in distance");
     }
 
     #[test]

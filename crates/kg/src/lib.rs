@@ -33,6 +33,6 @@ pub use adjacency::Adjacency;
 pub use component_table::{ComponentRow, ComponentTable};
 pub use graph::KnowledgeGraph;
 pub use store::TripleStore;
-pub use subgraph::{ExtractionMode, Subgraph, SubgraphExtractor};
+pub use subgraph::{DistanceBackend, ExtractionMode, Subgraph, SubgraphExtractor};
 pub use triple::Triple;
 pub use vocab::{EntityId, RelationId, Vocab};

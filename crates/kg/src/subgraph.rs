@@ -17,9 +17,10 @@
 //! the paper's `d(i,u)` = shortest path not passing through `e_j`.
 
 use crate::adjacency::Adjacency;
-use crate::bfs::{bounded_distances, UNREACHED};
+use crate::bfs::{bounded_distances, sparse_bounded_distances, UNREACHED};
 use crate::triple::Triple;
 use crate::vocab::{EntityId, RelationId};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Node-retention policy for extraction.
@@ -29,6 +30,23 @@ pub enum ExtractionMode {
     Intersection,
     /// DEKG-ILP: `N_t(h) ∪ N_t(t)`; out-of-bound distances become −1.
     Union,
+}
+
+/// Which BFS/collection implementation an extractor runs on.
+///
+/// Both produce bit-identical [`Subgraph`]s (unit- and property-tested);
+/// they differ only in cost. The dense backend is the original seed
+/// implementation, kept as a correctness oracle and as the benchmark
+/// baseline that `BENCH_perf.json` speedups are measured against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DistanceBackend {
+    /// Visited-set BFS + neighborhood-sized collection: cost scales with
+    /// the t-hop subgraph, not the whole graph. The default.
+    #[default]
+    Sparse,
+    /// Dense `O(|E|)` distance vectors + full-entity scan per
+    /// extraction: the seed implementation, retained as reference.
+    DenseReference,
 }
 
 /// An edge of the extracted subgraph in local node indices.
@@ -47,7 +65,7 @@ pub struct LocalEdge {
 /// Node 0 is always the head `e_i` and node 1 the tail `e_j`, matching
 /// the unique labels `(0,1)` and `(1,0)` the paper assigns them. Edge
 /// direction is preserved from the backing store.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Subgraph {
     /// Global ids of the retained nodes; `nodes[0] = head`, `nodes[1] = tail`.
     pub nodes: Vec<EntityId>,
@@ -113,16 +131,25 @@ pub struct SubgraphExtractor<'a> {
     adj: &'a Adjacency,
     hops: u32,
     mode: ExtractionMode,
+    backend: DistanceBackend,
 }
 
 impl<'a> SubgraphExtractor<'a> {
-    /// Creates an extractor performing `hops`-hop extraction.
+    /// Creates an extractor performing `hops`-hop extraction with the
+    /// default [`DistanceBackend::Sparse`] implementation.
     ///
     /// # Panics
     /// If `hops == 0`.
     pub fn new(adj: &'a Adjacency, hops: u32, mode: ExtractionMode) -> Self {
         assert!(hops > 0, "subgraph extraction needs at least 1 hop");
-        SubgraphExtractor { adj, hops, mode }
+        SubgraphExtractor { adj, hops, mode, backend: DistanceBackend::default() }
+    }
+
+    /// Selects the BFS/collection implementation (builder-style).
+    #[must_use]
+    pub fn with_backend(mut self, backend: DistanceBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// The hop bound `t`.
@@ -135,6 +162,11 @@ impl<'a> SubgraphExtractor<'a> {
         self.mode
     }
 
+    /// The active BFS/collection implementation.
+    pub fn backend(&self) -> DistanceBackend {
+        self.backend
+    }
+
     /// Extracts the enclosing subgraph around `(head, ·, tail)`.
     ///
     /// `exclude` is removed from the induced edge set — pass the target
@@ -142,21 +174,35 @@ impl<'a> SubgraphExtractor<'a> {
     /// the graph. Both endpoints are always retained, even when
     /// completely isolated (the bridging-link case).
     pub fn extract(&self, head: EntityId, tail: EntityId, exclude: Option<Triple>) -> Subgraph {
+        match self.backend {
+            DistanceBackend::Sparse => self.extract_sparse(head, tail, exclude),
+            DistanceBackend::DenseReference => self.extract_dense(head, tail, exclude),
+        }
+    }
+
+    /// Extracts subgraphs for many links in parallel.
+    ///
+    /// Fan-out uses the ambient `rayon` thread count (see
+    /// [`rayon::ThreadPool::install`]); extraction is read-only over the
+    /// shared adjacency and results come back in input order, so the
+    /// output is identical to calling [`Self::extract`] in a serial
+    /// loop — at any thread count.
+    pub fn extract_batch(&self, links: &[(EntityId, EntityId, Option<Triple>)]) -> Vec<Subgraph> {
+        use rayon::prelude::*;
+        links.par_iter().map(|&(head, tail, exclude)| self.extract(head, tail, exclude)).collect()
+    }
+
+    /// Seed implementation: dense distance vectors plus a scan over
+    /// every entity in the graph. `O(|E|)` per call regardless of how
+    /// small the enclosing subgraph is.
+    fn extract_dense(&self, head: EntityId, tail: EntityId, exclude: Option<Triple>) -> Subgraph {
         let dist_h = bounded_distances(self.adj, head, self.hops, Some(tail));
         let dist_t = bounded_distances(self.adj, tail, self.hops, Some(head));
 
         // Collect retained nodes: endpoints first, then the rest in
         // ascending global id for determinism.
         let mut nodes: Vec<EntityId> = vec![head, tail];
-        let mut local: HashMap<EntityId, u32> = HashMap::new();
-        local.insert(head, 0);
-        if tail != head {
-            local.insert(tail, 1);
-        } else {
-            // Degenerate self-link: keep two local slots aliasing one
-            // global node so labels (0,1)/(1,0) still exist.
-            local.insert(tail, 0);
-        }
+        let mut local = self.endpoint_locals(head, tail);
         for idx in 0..self.adj.num_entities() {
             let e = EntityId(idx as u32);
             if e == head || e == tail {
@@ -176,9 +222,79 @@ impl<'a> SubgraphExtractor<'a> {
 
         let dist_head: Vec<i32> = nodes.iter().map(|e| dist_h[e.index()]).collect();
         let dist_tail: Vec<i32> = nodes.iter().map(|e| dist_t[e.index()]).collect();
+        let edges = self.induce_edges(&nodes, &local, exclude);
+        Subgraph { nodes, edges, dist_head, dist_tail }
+    }
 
-        // Induced directed edges, deduplicated via the Out orientation
-        // (every stored triple appears exactly once as Out).
+    /// Sparse implementation: visited-set BFS plus collection over the
+    /// union of the two neighborhoods. Cost scales with the extracted
+    /// subgraph. Produces output bit-identical to
+    /// [`Self::extract_dense`]: BFS distances are unique per node, and
+    /// non-endpoint nodes are sorted into the same ascending-global-id
+    /// order the dense entity scan yields.
+    fn extract_sparse(&self, head: EntityId, tail: EntityId, exclude: Option<Triple>) -> Subgraph {
+        let sparse_h = sparse_bounded_distances(self.adj, head, self.hops, Some(tail));
+        let sparse_t = sparse_bounded_distances(self.adj, tail, self.hops, Some(head));
+        let dh: HashMap<EntityId, i32> = sparse_h.iter().copied().collect();
+        let dt: HashMap<EntityId, i32> = sparse_t.iter().copied().collect();
+
+        let mut rest: Vec<EntityId> = match self.mode {
+            ExtractionMode::Intersection => sparse_h
+                .iter()
+                .map(|&(e, _)| e)
+                .filter(|e| dt.contains_key(e) && *e != head && *e != tail)
+                .collect(),
+            ExtractionMode::Union => {
+                let mut both: Vec<EntityId> = sparse_h
+                    .iter()
+                    .chain(sparse_t.iter())
+                    .map(|&(e, _)| e)
+                    .filter(|e| *e != head && *e != tail)
+                    .collect();
+                both.sort_unstable();
+                both.dedup();
+                both
+            }
+        };
+        rest.sort_unstable();
+
+        let mut nodes: Vec<EntityId> = vec![head, tail];
+        let mut local = self.endpoint_locals(head, tail);
+        for e in rest {
+            local.insert(e, nodes.len() as u32);
+            nodes.push(e);
+        }
+
+        let dist_head: Vec<i32> =
+            nodes.iter().map(|e| dh.get(e).copied().unwrap_or(UNREACHED)).collect();
+        let dist_tail: Vec<i32> =
+            nodes.iter().map(|e| dt.get(e).copied().unwrap_or(UNREACHED)).collect();
+        let edges = self.induce_edges(&nodes, &local, exclude);
+        Subgraph { nodes, edges, dist_head, dist_tail }
+    }
+
+    /// Local-index slots for the two endpoints. A degenerate self-link
+    /// keeps two local slots aliasing one global node so labels
+    /// (0,1)/(1,0) still exist.
+    fn endpoint_locals(&self, head: EntityId, tail: EntityId) -> HashMap<EntityId, u32> {
+        let mut local = HashMap::new();
+        local.insert(head, 0);
+        if tail != head {
+            local.insert(tail, 1);
+        } else {
+            local.insert(tail, 0);
+        }
+        local
+    }
+
+    /// Induced directed edges over `nodes`, deduplicated via the Out
+    /// orientation (every stored triple appears exactly once as Out).
+    fn induce_edges(
+        &self,
+        nodes: &[EntityId],
+        local: &HashMap<EntityId, u32>,
+        exclude: Option<Triple>,
+    ) -> Vec<LocalEdge> {
         let mut edges = Vec::new();
         for (li, &e) in nodes.iter().enumerate() {
             for n in self.adj.neighbors(e) {
@@ -194,8 +310,7 @@ impl<'a> SubgraphExtractor<'a> {
                 }
             }
         }
-
-        Subgraph { nodes, edges, dist_head, dist_tail }
+        edges
     }
 }
 
@@ -312,6 +427,55 @@ mod tests {
         assert_eq!(sg.num_nodes(), 2);
         assert_eq!(sg.num_edges(), 0);
         assert!(sg.is_disconnected());
+    }
+
+    /// Both backends must agree bit-for-bit on every (head, tail, mode,
+    /// hops, exclude) combination over a given adjacency.
+    fn assert_backends_agree(adj: &Adjacency, num_entities: u32) {
+        for mode in [ExtractionMode::Intersection, ExtractionMode::Union] {
+            for hops in 1..4 {
+                let sparse = SubgraphExtractor::new(adj, hops, mode);
+                let dense = SubgraphExtractor::new(adj, hops, mode)
+                    .with_backend(DistanceBackend::DenseReference);
+                for h in 0..num_entities {
+                    for ta in 0..num_entities {
+                        let (head, tail) = (EntityId(h), EntityId(ta));
+                        for exclude in [None, Some(Triple::new(head, RelationId(0), tail))] {
+                            assert_eq!(
+                                sparse.extract(head, tail, exclude),
+                                dense.extract(head, tail, exclude),
+                                "mode={mode:?} hops={hops} head={h} tail={ta} \
+                                 exclude={exclude:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_reference() {
+        let (_, adj) = two_component_graph();
+        assert_backends_agree(&adj, 6);
+        // Triangle + pendant, including self-loop-ish degenerate pairs.
+        let store = TripleStore::from_triples([t(0, 0, 1), t(1, 0, 2), t(2, 0, 0), t(2, 1, 3)]);
+        let adj = Adjacency::from_store(&store, 5);
+        assert_backends_agree(&adj, 5);
+    }
+
+    #[test]
+    fn extract_batch_matches_serial_loop() {
+        let (_, adj) = two_component_graph();
+        let ex = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union);
+        let links: Vec<(EntityId, EntityId, Option<Triple>)> = (0..6u32)
+            .flat_map(|h| (0..6u32).map(move |ta| (EntityId(h), EntityId(ta), None)))
+            .collect();
+        let serial: Vec<Subgraph> =
+            links.iter().map(|&(h, ta, ex2)| ex.extract(h, ta, ex2)).collect();
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let batch = pool.install(|| ex.extract_batch(&links));
+        assert_eq!(batch, serial);
     }
 
     #[test]

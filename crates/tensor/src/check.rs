@@ -13,7 +13,7 @@
 //! * **Dead subgraphs** — nodes recorded before the loss that can never
 //!   reach it contribute nothing to the gradient and usually indicate a
 //!   wiring bug.
-//! * **Dead parameters** — registered [`ParamId`]s with no gradient
+//! * **Dead parameters** — registered [`crate::ParamId`]s with no gradient
 //!   path to the loss silently never train
 //!   ([`Graph::check_with_params`]).
 //! * **NaN/Inf patterns** — division by a constant containing zero,
@@ -182,11 +182,11 @@ impl fmt::Display for ShapeError {
 
 impl std::error::Error for ShapeError {}
 
-/// Every op mnemonic the tape can record, indexed by [`op_ordinal`].
+/// Every op mnemonic the tape can record, indexed by `op_ordinal`.
 ///
 /// This table is the single source of truth that the dekg-grad coverage
 /// audit ([`crate::gradcheck::coverage_gaps`]) walks: every entry must
-/// have a registered finite-difference gradcheck. Adding an [`Op`]
+/// have a registered finite-difference gradcheck. Adding an `Op`
 /// variant without extending both the exhaustive match in `op_ordinal`
 /// and this table fails to compile (non-exhaustive match) or panics on
 /// the first diagnostic that names the new op (index out of bounds) —

@@ -15,7 +15,7 @@
 //! strictly positive; `Div` denominators stay away from zero — central
 //! differences are meaningless across a non-differentiable point).
 //! [`coverage_gaps`] diffs the registry against
-//! [`ALL_OPS`](crate::check::ALL_OPS), whose companion
+//! [`crate::check::ALL_OPS`], whose companion
 //! `op_ordinal` match is exhaustive, so adding an `Op` variant without
 //! registering a gradcheck fails the audit at compile-or-test time.
 

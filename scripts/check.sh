@@ -14,6 +14,9 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test --workspace"
 cargo test -q --workspace --offline
 
+echo "==> cargo doc --workspace (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps --offline
+
 echo "==> dekg generate + dekg check --grads round trip"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -24,5 +27,12 @@ cargo run -q --release --offline -p dekg-cli -- \
 # re-execution of one training batch on the generated dataset.
 cargo run -q --release --offline -p dekg-cli -- \
     check --data "$tmp/data" --raw fb --split eq --scale 0.05 --grads
+
+echo "==> perf harness smoke run (2 threads, tiny scale)"
+# Asserts the parallel/sparse/forward-only pipeline stays bit-identical
+# to the serial seed pipeline; the tracked numbers in BENCH_perf.json
+# are regenerated separately with the default flags.
+cargo run -q --release --offline -p dekg-bench --bin perf -- \
+    --threads 2 --scale 0.04 --epochs 1 --out "$tmp/BENCH_perf.json"
 
 echo "==> all checks passed"

@@ -1,0 +1,396 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The container building this repository has no network access, so the
+//! real `rayon` cannot be vendored. This shim implements — against the
+//! published API contracts, not the upstream sources — exactly the
+//! surface the workspace touches:
+//!
+//! * [`IntoParallelRefIterator::par_iter`] over slices and `Vec`s, and
+//!   [`IntoParallelIterator::into_par_iter`] over `Range<usize>`, each
+//!   supporting `.map(f).collect::<Vec<_>>()`,
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] for scoping an
+//!   explicit worker count, and [`current_num_threads`].
+//!
+//! # Execution model
+//!
+//! Unlike real rayon there is no persistent work-stealing pool: each
+//! parallel map splits its input into one contiguous chunk per worker
+//! and runs the chunks on `std::thread::scope` threads, writing results
+//! into pre-partitioned slots. Three properties the workspace relies on
+//! fall out of that design:
+//!
+//! * **Order preservation** — results come back in input order, so a
+//!   parallel map is a drop-in for the serial `iter().map().collect()`
+//!   and reductions over the collected vector stay ordered. Combined
+//!   with per-item RNG seeding (see `dekg_datasets::seeding`), parallel
+//!   output is bitwise-identical to serial output at any thread count.
+//! * **Bounded nesting** — worker threads run nested parallel maps
+//!   serially (their ambient thread count is pinned to 1), so fanning
+//!   out queries and then candidates cannot oversubscribe the host.
+//! * **Ambient configuration** — [`ThreadPool::install`] sets the
+//!   thread count for the duration of a closure on the calling thread;
+//!   code inside needs no pool handle plumbed through. Without an
+//!   installed pool, maps default to [`std::thread::available_parallelism`].
+//!
+//! Thread-spawn cost (~tens of microseconds per worker) is paid per
+//! parallel map, which is negligible against the millisecond-scale
+//! chunks this workspace fans out (subgraph extraction, GNN scoring,
+//! ranking queries). A persistent pool is a non-goal.
+
+#![deny(unsafe_code)]
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Worker count installed on this thread, when inside
+    /// [`ThreadPool::install`] (or pinned to 1 inside a shim worker).
+    static AMBIENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Restores the previous ambient thread count on drop (panic-safe).
+struct AmbientGuard {
+    prev: Option<usize>,
+}
+
+impl AmbientGuard {
+    fn set(n: usize) -> Self {
+        AmbientGuard { prev: AMBIENT_THREADS.with(|c| c.replace(Some(n))) }
+    }
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        AMBIENT_THREADS.with(|c| c.set(prev));
+    }
+}
+
+fn default_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The worker count parallel maps on this thread will use: the
+/// installed pool's size inside [`ThreadPool::install`], otherwise
+/// [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    AMBIENT_THREADS.with(std::cell::Cell::get).unwrap_or_else(default_num_threads)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The shim's builder
+/// cannot actually fail; the type exists for signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring rayon's.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` means "use the default".
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    /// Never fails in the shim; the `Result` mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { default_num_threads() } else { self.num_threads };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A scoped worker-count configuration (the shim spawns threads per
+/// parallel map rather than keeping a persistent pool).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count installed as the ambient
+    /// worker count for parallel maps on the calling thread.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let _guard = AmbientGuard::set(self.num_threads);
+        op()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// The order-preserving chunked map engine shared by every parallel
+/// iterator type. Workers run with their ambient thread count pinned to
+/// 1, so nested parallel maps execute serially.
+fn par_map_slice<'data, T, R, F>(items: &'data [T], map_op: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(map_op).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                let _guard = AmbientGuard::set(1);
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(map_op(item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("parallel map slot filled")).collect()
+}
+
+/// Index-range variant of the engine (`Fn(usize)` instead of `Fn(&T)`).
+fn par_map_range<R, F>(range: Range<usize>, map_op: &F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let len = range.len();
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return range.map(map_op).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    std::thread::scope(|scope| {
+        for (c, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            let start = range.start + c * chunk;
+            scope.spawn(move || {
+                let _guard = AmbientGuard::set(1);
+                for (k, slot) in out_chunk.iter_mut().enumerate() {
+                    *slot = Some(map_op(start + k));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("parallel map slot filled")).collect()
+}
+
+/// Types whose references can be iterated in parallel (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed item type.
+    type Item: Sync + 'data;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+#[derive(Debug)]
+pub struct ParIter<'data, T: Sync> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps each item through `map_op` (applied in parallel).
+    pub fn map<R, F>(self, map_op: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap { items: self.items, map_op }
+    }
+}
+
+/// A mapped parallel slice iterator, ready to collect.
+#[derive(Debug)]
+pub struct ParMap<'data, T: Sync, F> {
+    items: &'data [T],
+    map_op: F,
+}
+
+impl<'data, T, F> ParMap<'data, T, F>
+where
+    T: Sync,
+{
+    /// Runs the map and collects results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        C::from(par_map_slice(self.items, &self.map_op))
+    }
+}
+
+/// Types convertible into an owning parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// The concrete parallel iterator type.
+    type Iter;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeParIter;
+
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter { range: self }
+    }
+}
+
+/// Parallel iterator over an index range.
+#[derive(Debug)]
+pub struct RangeParIter {
+    range: Range<usize>,
+}
+
+impl RangeParIter {
+    /// Maps each index through `map_op` (applied in parallel).
+    pub fn map<R, F>(self, map_op: F) -> RangeParMap<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        RangeParMap { range: self.range, map_op }
+    }
+}
+
+/// A mapped parallel range iterator, ready to collect.
+#[derive(Debug)]
+pub struct RangeParMap<F> {
+    range: Range<usize>,
+    map_op: F,
+}
+
+impl<F> RangeParMap<F> {
+    /// Runs the map and collects results in index order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        C::from(par_map_range(self.range, &self.map_op))
+    }
+}
+
+/// The imports rayon users conventionally glob in.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, RangeParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_map_preserves_order() {
+        let squares: Vec<usize> = (3..203).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (3..203).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().expect("build");
+        let before = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn install_restores_on_panic() {
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().expect("build");
+        let before = current_num_threads();
+        let caught = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn nested_maps_run_serially() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().expect("build");
+        let nested: Vec<usize> =
+            pool.install(|| (0..8usize).into_par_iter().map(|_| current_num_threads()).collect());
+        // Inside a worker the ambient count is pinned to 1.
+        assert!(nested.iter().all(|&n| n == 1), "{nested:?}");
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let run = |threads: usize| -> Vec<u64> {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().expect("build");
+            pool.install(|| items.par_iter().map(|x| x.wrapping_mul(0x9E37)).collect())
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(1), run(7));
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u32> = vec![7].par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+        let none: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_means_default() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().expect("build");
+        assert!(pool.current_num_threads() >= 1);
+    }
+}

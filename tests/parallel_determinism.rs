@@ -1,0 +1,87 @@
+//! Parallel == serial, bitwise.
+//!
+//! The parallel hot paths — batch subgraph extraction, negative
+//! sampling / epoch assembly, and the ranking protocol — all promise
+//! results that are a pure function of their inputs and seeds,
+//! independent of the worker thread count. These tests pin that
+//! contract on the tiny fixture: every comparison is exact equality,
+//! not a tolerance.
+
+use dekg::prelude::*;
+use dekg_datasets::{assemble_epoch, tiny_fixture};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool")
+}
+
+#[test]
+fn batch_extraction_matches_serial() {
+    let data = tiny_fixture(3);
+    let graph = InferenceGraph::from_dataset(&data);
+    let links: Vec<(EntityId, EntityId, Option<Triple>)> = data
+        .test_enclosing
+        .iter()
+        .chain(&data.test_bridging)
+        .map(|t| (t.head, t.tail, None))
+        .collect();
+    let extractor = SubgraphExtractor::new(&graph.adjacency, 2, ExtractionMode::Union);
+
+    let serial: Vec<Subgraph> =
+        pool(1).install(|| links.iter().map(|&(h, t, ex)| extractor.extract(h, t, ex)).collect());
+    let parallel = pool(4).install(|| extractor.extract_batch(&links));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn negative_sampling_matches_serial() {
+    let data = tiny_fixture(4);
+    let sampler = NegativeSampler::new(
+        0..data.num_original_entities as u32,
+        vec![&data.original, &data.emerging],
+    );
+    let positives = data.original.triples();
+
+    let serial = pool(1).install(|| assemble_epoch(positives, 8, 2, &sampler, 0xA11CE));
+    let parallel = pool(4).install(|| assemble_epoch(positives, 8, 2, &sampler, 0xA11CE));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn eval_ranking_matches_serial() {
+    let data = tiny_fixture(5);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut model =
+        DekgIlp::new(DekgIlpConfig { epochs: 1, ..DekgIlpConfig::quick() }, &data, &mut rng);
+    model.fit(&data, &mut rng);
+    let graph = InferenceGraph::from_dataset(&data);
+    let mix = TestMix::build(&data, MixRatio::for_split(SplitKind::Eq));
+
+    let mut protocol = ProtocolConfig::sampled(20);
+    protocol.seed = 9;
+    protocol.threads = 1;
+    let serial = evaluate(&model, &graph, &data, &mix, &protocol);
+    protocol.threads = 4;
+    let parallel = evaluate(&model, &graph, &data, &mix, &protocol);
+
+    assert_eq!(serial.overall, parallel.overall);
+    assert_eq!(serial.enclosing, parallel.enclosing);
+    assert_eq!(serial.bridging, parallel.bridging);
+    assert_eq!(serial.by_task, parallel.by_task);
+}
+
+#[test]
+fn training_matches_serial() {
+    // The full training loop — epoch assembly, extraction, autograd,
+    // optimizer — under different pool sizes from the same seed.
+    let data = tiny_fixture(6);
+    let run = |threads: usize| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut model =
+            DekgIlp::new(DekgIlpConfig { epochs: 2, ..DekgIlpConfig::quick() }, &data, &mut rng);
+        let report = pool(threads).install(|| model.fit(&data, &mut rng));
+        (report.initial_loss, report.final_loss)
+    };
+    assert_eq!(run(1), run(4));
+}
