@@ -233,6 +233,9 @@ fn time_eval(
 }
 
 fn main() {
+    // The tracked numbers must not include span-timer overhead, however
+    // small — this harness measures the pipeline, not the telemetry.
+    dekg_obs::set_spans_enabled(false);
     let opts = Opts::from_args();
     let profile = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Eq).scaled(opts.scale);
     let mut synth = SynthConfig::for_profile(profile, opts.seed);

@@ -20,14 +20,45 @@ commands:
   stats     --data DIR
   check     --data DIR [--raw fb|nell|wn --split eq|mb|me [--scale F]] [--grads] [--seed N]
   train     --data DIR [--check] [--epochs N] [--dim N] [--seed N]
-            [--gradcheck-every N] [--threads N] --ckpt FILE
+            [--gradcheck-every N] [--threads N] --ckpt FILE [observability flags]
   evaluate  --data DIR --ckpt FILE [--candidates N] [--split eq|mb|me] [--seed N]
-            [--threads N]
+            [--threads N] [observability flags]
   predict   --data DIR --ckpt FILE --rel NAME (--head NAME | --tail NAME) [--top N]
+  obslint   --file FILE [--require kind1,kind2,...]
   help
+
+observability flags (train, evaluate):
+  --log-level debug|info|warn|off   stderr log threshold (default info)
+  --metrics-out FILE                JSONL sink: per-step/epoch events + final
+                                    metrics snapshot
+  --trace-out FILE                  JSONL sink: log records + span timings
+  --prom-out FILE                   Prometheus text exposition written at exit
 ";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Applies the shared observability flags (`--log-level`,
+/// `--metrics-out`, `--trace-out`) before a command does real work.
+fn obs_init(flags: &Flags) -> CliResult {
+    let cfg = dekg_obs::ObsConfig {
+        level: flags.get("log-level").map(dekg_obs::Level::parse).transpose()?,
+        metrics_path: flags.get("metrics-out").map(ToOwned::to_owned),
+        trace_path: flags.get("trace-out").map(ToOwned::to_owned),
+    };
+    dekg_obs::init(&cfg)?;
+    Ok(())
+}
+
+/// Flushes end-of-run observability output: the final snapshot/span
+/// events into the JSONL sinks, plus the Prometheus text exposition
+/// when `--prom-out` was given.
+fn obs_finish(flags: &Flags) -> CliResult {
+    dekg_obs::finish();
+    if let Some(path) = flags.get("prom-out") {
+        std::fs::write(path, dekg_obs::metrics::global().render_prometheus())?;
+    }
+    Ok(())
+}
 
 fn parse_raw(s: &str) -> Result<RawKg, String> {
     match s {
@@ -64,7 +95,7 @@ pub fn generate(flags: &Flags) -> CliResult {
     let dataset = synth_generate(&SynthConfig::for_profile(profile, seed));
     loader::save_dir(&dataset, out)?;
     let s = DatasetStats::of(&dataset);
-    println!(
+    dekg_obs::log_info!(
         "wrote {} to {out}: G |R|={} |E|={} |T|={}; G' |R|={} |E|={} |T|={}; \
          held out {} enclosing + {} bridging",
         dataset.name,
@@ -193,6 +224,7 @@ fn run_grad_checks(dataset: &DekgDataset, seed: u64) -> Result<(), Box<dyn std::
 
 /// `dekg train` — trains DEKG-ILP and writes a checkpoint pair.
 pub fn train(flags: &Flags) -> CliResult {
+    obs_init(flags)?;
     // With --check, load unchecked so broken invariants surface as
     // validator diagnostics instead of the loader's panic.
     let dataset = if flags.switch("check") {
@@ -216,7 +248,7 @@ pub fn train(flags: &Flags) -> CliResult {
     let threads: usize = flags.parse_or("threads", 0)?;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut model = DekgIlp::new(cfg.clone(), &dataset, &mut rng);
-    println!(
+    dekg_obs::log_info!(
         "training DEKG-ILP on {} ({} triples, {} relations, {} thread(s))…",
         dataset.name,
         dataset.original.len(),
@@ -231,15 +263,18 @@ pub fn train(flags: &Flags) -> CliResult {
         .build()
         .map_err(|e| format!("--threads: {e}"))?;
     let report = pool.install(|| model.fit(&dataset, &mut rng));
-    println!(
+    dekg_obs::log_info!(
         "done: {} epochs, loss {:.4} -> {:.4}, {:.1}s",
-        report.epochs, report.initial_loss, report.final_loss, report.seconds
+        report.epochs,
+        report.initial_loss,
+        report.final_loss,
+        report.seconds
     );
 
     model.save_checkpoint(ckpt)?;
     std::fs::write(format!("{ckpt}.json"), serde_json::to_string_pretty(&cfg)?)?;
-    println!("checkpoint written to {ckpt} (+ {ckpt}.json)");
-    Ok(())
+    dekg_obs::log_info!("checkpoint written to {ckpt} (+ {ckpt}.json)");
+    obs_finish(flags)
 }
 
 /// Rebuilds a model from a checkpoint pair.
@@ -257,6 +292,7 @@ fn restore(flags: &Flags, dataset: &DekgDataset) -> Result<DekgIlp, Box<dyn std:
 
 /// `dekg evaluate` — filtered-ranking metrics of a checkpoint.
 pub fn evaluate(flags: &Flags) -> CliResult {
+    obs_init(flags)?;
     let dataset = load_dataset(flags)?;
     let model = restore(flags, &dataset)?;
     let split = match flags.get("split") {
@@ -300,7 +336,37 @@ pub fn evaluate(flags: &Flags) -> CliResult {
         "{} queries over {} links in {:.2}s ({:.1} queries/s, {} thread(s))",
         t.queries, t.links, t.wall_seconds, t.queries_per_second, t.threads
     );
-    Ok(())
+    let p = &t.phases;
+    if p.ranking_count > 0 {
+        println!(
+            "phases (cpu-seconds across workers): extraction {:.2}s / {} subgraphs, \
+             scoring {:.2}s / {} batches, ranking {:.2}s / {} queries",
+            p.extraction_seconds,
+            p.extraction_count,
+            p.scoring_seconds,
+            p.scoring_count,
+            p.ranking_seconds,
+            p.ranking_count
+        );
+    }
+    if dekg_obs::metrics_active() {
+        dekg_obs::Event::new("eval")
+            .field_f64("mrr", result.overall.mrr)
+            .field_f64("hits1", result.overall.hits_at(1))
+            .field_f64("hits5", result.overall.hits_at(5))
+            .field_f64("hits10", result.overall.hits_at(10))
+            .field_f64("mrr_enclosing", result.enclosing.mrr)
+            .field_f64("mrr_bridging", result.bridging.mrr)
+            .field_u64("queries", t.queries as u64)
+            .field_u64("links", t.links as u64)
+            .field_u64("threads", t.threads as u64)
+            .field_f64("wall_seconds", t.wall_seconds)
+            .field_f64("extraction_seconds", p.extraction_seconds)
+            .field_f64("scoring_seconds", p.scoring_seconds)
+            .field_f64("ranking_seconds", p.ranking_seconds)
+            .emit_metrics();
+    }
+    obs_finish(flags)
 }
 
 /// `dekg predict` — top-k completion for a partial triple.
@@ -355,5 +421,67 @@ pub fn predict(flags: &Flags) -> CliResult {
             marker
         );
     }
+    Ok(())
+}
+
+/// `dekg obslint` — validates a JSONL observability file (a
+/// `--metrics-out` / `--trace-out` product).
+///
+/// Checks, in order: the file holds at least one event; every line
+/// parses as JSON and re-serializes byte-identically (the shim's
+/// round-trip guarantee); every record is an object whose first key is
+/// an `"event"` string; and each comma-separated `--require`d kind
+/// appears at least once. CI's observability smoke is built on this.
+pub fn obslint(flags: &Flags) -> CliResult {
+    let path = flags.required("file")?;
+    let text = std::fs::read_to_string(path)?;
+    let mut kinds: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut events = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let v = serde_json::parse_value(line)
+            .map_err(|e| format!("{path}:{lineno}: not valid JSON: {e}"))?;
+        let back = serde_json::to_string(&v)?;
+        if back != line {
+            return Err(format!(
+                "{path}:{lineno}: line does not round-trip through the serde shim\n  read:  \
+                 {line}\n  wrote: {back}"
+            )
+            .into());
+        }
+        let serde::Value::Object(pairs) = &v else {
+            return Err(format!("{path}:{lineno}: event is not a JSON object").into());
+        };
+        match pairs.first() {
+            Some((key, serde::Value::Str(kind))) if key == "event" => {
+                kinds.insert(kind.clone());
+            }
+            _ => {
+                return Err(format!("{path}:{lineno}: first key must be an \"event\" string").into())
+            }
+        }
+        events += 1;
+    }
+    if events == 0 {
+        return Err(format!("{path}: no events (empty JSONL)").into());
+    }
+    if let Some(required) = flags.get("require") {
+        for kind in required.split(',').filter(|k| !k.is_empty()) {
+            if !kinds.contains(kind) {
+                return Err(format!(
+                    "{path}: required event kind {kind:?} never appears (saw: {})",
+                    kinds.iter().cloned().collect::<Vec<_>>().join(", ")
+                )
+                .into());
+            }
+        }
+    }
+    println!(
+        "obslint: {path}: {events} event(s) OK; kinds: {}",
+        kinds.iter().cloned().collect::<Vec<_>>().join(", ")
+    );
     Ok(())
 }

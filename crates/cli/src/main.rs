@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         "train" => commands::train(&flags),
         "evaluate" => commands::evaluate(&flags),
         "predict" => commands::predict(&flags),
+        "obslint" => commands::obslint(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -206,6 +206,7 @@ impl DekgIlp {
         if triples.is_empty() {
             return Vec::new();
         }
+        let _span = dekg_obs::span!("score_batch");
         // φ_sem: one tape over the whole batch.
         let mut sem = vec![0.0f32; triples.len()];
         if let Some(clrm) = &self.clrm {

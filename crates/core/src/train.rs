@@ -46,14 +46,23 @@ pub fn train(model: &mut DekgIlp, dataset: &DekgDataset, rng: &mut dyn RngCore) 
     let mut final_loss = 0.0f32;
     let mut step = 0usize;
 
+    let reg = dekg_obs::metrics::global();
+    let steps_total = reg.counter("dekg_train_steps_total");
+    let epochs_total = reg.counter("dekg_train_epochs_total");
+    let loss_gauge = reg.gauge("dekg_train_loss");
+    let grad_norm_gauge = reg.gauge("dekg_train_grad_norm");
+
     for epoch in 0..cfg.epochs {
+        let epoch_started = Instant::now();
         positives.shuffle(rng);
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
 
         for batch in positives.chunks(cfg.batch_size) {
             let mut g = Graph::new();
-            let loss = batch_loss(&mut g, model, dataset, &train_graph, &sampler, batch, rng);
+            let parts =
+                batch_loss_parts(&mut g, model, dataset, &train_graph, &sampler, batch, rng);
+            let loss = parts.total;
 
             let loss_val = g.value(loss).item();
             debug_assert!(loss_val.is_finite(), "non-finite training loss");
@@ -61,18 +70,42 @@ pub fn train(model: &mut DekgIlp, dataset: &DekgDataset, rng: &mut dyn RngCore) 
             if cfg.gradcheck_every > 0 && step % cfg.gradcheck_every == 0 {
                 let diags = g.diff_check(loss, Some(model.params()));
                 for d in &diags {
-                    eprintln!("gradcheck[step {step}]: {d}");
+                    dekg_obs::log_warn!("gradcheck[step {step}]: {d}");
                 }
                 assert!(
                     diags.iter().all(|d| d.severity != Severity::Error),
                     "interpreter disagrees with kernels at step {step}; training aborted"
                 );
             }
-            step += 1;
 
             let mut grads = g.backward(loss);
-            grads.clip_global_norm(cfg.grad_clip);
+            let grad_norm = grads.clip_global_norm(cfg.grad_clip);
             opt.step(model.params_mut(), &grads);
+
+            steps_total.inc();
+            loss_gauge.set(f64::from(loss_val));
+            grad_norm_gauge.set(f64::from(grad_norm));
+            if dekg_obs::metrics_active() {
+                // Forward values are eager — reading the component
+                // losses off the tape costs nothing extra.
+                let mut event = dekg_obs::Event::new("train_step")
+                    .field_u64("epoch", epoch as u64)
+                    .field_u64("step", step as u64)
+                    .field_f64("loss", f64::from(loss_val))
+                    .field_f64("loss_margin", f64::from(g.value(parts.margin).item()));
+                if let Some(con) = parts.contrastive {
+                    event = event.field_f64("loss_con", f64::from(g.value(con).item()));
+                }
+                if let Some(sem) = parts.sem_pos_mean {
+                    event = event.field_f64("phi_sem_pos", f64::from(g.value(sem).item()));
+                }
+                event = event
+                    .field_f64("phi_tpo_pos", f64::from(g.value(parts.tpo_pos_mean).item()))
+                    .field_f64("grad_norm", f64::from(grad_norm))
+                    .field_f64("lr", f64::from(opt.learning_rate()));
+                event.emit_metrics();
+            }
+            step += 1;
 
             epoch_loss += loss_val as f64;
             batches += 1;
@@ -86,6 +119,20 @@ pub fn train(model: &mut DekgIlp, dataset: &DekgDataset, rng: &mut dyn RngCore) 
         if cfg.lr_decay < 1.0 {
             let lr = opt.learning_rate() * cfg.lr_decay;
             opt.set_learning_rate(lr);
+        }
+
+        epochs_total.inc();
+        dekg_obs::log_debug!("epoch {epoch}: mean loss {mean:.6} over {batches} batch(es)");
+        if dekg_obs::metrics_active() {
+            dekg_obs::Event::new("epoch")
+                .field_u64("epoch", epoch as u64)
+                .field_f64("mean_loss", f64::from(mean))
+                .field_u64("batches", batches as u64)
+                .field_f64("epoch_seconds", epoch_started.elapsed().as_secs_f64())
+                .emit_metrics();
+        }
+        if dekg_obs::trace_active() {
+            dekg_obs::span::emit_span_event(Some(epoch as u64));
         }
     }
 
@@ -280,6 +327,42 @@ pub fn batch_loss(
     batch: &[Triple],
     rng: &mut impl Rng,
 ) -> Var {
+    batch_loss_parts(g, model, dataset, train_graph, sampler, batch, rng).total
+}
+
+/// The Eq. 15 objective broken into its observable components.
+///
+/// All members live on the same tape as `total`; reading their values
+/// is free (forward evaluation is eager) and backward from `total`
+/// never visits the diagnostic-only means.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchLossBreakdown {
+    /// The combined loss actually optimized (Eq. 15).
+    pub total: Var,
+    /// The margin ranking term over `φ = φ_sem + φ_tpo` (Eq. 14).
+    pub margin: Var,
+    /// The σ-weighted contrastive term (Eq. 7), when the CLRM is
+    /// enabled, σ > 0 and the batch produced at least one anchor.
+    pub contrastive: Option<Var>,
+    /// Mean `φ_sem` over the positives (diagnostic; `None` under the
+    /// without-semantic ablation).
+    pub sem_pos_mean: Option<Var>,
+    /// Mean `φ_tpo` over the positives (diagnostic).
+    pub tpo_pos_mean: Var,
+}
+
+/// [`batch_loss`] with the per-component breakdown exposed — the
+/// training loop uses this to emit `train_step` events carrying the
+/// margin/contrastive/φ-component values alongside the total.
+pub fn batch_loss_parts(
+    g: &mut Graph,
+    model: &DekgIlp,
+    dataset: &DekgDataset,
+    train_graph: &InferenceGraph,
+    sampler: &NegativeSampler<'_>,
+    batch: &[Triple],
+    rng: &mut impl Rng,
+) -> BatchLossBreakdown {
     let cfg = model.config();
 
     // Negatives: neg_per_pos per positive, aligned by repetition. One
@@ -310,7 +393,11 @@ pub fn batch_loss(
 
     let phi_pos = combine(g, sem_pos, tpo_pos);
     let phi_neg = combine(g, sem_neg, tpo_neg);
-    let mut loss = g.margin_ranking_loss(phi_pos, phi_neg, cfg.margin);
+    let margin = g.margin_ranking_loss(phi_pos, phi_neg, cfg.margin);
+    let mut loss = margin;
+    let mut contrastive = None;
+    let sem_pos_mean = sem_pos.map(|s| g.mean_all(s));
+    let tpo_pos_mean = g.mean_all(tpo_pos);
 
     // Contrastive term over the batch's distinct entities.
     if let Some(clrm) = model.clrm() {
@@ -344,10 +431,11 @@ pub fn batch_loss(
                 let lc = g.mean_all(stacked);
                 let scaled = g.mul_scalar(lc, cfg.sigma);
                 loss = g.add(loss, scaled);
+                contrastive = Some(scaled);
             }
         }
     }
-    loss
+    BatchLossBreakdown { total: loss, margin, contrastive, sem_pos_mean, tpo_pos_mean }
 }
 
 /// Builds a small fresh model on `dataset`, records one production

@@ -12,6 +12,28 @@ use dekg_kg::{EntityId, RelationId, Triple, TripleStore};
 use rand::Rng;
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Counters for the rejection loop, registered once. Rejection and
+/// fallback totals are pure functions of the per-slot RNG streams, so
+/// they stay thread-count-invariant under [`NegativeSampler::corrupt_batch`].
+struct SamplerObs {
+    corruptions: dekg_obs::metrics::Counter,
+    rejections: dekg_obs::metrics::Counter,
+    fallbacks: dekg_obs::metrics::Counter,
+}
+
+fn sampler_obs() -> &'static SamplerObs {
+    static OBS: OnceLock<SamplerObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = dekg_obs::metrics::global();
+        SamplerObs {
+            corruptions: reg.counter("dekg_neg_corruptions_total"),
+            rejections: reg.counter("dekg_neg_rejections_total"),
+            fallbacks: reg.counter("dekg_neg_fallbacks_total"),
+        }
+    })
+}
 
 /// A sampler bound to an entity range and a set of known positives.
 #[derive(Debug, Clone)]
@@ -74,6 +96,8 @@ impl<'a> NegativeSampler<'a> {
     /// number of attempts (pathological graphs where almost everything
     /// is a positive).
     pub fn corrupt(&self, positive: &Triple, rng: &mut impl Rng) -> Triple {
+        let obs = sampler_obs();
+        obs.corruptions.inc();
         let mut last = *positive;
         for _ in 0..64 {
             let replacement = EntityId(rng.gen_range(self.candidates.clone()));
@@ -89,7 +113,9 @@ impl<'a> NegativeSampler<'a> {
             if !self.is_known(&corrupted) {
                 return corrupted;
             }
+            obs.rejections.inc();
         }
+        obs.fallbacks.inc();
         last
     }
 

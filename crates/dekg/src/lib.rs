@@ -15,7 +15,9 @@
 //! * [`core`] — the paper's model: CLRM + GSM = DEKG-ILP,
 //! * [`baselines`] — TransE, RotatE, ConvE, GEN, RuleN, GraIL, TACT,
 //! * [`datasets`] — synthetic DEKG benchmarks calibrated to Table II,
-//! * [`eval`] — filtered ranking, MRR/Hits@N, timing, reporting.
+//! * [`eval`] — filtered ranking, MRR/Hits@N, timing, reporting,
+//! * [`obs`] — structured logging, metrics registry, JSONL event
+//!   sinks and span timers instrumenting all of the above.
 //!
 //! ```no_run
 //! use dekg::prelude::*;
@@ -43,6 +45,7 @@ pub use dekg_datasets as datasets;
 pub use dekg_eval as eval;
 pub use dekg_gnn as gnn;
 pub use dekg_kg as kg;
+pub use dekg_obs as obs;
 pub use dekg_tensor as tensor;
 
 /// One-stop imports for applications and examples.

@@ -10,7 +10,7 @@
 
 use crate::metrics::{Metrics, RankAccumulator};
 use crate::ranking::{filtered_rank, RankQuery};
-use crate::timing::EvalTiming;
+use crate::timing::{EvalPhases, EvalTiming};
 use dekg_core::{InferenceGraph, LinkPredictor};
 use dekg_datasets::{DekgDataset, LinkClass, TestMix};
 use dekg_kg::{Triple, TripleStore};
@@ -144,6 +144,10 @@ pub fn evaluate_with_filter(
         .collect();
 
     let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("eval pool");
+    // Bracket the fan-out with span snapshots: the delta isolates this
+    // run's extraction/scoring/ranking share even when other spans
+    // accumulated earlier in the process (e.g. training).
+    let spans_before = dekg_obs::span_snapshot();
     let ranks: Vec<f64> = pool.install(|| {
         queries
             .par_iter()
@@ -160,6 +164,7 @@ pub fn evaluate_with_filter(
             })
             .collect()
     });
+    let phases = EvalPhases::from_span_delta(&dekg_obs::span_snapshot().diff(&spans_before));
 
     // Ordered fold of ranks into per-class and per-task accumulators.
     let mut enclosing = RankAccumulator::new();
@@ -181,7 +186,8 @@ pub fn evaluate_with_filter(
         enclosing: enclosing.finish(),
         bridging: bridging.finish(),
         by_task: cfg.tasks.iter().zip(&per_task).map(|(&t, acc)| (t, acc.finish())).collect(),
-        timing: EvalTiming::new(wall_seconds, queries.len(), links.len(), threads),
+        timing: EvalTiming::new(wall_seconds, queries.len(), links.len(), threads)
+            .with_phases(phases),
     }
 }
 

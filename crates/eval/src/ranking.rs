@@ -4,6 +4,27 @@ use dekg_core::{InferenceGraph, LinkPredictor};
 use dekg_kg::{EntityId, RelationId, Triple, TripleStore};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::sync::OnceLock;
+
+/// Per-query metrics, registered once. Both are additive and
+/// per-query-seeded, so totals stay thread-count-invariant under the
+/// protocol's parallel fan-out.
+struct RankingObs {
+    queries: dekg_obs::metrics::Counter,
+    candidates: dekg_obs::metrics::Histogram,
+}
+
+fn ranking_obs() -> &'static RankingObs {
+    static OBS: OnceLock<RankingObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = dekg_obs::metrics::global();
+        RankingObs {
+            queries: reg.counter("dekg_eval_queries_total"),
+            candidates: reg
+                .histogram("dekg_eval_candidates", &[8, 16, 32, 64, 128, 256, 512, 1024, 4096]),
+        }
+    })
+}
 
 /// One ranking query: a true triple and the position being predicted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,8 +120,12 @@ pub fn filtered_rank(
     sample: Option<usize>,
     rng: &mut impl Rng,
 ) -> f64 {
+    let _span = dekg_obs::span!("rank_query");
     let candidates =
         filtered_candidates(query, graph.num_entities, graph.num_relations, filter, sample, rng);
+    let obs = ranking_obs();
+    obs.queries.inc();
+    obs.candidates.observe(candidates.len() as u64);
     let truth = query.truth();
     // One batch: the truth first, then all candidates.
     let mut batch = Vec::with_capacity(candidates.len() + 1);

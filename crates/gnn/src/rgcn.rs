@@ -169,6 +169,7 @@ impl RgcnLayer {
         h: Var,
         edge_keep: Option<&[bool]>,
     ) -> Var {
+        let _span = dekg_obs::span!("rgcn_layer");
         let n = sg.num_nodes();
         let (h_rows, in_dim) = g.shape(h).as_matrix();
         assert_eq!(h_rows, n, "embedding row count must match subgraph nodes");
@@ -231,6 +232,7 @@ impl RgcnLayer {
         h: &[f32],
         by_rel: &[(usize, Vec<usize>)],
     ) -> Vec<f32> {
+        let _span = dekg_obs::span!("rgcn_layer_inference");
         let n = sg.num_nodes();
         let in_dim = self.cfg.in_dim;
         let out_dim = self.cfg.out_dim;

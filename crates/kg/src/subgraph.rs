@@ -22,6 +22,31 @@ use crate::triple::Triple;
 use crate::vocab::{EntityId, RelationId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Handles for the extraction metrics, registered once and bumped on
+/// every [`SubgraphExtractor::extract`]. All additive — totals are
+/// thread-count-invariant under `extract_batch`.
+struct ExtractionObs {
+    extractions: dekg_obs::metrics::Counter,
+    disconnected: dekg_obs::metrics::Counter,
+    nodes: dekg_obs::metrics::Histogram,
+    edges: dekg_obs::metrics::Histogram,
+}
+
+fn extraction_obs() -> &'static ExtractionObs {
+    static OBS: OnceLock<ExtractionObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = dekg_obs::metrics::global();
+        const SIZE_BOUNDS: &[u64] = &[2, 4, 8, 16, 32, 64, 128, 256, 512];
+        ExtractionObs {
+            extractions: reg.counter("dekg_kg_extractions_total"),
+            disconnected: reg.counter("dekg_kg_extractions_disconnected_total"),
+            nodes: reg.histogram("dekg_kg_subgraph_nodes", SIZE_BOUNDS),
+            edges: reg.histogram("dekg_kg_subgraph_edges", SIZE_BOUNDS),
+        }
+    })
+}
 
 /// Node-retention policy for extraction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,10 +199,19 @@ impl<'a> SubgraphExtractor<'a> {
     /// the graph. Both endpoints are always retained, even when
     /// completely isolated (the bridging-link case).
     pub fn extract(&self, head: EntityId, tail: EntityId, exclude: Option<Triple>) -> Subgraph {
-        match self.backend {
+        let _span = dekg_obs::span!("extract_subgraph");
+        let sg = match self.backend {
             DistanceBackend::Sparse => self.extract_sparse(head, tail, exclude),
             DistanceBackend::DenseReference => self.extract_dense(head, tail, exclude),
+        };
+        let obs = extraction_obs();
+        obs.extractions.inc();
+        if sg.is_disconnected() {
+            obs.disconnected.inc();
         }
+        obs.nodes.observe(sg.num_nodes() as u64);
+        obs.edges.observe(sg.num_edges() as u64);
+        sg
     }
 
     /// Extracts subgraphs for many links in parallel.

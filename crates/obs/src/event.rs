@@ -1,0 +1,184 @@
+//! JSONL event sinks: one JSON object per line, serde-shim serialized.
+//!
+//! Two global sinks exist, mapped onto the CLI's `--metrics-out` and
+//! `--trace-out` flags. Writers are unbuffered on purpose: every event
+//! is one `write` of a complete line, so a crash mid-run loses at most
+//! the in-flight event and concurrent emitters never interleave bytes
+//! within a line (each write happens under the sink mutex).
+//!
+//! Every event round-trips through the serde shims: a written line,
+//! re-parsed with [`serde_json::parse_value`] and re-serialized with
+//! [`serde_json::to_string`], is byte-identical. `dekg obslint` checks
+//! exactly this on real run output.
+
+use serde::{Number, Value};
+use std::fs::File;
+use std::io::Write;
+use std::sync::Mutex;
+
+static METRICS_SINK: Mutex<Option<File>> = Mutex::new(None);
+static TRACE_SINK: Mutex<Option<File>> = Mutex::new(None);
+
+fn lock(sink: &'static Mutex<Option<File>>) -> std::sync::MutexGuard<'static, Option<File>> {
+    // A panic while holding the lock poisons it; the sink itself is
+    // still sound (whole lines only), so keep writing.
+    sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Opens (truncating) the metrics JSONL sink at `path`.
+///
+/// # Errors
+/// When the file cannot be created.
+pub fn set_metrics_path(path: &str) -> std::io::Result<()> {
+    *lock(&METRICS_SINK) = Some(File::create(path)?);
+    Ok(())
+}
+
+/// Opens (truncating) the trace JSONL sink at `path`.
+///
+/// # Errors
+/// When the file cannot be created.
+pub fn set_trace_path(path: &str) -> std::io::Result<()> {
+    *lock(&TRACE_SINK) = Some(File::create(path)?);
+    Ok(())
+}
+
+/// Detaches both sinks (files are flushed and closed). Subsequent
+/// events are dropped until a sink is configured again.
+pub fn clear_sinks() {
+    flush_sinks();
+    *lock(&METRICS_SINK) = None;
+    *lock(&TRACE_SINK) = None;
+}
+
+/// Flushes both sinks' OS buffers.
+pub fn flush_sinks() {
+    for sink in [&METRICS_SINK, &TRACE_SINK] {
+        if let Some(f) = lock(sink).as_mut() {
+            let _ = f.flush();
+        }
+    }
+}
+
+/// True when a metrics sink is configured — guard event construction
+/// with this so disabled runs skip the formatting work entirely.
+pub fn metrics_active() -> bool {
+    lock(&METRICS_SINK).is_some()
+}
+
+/// True when a trace sink is configured.
+pub fn trace_active() -> bool {
+    lock(&TRACE_SINK).is_some()
+}
+
+/// Builder for one JSONL event.
+///
+/// Every event is a JSON object whose first key is `"event"` — the
+/// event kind (`train_step`, `epoch`, `metrics`, `spans`, `log`, …).
+/// Field order is preserved (the serde shim keeps object insertion
+/// order), so emitted lines are stable and diffable.
+#[derive(Debug)]
+pub struct Event {
+    pairs: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Starts an event of the given kind.
+    pub fn new(kind: &str) -> Self {
+        Event { pairs: vec![("event".to_owned(), Value::Str(kind.to_owned()))] }
+    }
+
+    /// Adds an unsigned-integer field.
+    #[must_use]
+    pub fn field_u64(mut self, key: &str, v: u64) -> Self {
+        self.pairs.push((key.to_owned(), Value::Num(Number::U(v))));
+        self
+    }
+
+    /// Adds a float field. Non-finite values serialize as JSON `null`
+    /// (matching serde_json); emit finite values only where the line is
+    /// expected to round-trip.
+    #[must_use]
+    pub fn field_f64(mut self, key: &str, v: f64) -> Self {
+        self.pairs.push((key.to_owned(), Value::Num(Number::F(v))));
+        self
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn field_str(mut self, key: &str, v: &str) -> Self {
+        self.pairs.push((key.to_owned(), Value::Str(v.to_owned())));
+        self
+    }
+
+    /// Adds a pre-built value field (nested objects/arrays).
+    #[must_use]
+    pub fn field_value(mut self, key: &str, v: Value) -> Self {
+        self.pairs.push((key.to_owned(), v));
+        self
+    }
+
+    /// The event as a single compact JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let v = Value::Object(self.pairs.clone());
+        serde_json::to_string(&v).unwrap_or_else(|_| "{}".to_owned())
+    }
+
+    /// Writes the event to the metrics sink (dropped when none).
+    pub fn emit_metrics(self) {
+        emit(&METRICS_SINK, &self);
+    }
+
+    /// Writes the event to the trace sink (dropped when none).
+    pub fn emit_trace(self) {
+        emit(&TRACE_SINK, &self);
+    }
+}
+
+fn emit(sink: &'static Mutex<Option<File>>, event: &Event) {
+    let mut guard = lock(sink);
+    if let Some(f) = guard.as_mut() {
+        let mut line = event.to_json();
+        line.push('\n');
+        // A failed sink write must not take down a training run; the
+        // `obslint` smoke catches truncated output downstream.
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_shape() {
+        let e = Event::new("train_step")
+            .field_u64("step", 3)
+            .field_f64("loss", 1.5)
+            .field_str("model", "DEKG-ILP");
+        assert_eq!(e.to_json(), r#"{"event":"train_step","step":3,"loss":1.5,"model":"DEKG-ILP"}"#);
+    }
+
+    #[test]
+    fn event_round_trips_through_serde_shim() {
+        let line = Event::new("epoch").field_u64("epoch", 0).field_f64("mean_loss", 0.25).to_json();
+        let v = serde_json::parse_value(&line).unwrap();
+        assert_eq!(serde_json::to_string(&v).unwrap(), line);
+    }
+
+    #[test]
+    fn floats_round_trip_including_integral_values() {
+        // 2.0 must re-parse as a float and re-serialize identically.
+        let line = Event::new("x").field_f64("v", 2.0).to_json();
+        assert!(line.contains("2.0"));
+        let v = serde_json::parse_value(&line).unwrap();
+        assert_eq!(serde_json::to_string(&v).unwrap(), line);
+    }
+
+    #[test]
+    fn emit_without_sink_is_dropped() {
+        // No sink configured in unit tests: must not panic.
+        Event::new("noop").emit_metrics();
+        Event::new("noop").emit_trace();
+    }
+}

@@ -1,0 +1,168 @@
+#![warn(missing_docs)]
+
+//! # dekg-obs
+//!
+//! First-party observability for the DEKG-ILP reproduction — the
+//! offline counterpart of the WANDB-style run logging the reference
+//! implementations lean on. Three cooperating facilities share one
+//! process-global configuration:
+//!
+//! * **Structured, leveled logging** — [`log_debug!`], [`log_info!`]
+//!   and [`log_warn!`] write human-readable lines to stderr and, when a
+//!   trace sink is configured, mirror each record as a JSON event.
+//! * **A metrics registry** — named [`metrics::Counter`]s,
+//!   [`metrics::Gauge`]s and fixed-bucket [`metrics::Histogram`]s with
+//!   a Prometheus-style text exposition
+//!   ([`metrics::Registry::render_prometheus`]) and a serializable
+//!   [`metrics::MetricsSnapshot`].
+//! * **Span timers** — [`span!`] scopes that accumulate per-phase
+//!   wall-clock totals (`extract_subgraph`, `score_batch`, …), cheap
+//!   enough for hot paths and reducible to a single atomic load when
+//!   disabled via [`set_spans_enabled`].
+//!
+//! Events flow to two optional JSONL sinks (one JSON object per line):
+//! the **metrics sink** (`--metrics-out`) receives per-step training
+//! events and the final registry snapshot; the **trace sink**
+//! (`--trace-out`) receives log records and span-timing events.
+//!
+//! ## Determinism contract
+//!
+//! The repo's bitwise-determinism discipline extends to metrics: every
+//! metric *value* is a pure function of the run's inputs and seeds,
+//! independent of the worker thread count. The rules that make this
+//! hold (see DESIGN.md "Observability"):
+//!
+//! * counters and histogram buckets are additive `u64`s — parallel
+//!   increments commute, so totals are thread-count-invariant;
+//! * gauges are only ever set from serial sections (the training loop),
+//!   never from inside a parallel fan-out;
+//! * wall-clock quantities are *excluded* from the contract and
+//!   lexically marked: any event field or struct field whose name
+//!   contains `seconds` is measurement, not output.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dekg_obs::{log_info, metrics, span};
+//!
+//! // Counters/histograms: register once (cheap), bump from anywhere.
+//! let extractions = metrics::global().counter("demo_extractions_total");
+//! extractions.inc();
+//!
+//! // Span scopes: bind the guard — drop records the elapsed time.
+//! {
+//!     let _span = span!("demo_phase");
+//!     // ... timed work ...
+//! }
+//! assert!(dekg_obs::span_snapshot().get("demo_phase").is_some());
+//!
+//! // Leveled logging (stderr + optional trace sink).
+//! log_info!("demo ran {} extraction(s)", extractions.get());
+//! ```
+
+pub mod event;
+pub mod log;
+pub mod metrics;
+pub mod span;
+
+pub use event::{
+    flush_sinks, metrics_active, set_metrics_path, set_trace_path, trace_active, Event,
+};
+pub use log::{set_level, Level};
+pub use metrics::MetricsSnapshot;
+pub use span::{
+    set_spans_enabled, span_snapshot, spans_enabled, SpanSnapshot, SpanStat, SpanTimer,
+};
+
+/// One-call configuration for a CLI run, mapped from the
+/// `--log-level`, `--metrics-out` and `--trace-out` flags.
+#[derive(Debug, Clone, Default)]
+pub struct ObsConfig {
+    /// Minimum level for log records (`None` keeps the current level).
+    pub level: Option<Level>,
+    /// JSONL metrics sink path (`--metrics-out`).
+    pub metrics_path: Option<String>,
+    /// JSONL trace sink path (`--trace-out`).
+    pub trace_path: Option<String>,
+}
+
+/// Applies an [`ObsConfig`]: sets the log level and opens the sinks.
+///
+/// # Errors
+/// When a sink file cannot be created.
+pub fn init(cfg: &ObsConfig) -> std::io::Result<()> {
+    if let Some(level) = cfg.level {
+        set_level(level);
+    }
+    if let Some(path) = &cfg.metrics_path {
+        set_metrics_path(path)?;
+    }
+    if let Some(path) = &cfg.trace_path {
+        set_trace_path(path)?;
+    }
+    Ok(())
+}
+
+/// Zeroes every registered metric in place (handles stay valid) and
+/// clears the span table. Test/harness support: a fresh baseline
+/// without tearing down call-site handle caches.
+pub fn reset() {
+    metrics::global().reset();
+    span::reset_spans();
+}
+
+/// A snapshot of the global metrics registry.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    metrics::global().snapshot()
+}
+
+/// Flushes end-of-run summaries into the configured sinks:
+///
+/// * metrics sink — a `"metrics"` event carrying the full registry
+///   snapshot (counters, gauges, histogram buckets);
+/// * trace sink — a `"spans"` event with the accumulated per-phase
+///   totals.
+///
+/// Idempotent; a no-op when no sink is configured.
+pub fn finish() {
+    if metrics_active() {
+        let snap = metrics::global().snapshot();
+        Event::new("metrics")
+            .field_value("snapshot", serde::Serialize::to_value(&snap))
+            .emit_metrics();
+    }
+    if trace_active() {
+        span::emit_span_event(None);
+    }
+    flush_sinks();
+}
+
+/// Serializes unit tests that mutate process-global state (the level
+/// threshold, sinks). `cargo test` runs tests in parallel threads;
+/// anything touching a global must hold this.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_sets_level() {
+        let _guard = crate::test_lock();
+        // Restore afterwards so other tests in this binary keep the
+        // default threshold.
+        let prev = log::level();
+        init(&ObsConfig { level: Some(Level::Warn), ..Default::default() }).unwrap();
+        assert_eq!(log::level(), Level::Warn);
+        set_level(prev);
+    }
+
+    #[test]
+    fn finish_without_sinks_is_a_noop() {
+        finish();
+    }
+}

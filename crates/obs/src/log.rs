@@ -1,0 +1,170 @@
+//! Leveled structured logging: a global subscriber writing
+//! human-readable lines to stderr and JSON records to the trace sink.
+//!
+//! The macros check the level *before* formatting, so a suppressed
+//! record costs one relaxed atomic load — cheap enough to leave
+//! `log_debug!` calls in hot paths.
+
+use crate::event::{trace_active, Event};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log-record severity, ordered `Debug < Info < Warn < Off`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Per-step diagnostics; suppressed by default.
+    Debug = 0,
+    /// Run progress (the default threshold).
+    Info = 1,
+    /// Findings that deserve attention but do not abort the run.
+    Warn = 2,
+    /// Suppress everything.
+    Off = 3,
+}
+
+impl Level {
+    /// The level's lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Off => "off",
+        }
+    }
+
+    /// Parses a `--log-level` value.
+    ///
+    /// # Errors
+    /// On anything other than `debug|info|warn|off`.
+    pub fn parse(s: &str) -> Result<Level, String> {
+        match s {
+            "debug" => Ok(Level::Debug),
+            "info" => Ok(Level::Info),
+            "warn" => Ok(Level::Warn),
+            "off" => Ok(Level::Off),
+            other => Err(format!("unknown log level {other:?} (debug|info|warn|off)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the global minimum level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current global minimum level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Debug,
+        1 => Level::Info,
+        2 => Level::Warn,
+        _ => Level::Off,
+    }
+}
+
+/// True when records at `level` pass the global threshold. The macros
+/// call this before formatting; direct use is fine for guarding more
+/// expensive diagnostics.
+pub fn enabled(level: Level) -> bool {
+    level != Level::Off && level as u8 >= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Emits one record: `[level target] message` on stderr, plus a
+/// `"log"` JSON event on the trace sink when one is configured.
+///
+/// Prefer the [`crate::log_debug!`] / [`crate::log_info!`] /
+/// [`crate::log_warn!`] macros, which capture the calling module as the
+/// target and skip formatting below the threshold.
+pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    let message = args.to_string();
+    eprintln!("[{level} {target}] {message}");
+    if trace_active() {
+        Event::new("log")
+            .field_str("level", level.as_str())
+            .field_str("target", target)
+            .field_str("message", &message)
+            .emit_trace();
+    }
+}
+
+/// Logs at [`Level::Debug`] with `format!` syntax.
+#[macro_export]
+macro_rules! log_debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Debug) {
+            $crate::log::log($crate::Level::Debug, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`] with `format!` syntax.
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Info) {
+            $crate::log::log($crate::Level::Info, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`] with `format!` syntax.
+#[macro_export]
+macro_rules! log_warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Warn) {
+            $crate::log::log($crate::Level::Warn, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_parse() {
+        assert!(
+            Level::Debug < Level::Info && Level::Info < Level::Warn && Level::Warn < Level::Off
+        );
+        assert_eq!(Level::parse("debug").unwrap(), Level::Debug);
+        assert_eq!(Level::parse("off").unwrap(), Level::Off);
+        assert!(Level::parse("verbose").is_err());
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let _guard = crate::test_lock();
+        let prev = level();
+        set_level(Level::Warn);
+        assert!(!enabled(Level::Debug));
+        assert!(!enabled(Level::Info));
+        assert!(enabled(Level::Warn));
+        set_level(Level::Off);
+        assert!(!enabled(Level::Warn));
+        set_level(prev);
+    }
+
+    #[test]
+    fn macros_expand_and_run() {
+        let _guard = crate::test_lock();
+        let prev = level();
+        set_level(Level::Off);
+        // Suppressed: must not format (and must still compile).
+        log_debug!("dropped {}", 1);
+        log_info!("dropped {}", 2);
+        log_warn!("dropped {}", 3);
+        set_level(prev);
+    }
+}

@@ -1,0 +1,386 @@
+//! The metrics registry: named counters, gauges and fixed-bucket
+//! histograms with a Prometheus-style text exposition and a
+//! serializable snapshot.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap clones of
+//! `Arc`ed atomics: registration takes the registry mutex once, after
+//! which updates are lock-free. Hot call sites cache their handle in a
+//! `OnceLock` so the per-event cost is a relaxed `fetch_add`.
+//!
+//! **Determinism.** Counter and histogram updates are additive `u64`
+//! operations — commutative, so totals are identical at any thread
+//! count. Gauges are last-write-wins and must only be set from serial
+//! code (the training loop), never inside a parallel fan-out.
+//! [`Registry::reset`] zeroes values *in place*, keeping every handle
+//! valid, so harnesses can re-baseline between runs.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing `u64` metric.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` metric (stored as bits in an atomic).
+///
+/// Set only from serial sections — see the module docs.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared state of one histogram.
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper-inclusive bucket bounds, strictly increasing. An implicit
+    /// `+Inf` bucket follows the last bound.
+    bounds: Vec<u64>,
+    /// One slot per bound plus the `+Inf` overflow slot.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram over integer observations (node counts,
+/// candidate counts, …). Integer-valued on purpose: the sum stays an
+/// additive `u64`, keeping the determinism contract float-free.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let core = &self.0;
+        let slot = core.bounds.partition_point(|&b| b < v);
+        core.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Per-bucket counts (non-cumulative), the `+Inf` slot last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Upper-inclusive bucket bounds (the `+Inf` bucket is implicit).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts, `buckets.len() == bounds.len() + 1`.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+/// Point-in-time state of a whole registry. Serializable through the
+/// serde shims (the `"metrics"` JSONL event carries one) and directly
+/// comparable — the thread-count-invariance tests assert snapshot
+/// equality across worker counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// A named-metric registry. The process-global instance is
+/// [`global()`]; tests construct private ones with [`Registry::new`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = lock(&self.counters);
+        Counter(Arc::clone(map.entry(name.to_owned()).or_default()))
+    }
+
+    /// The gauge named `name`, registering it at `0.0` on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = lock(&self.gauges);
+        let cell = map
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0.0f64.to_bits())));
+        Gauge(Arc::clone(cell))
+    }
+
+    /// The histogram named `name`, registering it with `bounds`
+    /// (upper-inclusive, strictly increasing) on first use. Later
+    /// callers get the existing instance; passing different bounds for
+    /// the same name is a programming error (caught in debug builds).
+    ///
+    /// # Panics
+    /// If `bounds` is empty or not strictly increasing.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram {name:?} needs at least one bucket bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "histogram {name:?} bounds must increase");
+        let mut map = lock(&self.histograms);
+        let core = map.entry(name.to_owned()).or_insert_with(|| {
+            Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            })
+        });
+        debug_assert_eq!(core.bounds, bounds, "histogram {name:?} re-registered with new bounds");
+        Histogram(Arc::clone(core))
+    }
+
+    /// Zeroes every registered metric **in place** — existing handles
+    /// (including `OnceLock`-cached ones at call sites) stay attached.
+    pub fn reset(&self) {
+        for cell in lock(&self.counters).values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+        for cell in lock(&self.gauges).values() {
+            cell.store(0.0f64.to_bits(), Ordering::Relaxed);
+        }
+        for core in lock(&self.histograms).values() {
+            for b in &core.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            core.count.store(0, Ordering::Relaxed);
+            core.sum.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A copy of every metric's current value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = lock(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = lock(&self.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = lock(&self.histograms)
+            .iter()
+            .map(|(k, core)| {
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        bounds: core.bounds.clone(),
+                        buckets: core.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                        count: core.count.load(Ordering::Relaxed),
+                        sum: core.sum.load(Ordering::Relaxed),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+
+    /// Prometheus text exposition (the `text/plain; version=0.0.4`
+    /// format): `# TYPE` lines, cumulative `_bucket{le=…}` series per
+    /// histogram, `_sum`/`_count` totals. Names are emitted as
+    /// registered — use `snake_case` with unit suffixes.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        }
+        for (name, value) in &snap.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+        }
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (bound, bucket) in h.bounds.iter().zip(&h.buckets) {
+                cumulative += bucket;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+        }
+        out
+    }
+}
+
+/// The process-global registry all instrumentation reports into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_handles() {
+        let r = Registry::new();
+        let a = r.counter("hits_total");
+        let b = r.counter("hits_total");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(r.snapshot().counters["hits_total"], 5);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = Registry::new();
+        let g = r.gauge("loss");
+        g.set(2.5);
+        g.set(1.25);
+        assert_eq!(g.get(), 1.25);
+        assert_eq!(r.snapshot().gauges["loss"], 1.25);
+    }
+
+    #[test]
+    fn histogram_buckets_are_upper_inclusive() {
+        let r = Registry::new();
+        let h = r.histogram("nodes", &[2, 4, 8]);
+        for v in [0, 2, 3, 4, 8, 9, 100] {
+            h.observe(v);
+        }
+        // le=2: {0,2}; le=4: {3,4}; le=8: {8}; +Inf: {9,100}.
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1, 2]);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 126);
+    }
+
+    #[test]
+    fn reset_zeroes_in_place() {
+        let r = Registry::new();
+        let c = r.counter("c_total");
+        let h = r.histogram("h", &[1]);
+        c.inc();
+        h.observe(5);
+        r.reset();
+        // Handles acquired before the reset still work and read zero.
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc();
+        assert_eq!(r.snapshot().counters["c_total"], 1);
+    }
+
+    #[test]
+    fn parallel_counting_is_thread_count_invariant() {
+        // 4 threads × 1000 increments vs a serial 4000: identical.
+        let r = Registry::new();
+        let c = r.counter("par_total");
+        let h = r.histogram("par_hist", &[10, 100]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..1000u64 {
+                        c.inc();
+                        h.observe(i % 150);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        let serial = Registry::new();
+        let hs = serial.histogram("par_hist", &[10, 100]);
+        for _ in 0..4 {
+            for i in 0..1000u64 {
+                hs.observe(i % 150);
+            }
+        }
+        assert_eq!(h.bucket_counts(), hs.bucket_counts());
+        assert_eq!(h.sum(), hs.sum());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let r = Registry::new();
+        r.counter("a_total").add(3);
+        r.gauge("g").set(0.5);
+        r.histogram("h", &[1, 2]).observe(2);
+        let snap = r.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+        // And the re-serialization is byte-identical.
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = Registry::new();
+        r.counter("dekg_demo_total").add(2);
+        r.gauge("dekg_demo_loss").set(1.5);
+        let h = r.histogram("dekg_demo_nodes", &[2, 4]);
+        h.observe(1);
+        h.observe(3);
+        h.observe(9);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE dekg_demo_total counter\ndekg_demo_total 2\n"));
+        assert!(text.contains("# TYPE dekg_demo_loss gauge\ndekg_demo_loss 1.5\n"));
+        assert!(text.contains("dekg_demo_nodes_bucket{le=\"2\"} 1\n"));
+        assert!(text.contains("dekg_demo_nodes_bucket{le=\"4\"} 2\n"));
+        assert!(text.contains("dekg_demo_nodes_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("dekg_demo_nodes_sum 13\ndekg_demo_nodes_count 3\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must increase")]
+    fn unsorted_bounds_rejected() {
+        Registry::new().histogram("bad", &[4, 2]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Scope timers: named spans that accumulate per-phase totals.
+//!
+//! A span is a lexical scope timed by a [`SpanTimer`] guard — the
+//! [`crate::span!`] macro binds one, and its `Drop` folds the elapsed
+//! time into a process-global table keyed by the span's static name.
+//! Totals are *CPU-seconds summed across workers*: four rayon threads
+//! spending 1 s each inside `span!("score_batch")` contribute 4 s.
+//! Phase breakdowns derived from spans (eval extraction vs. scoring
+//! vs. ranking) are therefore work measurements, not wall-clock.
+//!
+//! **Zero-cost-when-disabled.** [`set_spans_enabled`]`(false)` turns
+//! [`SpanTimer::enter`] into a single relaxed atomic load returning an
+//! inert guard — no clock read, no lock. The perf harness disables
+//! spans so timing comparisons against the seed stay fair.
+//!
+//! Span *seconds* are wall-clock measurements and sit outside the
+//! determinism contract; span *counts* are additive `u64`s and inside
+//! it (see the crate docs).
+
+use crate::event::{trace_active, Event};
+use serde::{Deserialize, Number, Serialize, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static TABLE: Mutex<BTreeMap<&'static str, SpanStat>> = Mutex::new(BTreeMap::new());
+
+fn table() -> std::sync::MutexGuard<'static, BTreeMap<&'static str, SpanStat>> {
+    TABLE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Enables or disables span timing globally. Disabled timers skip the
+/// clock read and table update entirely.
+pub fn set_spans_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when span timing is active (the default).
+pub fn spans_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears the accumulated span table.
+pub fn reset_spans() {
+    table().clear();
+}
+
+/// Accumulated state of one span: how many scopes closed and their
+/// total elapsed time.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// Number of completed scopes.
+    pub count: u64,
+    /// Total elapsed CPU-seconds across those scopes (wall-clock
+    /// measurement — outside the determinism contract).
+    pub seconds: f64,
+}
+
+/// A point-in-time copy of the span table, taken with
+/// [`span_snapshot`]. Two snapshots bracket a region of interest;
+/// [`SpanSnapshot::diff`] isolates the spans that closed in between.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SpanSnapshot {
+    /// Per-span accumulated stats, keyed by span name.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl SpanSnapshot {
+    /// The stats for `name`, if any scope with that name has closed.
+    pub fn get(&self, name: &str) -> Option<&SpanStat> {
+        self.spans.get(name)
+    }
+
+    /// The per-span increase from `earlier` to `self`, dropping spans
+    /// with no new completions. Counts subtract saturating; seconds
+    /// clamp at zero.
+    #[must_use]
+    pub fn diff(&self, earlier: &SpanSnapshot) -> SpanSnapshot {
+        let spans = self
+            .spans
+            .iter()
+            .filter_map(|(name, now)| {
+                let before = earlier.spans.get(name).copied().unwrap_or_default();
+                let count = now.count.saturating_sub(before.count);
+                if count == 0 {
+                    return None;
+                }
+                let seconds = (now.seconds - before.seconds).max(0.0);
+                Some((name.clone(), SpanStat { count, seconds }))
+            })
+            .collect();
+        SpanSnapshot { spans }
+    }
+}
+
+/// A copy of the current global span table.
+pub fn span_snapshot() -> SpanSnapshot {
+    let spans = table().iter().map(|(&k, &v)| (k.to_owned(), v)).collect();
+    SpanSnapshot { spans }
+}
+
+/// The guard returned by [`crate::span!`]. Records the elapsed time
+/// into the global table on drop; inert (no clock, no lock) when spans
+/// are disabled.
+#[derive(Debug)]
+pub struct SpanTimer {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanTimer {
+    /// Starts a timer for `name`; prefer the [`crate::span!`] macro.
+    pub fn enter(name: &'static str) -> SpanTimer {
+        let start = spans_enabled().then(Instant::now);
+        SpanTimer { name, start }
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let seconds = start.elapsed().as_secs_f64();
+            let mut map = table();
+            let stat = map.entry(self.name).or_default();
+            stat.count += 1;
+            stat.seconds += seconds;
+        }
+    }
+}
+
+/// Times the rest of the enclosing scope under a static span name:
+///
+/// ```
+/// # fn work() {}
+/// let _span = dekg_obs::span!("extract_subgraph");
+/// work(); // counted against extract_subgraph until scope end
+/// ```
+///
+/// Bind the guard (`let _span = …`) — a bare `span!(…);` statement
+/// drops it immediately and times nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanTimer::enter($name)
+    };
+}
+
+/// Emits a `"spans"` event carrying the accumulated table to the trace
+/// sink (dropped when none). An `epoch` field is included when given,
+/// letting per-epoch emissions interleave with the final summary.
+pub fn emit_span_event(epoch: Option<u64>) {
+    if !trace_active() {
+        return;
+    }
+    let mut event = Event::new("spans");
+    if let Some(epoch) = epoch {
+        event = event.field_u64("epoch", epoch);
+    }
+    let snap = span_snapshot();
+    let pairs = snap
+        .spans
+        .iter()
+        .map(|(name, stat)| {
+            let fields = vec![
+                ("count".to_owned(), Value::Num(Number::U(stat.count))),
+                ("seconds".to_owned(), Value::Num(Number::F(stat.seconds))),
+            ];
+            (name.clone(), Value::Object(fields))
+        })
+        .collect();
+    event.field_value("spans", Value::Object(pairs)).emit_trace();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_count_and_time() {
+        let _guard = crate::test_lock();
+        reset_spans();
+        for _ in 0..3 {
+            let _span = crate::span!("test_phase_a");
+            std::hint::black_box(0);
+        }
+        let snap = span_snapshot();
+        let stat = snap.get("test_phase_a").expect("span recorded");
+        assert_eq!(stat.count, 3);
+        assert!(stat.seconds >= 0.0);
+        reset_spans();
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = crate::test_lock();
+        reset_spans();
+        set_spans_enabled(false);
+        {
+            let _span = crate::span!("test_phase_off");
+        }
+        assert!(span_snapshot().get("test_phase_off").is_none());
+        set_spans_enabled(true);
+        reset_spans();
+    }
+
+    #[test]
+    fn diff_isolates_new_completions() {
+        let _guard = crate::test_lock();
+        reset_spans();
+        {
+            let _a = crate::span!("test_diff_a");
+        }
+        let before = span_snapshot();
+        {
+            let _a = crate::span!("test_diff_a");
+        }
+        {
+            let _b = crate::span!("test_diff_b");
+        }
+        let delta = span_snapshot().diff(&before);
+        assert_eq!(delta.get("test_diff_a").unwrap().count, 1);
+        assert_eq!(delta.get("test_diff_b").unwrap().count, 1);
+        // Unchanged spans are dropped from the diff.
+        let empty = span_snapshot().diff(&span_snapshot());
+        assert!(empty.spans.is_empty());
+        reset_spans();
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut spans = BTreeMap::new();
+        spans.insert("phase".to_owned(), SpanStat { count: 2, seconds: 0.5 });
+        let snap = SpanSnapshot { spans };
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: SpanSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Handle to a parameter inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -95,9 +95,14 @@ impl ParamStore {
 /// Gradients produced by one [`crate::Graph::backward`] call, keyed by
 /// [`ParamId`]. Parameters that did not participate in the forward pass
 /// have no entry.
+///
+/// Backed by a `BTreeMap` so every iteration — [`Self::global_norm`]'s
+/// reduction in particular — visits parameters in a fixed key order.
+/// A hash map's per-instance seed would make the float sum order (and
+/// so the reported norm's low bits) depend on process history.
 #[derive(Debug, Clone, Default)]
 pub struct GradStore {
-    grads: HashMap<usize, Tensor>,
+    grads: BTreeMap<usize, Tensor>,
 }
 
 impl GradStore {

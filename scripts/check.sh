@@ -28,6 +28,17 @@ cargo run -q --release --offline -p dekg-cli -- \
 cargo run -q --release --offline -p dekg-cli -- \
     check --data "$tmp/data" --raw fb --split eq --scale 0.05 --grads
 
+echo "==> observability smoke: train with sinks, obslint both"
+cargo run -q --release --offline -p dekg-cli -- \
+    train --data "$tmp/data" --epochs 1 --ckpt "$tmp/model.dekg" \
+    --log-level warn --metrics-out "$tmp/metrics.jsonl" --trace-out "$tmp/trace.jsonl"
+# Every sink line must parse, re-serialize byte-identically, and lead
+# with its event kind; the required kinds pin the training schema.
+cargo run -q --release --offline -p dekg-cli -- \
+    obslint --file "$tmp/metrics.jsonl" --require train_step,epoch,metrics
+cargo run -q --release --offline -p dekg-cli -- \
+    obslint --file "$tmp/trace.jsonl" --require spans
+
 echo "==> perf harness smoke run (2 threads, tiny scale)"
 # Asserts the parallel/sparse/forward-only pipeline stays bit-identical
 # to the serial seed pipeline; the tracked numbers in BENCH_perf.json

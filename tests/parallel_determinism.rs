@@ -11,13 +11,24 @@ use dekg::prelude::*;
 use dekg_datasets::{assemble_epoch, tiny_fixture};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 fn pool(threads: usize) -> rayon::ThreadPool {
     rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool")
 }
 
+/// The metrics registry and JSONL sinks are process-global, and cargo
+/// runs this binary's tests on parallel threads — every test below
+/// takes this lock so `dekg_obs::reset()` in one test cannot shear a
+/// snapshot comparison in another.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 #[test]
 fn batch_extraction_matches_serial() {
+    let _obs = obs_lock();
     let data = tiny_fixture(3);
     let graph = InferenceGraph::from_dataset(&data);
     let links: Vec<(EntityId, EntityId, Option<Triple>)> = data
@@ -36,6 +47,7 @@ fn batch_extraction_matches_serial() {
 
 #[test]
 fn negative_sampling_matches_serial() {
+    let _obs = obs_lock();
     let data = tiny_fixture(4);
     let sampler = NegativeSampler::new(
         0..data.num_original_entities as u32,
@@ -50,6 +62,7 @@ fn negative_sampling_matches_serial() {
 
 #[test]
 fn eval_ranking_matches_serial() {
+    let _obs = obs_lock();
     let data = tiny_fixture(5);
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let mut model =
@@ -73,6 +86,7 @@ fn eval_ranking_matches_serial() {
 
 #[test]
 fn training_matches_serial() {
+    let _obs = obs_lock();
     // The full training loop — epoch assembly, extraction, autograd,
     // optimizer — under different pool sizes from the same seed.
     let data = tiny_fixture(6);
@@ -84,4 +98,102 @@ fn training_matches_serial() {
         (report.initial_loss, report.final_loss)
     };
     assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn metrics_are_thread_count_invariant() {
+    // The observability contract: every metric *value* — counters,
+    // gauges, histogram buckets — is a pure function of the run's
+    // inputs and seeds, independent of the worker thread count.
+    let _obs = obs_lock();
+    let data = tiny_fixture(7);
+    let run = |threads: usize| -> dekg_obs::MetricsSnapshot {
+        dekg_obs::reset();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut model =
+            DekgIlp::new(DekgIlpConfig { epochs: 1, ..DekgIlpConfig::quick() }, &data, &mut rng);
+        pool(threads).install(|| model.fit(&data, &mut rng));
+        let graph = InferenceGraph::from_dataset(&data);
+        let mix = TestMix::build(&data, MixRatio::for_split(SplitKind::Eq));
+        let mut protocol = ProtocolConfig::sampled(10);
+        protocol.seed = 9;
+        protocol.threads = threads;
+        evaluate(&model, &graph, &data, &mix, &protocol);
+        dekg_obs::metrics_snapshot()
+    };
+    let serial = run(1);
+    // Sanity: the instrumented paths actually fired.
+    assert!(serial.counters["dekg_kg_extractions_total"] > 0);
+    assert!(serial.counters["dekg_neg_corruptions_total"] > 0);
+    assert!(serial.counters["dekg_eval_queries_total"] > 0);
+    assert!(serial.counters["dekg_train_steps_total"] > 0);
+    assert!(serial.histograms["dekg_kg_subgraph_nodes"].count > 0);
+    let parallel = run(4);
+    // Bitwise-equal snapshots: counters, gauges and every histogram
+    // bucket. (Wall-clock lives in spans, not in the registry.)
+    // Compare per-entry first for a readable failure.
+    for (name, value) in &serial.counters {
+        assert_eq!(value, &parallel.counters[name], "counter {name} diverged");
+    }
+    for (name, value) in &serial.gauges {
+        assert_eq!(
+            value.to_bits(),
+            parallel.gauges[name].to_bits(),
+            "gauge {name} diverged: {value} vs {}",
+            parallel.gauges[name]
+        );
+    }
+    for (name, value) in &serial.histograms {
+        assert_eq!(value, &parallel.histograms[name], "histogram {name} diverged");
+    }
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn jsonl_sink_round_trips() {
+    let _obs = obs_lock();
+    let dir = std::env::temp_dir();
+    let metrics_path = dir.join(format!("dekg_obs_m_{}.jsonl", std::process::id()));
+    let trace_path = dir.join(format!("dekg_obs_t_{}.jsonl", std::process::id()));
+    dekg_obs::reset();
+    dekg_obs::set_metrics_path(metrics_path.to_str().unwrap()).unwrap();
+    dekg_obs::set_trace_path(trace_path.to_str().unwrap()).unwrap();
+
+    let data = tiny_fixture(8);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut model =
+        DekgIlp::new(DekgIlpConfig { epochs: 1, ..DekgIlpConfig::quick() }, &data, &mut rng);
+    model.fit(&data, &mut rng);
+    dekg_obs::finish();
+    dekg_obs::event::clear_sinks();
+
+    for path in [&metrics_path, &trace_path] {
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(!text.trim().is_empty(), "{} is empty", path.display());
+        let mut kinds = Vec::new();
+        for line in text.lines().filter(|l| !l.is_empty()) {
+            // Schema: each line is a JSON object whose first key is the
+            // "event" kind, and it round-trips byte-identically.
+            let v = serde_json::parse_value(line).expect("line parses");
+            assert_eq!(serde_json::to_string(&v).unwrap(), line, "round-trip mismatch");
+            let serde::Value::Object(pairs) = &v else { panic!("event is not an object") };
+            let Some((key, serde::Value::Str(kind))) = pairs.first() else {
+                panic!("first key is not a string");
+            };
+            assert_eq!(key, "event");
+            kinds.push(kind.clone());
+        }
+        std::fs::remove_file(path).ok();
+        if path == &metrics_path {
+            for required in ["train_step", "epoch", "metrics"] {
+                assert!(kinds.iter().any(|k| k == required), "missing {required} event");
+            }
+        }
+    }
+
+    // The typed snapshot round-trips through the serde shims too.
+    let snap = dekg_obs::metrics_snapshot();
+    let json = serde_json::to_string(&snap).unwrap();
+    let back: dekg_obs::MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(snap, back);
 }
