@@ -7,9 +7,11 @@
 //! dense `O(|E|)` extraction on one thread versus sparse extraction on
 //! `--threads` workers; for evaluation the seed additionally scores
 //! through the autograd tape, while the current pipeline uses the
-//! forward-only inference path ([`dekg_core::ScoringPath`]). Every
-//! timed pair is also checked for identical output, so the speedups are
-//! measured against a bit-equal baseline, not a different computation.
+//! batched candidate-ranking engine ([`dekg_core::ScoringPath`]) — a
+//! separate `batched` section isolates that engine's win over the
+//! per-candidate forward-only path. Every timed pair is also checked
+//! for identical output, so the speedups are measured against a
+//! bit-equal baseline, not a different computation.
 //!
 //! ```sh
 //! cargo run --release -p dekg-bench --bin perf
@@ -126,14 +128,21 @@ struct Report {
     extraction: Section,
     train_epoch: Section,
     eval: Section,
+    /// The batched candidate-ranking engine against the per-candidate
+    /// forward-only pipeline — isolates what block-diagonal packing and
+    /// BFS reuse add on top of dropping the tape.
+    batched: Section,
     eval_queries: usize,
     /// The headline number: end-to-end evaluation, seed pipeline (tape
-    /// scoring, dense extraction, serial) vs current (forward-only
-    /// scoring, sparse extraction, `threads` workers).
+    /// scoring, dense extraction, serial) vs current (batched scoring,
+    /// sparse extraction, `threads` workers).
     end_to_end_eval_speedup: f64,
 }
 
 fn pool(threads: usize) -> rayon::ThreadPool {
+    // Clamp to the machine: oversubscribed pools measure scheduler
+    // overhead, not the pipeline (the eval protocol clamps the same way).
+    let threads = dekg_eval::effective_threads(threads);
     rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool")
 }
 
@@ -188,12 +197,18 @@ fn time_train_epoch(dataset: &DekgDataset, opts: &Opts) -> Section {
     )
 }
 
-/// Full filtered-ranking evaluation, seed pipeline vs current.
+/// Full filtered-ranking evaluation, three ways: the seed pipeline
+/// (tape scoring, dense extraction, serial), the per-candidate
+/// forward-only pipeline, and the batched candidate-ranking engine.
+///
+/// Returns the headline section (seed vs batched), the `batched`
+/// section isolating the batched engine's own win over the
+/// per-candidate forward path, the query count and the batched result.
 fn time_eval(
     dataset: &DekgDataset,
     graph: &InferenceGraph,
     opts: &Opts,
-) -> (Section, usize, EvalResult) {
+) -> (Section, Section, usize, EvalResult) {
     let cfg = DekgIlpConfig { epochs: opts.epochs, ..DekgIlpConfig::quick() };
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
     let mut model = DekgIlp::new(cfg, dataset, &mut rng);
@@ -210,26 +225,44 @@ fn time_eval(
     model.set_scoring_path(ScoringPath::TapeReference);
     let base = evaluate(&model, graph, dataset, &mix, &protocol);
 
-    // Current: forward-only scoring, sparse extraction, N threads.
+    // Per-candidate forward-only scoring, sparse extraction, N threads
+    // (the previous "current" pipeline).
     protocol.threads = opts.threads;
     model.set_distance_backend(DistanceBackend::Sparse);
     model.set_scoring_path(ScoringPath::Inference);
-    let cur = evaluate(&model, graph, dataset, &mix, &protocol);
+    let per_candidate = evaluate(&model, graph, dataset, &mix, &protocol);
 
-    let identical = base.overall == cur.overall
-        && base.enclosing == cur.enclosing
-        && base.bridging == cur.bridging;
-    let s = section(
+    // Current: the batched candidate-ranking engine.
+    model.set_scoring_path(ScoringPath::Batched);
+    let batched = evaluate(&model, graph, dataset, &mix, &protocol);
+
+    let metrics_eq = |a: &EvalResult, b: &EvalResult| {
+        a.overall == b.overall && a.enclosing == b.enclosing && a.bridging == b.bridging
+    };
+    let eval_section = section(
         Timed { backend: "tape+dense".into(), threads: 1, seconds: base.timing.wall_seconds },
+        Timed {
+            backend: "batched+sparse".into(),
+            threads: opts.threads,
+            seconds: batched.timing.wall_seconds,
+        },
+        metrics_eq(&base, &batched),
+    );
+    let batched_section = section(
         Timed {
             backend: "inference+sparse".into(),
             threads: opts.threads,
-            seconds: cur.timing.wall_seconds,
+            seconds: per_candidate.timing.wall_seconds,
         },
-        identical,
+        Timed {
+            backend: "batched+sparse".into(),
+            threads: opts.threads,
+            seconds: batched.timing.wall_seconds,
+        },
+        metrics_eq(&per_candidate, &batched),
     );
-    let queries = cur.timing.queries;
-    (s, queries, cur)
+    let queries = batched.timing.queries;
+    (eval_section, batched_section, queries, batched)
 }
 
 fn main() {
@@ -274,9 +307,9 @@ fn main() {
     );
 
     println!("timing full evaluation…");
-    let (eval, eval_queries, result) = time_eval(&dataset, &graph, &opts);
+    let (eval, batched, eval_queries, result) = time_eval(&dataset, &graph, &opts);
     println!(
-        "  tape+dense/serial {:.2}s  inference+sparse/{}t {:.2}s  speedup {:.2}x  \
+        "  tape+dense/serial {:.2}s  batched+sparse/{}t {:.2}s  speedup {:.2}x  \
          identical metrics: {}  ({} queries, {:.1}/s)",
         eval.baseline.seconds,
         opts.threads,
@@ -285,6 +318,14 @@ fn main() {
         eval.outputs_identical,
         eval_queries,
         result.timing.queries_per_second
+    );
+    println!(
+        "  batched engine vs per-candidate: {:.2}s -> {:.2}s  speedup {:.2}x  \
+         identical metrics: {}",
+        batched.baseline.seconds,
+        batched.current.seconds,
+        batched.speedup,
+        batched.outputs_identical
     );
 
     let report = Report {
@@ -300,6 +341,7 @@ fn main() {
         extraction,
         train_epoch,
         eval,
+        batched,
         eval_queries,
     };
     if let Err(e) = dekg_eval::report::save_json(std::path::Path::new(&opts.out), &report) {
@@ -313,7 +355,8 @@ fn main() {
     assert!(
         report.extraction.outputs_identical
             && report.train_epoch.outputs_identical
-            && report.eval.outputs_identical,
-        "parallel/sparse pipeline diverged from the serial/dense baseline"
+            && report.eval.outputs_identical
+            && report.batched.outputs_identical,
+        "parallel/sparse/batched pipeline diverged from its baseline"
     );
 }

@@ -22,7 +22,7 @@ commands:
   train     --data DIR [--check] [--epochs N] [--dim N] [--seed N]
             [--gradcheck-every N] [--threads N] --ckpt FILE [observability flags]
   evaluate  --data DIR --ckpt FILE [--candidates N] [--split eq|mb|me] [--seed N]
-            [--threads N] [observability flags]
+            [--threads N] [--scoring batched|per-candidate|tape] [observability flags]
   predict   --data DIR --ckpt FILE --rel NAME (--head NAME | --tail NAME) [--top N]
   obslint   --file FILE [--require kind1,kind2,...]
   help
@@ -294,7 +294,12 @@ fn restore(flags: &Flags, dataset: &DekgDataset) -> Result<DekgIlp, Box<dyn std:
 pub fn evaluate(flags: &Flags) -> CliResult {
     obs_init(flags)?;
     let dataset = load_dataset(flags)?;
-    let model = restore(flags, &dataset)?;
+    let mut model = restore(flags, &dataset)?;
+    if let Some(s) = flags.get("scoring") {
+        let path = dekg_core::ScoringPath::parse(s)
+            .ok_or_else(|| format!("unknown scoring path {s:?} (batched|per-candidate|tape)"))?;
+        model.set_scoring_path(path);
+    }
     let split = match flags.get("split") {
         Some(s) => parse_split(s)?,
         None => SplitKind::Eq,

@@ -11,10 +11,30 @@
 //! φ_tpo = [ h_G ⊕ h_i ⊕ h_j ⊕ r_k^tpo ] · W
 //! ```
 
-use dekg_gnn::{SubgraphEncoder, SubgraphEncoderConfig};
-use dekg_kg::Subgraph;
+use dekg_gnn::{BatchedEncodeWorkspace, SubgraphEncoder, SubgraphEncoderConfig};
+use dekg_kg::{BatchedSubgraphs, Subgraph};
 use dekg_tensor::{init, kernels, Graph, ParamId, ParamStore, Var};
 use rand::Rng;
+
+/// Reusable buffers for [`Gsm::score_subgraphs_batched`]: the batched
+/// encoder workspace plus the packed readout/score matrices. Keep one
+/// per worker thread (e.g. in a `thread_local`) and steady-state
+/// batched scoring performs no heap allocation at all.
+#[derive(Debug, Default, Clone)]
+pub struct InferenceWorkspace {
+    enc: BatchedEncodeWorkspace,
+    /// `[b, 4d]` concatenated readout rows.
+    cat: Vec<f32>,
+    /// `[b]` score column.
+    scores: Vec<f32>,
+}
+
+impl InferenceWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// The GSM parameters: the subgraph encoder plus the topological
 /// relation embeddings `r^tpo` and the scoring matrix `W`.
@@ -96,9 +116,21 @@ impl Gsm {
         let rel_tpo = g.param(params, self.rel_tpo);
         let w = g.param(params, self.w_out);
         let mut out = Vec::with_capacity(items.len());
+        // Ranking batches share one relation across all candidates;
+        // memoize the r^tpo row gather per relation instead of
+        // re-gathering per candidate. Same values on the tape → same
+        // scores, fewer nodes.
+        let mut rel_rows: std::collections::HashMap<usize, Var> = std::collections::HashMap::new();
         for (sg, rel) in items {
             let enc = self.encoder.encode_mounted(&mut g, &mounted, sg, false, &mut rng);
-            let r = g.gather_rows(rel_tpo, &[rel.index()]);
+            let r = match rel_rows.get(&rel.index()) {
+                Some(&r) => r,
+                None => {
+                    let r = g.gather_rows(rel_tpo, &[rel.index()]);
+                    rel_rows.insert(rel.index(), r);
+                    r
+                }
+            };
             let cat = g.concat_cols(&[enc.graph, enc.head, enc.tail, r]);
             let s = g.matmul(cat, w);
             out.push(g.value(s).item());
@@ -120,6 +152,10 @@ impl Gsm {
         let w = params.get(self.w_out).data();
         let d = self.dim;
         let mut cat = vec![0.0f32; 4 * d];
+        // The r^tpo block of `cat` only changes when the relation does —
+        // constant across a ranking query's candidates, so skip the
+        // per-candidate re-copy.
+        let mut cur_rel: Option<usize> = None;
         items
             .iter()
             .map(|(sg, rel)| {
@@ -127,12 +163,95 @@ impl Gsm {
                 cat[..d].copy_from_slice(&enc.graph);
                 cat[d..2 * d].copy_from_slice(&enc.head);
                 cat[2 * d..3 * d].copy_from_slice(&enc.tail);
-                cat[3 * d..].copy_from_slice(rel_tpo.row(rel.index()));
+                if cur_rel != Some(rel.index()) {
+                    cat[3 * d..].copy_from_slice(rel_tpo.row(rel.index()));
+                    cur_rel = Some(rel.index());
+                }
                 let mut out = [0.0f32];
                 kernels::matmul(&cat, w, &mut out, 1, 4 * d, 1);
                 out[0]
             })
             .collect()
+    }
+
+    /// Scores a block-diagonal batch of subgraphs (`rels[i]` pairing
+    /// with segment `i`) through the batched encoder, appending one
+    /// score per segment to `out`.
+    ///
+    /// Bitwise identical to [`Gsm::score_subgraphs_inference`] over the
+    /// same (subgraph, relation) pairs: the batched encoder is pinned
+    /// to the per-subgraph encoder segment by segment, and the final
+    /// `[b, 4d] × [4d, 1]` readout matmul computes each row exactly as
+    /// the per-candidate `[1, 4d]` matmul does (rows are independent).
+    ///
+    /// # Panics
+    /// If `rels.len() != batch.num_graphs()`.
+    pub fn score_subgraphs_batched(
+        &self,
+        params: &ParamStore,
+        batch: &BatchedSubgraphs<'_>,
+        rels: &[dekg_kg::RelationId],
+        ws: &mut InferenceWorkspace,
+        out: &mut Vec<f32>,
+    ) {
+        let b = batch.num_graphs();
+        assert_eq!(rels.len(), b, "one relation per packed subgraph");
+        if b == 0 {
+            return;
+        }
+        self.encoder.encode_inference_batched(params, batch, &mut ws.enc);
+        let rel_tpo = params.get(self.rel_tpo);
+        let w = params.get(self.w_out).data();
+        let d = self.dim;
+        ws.cat.resize(b * 4 * d, 0.0);
+        for (i, rel) in rels.iter().enumerate() {
+            let row = &mut ws.cat[i * 4 * d..(i + 1) * 4 * d];
+            row[..d].copy_from_slice(&ws.enc.graph[i * d..(i + 1) * d]);
+            row[d..2 * d].copy_from_slice(&ws.enc.heads[i * d..(i + 1) * d]);
+            row[2 * d..3 * d].copy_from_slice(&ws.enc.tails[i * d..(i + 1) * d]);
+            row[3 * d..].copy_from_slice(rel_tpo.row(rel.index()));
+        }
+        ws.scores.resize(b, 0.0);
+        kernels::matmul(&ws.cat, w, &mut ws.scores, b, 4 * d, 1);
+        out.extend_from_slice(&ws.scores);
+    }
+
+    /// Scores one subgraph under many relations — the `(h, ?, t)`
+    /// relation-prediction fast path, where every candidate shares the
+    /// same enclosing subgraph. Encodes once and appends one score per
+    /// relation to `out`, each bitwise identical to scoring
+    /// `(sg, rels[i])` through [`Gsm::score_subgraphs_inference`]
+    /// (which would re-encode the identical subgraph per candidate and
+    /// get the identical encoding back).
+    pub fn score_subgraph_multi_rel(
+        &self,
+        params: &ParamStore,
+        sg: &Subgraph,
+        rels: &[dekg_kg::RelationId],
+        ws: &mut InferenceWorkspace,
+        out: &mut Vec<f32>,
+    ) {
+        if rels.is_empty() {
+            return;
+        }
+        let graphs = std::slice::from_ref(sg);
+        let batch = BatchedSubgraphs::pack(graphs);
+        self.encoder.encode_inference_batched(params, &batch, &mut ws.enc);
+        let rel_tpo = params.get(self.rel_tpo);
+        let w = params.get(self.w_out).data();
+        let d = self.dim;
+        let b = rels.len();
+        ws.cat.resize(b * 4 * d, 0.0);
+        for (i, rel) in rels.iter().enumerate() {
+            let row = &mut ws.cat[i * 4 * d..(i + 1) * 4 * d];
+            row[..d].copy_from_slice(&ws.enc.graph[..d]);
+            row[d..2 * d].copy_from_slice(&ws.enc.heads[..d]);
+            row[2 * d..3 * d].copy_from_slice(&ws.enc.tails[..d]);
+            row[3 * d..].copy_from_slice(rel_tpo.row(rel.index()));
+        }
+        ws.scores.resize(b, 0.0);
+        kernels::matmul(&ws.cat, w, &mut ws.scores, b, 4 * d, 1);
+        out.extend_from_slice(&ws.scores);
     }
 
     /// The endpoint embeddings `(h_i^L, h_j^L)` of a subgraph — used by

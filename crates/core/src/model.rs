@@ -3,29 +3,111 @@
 
 use crate::clrm::Clrm;
 use crate::config::DekgIlpConfig;
-use crate::gsm::Gsm;
+use crate::gsm::{Gsm, InferenceWorkspace};
 use crate::traits::{InferenceGraph, LinkPredictor, TrainReport, TrainableModel};
 use dekg_datasets::DekgDataset;
 use dekg_gnn::SubgraphEncoderConfig;
-use dekg_kg::{DistanceBackend, SubgraphExtractor, Triple};
+use dekg_kg::{BatchedSubgraphs, DistanceBackend, EntityId, Subgraph, SubgraphExtractor, Triple};
 use dekg_tensor::{Graph, ParamStore};
 use rand::RngCore;
+use std::cell::RefCell;
+use std::sync::OnceLock;
 
 /// Which GSM implementation evaluation scoring runs through.
 ///
-/// Both produce bitwise-identical scores (a tested invariant); training
-/// always uses the tape, since it needs gradients.
+/// All paths produce bitwise-identical scores (a tested invariant);
+/// training always uses the tape, since it needs gradients.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ScoringPath {
-    /// Forward-only kernels, no autograd tape — the default: evaluation
-    /// needs no gradients, and the tape's node bookkeeping dominates
-    /// scoring cost.
+    /// The batched candidate-ranking engine — the default. Detects the
+    /// ranking-query structure of a batch (shared head, tail, or
+    /// endpoint pair), reuses the fixed endpoint's BFS across
+    /// candidates, packs candidate subgraphs block-diagonally and runs
+    /// the forward-only kernels over the pack (see
+    /// [`Gsm::score_subgraphs_batched`]). Falls back to per-candidate
+    /// [`ScoringPath::Inference`] scoring for batches with no shared
+    /// structure.
     #[default]
+    Batched,
+    /// Forward-only kernels, one candidate at a time — no autograd
+    /// tape, no packing.
     Inference,
     /// Score through the autograd tape
     /// ([`Gsm::score_subgraphs_eval`]) — the seed pipeline, kept as the
     /// baseline the perf harness measures against.
     TapeReference,
+}
+
+impl ScoringPath {
+    /// Parses a CLI-friendly name (`batched`, `per-candidate`, `tape`).
+    pub fn parse(s: &str) -> Option<ScoringPath> {
+        match s {
+            "batched" => Some(ScoringPath::Batched),
+            "per-candidate" | "inference" => Some(ScoringPath::Inference),
+            "tape" => Some(ScoringPath::TapeReference),
+            _ => None,
+        }
+    }
+}
+
+/// The structure [`ScoringPath::Batched`] detects in a score batch.
+/// Ranking queries produced by the eval protocol always share the
+/// non-predicted slots: `[truth, candidates…]` of a tail query share
+/// the head, of a head query the tail, of a relation query both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueryShape {
+    /// All triples share head *and* tail — one extraction serves all.
+    FixedPair,
+    /// All triples share the head; candidates vary the tail.
+    FixedHead,
+    /// All triples share the tail; candidates vary the head.
+    FixedTail,
+    /// No shared endpoint (training probes, ad-hoc batches).
+    Mixed,
+}
+
+impl QueryShape {
+    fn detect(triples: &[Triple]) -> QueryShape {
+        let h0 = triples[0].head;
+        let t0 = triples[0].tail;
+        let all_h = triples.iter().all(|t| t.head == h0);
+        let all_t = triples.iter().all(|t| t.tail == t0);
+        match (all_h, all_t) {
+            (true, true) => QueryShape::FixedPair,
+            (true, false) => QueryShape::FixedHead,
+            (false, true) => QueryShape::FixedTail,
+            (false, false) => QueryShape::Mixed,
+        }
+    }
+}
+
+/// Handles for the batched-engine metrics. `batch_nodes` observes the
+/// packed node total once per scored query (summed across chunks, so
+/// the recorded value is invariant to the batch-size knob and thread
+/// count); the cache counters tally per-candidate BFS reuse.
+struct BatchedObs {
+    bfs_cache_hits: dekg_obs::metrics::Counter,
+    bfs_cache_misses: dekg_obs::metrics::Counter,
+    batch_nodes: dekg_obs::metrics::Histogram,
+}
+
+fn batched_obs() -> &'static BatchedObs {
+    static OBS: OnceLock<BatchedObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = dekg_obs::metrics::global();
+        BatchedObs {
+            bfs_cache_hits: reg.counter("dekg_eval_bfs_cache_hits_total"),
+            bfs_cache_misses: reg.counter("dekg_eval_bfs_cache_misses_total"),
+            batch_nodes: reg
+                .histogram("dekg_eval_batch_nodes", &[16, 64, 256, 1024, 4096, 16384, 65536]),
+        }
+    })
+}
+
+thread_local! {
+    /// Per-worker scoring workspace: rayon pool threads persist across
+    /// queries, so steady-state batched scoring is allocation-free.
+    static WORKSPACE: RefCell<InferenceWorkspace> = RefCell::new(InferenceWorkspace::new());
 }
 
 /// DEKG-ILP: CLRM ⊕ GSM.
@@ -49,6 +131,11 @@ pub struct DekgIlp {
     /// GSM scoring implementation — runtime state like the extraction
     /// backend, and kept out of the config for the same reason.
     scoring_path: ScoringPath,
+    /// Candidates packed per block-diagonal batch on the
+    /// [`ScoringPath::Batched`] path. Scores are bitwise-invariant to
+    /// this knob (a tested invariant); it only trades peak memory
+    /// against packing amortization.
+    eval_batch: usize,
 }
 
 impl DekgIlp {
@@ -87,6 +174,7 @@ impl DekgIlp {
             num_relations,
             distance_backend: DistanceBackend::default(),
             scoring_path: ScoringPath::default(),
+            eval_batch: 64,
         }
     }
 
@@ -113,6 +201,18 @@ impl DekgIlp {
     /// identical-output baseline.
     pub fn set_scoring_path(&mut self, path: ScoringPath) {
         self.scoring_path = path;
+    }
+
+    /// Candidates packed per batch on the [`ScoringPath::Batched`] path.
+    pub fn eval_batch(&self) -> usize {
+        self.eval_batch
+    }
+
+    /// Sets the batched-path packing size. Clamped to at least 1.
+    /// Scores do not depend on this value — only peak memory and
+    /// parallel grain do.
+    pub fn set_eval_batch(&mut self, batch: usize) {
+        self.eval_batch = batch.max(1);
     }
 
     /// The model configuration.
@@ -215,44 +315,145 @@ impl DekgIlp {
             sem.copy_from_slice(g.value(s).data());
         }
 
-        // φ_tpo: batched tapes with parameters mounted once per chunk
-        // (chunking bounds tape memory on large candidate sets). Chunks
-        // are independent — each gets its own tape and mount — so they
-        // fan out over the ambient rayon thread count; scoring is a
-        // pure function of (params, subgraph), and the ordered collect
-        // makes the result identical to the serial loop.
-        const CHUNK: usize = 64;
-        use rayon::prelude::*;
+        // φ_tpo: path-dependent. The batched engine exploits the
+        // ranking-query structure of the batch; the per-candidate
+        // paths score each triple's subgraph independently.
         let extractor =
             SubgraphExtractor::new(&graph.adjacency, self.cfg.hops, self.cfg.extraction_mode())
                 .with_backend(self.distance_backend);
+        let tpo = match self.scoring_path {
+            ScoringPath::Batched => self.tpo_batched(&extractor, triples),
+            ScoringPath::Inference | ScoringPath::TapeReference => {
+                self.tpo_per_candidate(&extractor, triples, self.scoring_path)
+            }
+        };
+        sem.iter().zip(&tpo).map(|(s, t)| s + t).collect()
+    }
+
+    /// φ_tpo via per-candidate extraction and scoring — the
+    /// [`ScoringPath::Inference`] / [`ScoringPath::TapeReference`]
+    /// engines, and the fallback for structure-free batches.
+    ///
+    /// Chunks bound tape memory on large candidate sets. Chunks are
+    /// independent — each gets its own tape and mount — so they fan out
+    /// over the ambient rayon thread count; scoring is a pure function
+    /// of (params, subgraph), and the ordered collect makes the result
+    /// identical to the serial loop.
+    fn tpo_per_candidate(
+        &self,
+        extractor: &SubgraphExtractor<'_>,
+        triples: &[Triple],
+        path: ScoringPath,
+    ) -> Vec<f32> {
+        const CHUNK: usize = 64;
+        use rayon::prelude::*;
         let chunks: Vec<&[Triple]> = triples.chunks(CHUNK).collect();
         let tpo_chunks: Vec<Vec<f32>> = chunks
             .par_iter()
             .map(|chunk| {
-                let subgraphs: Vec<(dekg_kg::Subgraph, dekg_kg::RelationId)> = chunk
+                let subgraphs: Vec<(Subgraph, dekg_kg::RelationId)> = chunk
                     .iter()
                     .map(|t| (extractor.extract(t.head, t.tail, None), t.rel))
                     .collect();
-                let items: Vec<(&dekg_kg::Subgraph, dekg_kg::RelationId)> =
+                let items: Vec<(&Subgraph, dekg_kg::RelationId)> =
                     subgraphs.iter().map(|(sg, r)| (sg, *r)).collect();
-                match self.scoring_path {
+                match path {
                     ScoringPath::Inference => {
                         self.gsm.score_subgraphs_inference(&self.params, &items)
                     }
-                    ScoringPath::TapeReference => {
+                    ScoringPath::TapeReference | ScoringPath::Batched => {
                         self.gsm.score_subgraphs_eval(&self.params, &items)
                     }
                 }
             })
             .collect();
-        let mut out = Vec::with_capacity(triples.len());
-        for (chunk_i, tpo) in tpo_chunks.into_iter().enumerate() {
-            for (j, s) in tpo.into_iter().enumerate() {
-                out.push(sem[chunk_i * CHUNK + j] + s);
-            }
+        tpo_chunks.into_iter().flatten().collect()
+    }
+
+    /// φ_tpo via the batched candidate-ranking engine.
+    ///
+    /// Detects the query shape, reuses the fixed endpoint's truncated
+    /// BFS across candidates, packs candidate subgraphs
+    /// block-diagonally (`eval_batch` per pack) and scores each pack
+    /// with one forward pass through a reusable workspace. Every
+    /// decision preserves bitwise equality with the per-candidate path:
+    /// cached BFS reuse is gated on the exact-equality condition
+    /// ([`dekg_kg::QueryExtractionCache`]), the block-diagonal kernels
+    /// preserve per-subgraph accumulation order, and packs are
+    /// independent so chunking/threading cannot reorder float sums.
+    fn tpo_batched(&self, extractor: &SubgraphExtractor<'_>, triples: &[Triple]) -> Vec<f32> {
+        use rayon::prelude::*;
+        let shape = QueryShape::detect(triples);
+        if shape == QueryShape::Mixed {
+            // No shared endpoint to cache or exploit: fall back to the
+            // per-candidate forward-only engine.
+            return self.tpo_per_candidate(extractor, triples, ScoringPath::Inference);
         }
-        out
+        if shape == QueryShape::FixedPair {
+            // Relation query (h, ?, t): one extraction and one encode
+            // serve every candidate relation.
+            let sg = extractor.extract(triples[0].head, triples[0].tail, None);
+            let rels: Vec<dekg_kg::RelationId> = triples.iter().map(|t| t.rel).collect();
+            batched_obs().batch_nodes.observe(sg.num_nodes() as u64);
+            return WORKSPACE.with(|ws| {
+                let mut ws = ws.borrow_mut();
+                let mut out = Vec::with_capacity(triples.len());
+                self.gsm.score_subgraph_multi_rel(&self.params, &sg, &rels, &mut ws, &mut out);
+                out
+            });
+        }
+        // Entity query: one endpoint is fixed across the batch — BFS it
+        // once, then fan packs out over the ambient rayon pool.
+        let fixed: EntityId = match shape {
+            QueryShape::FixedHead => triples[0].head,
+            QueryShape::FixedTail => triples[0].tail,
+            _ => unreachable!(),
+        };
+        let cache = extractor.cache_source(fixed);
+        let chunks: Vec<&[Triple]> = triples.chunks(self.eval_batch.max(1)).collect();
+        let packs: Vec<(Vec<f32>, usize, u64, u64)> = chunks
+            .par_iter()
+            .map(|chunk| {
+                let mut hits = 0u64;
+                let mut misses = 0u64;
+                let subgraphs: Vec<Subgraph> = chunk
+                    .iter()
+                    .map(|t| {
+                        let (sg, hit) =
+                            extractor.extract_with_cached_source(&cache, t.head, t.tail, None);
+                        if hit {
+                            hits += 1;
+                        } else {
+                            misses += 1;
+                        }
+                        sg
+                    })
+                    .collect();
+                let batch = BatchedSubgraphs::pack(&subgraphs);
+                let rels: Vec<dekg_kg::RelationId> = chunk.iter().map(|t| t.rel).collect();
+                let nodes = batch.total_nodes();
+                let scores = WORKSPACE.with(|ws| {
+                    let mut ws = ws.borrow_mut();
+                    let mut out = Vec::with_capacity(chunk.len());
+                    self.gsm.score_subgraphs_batched(
+                        &self.params,
+                        &batch,
+                        &rels,
+                        &mut ws,
+                        &mut out,
+                    );
+                    out
+                });
+                (scores, nodes, hits, misses)
+            })
+            .collect();
+        // Record metrics once per query from pack-level sums, so the
+        // snapshot is invariant to both `eval_batch` and thread count.
+        let obs = batched_obs();
+        obs.batch_nodes.observe(packs.iter().map(|p| p.1 as u64).sum());
+        obs.bfs_cache_hits.add(packs.iter().map(|p| p.2).sum());
+        obs.bfs_cache_misses.add(packs.iter().map(|p| p.3).sum());
+        packs.into_iter().flat_map(|p| p.0).collect()
     }
 }
 
@@ -323,11 +524,48 @@ mod tests {
         let batch: Vec<Triple> =
             d.test_enclosing.iter().chain(&d.test_bridging).copied().take(12).collect();
 
-        assert_eq!(model.scoring_path(), ScoringPath::Inference);
+        assert_eq!(model.scoring_path(), ScoringPath::Batched);
+        let batched = model.score_batch(&graph, &batch);
+        model.set_scoring_path(ScoringPath::Inference);
         let fast = model.score_batch(&graph, &batch);
         model.set_scoring_path(ScoringPath::TapeReference);
         let tape = model.score_batch(&graph, &batch);
+        assert_eq!(batched, fast);
         assert_eq!(fast, tape);
+    }
+
+    #[test]
+    fn batched_path_matches_per_candidate_on_ranking_shapes() {
+        // Ranking-shaped batches exercise the FixedHead / FixedTail /
+        // FixedPair engines; scores must be bitwise identical to the
+        // per-candidate path for every shape and any eval_batch.
+        let d = tiny_dataset();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let cfg = DekgIlpConfig { epochs: 1, ..DekgIlpConfig::quick() };
+        let mut model = DekgIlp::new(cfg, &d, &mut rng);
+        model.fit(&d, &mut rng);
+        let graph = InferenceGraph::from_dataset(&d);
+        let t0 = d.test_bridging[0];
+        let n = d.num_entities() as u32;
+        let tail_query: Vec<Triple> = (0..20u32)
+            .map(|i| Triple { head: t0.head, rel: t0.rel, tail: EntityId((i * 7) % n) })
+            .collect();
+        let head_query: Vec<Triple> = (0..20u32)
+            .map(|i| Triple { head: EntityId((i * 5) % n), rel: t0.rel, tail: t0.tail })
+            .collect();
+        let rel_query: Vec<Triple> = (0..d.num_relations)
+            .map(|r| Triple { head: t0.head, rel: dekg_kg::RelationId(r as u32), tail: t0.tail })
+            .collect();
+        for batch in [&tail_query, &head_query, &rel_query] {
+            for eb in [1usize, 3, 64] {
+                model.set_eval_batch(eb);
+                model.set_scoring_path(ScoringPath::Batched);
+                let batched = model.score_batch(&graph, batch);
+                model.set_scoring_path(ScoringPath::Inference);
+                let per_candidate = model.score_batch(&graph, batch);
+                assert_eq!(batched, per_candidate);
+            }
+        }
     }
 
     #[test]

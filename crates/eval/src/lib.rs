@@ -25,7 +25,9 @@ pub mod report;
 pub mod timing;
 
 pub use metrics::{Metrics, RankAccumulator};
-pub use protocol::{evaluate, evaluate_with_filter, EvalResult, PredictionTask, ProtocolConfig};
+pub use protocol::{
+    effective_threads, evaluate, evaluate_with_filter, EvalResult, PredictionTask, ProtocolConfig,
+};
 pub use ranking::{filtered_rank, rank_of, RankQuery};
 pub use report::Table;
 pub use timing::{time_inference_per_50, EvalPhases, EvalTiming, TimingResult};

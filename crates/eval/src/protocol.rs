@@ -113,6 +113,13 @@ pub fn evaluate(
     evaluate_with_filter(model, graph, &filter, &mix.links, cfg)
 }
 
+/// The worker count a request for `requested` threads actually gets:
+/// at least 1, at most the machine's available parallelism.
+pub fn effective_threads(requested: usize) -> usize {
+    let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    requested.max(1).min(avail)
+}
+
 /// Lower-level entry point with an explicit filter store.
 ///
 /// Queries fan out over `cfg.threads` rayon workers; candidate
@@ -128,7 +135,11 @@ pub fn evaluate_with_filter(
 ) -> EvalResult {
     use rayon::prelude::*;
     assert!(!cfg.tasks.is_empty(), "no prediction tasks configured");
-    let threads = cfg.threads.max(1);
+    // Clamp to the cores actually available: oversubscribing a pool on
+    // a smaller machine costs real time (context switches on the
+    // extraction hot path) and can never help, and metrics are
+    // thread-count invariant anyway.
+    let threads = effective_threads(cfg.threads);
     let started = Instant::now();
 
     // One record per (link, prediction-form) query, carrying its
@@ -360,7 +371,9 @@ mod tests {
         let result = evaluate(&Constant, &graph, &d, &mix, &cfg);
         assert_eq!(result.timing.links, mix.len());
         assert_eq!(result.timing.queries, mix.len() * 3);
-        assert_eq!(result.timing.threads, 2);
+        // The recorded count is the effective (machine-clamped) pool
+        // size, not the raw request.
+        assert_eq!(result.timing.threads, effective_threads(2));
         assert!(result.timing.wall_seconds > 0.0);
         assert!(result.timing.queries_per_second > 0.0);
     }

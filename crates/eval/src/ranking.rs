@@ -125,7 +125,11 @@ pub fn filtered_rank(
         filtered_candidates(query, graph.num_entities, graph.num_relations, filter, sample, rng);
     let obs = ranking_obs();
     obs.queries.inc();
-    obs.candidates.observe(candidates.len() as u64);
+    // The histogram records the *scored* batch size — candidates plus
+    // the truth — matching what score_batch actually sees. Full-entity
+    // queries land in the histogram's implicit overflow bucket (bounds
+    // cap at 4096).
+    obs.candidates.observe(candidates.len() as u64 + 1);
     let truth = query.truth();
     // One batch: the truth first, then all candidates.
     let mut batch = Vec::with_capacity(candidates.len() + 1);

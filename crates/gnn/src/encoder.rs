@@ -2,8 +2,8 @@
 //! baselines.
 
 use crate::labeling::{feature_width, node_features, LabelingMode};
-use crate::rgcn::{group_edges_by_relation, RgcnLayer, RgcnLayerConfig};
-use dekg_kg::Subgraph;
+use crate::rgcn::{group_edges_by_relation, BatchedLayerScratch, RgcnLayer, RgcnLayerConfig};
+use dekg_kg::{BatchedSubgraphs, Subgraph};
 use dekg_tensor::{kernels, Graph, ParamStore, Var};
 use rand::Rng;
 
@@ -197,6 +197,118 @@ impl SubgraphEncoder {
         let tail = h[dim..2 * dim].to_vec();
         InferenceEncoding { nodes: h, graph, head, tail }
     }
+
+    /// Batched forward-only encoding over a block-diagonal pack of
+    /// subgraphs, bitwise identical to calling
+    /// [`SubgraphEncoder::encode_inference`] per subgraph (see
+    /// [`RgcnLayer::forward_inference_batched`] for the layer-level
+    /// argument; the readout below accumulates each segment's rows in
+    /// the same order and scales by the same `1/n`).
+    ///
+    /// Results land in `ws` (`graph`/`heads`/`tails`, one row per
+    /// segment); all buffers are reused across calls.
+    pub fn encode_inference_batched(
+        &self,
+        params: &ParamStore,
+        batch: &BatchedSubgraphs<'_>,
+        ws: &mut BatchedEncodeWorkspace,
+    ) {
+        let n = batch.total_nodes();
+        let hops = self.cfg.hops;
+        let width = (hops + 1) as usize;
+        let feat_w = feature_width(hops);
+
+        // Packed one-hot label features + the label list the layer-0
+        // self-term gather reads. Same values, same panics as
+        // `node_features` on each subgraph.
+        ws.labels.clear();
+        ws.h_a.clear();
+        ws.h_a.resize(n * feat_w, 0.0);
+        let mut base = 0usize;
+        for sg in batch.graphs() {
+            for u in 0..sg.num_nodes() {
+                let (dh, dt) = sg.label(u);
+                ws.labels.push((dh, dt));
+                let row = &mut ws.h_a[(base + u) * feat_w..(base + u + 1) * feat_w];
+                if dh >= 0 {
+                    assert!((dh as u32) <= hops, "distance {dh} exceeds labeling bound {hops}");
+                    row[dh as usize] = 1.0;
+                }
+                if dt >= 0 {
+                    assert!((dt as u32) <= hops, "distance {dt} exceeds labeling bound {hops}");
+                    row[width + dt as usize] = 1.0;
+                }
+            }
+            base += sg.num_nodes();
+        }
+
+        // Ping-pong through the layer stack: h_a is always the input,
+        // h_b the output, swapped after every layer.
+        for (l, layer) in self.layers.iter().enumerate() {
+            let labels = if l == 0 { Some(ws.labels.as_slice()) } else { None };
+            layer.forward_inference_batched(
+                params,
+                batch,
+                &ws.h_a,
+                labels,
+                &mut ws.h_b,
+                &mut ws.scratch,
+            );
+            std::mem::swap(&mut ws.h_a, &mut ws.h_b);
+        }
+        let h = &ws.h_a;
+
+        // Segment readout: mean-pool each segment's rows (accumulated
+        // in row order, then scaled — as in `encode_inference`) plus
+        // the head/tail rows at each segment's start.
+        let dim = self.cfg.dim;
+        let b = batch.num_graphs();
+        ws.graph.clear();
+        ws.graph.resize(b * dim, 0.0);
+        ws.heads.resize(b * dim, 0.0);
+        ws.tails.resize(b * dim, 0.0);
+        for i in 0..b {
+            let r = batch.segment(i);
+            let seg_n = r.len();
+            let pooled = &mut ws.graph[i * dim..(i + 1) * dim];
+            for row in h[r.start * dim..r.end * dim].chunks_exact(dim) {
+                kernels::add_assign(pooled, row);
+            }
+            let inv = if seg_n == 0 { 0.0 } else { 1.0 / seg_n as f32 };
+            for x in pooled.iter_mut() {
+                *x *= inv;
+            }
+            ws.heads[i * dim..(i + 1) * dim]
+                .copy_from_slice(&h[r.start * dim..(r.start + 1) * dim]);
+            ws.tails[i * dim..(i + 1) * dim]
+                .copy_from_slice(&h[(r.start + 1) * dim..(r.start + 2) * dim]);
+        }
+    }
+}
+
+/// Reusable buffers for [`SubgraphEncoder::encode_inference_batched`]:
+/// the ping-pong packed node matrices, the packed label list, the
+/// per-layer scratch, and the readout outputs. One instance per worker
+/// thread makes steady-state batched scoring allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct BatchedEncodeWorkspace {
+    h_a: Vec<f32>,
+    h_b: Vec<f32>,
+    labels: Vec<(i32, i32)>,
+    scratch: BatchedLayerScratch,
+    /// Mean-pooled graph embedding per segment, row-major `[b, dim]`.
+    pub graph: Vec<f32>,
+    /// Head (local node 0) embedding per segment, `[b, dim]`.
+    pub heads: Vec<f32>,
+    /// Tail (local node 1) embedding per segment, `[b, dim]`.
+    pub tails: Vec<f32>,
+}
+
+impl BatchedEncodeWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 #[cfg(test)]
@@ -353,6 +465,79 @@ mod tests {
         let fast = enc.encode_inference(&ps, &sg);
         assert_eq!(g.value(tape.nodes).data(), &fast.nodes[..]);
         assert_eq!(g.value(tape.graph).data(), &fast.graph[..]);
+    }
+
+    /// A mixed bag of subgraphs: connected, disconnected/bridging,
+    /// edgeless, self-link-degenerate, and multi-relation.
+    fn mixed_subgraphs() -> Vec<Subgraph> {
+        let store = TripleStore::from_triples([
+            Triple::from_raw(0, 0, 1),
+            Triple::from_raw(1, 1, 2),
+            Triple::from_raw(2, 0, 3),
+            Triple::from_raw(4, 1, 5),
+            Triple::from_raw(5, 0, 4),
+        ]);
+        let adj = Adjacency::from_store(&store, 8);
+        let ex = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union);
+        vec![
+            ex.extract(EntityId(0), EntityId(3), None), // chain, rels {0,1}
+            ex.extract(EntityId(0), EntityId(4), None), // bridging: disconnected
+            ex.extract(EntityId(6), EntityId(7), None), // isolated endpoints: edgeless
+            ex.extract(EntityId(4), EntityId(5), None), // two-cycle, rels {0,1}
+            ex.extract(EntityId(1), EntityId(1), None), // degenerate self-link
+            ex.extract(EntityId(2), EntityId(0), None), // reversed endpoints
+        ]
+    }
+
+    #[test]
+    fn batched_encoding_is_bitwise_identical_per_subgraph() {
+        // The batched engine must reproduce `encode_inference` bit for
+        // bit on every segment — with and without basis decomposition
+        // (which itself is pinned to the tape path elsewhere).
+        for num_bases in [None, Some(2)] {
+            let mut rng = ChaCha8Rng::seed_from_u64(21);
+            let mut ps = ParamStore::new();
+            let enc = SubgraphEncoder::new(
+                SubgraphEncoderConfig { num_bases, ..tiny_cfg() },
+                "gsm",
+                &mut ps,
+                &mut rng,
+            );
+            let sgs = mixed_subgraphs();
+            let batch = dekg_kg::BatchedSubgraphs::pack(&sgs);
+            let mut ws = BatchedEncodeWorkspace::new();
+            enc.encode_inference_batched(&ps, &batch, &mut ws);
+            let dim = enc.config().dim;
+            for (i, sg) in sgs.iter().enumerate() {
+                let single = enc.encode_inference(&ps, sg);
+                assert_eq!(
+                    &ws.graph[i * dim..(i + 1) * dim],
+                    &single.graph[..],
+                    "graph row {i}, num_bases {num_bases:?}"
+                );
+                assert_eq!(&ws.heads[i * dim..(i + 1) * dim], &single.head[..], "head row {i}");
+                assert_eq!(&ws.tails[i * dim..(i + 1) * dim], &single.tail[..], "tail row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_workspace_reuse_is_stable() {
+        // Re-running with a dirty workspace (larger previous batch,
+        // different relation mix) must not leak state between calls.
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let mut ps = ParamStore::new();
+        let enc = SubgraphEncoder::new(tiny_cfg(), "gsm", &mut ps, &mut rng);
+        let sgs = mixed_subgraphs();
+        let mut ws = BatchedEncodeWorkspace::new();
+        let big = dekg_kg::BatchedSubgraphs::pack(&sgs);
+        enc.encode_inference_batched(&ps, &big, &mut ws);
+        let first = ws.graph.clone();
+        // A smaller batch, then the big one again.
+        let small = dekg_kg::BatchedSubgraphs::pack(&sgs[2..3]);
+        enc.encode_inference_batched(&ps, &small, &mut ws);
+        enc.encode_inference_batched(&ps, &big, &mut ws);
+        assert_eq!(ws.graph, first);
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub mod encoder;
 pub mod labeling;
 pub mod rgcn;
 
-pub use encoder::{EncodedSubgraph, InferenceEncoding, SubgraphEncoder, SubgraphEncoderConfig};
+pub use encoder::{
+    BatchedEncodeWorkspace, EncodedSubgraph, InferenceEncoding, SubgraphEncoder,
+    SubgraphEncoderConfig,
+};
 pub use labeling::{node_features, LabelingMode};
-pub use rgcn::{RgcnLayer, RgcnLayerConfig};
+pub use rgcn::{BatchedLayerScratch, RgcnLayer, RgcnLayerConfig};

@@ -16,7 +16,7 @@
 //! `num_bases` knob in [`RgcnLayerConfig`], exercised by the ablation
 //! benches.
 
-use dekg_kg::Subgraph;
+use dekg_kg::{BatchedSubgraphs, Subgraph};
 use dekg_tensor::{init, kernels, Graph, ParamId, ParamStore, Tensor, Var};
 use rand::Rng;
 
@@ -324,6 +324,164 @@ impl RgcnLayer {
         acc
     }
 
+    /// Runs the layer over a block-diagonal batch of subgraphs — the
+    /// packed counterpart of [`RgcnLayer::forward_inference`], bitwise
+    /// identical to running it per segment.
+    ///
+    /// Why the identity holds, kernel by kernel:
+    ///
+    /// * the self term is either one big `matmul` (whose rows are
+    ///   computed independently, so packing rows changes nothing) or,
+    ///   for the one-hot label features of layer 0, a row gather
+    ///   implemented as `0 + w_row` adds in ascending one-hot column
+    ///   order — exactly the FLOPs the zero-skip `matmul` performs on a
+    ///   one-hot row (`labels` selects this);
+    /// * relations are visited in global ascending order, and a segment
+    ///   participates only in the relations it contains — for that
+    ///   segment the visit order equals its own ascending
+    ///   `group_edges_by_relation` order;
+    /// * per relation, messages/attention for all segments' edges run
+    ///   as one packed matmul (again row-independent), and the scatter
+    ///   and `acc += agg` accumulation touch **only the participating
+    ///   segments' row ranges**, in each segment's edge order. Skipping
+    ///   foreign segments is not just an optimization: adding an
+    ///   all-zero `agg` row would flip `-0.0` outputs to `+0.0` and
+    ///   break bitwise equality.
+    ///
+    /// `h` is the packed `[total_nodes, in_dim]` input; the output is
+    /// written into `out` (resized, no allocation in the steady state).
+    /// `labels` carries each packed node's `(d_head, d_tail)` pair and
+    /// must be `Some` exactly when `h` is the layer-0 one-hot feature
+    /// matrix.
+    pub fn forward_inference_batched(
+        &self,
+        params: &ParamStore,
+        batch: &BatchedSubgraphs<'_>,
+        h: &[f32],
+        labels: Option<&[(i32, i32)]>,
+        out: &mut Vec<f32>,
+        scratch: &mut BatchedLayerScratch,
+    ) {
+        let _span = dekg_obs::span!("rgcn_layer_inference");
+        let n = batch.total_nodes();
+        let in_dim = self.cfg.in_dim;
+        let out_dim = self.cfg.out_dim;
+        let attn_dim = self.cfg.attn_dim;
+        debug_assert_eq!(h.len(), n * in_dim, "packed embedding shape mismatch");
+        let w_self = params.get(self.w_self).data();
+        let bias = params.get(self.bias).data();
+        let attn_embed = params.get(self.attn_embed);
+        let w_attn = params.get(self.w_attn).data();
+
+        // Self term: acc = h · W_self (+ bias per row below).
+        out.resize(n * out_dim, 0.0);
+        match labels {
+            None => kernels::matmul(h, w_self, out, n, in_dim, out_dim),
+            Some(lbl) => {
+                // One-hot gather: replicate the zero-skip matmul's work
+                // on a one-hot row — zero the row, then += the selected
+                // W_self rows in ascending column order (the head block
+                // precedes the tail block).
+                debug_assert_eq!(lbl.len(), n, "label count mismatch");
+                let width = in_dim / 2;
+                for (row, &(dh, dt)) in out.chunks_exact_mut(out_dim).zip(lbl) {
+                    row.fill(0.0);
+                    if dh >= 0 {
+                        kernels::add_assign(row, &w_self[dh as usize * out_dim..][..out_dim]);
+                    }
+                    if dt >= 0 {
+                        let p = width + dt as usize;
+                        kernels::add_assign(row, &w_self[p * out_dim..][..out_dim]);
+                    }
+                }
+            }
+        }
+        for row in out.chunks_exact_mut(out_dim) {
+            for (x, &b) in row.iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+
+        let att_width = 2 * in_dim + attn_dim;
+        scratch.agg.resize(n * out_dim, 0.0);
+        for group in batch.by_rel() {
+            let rel = group.rel;
+            let n_e = group.srcs.len();
+            let w_r: &[f32] = match &self.rel_weights {
+                RelWeights::Full(all) => {
+                    let stacked = params.get(*all).data();
+                    &stacked[rel * in_dim * out_dim..(rel + 1) * in_dim * out_dim]
+                }
+                RelWeights::Bases { coeffs, bases } => {
+                    let c = params.get(*coeffs);
+                    let num_bases = c.shape().as_matrix().1;
+                    scratch.w_r.resize(in_dim * out_dim, 0.0);
+                    kernels::matmul(
+                        c.row(rel),
+                        params.get(*bases).data(),
+                        &mut scratch.w_r,
+                        1,
+                        num_bases,
+                        in_dim * out_dim,
+                    );
+                    &scratch.w_r
+                }
+            };
+
+            // Gather h_src and assemble [h_s ⊕ h_t ⊕ q_r] per edge,
+            // across all participating segments at once.
+            scratch.h_src.resize(n_e * in_dim, 0.0);
+            scratch.att_in.resize(n_e * att_width, 0.0);
+            let q_r = attn_embed.row(rel);
+            for (row, (&s, &d)) in group.srcs.iter().zip(&group.dsts).enumerate() {
+                let (s, d) = (s as usize, d as usize);
+                scratch.h_src[row * in_dim..(row + 1) * in_dim]
+                    .copy_from_slice(&h[s * in_dim..(s + 1) * in_dim]);
+                let cat = &mut scratch.att_in[row * att_width..(row + 1) * att_width];
+                cat[..in_dim].copy_from_slice(&h[s * in_dim..(s + 1) * in_dim]);
+                cat[in_dim..2 * in_dim].copy_from_slice(&h[d * in_dim..(d + 1) * in_dim]);
+                cat[2 * in_dim..].copy_from_slice(q_r);
+            }
+
+            scratch.msgs.resize(n_e * out_dim, 0.0);
+            kernels::matmul(&scratch.h_src, w_r, &mut scratch.msgs, n_e, in_dim, out_dim);
+            scratch.att.resize(n_e, 0.0);
+            kernels::matmul(&scratch.att_in, w_attn, &mut scratch.att, n_e, att_width, 1);
+            for a in &mut scratch.att {
+                *a = 1.0 / (1.0 + (-*a).exp());
+            }
+
+            // Zero, scatter, and accumulate only the participating
+            // segments' rows; other segments' agg rows are stale but
+            // never read.
+            for &si in &group.segments {
+                let r = batch.segment(si as usize);
+                scratch.agg[r.start * out_dim..r.end * out_dim].fill(0.0);
+            }
+            for (row, &d) in group.dsts.iter().enumerate() {
+                let d = d as usize;
+                let a = scratch.att[row];
+                let dst_row = &mut scratch.agg[d * out_dim..(d + 1) * out_dim];
+                for (x, &m) in
+                    dst_row.iter_mut().zip(&scratch.msgs[row * out_dim..(row + 1) * out_dim])
+                {
+                    *x += m * a;
+                }
+            }
+            for &si in &group.segments {
+                let r = batch.segment(si as usize);
+                kernels::add_assign(
+                    &mut out[r.start * out_dim..r.end * out_dim],
+                    &scratch.agg[r.start * out_dim..r.end * out_dim],
+                );
+            }
+        }
+
+        for x in out.iter_mut() {
+            *x = x.max(0.0);
+        }
+    }
+
     /// Fetches (or composes, for bases) the `[in, out]` weight of `rel`
     /// from mounted handles.
     fn relation_weight(&self, g: &mut Graph, mounted: &MountedRgcnLayer, rel: usize) -> Var {
@@ -357,6 +515,21 @@ pub struct MountedRgcnLayer {
 enum MountedRelWeights {
     Full(Var),
     Bases { coeffs: Var, bases: Var },
+}
+
+/// Reusable buffers for [`RgcnLayer::forward_inference_batched`]: every
+/// per-relation intermediate (gathered sources, attention input,
+/// messages, logits, the scatter target, and the composed basis
+/// weight). Buffers grow to the high-water mark and are then reused —
+/// zero allocations in the steady state.
+#[derive(Debug, Default, Clone)]
+pub struct BatchedLayerScratch {
+    h_src: Vec<f32>,
+    att_in: Vec<f32>,
+    msgs: Vec<f32>,
+    att: Vec<f32>,
+    agg: Vec<f32>,
+    w_r: Vec<f32>,
 }
 
 #[cfg(test)]

@@ -2,7 +2,8 @@
 
 use crate::adjacency::Adjacency;
 use crate::vocab::EntityId;
-use std::collections::{HashMap, VecDeque};
+use std::cell::RefCell;
+use std::collections::VecDeque;
 
 /// Distance value for "unreached within the hop bound".
 pub const UNREACHED: i32 = -1;
@@ -65,13 +66,72 @@ pub fn sparse_bounded_distances(
     max_hops: u32,
     blocked: Option<EntityId>,
 ) -> Vec<(EntityId, i32)> {
-    let mut dist: HashMap<EntityId, i32> = HashMap::new();
-    dist.insert(start, 0);
+    thread_local! {
+        static SCRATCH: RefCell<SparseBfsScratch> = RefCell::new(SparseBfsScratch::default());
+    }
+    SCRATCH.with(|s| {
+        sparse_bounded_distances_scratch(adj, start, max_hops, blocked, &mut s.borrow_mut())
+    })
+}
+
+/// Reusable state for [`sparse_bounded_distances`]: a generation-stamped
+/// visited/distance array plus the BFS queue. Stamping makes "reset"
+/// O(1) — a generation bump invalidates every slot — so repeated
+/// extractions allocate nothing and never pay an O(|E|) clear. Purely
+/// an allocation strategy: lookups are exact, so results are identical
+/// to a fresh map.
+#[derive(Debug, Default)]
+pub struct SparseBfsScratch {
+    /// `dist[i]` is valid iff `stamp[i] == gen`.
+    stamp: Vec<u32>,
+    dist: Vec<i32>,
+    gen: u32,
+    queue: VecDeque<EntityId>,
+}
+
+impl SparseBfsScratch {
+    fn begin(&mut self, num_entities: usize) {
+        if self.stamp.len() < num_entities {
+            self.stamp.resize(num_entities, 0);
+            self.dist.resize(num_entities, 0);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Stamp wrap-around: old stamps could alias. Clear once
+            // every 2^32 searches.
+            self.stamp.fill(0);
+            self.gen = 1;
+        }
+        self.queue.clear();
+    }
+
+    /// Marks `e` at distance `d`; returns false if already visited.
+    fn visit(&mut self, e: EntityId, d: i32) -> bool {
+        let i = e.index();
+        if self.stamp[i] == self.gen {
+            return false;
+        }
+        self.stamp[i] = self.gen;
+        self.dist[i] = d;
+        true
+    }
+}
+
+/// [`sparse_bounded_distances`] with caller-provided scratch — same
+/// visitation semantics and the same discovery-ordered output.
+pub fn sparse_bounded_distances_scratch(
+    adj: &Adjacency,
+    start: EntityId,
+    max_hops: u32,
+    blocked: Option<EntityId>,
+    scratch: &mut SparseBfsScratch,
+) -> Vec<(EntityId, i32)> {
+    scratch.begin(adj.num_entities());
+    scratch.visit(start, 0);
     let mut order = vec![(start, 0)];
-    let mut queue = VecDeque::new();
-    queue.push_back(start);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[&u];
+    scratch.queue.push_back(start);
+    while let Some(u) = scratch.queue.pop_front() {
+        let du = scratch.dist[u.index()];
         if du as u32 >= max_hops {
             continue;
         }
@@ -80,10 +140,9 @@ pub fn sparse_bounded_distances(
         }
         for n in adj.neighbors(u) {
             let v = n.entity;
-            if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(v) {
-                slot.insert(du + 1);
+            if scratch.visit(v, du + 1) {
                 order.push((v, du + 1));
-                queue.push_back(v);
+                scratch.queue.push_back(v);
             }
         }
     }

@@ -19,6 +19,7 @@
 //! dense ids so adjacency and distance buffers can be flat vectors.
 
 pub mod adjacency;
+pub mod batch;
 pub mod bfs;
 pub mod component_table;
 pub mod graph;
@@ -30,9 +31,12 @@ pub mod triple;
 pub mod vocab;
 
 pub use adjacency::Adjacency;
+pub use batch::{BatchedSubgraphs, RelEdgeGroup};
 pub use component_table::{ComponentRow, ComponentTable};
 pub use graph::KnowledgeGraph;
 pub use store::TripleStore;
-pub use subgraph::{DistanceBackend, ExtractionMode, Subgraph, SubgraphExtractor};
+pub use subgraph::{
+    DistanceBackend, ExtractionMode, QueryExtractionCache, Subgraph, SubgraphExtractor,
+};
 pub use triple::Triple;
 pub use vocab::{EntityId, RelationId, Vocab};

@@ -127,6 +127,96 @@ impl Subgraph {
     }
 }
 
+/// The fixed endpoint's truncated-BFS distance map, computed once per
+/// ranking query and reused across candidates — see
+/// [`SubgraphExtractor::cache_source`].
+///
+/// A ranking query `(h, r, ?)` extracts one subgraph per candidate
+/// tail, and each extraction runs BFS from `h` with the *candidate*
+/// blocked. This cache stores the **unblocked** BFS from the fixed
+/// endpoint. Blocking a node only changes a BFS when that node is
+/// expanded, and `bounded_distances`/`sparse_bounded_distances` check
+/// the hop bound *before* the block check — so the cached (unblocked)
+/// run is identical to the blocked run, traversal order included,
+/// whenever the blocked candidate
+///
+/// * is the source itself (the block is a no-op by definition),
+/// * was never reached by the unblocked BFS, or
+/// * was reached only at the hop bound (never expanded either way).
+///
+/// In a GraIL-style protocol the vast majority of sampled candidates
+/// fall outside the fixed endpoint's t-hop neighborhood, so hit rates
+/// are high (`dekg_eval_bfs_cache_hits_total` tracks them). On a miss
+/// the extractor simply runs the blocked BFS fresh; either way the
+/// resulting subgraph is bit-identical to [`SubgraphExtractor::extract`].
+#[derive(Debug, Clone)]
+pub struct QueryExtractionCache {
+    source: EntityId,
+    hops: u32,
+    /// Unblocked `(node, distance)` list in BFS discovery order.
+    sparse: Vec<(EntityId, i32)>,
+    /// The same distances keyed for the O(1) reuse test.
+    dist: HashMap<EntityId, i32>,
+}
+
+impl QueryExtractionCache {
+    /// The fixed endpoint this cache was built on.
+    pub fn source(&self) -> EntityId {
+        self.source
+    }
+
+    /// True when the cached unblocked BFS equals the BFS that blocks
+    /// `other` (see the type-level docs for why these cases suffice).
+    fn reusable_against(&self, other: EntityId) -> bool {
+        if other == self.source {
+            return true;
+        }
+        match self.dist.get(&other) {
+            None => true,
+            Some(&d) => d as u32 >= self.hops,
+        }
+    }
+}
+
+/// Thread-local scratch for the sparse collection step: generation-
+/// stamped distance and local-index arrays replacing per-call hash
+/// maps. A generation bump is an O(1) reset, so steady-state extraction
+/// allocates only the output `Subgraph`. Lookups are exact, so the
+/// produced subgraphs are identical to the map-based implementation.
+#[derive(Debug, Default)]
+struct CollectScratch {
+    /// Head-side distances; `dist_h[i]` valid iff `stamp_h[i] == gen`.
+    stamp_h: Vec<u32>,
+    dist_h: Vec<i32>,
+    /// Tail-side distances.
+    stamp_t: Vec<u32>,
+    dist_t: Vec<i32>,
+    /// Global-id → local-index map over the retained nodes.
+    stamp_l: Vec<u32>,
+    local: Vec<u32>,
+    gen: u32,
+}
+
+impl CollectScratch {
+    fn begin(&mut self, num_entities: usize) {
+        if self.stamp_h.len() < num_entities {
+            self.stamp_h.resize(num_entities, 0);
+            self.dist_h.resize(num_entities, 0);
+            self.stamp_t.resize(num_entities, 0);
+            self.dist_t.resize(num_entities, 0);
+            self.stamp_l.resize(num_entities, 0);
+            self.local.resize(num_entities, 0);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.stamp_h.fill(0);
+            self.stamp_t.fill(0);
+            self.stamp_l.fill(0);
+            self.gen = 1;
+        }
+    }
+}
+
 /// Extractor bound to one graph (store + adjacency).
 ///
 /// ```
@@ -220,10 +310,83 @@ impl<'a> SubgraphExtractor<'a> {
     /// [`rayon::ThreadPool::install`]); extraction is read-only over the
     /// shared adjacency and results come back in input order, so the
     /// output is identical to calling [`Self::extract`] in a serial
-    /// loop — at any thread count.
+    /// loop — at any thread count. Small batches, and any batch when
+    /// only one worker is available, skip the fork-join machinery and
+    /// run the serial loop directly: splitting a handful of BFS calls
+    /// across workers costs more than it saves.
     pub fn extract_batch(&self, links: &[(EntityId, EntityId, Option<Triple>)]) -> Vec<Subgraph> {
         use rayon::prelude::*;
+        const MIN_PARALLEL_LINKS: usize = 32;
+        if links.len() < MIN_PARALLEL_LINKS || rayon::current_num_threads() <= 1 {
+            return links
+                .iter()
+                .map(|&(head, tail, exclude)| self.extract(head, tail, exclude))
+                .collect();
+        }
         links.par_iter().map(|&(head, tail, exclude)| self.extract(head, tail, exclude)).collect()
+    }
+
+    /// Precomputes the truncated-BFS distance map of one *fixed*
+    /// endpoint so it can be reused across every candidate of a ranking
+    /// query — see [`QueryExtractionCache`] for the reuse condition.
+    pub fn cache_source(&self, source: EntityId) -> QueryExtractionCache {
+        let sparse = sparse_bounded_distances(self.adj, source, self.hops, None);
+        let dist: HashMap<EntityId, i32> = sparse.iter().copied().collect();
+        QueryExtractionCache { source, hops: self.hops, sparse, dist }
+    }
+
+    /// Extracts the enclosing subgraph around `(head, ·, tail)` reusing
+    /// `cache` for whichever endpoint it was built on. Returns the
+    /// subgraph and whether the cached BFS was reusable (`false` means a
+    /// fresh blocked BFS ran for the cached side too).
+    ///
+    /// Output is bit-identical to [`Self::extract`] for the same
+    /// arguments (see [`QueryExtractionCache`] for why), and the same
+    /// extraction metrics are recorded.
+    ///
+    /// # Panics
+    /// If `cache` was built by a different extractor configuration
+    /// (hop bound mismatch) or on neither endpoint.
+    pub fn extract_with_cached_source(
+        &self,
+        cache: &QueryExtractionCache,
+        head: EntityId,
+        tail: EntityId,
+        exclude: Option<Triple>,
+    ) -> (Subgraph, bool) {
+        let _span = dekg_obs::span!("extract_subgraph");
+        assert_eq!(cache.hops, self.hops, "cache hop bound mismatch");
+        assert!(cache.source == head || cache.source == tail, "cache source is neither endpoint");
+        // The varying endpoint is the one blocked in the cached side's
+        // BFS; the cached (unblocked) run is reusable iff blocking that
+        // node would not have changed the traversal.
+        let (hit, sparse_h, sparse_t);
+        if cache.source == head {
+            hit = cache.reusable_against(tail);
+            sparse_h = if hit {
+                cache.sparse.clone()
+            } else {
+                sparse_bounded_distances(self.adj, head, self.hops, Some(tail))
+            };
+            sparse_t = sparse_bounded_distances(self.adj, tail, self.hops, Some(head));
+        } else {
+            hit = cache.reusable_against(head);
+            sparse_h = sparse_bounded_distances(self.adj, head, self.hops, Some(tail));
+            sparse_t = if hit {
+                cache.sparse.clone()
+            } else {
+                sparse_bounded_distances(self.adj, tail, self.hops, Some(head))
+            };
+        }
+        let sg = self.collect_sparse(head, tail, &sparse_h, &sparse_t, exclude);
+        let obs = extraction_obs();
+        obs.extractions.inc();
+        if sg.is_disconnected() {
+            obs.disconnected.inc();
+        }
+        obs.nodes.observe(sg.num_nodes() as u64);
+        obs.edges.observe(sg.num_edges() as u64);
+        (sg, hit)
     }
 
     /// Seed implementation: dense distance vectors plus a scan over
@@ -269,45 +432,116 @@ impl<'a> SubgraphExtractor<'a> {
     fn extract_sparse(&self, head: EntityId, tail: EntityId, exclude: Option<Triple>) -> Subgraph {
         let sparse_h = sparse_bounded_distances(self.adj, head, self.hops, Some(tail));
         let sparse_t = sparse_bounded_distances(self.adj, tail, self.hops, Some(head));
-        let dh: HashMap<EntityId, i32> = sparse_h.iter().copied().collect();
-        let dt: HashMap<EntityId, i32> = sparse_t.iter().copied().collect();
-
-        let mut rest: Vec<EntityId> = match self.mode {
-            ExtractionMode::Intersection => sparse_h
-                .iter()
-                .map(|&(e, _)| e)
-                .filter(|e| dt.contains_key(e) && *e != head && *e != tail)
-                .collect(),
-            ExtractionMode::Union => {
-                let mut both: Vec<EntityId> = sparse_h
-                    .iter()
-                    .chain(sparse_t.iter())
-                    .map(|&(e, _)| e)
-                    .filter(|e| *e != head && *e != tail)
-                    .collect();
-                both.sort_unstable();
-                both.dedup();
-                both
-            }
-        };
-        rest.sort_unstable();
-
-        let mut nodes: Vec<EntityId> = vec![head, tail];
-        let mut local = self.endpoint_locals(head, tail);
-        for e in rest {
-            local.insert(e, nodes.len() as u32);
-            nodes.push(e);
-        }
-
-        let dist_head: Vec<i32> =
-            nodes.iter().map(|e| dh.get(e).copied().unwrap_or(UNREACHED)).collect();
-        let dist_tail: Vec<i32> =
-            nodes.iter().map(|e| dt.get(e).copied().unwrap_or(UNREACHED)).collect();
-        let edges = self.induce_edges(&nodes, &local, exclude);
-        Subgraph { nodes, edges, dist_head, dist_tail }
+        self.collect_sparse(head, tail, &sparse_h, &sparse_t, exclude)
     }
 
-    /// Local-index slots for the two endpoints. A degenerate self-link
+    /// Shared collection step of the sparse path: node union (or
+    /// intersection), canonical ordering, labels and induced edges from
+    /// the two sides' `(node, distance)` lists. Non-endpoint nodes are
+    /// sorted into ascending global id, so the result does not depend
+    /// on the discovery order of the input lists — which is what lets
+    /// [`Self::extract_with_cached_source`] substitute a cached BFS.
+    fn collect_sparse(
+        &self,
+        head: EntityId,
+        tail: EntityId,
+        sparse_h: &[(EntityId, i32)],
+        sparse_t: &[(EntityId, i32)],
+        exclude: Option<Triple>,
+    ) -> Subgraph {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<CollectScratch> =
+                std::cell::RefCell::new(CollectScratch::default());
+        }
+        SCRATCH.with(|s| {
+            let mut s = s.borrow_mut();
+            let c = &mut *s;
+            c.begin(self.adj.num_entities());
+            for &(e, d) in sparse_h {
+                c.stamp_h[e.index()] = c.gen;
+                c.dist_h[e.index()] = d;
+            }
+            for &(e, d) in sparse_t {
+                c.stamp_t[e.index()] = c.gen;
+                c.dist_t[e.index()] = d;
+            }
+
+            let mut rest: Vec<EntityId> = match self.mode {
+                ExtractionMode::Intersection => sparse_h
+                    .iter()
+                    .map(|&(e, _)| e)
+                    .filter(|e| c.stamp_t[e.index()] == c.gen && *e != head && *e != tail)
+                    .collect(),
+                ExtractionMode::Union => {
+                    let mut both: Vec<EntityId> = sparse_h
+                        .iter()
+                        .chain(sparse_t.iter())
+                        .map(|&(e, _)| e)
+                        .filter(|e| *e != head && *e != tail)
+                        .collect();
+                    both.sort_unstable();
+                    both.dedup();
+                    both
+                }
+            };
+            rest.sort_unstable();
+
+            // Endpoint local slots (a degenerate self-link aliases both
+            // slots to local 0, as in `endpoint_locals`), then the rest
+            // in ascending global id.
+            let mut nodes: Vec<EntityId> = vec![head, tail];
+            c.stamp_l[head.index()] = c.gen;
+            c.local[head.index()] = 0;
+            c.stamp_l[tail.index()] = c.gen;
+            c.local[tail.index()] = if tail != head { 1 } else { 0 };
+            for e in rest {
+                c.stamp_l[e.index()] = c.gen;
+                c.local[e.index()] = nodes.len() as u32;
+                nodes.push(e);
+            }
+
+            let dist_head: Vec<i32> = nodes
+                .iter()
+                .map(
+                    |e| if c.stamp_h[e.index()] == c.gen { c.dist_h[e.index()] } else { UNREACHED },
+                )
+                .collect();
+            let dist_tail: Vec<i32> = nodes
+                .iter()
+                .map(
+                    |e| if c.stamp_t[e.index()] == c.gen { c.dist_t[e.index()] } else { UNREACHED },
+                )
+                .collect();
+
+            // Induced edges, deduplicated via the Out orientation —
+            // identical iteration order to `induce_edges`, with the
+            // membership test on the stamped local map.
+            let mut edges = Vec::new();
+            for (li, &e) in nodes.iter().enumerate() {
+                for n in self.adj.neighbors(e) {
+                    if n.orientation != crate::adjacency::Orientation::Out {
+                        continue;
+                    }
+                    let triple = Triple::new(e, n.rel, n.entity);
+                    if Some(triple) == exclude {
+                        continue;
+                    }
+                    if c.stamp_l[n.entity.index()] == c.gen {
+                        edges.push(LocalEdge {
+                            src: li as u32,
+                            rel: n.rel,
+                            dst: c.local[n.entity.index()],
+                        });
+                    }
+                }
+            }
+            Subgraph { nodes, edges, dist_head, dist_tail }
+        })
+    }
+
+    /// Local-index slots for the two endpoints (dense reference path —
+    /// the sparse path stamps the same slots into [`CollectScratch`]).
+    /// A degenerate self-link
     /// keeps two local slots aliasing one global node so labels
     /// (0,1)/(1,0) still exist.
     fn endpoint_locals(&self, head: EntityId, tail: EntityId) -> HashMap<EntityId, u32> {
@@ -517,5 +751,77 @@ mod tests {
     fn zero_hops_rejected() {
         let (_, adj) = two_component_graph();
         SubgraphExtractor::new(&adj, 0, ExtractionMode::Union);
+    }
+
+    /// Cached-source extraction must be bit-identical to the plain path
+    /// for every (head, tail) pair, whether the cache hits or misses,
+    /// with the cache on either endpoint.
+    #[test]
+    fn cached_source_extraction_matches_plain() {
+        let stores = [
+            two_component_graph().0,
+            // Triangle + pendant: dense enough that many candidates sit
+            // inside the fixed endpoint's neighborhood (cache misses).
+            TripleStore::from_triples([t(0, 0, 1), t(1, 0, 2), t(2, 0, 0), t(2, 1, 3)]),
+        ];
+        for store in &stores {
+            let adj = Adjacency::from_store(store, 6);
+            for hops in 1..4 {
+                let ex = SubgraphExtractor::new(&adj, hops, ExtractionMode::Union);
+                for fixed in 0..6u32 {
+                    let cache = ex.cache_source(EntityId(fixed));
+                    for other in 0..6u32 {
+                        // Cache on the head side…
+                        let (sg, _) = ex.extract_with_cached_source(
+                            &cache,
+                            EntityId(fixed),
+                            EntityId(other),
+                            None,
+                        );
+                        assert_eq!(sg, ex.extract(EntityId(fixed), EntityId(other), None));
+                        // …and on the tail side.
+                        let (sg, _) = ex.extract_with_cached_source(
+                            &cache,
+                            EntityId(other),
+                            EntityId(fixed),
+                            None,
+                        );
+                        assert_eq!(sg, ex.extract(EntityId(other), EntityId(fixed), None));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_when_candidate_is_far() {
+        let (_, adj) = two_component_graph();
+        let ex = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union);
+        let cache = ex.cache_source(EntityId(0));
+        // Node 4 is in the other component — never reached → hit.
+        let (_, hit) = ex.extract_with_cached_source(&cache, EntityId(0), EntityId(4), None);
+        assert!(hit);
+        // Node 1 is one hop away and would be expanded → miss.
+        let (_, hit) = ex.extract_with_cached_source(&cache, EntityId(0), EntityId(1), None);
+        assert!(!hit);
+        // Node 2 sits exactly at the hop bound — reached but never
+        // expanded, so blocking it changes nothing → hit.
+        let (_, hit) = ex.extract_with_cached_source(&cache, EntityId(0), EntityId(2), None);
+        assert!(hit);
+        // The source itself: blocking the start is a no-op → hit.
+        let (_, hit) = ex.extract_with_cached_source(&cache, EntityId(0), EntityId(0), None);
+        assert!(hit);
+    }
+
+    #[test]
+    fn small_extract_batch_takes_serial_path() {
+        // Below the parallel threshold the batch must still match the
+        // serial loop exactly (it *is* the serial loop).
+        let (_, adj) = two_component_graph();
+        let ex = SubgraphExtractor::new(&adj, 2, ExtractionMode::Union);
+        let links = vec![(EntityId(0), EntityId(4), None), (EntityId(1), EntityId(2), None)];
+        let serial: Vec<Subgraph> =
+            links.iter().map(|&(h, ta, ex2)| ex.extract(h, ta, ex2)).collect();
+        assert_eq!(ex.extract_batch(&links), serial);
     }
 }

@@ -40,10 +40,22 @@ cargo run -q --release --offline -p dekg-cli -- \
     obslint --file "$tmp/trace.jsonl" --require spans
 
 echo "==> perf harness smoke run (2 threads, tiny scale)"
-# Asserts the parallel/sparse/forward-only pipeline stays bit-identical
+# Asserts the parallel/sparse/batched pipeline stays bit-identical
 # to the serial seed pipeline; the tracked numbers in BENCH_perf.json
 # are regenerated separately with the default flags.
 cargo run -q --release --offline -p dekg-bench --bin perf -- \
     --threads 2 --scale 0.04 --epochs 1 --out "$tmp/BENCH_perf.json"
+
+echo "==> batched-path smoke: evaluate batched vs per-candidate, identical metrics"
+# The same checkpoint evaluated through the batched candidate-ranking
+# engine and the per-candidate forward path must print identical metric
+# tables (bitwise score equality end-to-end through the CLI).
+cargo run -q --release --offline -p dekg-cli -- \
+    evaluate --data "$tmp/data" --ckpt "$tmp/model.dekg" --candidates 20 --seed 7 \
+    --scoring batched | grep -E "overall|enclosing|bridging" > "$tmp/eval_batched.txt"
+cargo run -q --release --offline -p dekg-cli -- \
+    evaluate --data "$tmp/data" --ckpt "$tmp/model.dekg" --candidates 20 --seed 7 \
+    --scoring per-candidate | grep -E "overall|enclosing|bridging" > "$tmp/eval_percand.txt"
+diff "$tmp/eval_batched.txt" "$tmp/eval_percand.txt"
 
 echo "==> all checks passed"

@@ -150,6 +150,45 @@ fn metrics_are_thread_count_invariant() {
 }
 
 #[test]
+fn eval_is_batch_size_and_thread_invariant() {
+    // The batched engine's packing size (`eval_batch`) and the worker
+    // thread count are pure performance knobs: metrics, ranks AND the
+    // observability snapshot must be bitwise-invariant to both. The
+    // snapshot check covers `dekg_eval_batch_nodes` (observed once per
+    // query with the pack total, not once per chunk) and the BFS cache
+    // counters (deterministic sums over candidates).
+    let _obs = obs_lock();
+    let data = tiny_fixture(9);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let mut model =
+        DekgIlp::new(DekgIlpConfig { epochs: 1, ..DekgIlpConfig::quick() }, &data, &mut rng);
+    model.fit(&data, &mut rng);
+    assert_eq!(model.scoring_path(), ScoringPath::Batched);
+    let graph = InferenceGraph::from_dataset(&data);
+    let mix = TestMix::build(&data, MixRatio::for_split(SplitKind::Eq));
+
+    let mut run = |eval_batch: usize, threads: usize| {
+        dekg_obs::reset();
+        model.set_eval_batch(eval_batch);
+        let mut protocol = ProtocolConfig::sampled(12);
+        protocol.seed = 11;
+        protocol.threads = threads;
+        let result = evaluate(&model, &graph, &data, &mix, &protocol);
+        (result.overall, result.enclosing, result.bridging, dekg_obs::metrics_snapshot())
+    };
+    let base = run(64, 1);
+    assert!(base.3.counters["dekg_eval_bfs_cache_hits_total"] > 0, "cache never hit");
+    assert!(base.3.histograms["dekg_eval_batch_nodes"].count > 0, "no packs recorded");
+    for (eval_batch, threads) in [(1, 1), (5, 1), (64, 4), (3, 4), (256, 2)] {
+        let other = run(eval_batch, threads);
+        assert_eq!(base.0, other.0, "eval_batch={eval_batch} threads={threads}");
+        assert_eq!(base.1, other.1, "eval_batch={eval_batch} threads={threads}");
+        assert_eq!(base.2, other.2, "eval_batch={eval_batch} threads={threads}");
+        assert_eq!(base.3, other.3, "snapshot diverged: eval_batch={eval_batch} threads={threads}");
+    }
+}
+
+#[test]
 fn jsonl_sink_round_trips() {
     let _obs = obs_lock();
     let dir = std::env::temp_dir();
