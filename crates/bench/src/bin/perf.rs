@@ -33,6 +33,49 @@ use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::time::Instant;
 
+/// Counting global allocator behind the `count-alloc` feature. Every
+/// heap allocation (and growing reallocation) bumps one relaxed atomic;
+/// `--alloc-check` reads it around the warmed batched scoring loop and
+/// demands a delta of zero. Kept behind a feature because counting
+/// perturbs the timing numbers this harness tracks.
+#[cfg(feature = "count-alloc")]
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// Delegates to [`System`], counting `alloc`/`realloc` calls.
+    pub struct CountingAlloc;
+
+    // `GlobalAlloc` is an unsafe trait; this impl only forwards to the
+    // system allocator around an atomic increment.
+    #[allow(unsafe_code)]
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// Total allocations so far (monotonic; read before/after a region).
+    pub fn count() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
 struct Opts {
     scale: f64,
     seed: u64,
@@ -40,6 +83,7 @@ struct Opts {
     candidates: usize,
     epochs: usize,
     out: String,
+    alloc_check: bool,
 }
 
 impl Default for Opts {
@@ -51,6 +95,7 @@ impl Default for Opts {
             candidates: 30,
             epochs: 2,
             out: "BENCH_perf.json".into(),
+            alloc_check: false,
         }
     }
 }
@@ -72,9 +117,15 @@ impl Opts {
                 "--candidates" => o.candidates = value(i).parse().expect("--candidates usize"),
                 "--epochs" => o.epochs = value(i).parse().expect("--epochs usize"),
                 "--out" => o.out = value(i).to_owned(),
+                "--alloc-check" => {
+                    o.alloc_check = true;
+                    i += 1;
+                    continue;
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale F --seed N --threads N --candidates N --epochs N --out FILE"
+                        "flags: --scale F --seed N --threads N --candidates N --epochs N \
+                         --out FILE --alloc-check"
                     );
                     std::process::exit(0);
                 }
@@ -265,11 +316,81 @@ fn time_eval(
     (eval_section, batched_section, queries, batched)
 }
 
+/// The zero-allocation sanitizer: builds a small model, extracts and
+/// packs one candidate batch, warms the scoring workspace, then runs
+/// the batched scoring loop under the counting allocator and asserts
+/// the steady state never touches the heap. Guards the
+/// `InferenceWorkspace`/scratch-buffer discipline the batched engine
+/// was built on — a stray `Vec::new()` in the hot loop fails this run.
+#[cfg(feature = "count-alloc")]
+fn alloc_check(opts: &Opts) {
+    use dekg_kg::BatchedSubgraphs;
+
+    let profile = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Eq).scaled(0.02);
+    let mut synth = SynthConfig::for_profile(profile, opts.seed);
+    synth.num_test_enclosing = synth.num_test_enclosing.clamp(8, 24);
+    synth.num_test_bridging = synth.num_test_bridging.clamp(8, 24);
+    let dataset = generate(&synth);
+    let graph = InferenceGraph::from_dataset(&dataset);
+    let cfg = DekgIlpConfig::quick();
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let model = DekgIlp::new(cfg, &dataset, &mut rng);
+
+    // Extract and pack ONCE — the sanitizer isolates the scoring loop,
+    // the one region the zero-allocation contract covers.
+    let extractor = SubgraphExtractor::new(&graph.adjacency, 2, dekg_kg::ExtractionMode::Union);
+    let links: Vec<(EntityId, EntityId, Option<Triple>)> =
+        dataset.test_enclosing.iter().map(|t| (t.head, t.tail, None)).collect();
+    let sgs = extractor.extract_batch(&links);
+    let batch = BatchedSubgraphs::pack(&sgs);
+    let rels: Vec<dekg_kg::RelationId> = dataset.test_enclosing.iter().map(|t| t.rel).collect();
+
+    let mut ws = dekg_core::gsm::InferenceWorkspace::new();
+    let mut out: Vec<f32> = Vec::new();
+    // Warm-up: the first call sizes every scratch buffer.
+    model.score_packed(&batch, &rels, &mut ws, &mut out);
+    let warm = out.clone();
+
+    const ITERS: usize = 64;
+    let before = alloc_counter::count();
+    for _ in 0..ITERS {
+        out.clear();
+        model.score_packed(&batch, &rels, &mut ws, &mut out);
+    }
+    let delta = alloc_counter::count() - before;
+    assert_eq!(out, warm, "steady-state batched scores drifted between iterations");
+    println!(
+        "alloc-check: {ITERS} warmed batched-scoring iterations \
+         ({} candidates, {} packed nodes): {delta} heap allocations",
+        rels.len(),
+        batch.total_nodes(),
+    );
+    assert_eq!(
+        delta, 0,
+        "batched scoring loop allocated in steady state — a scratch buffer \
+         is being rebuilt per call instead of reused from InferenceWorkspace"
+    );
+    println!("alloc-check: OK — steady-state batched scoring is allocation-free");
+}
+
+#[cfg(not(feature = "count-alloc"))]
+fn alloc_check(_opts: &Opts) {
+    eprintln!(
+        "--alloc-check needs the counting allocator: rebuild with \
+         `cargo run --release -p dekg-bench --features count-alloc --bin perf -- --alloc-check`"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     // The tracked numbers must not include span-timer overhead, however
     // small — this harness measures the pipeline, not the telemetry.
     dekg_obs::set_spans_enabled(false);
     let opts = Opts::from_args();
+    if opts.alloc_check {
+        alloc_check(&opts);
+        return;
+    }
     let profile = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Eq).scaled(opts.scale);
     let mut synth = SynthConfig::for_profile(profile, opts.seed);
     synth.num_test_enclosing = synth.num_test_enclosing.clamp(40, 120);

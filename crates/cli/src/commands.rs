@@ -25,6 +25,7 @@ commands:
             [--threads N] [--scoring batched|per-candidate|tape] [observability flags]
   predict   --data DIR --ckpt FILE --rel NAME (--head NAME | --tail NAME) [--top N]
   obslint   --file FILE [--require kind1,kind2,...]
+  lint      [--root DIR]
   help
 
 observability flags (train, evaluate):
@@ -489,4 +490,24 @@ pub fn obslint(flags: &Flags) -> CliResult {
         kinds.iter().cloned().collect::<Vec<_>>().join(", ")
     );
     Ok(())
+}
+
+/// `dekg lint` — runs the workspace invariant rules (see `dekg-lint`)
+/// over the source tree and fails on any error-severity finding.
+pub fn lint(flags: &Flags) -> CliResult {
+    let root = match flags.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir()?;
+            dekg_lint::find_workspace_root(&cwd)
+                .ok_or("not inside a cargo workspace (pass --root DIR)")?
+        }
+    };
+    let report = dekg_lint::lint_workspace(&root)?;
+    print!("{}", report.render());
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("dekg lint: {} error(s)", report.errors()).into())
+    }
 }

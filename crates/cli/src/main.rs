@@ -50,6 +50,7 @@ fn main() -> ExitCode {
         "evaluate" => commands::evaluate(&flags),
         "predict" => commands::predict(&flags),
         "obslint" => commands::obslint(&flags),
+        "lint" => commands::lint(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

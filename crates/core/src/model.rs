@@ -208,6 +208,22 @@ impl DekgIlp {
         self.eval_batch
     }
 
+    /// Scores a pre-packed batch through the GSM into a caller-owned
+    /// workspace — the batched engine's inner loop with the extraction,
+    /// packing and thread-dispatch layers peeled off. This is the entry
+    /// point the allocation sanitizer drives (`perf --alloc-check`):
+    /// once `ws` and `out` are warm, repeated calls must not touch the
+    /// heap. Scores match [`ScoringPath::Batched`] bitwise.
+    pub fn score_packed(
+        &self,
+        batch: &BatchedSubgraphs<'_>,
+        rels: &[dekg_kg::RelationId],
+        ws: &mut crate::gsm::InferenceWorkspace,
+        out: &mut Vec<f32>,
+    ) {
+        self.gsm.score_subgraphs_batched(&self.params, batch, rels, ws, out);
+    }
+
     /// Sets the batched-path packing size. Clamped to at least 1.
     /// Scores do not depend on this value — only peak memory and
     /// parallel grain do.

@@ -39,6 +39,6 @@ pub use mixes::{MixRatio, TestMix};
 pub use negatives::NegativeSampler;
 pub use profiles::{DatasetProfile, RawKg, SplitKind};
 pub use seeding::{item_rng, split_seed};
-pub use splits::{DekgDataset, LinkClass};
+pub use splits::{DekgDataset, LinkClass, ValidationError};
 pub use stats::DatasetStats;
 pub use synth::{generate, tiny_fixture, SynthConfig};

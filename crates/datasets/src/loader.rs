@@ -14,7 +14,7 @@
 //! occupy the low id range, then the emerging files. The loader
 //! enforces the DEKG invariants via [`DekgDataset::validate`].
 
-use crate::splits::DekgDataset;
+use crate::splits::{DekgDataset, ValidationError};
 use dekg_kg::io::{load_triples, ParseError};
 use dekg_kg::Vocab;
 use std::path::Path;
@@ -24,12 +24,15 @@ use std::path::Path;
 pub enum LoadError {
     /// A file failed to parse.
     Parse(&'static str, ParseError),
+    /// The files parsed but violate a DEKG structural invariant.
+    Invalid(ValidationError),
 }
 
 impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoadError::Parse(file, e) => write!(f, "{file}: {e}"),
+            LoadError::Invalid(e) => write!(f, "invalid dataset: {e}"),
         }
     }
 }
@@ -38,14 +41,16 @@ impl std::error::Error for LoadError {}
 
 /// Loads a dataset from a GraIL-style directory.
 ///
-/// # Panics
-/// If the loaded files violate the DEKG invariants (cross edges, leaked
-/// test links, …) — malformed *content* is a bug in the data, not a
-/// recoverable condition. Use [`load_dir_unchecked`] to inspect broken
-/// data without dying on the first violation.
+/// # Errors
+/// [`LoadError::Parse`] when a file is missing or malformed;
+/// [`LoadError::Invalid`] when the files parse but violate a DEKG
+/// invariant (cross edges, leaked test links, …) — on-disk data is
+/// caller input, so violations surface as typed errors through the
+/// CLI rather than panics. Use [`load_dir_unchecked`] to inspect
+/// broken data without dying on the first violation.
 pub fn load_dir(dir: impl AsRef<Path>, name: &str) -> Result<DekgDataset, LoadError> {
     let dataset = load_dir_unchecked(dir, name)?;
-    dataset.validate();
+    dataset.try_validate().map_err(LoadError::Invalid)?;
     Ok(dataset)
 }
 
@@ -141,6 +146,14 @@ mod tests {
         drop(f);
         let back = load_dir_unchecked(&dir, "broken").unwrap();
         assert_eq!(back.emerging.len(), d.emerging.len() + 1);
+        // The checked loader reports the same breakage as a typed
+        // error, not a panic — it must surface cleanly through the CLI.
+        match load_dir(&dir, "broken") {
+            Err(LoadError::Invalid(e)) => {
+                assert!(e.to_string().contains("touches a seen entity"), "{e}");
+            }
+            other => panic!("expected LoadError::Invalid, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -290,6 +290,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty candidate range")]
     fn empty_range_rejected() {
+        // The reversed range IS the input under test: it must panic.
         #[allow(clippy::reversed_empty_ranges)]
         NegativeSampler::new(5..5, vec![]);
     }

@@ -92,40 +92,110 @@ impl DekgDataset {
     /// Checks the structural invariants of a DEKG:
     /// `G ⊆ E×R×E`, `G' ⊆ E'×R×E'`, no overlap, class labels correct.
     ///
-    /// # Panics
-    /// On any violation — used by tests and the generator's self-check.
-    pub fn validate(&self) {
+    /// Returns the first violation as a typed [`ValidationError`] — the
+    /// loader surfaces these through the CLI for on-disk datasets,
+    /// where a broken file is an input error, not a programming bug.
+    ///
+    /// # Errors
+    /// The first invariant violation found, if any.
+    pub fn try_validate(&self) -> Result<(), ValidationError> {
         for t in self.original.triples() {
-            assert!(
-                self.is_original(t.head) && self.is_original(t.tail),
-                "original KG triple {t} touches an unseen entity"
-            );
+            if !(self.is_original(t.head) && self.is_original(t.tail)) {
+                return Err(ValidationError::OriginalTouchesUnseen(*t));
+            }
         }
         for t in self.emerging.triples() {
-            assert!(
-                !self.is_original(t.head) && !self.is_original(t.tail),
-                "emerging KG triple {t} touches a seen entity"
-            );
+            if self.is_original(t.head) || self.is_original(t.tail) {
+                return Err(ValidationError::EmergingTouchesSeen(*t));
+            }
         }
         for t in &self.test_enclosing {
-            assert_eq!(
-                self.classify(t),
-                Some(LinkClass::Enclosing),
-                "mislabeled enclosing link {t}"
-            );
-            assert!(!self.emerging.contains(t), "test link {t} leaked into G'");
+            if self.classify(t) != Some(LinkClass::Enclosing) {
+                return Err(ValidationError::MislabeledEnclosing(*t));
+            }
+            if self.emerging.contains(t) {
+                return Err(ValidationError::TestLinkLeaked(*t));
+            }
         }
         for t in &self.test_bridging {
-            assert_eq!(self.classify(t), Some(LinkClass::Bridging), "mislabeled bridging link {t}");
-            assert!(!self.original.contains(t) && !self.emerging.contains(t));
+            if self.classify(t) != Some(LinkClass::Bridging) {
+                return Err(ValidationError::MislabeledBridging(*t));
+            }
+            if self.original.contains(t) || self.emerging.contains(t) {
+                return Err(ValidationError::TestLinkLeaked(*t));
+            }
         }
         for t in &self.valid {
-            assert!(self.classify(t).is_none(), "valid link {t} should be inside G");
-            assert!(!self.original.contains(t), "valid link {t} leaked into G");
+            if self.classify(t).is_some() {
+                return Err(ValidationError::ValidOutsideOriginal(*t));
+            }
+            if self.original.contains(t) {
+                return Err(ValidationError::ValidLinkLeaked(*t));
+            }
         }
-        assert!(self.num_relations > 0);
+        if self.num_relations == 0 {
+            return Err(ValidationError::EmptyRelationSpace);
+        }
+        Ok(())
+    }
+
+    /// [`DekgDataset::try_validate`], panicking on the first violation —
+    /// for tests and the generator's self-check, where a violation is a
+    /// programming bug.
+    ///
+    /// # Panics
+    /// On any violation, with the violation's `Display` message.
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
+
+/// A structural invariant of [`DekgDataset`] that does not hold.
+///
+/// The `Display` messages are stable: tests assert on their phrasing
+/// (`#[should_panic(expected = …)]` through [`DekgDataset::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A triple of `G` uses an entity outside `E`.
+    OriginalTouchesUnseen(Triple),
+    /// A triple of `G'` uses an entity of `E`.
+    EmergingTouchesSeen(Triple),
+    /// A test link labeled enclosing is not unseen–unseen.
+    MislabeledEnclosing(Triple),
+    /// A test link labeled bridging is not seen–unseen.
+    MislabeledBridging(Triple),
+    /// A held-out test link also appears in an observed graph.
+    TestLinkLeaked(Triple),
+    /// A validation link leaves the original KG's entity set.
+    ValidOutsideOriginal(Triple),
+    /// A validation link also appears in `G`.
+    ValidLinkLeaked(Triple),
+    /// The relation space is empty.
+    EmptyRelationSpace,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::OriginalTouchesUnseen(t) => {
+                write!(f, "original KG triple {t} touches an unseen entity")
+            }
+            Self::EmergingTouchesSeen(t) => {
+                write!(f, "emerging KG triple {t} touches a seen entity")
+            }
+            Self::MislabeledEnclosing(t) => write!(f, "mislabeled enclosing link {t}"),
+            Self::MislabeledBridging(t) => write!(f, "mislabeled bridging link {t}"),
+            Self::TestLinkLeaked(t) => write!(f, "test link {t} leaked into an observed graph"),
+            Self::ValidOutsideOriginal(t) => write!(f, "valid link {t} should be inside G"),
+            Self::ValidLinkLeaked(t) => write!(f, "valid link {t} leaked into G"),
+            Self::EmptyRelationSpace => write!(f, "dataset has an empty relation space"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
 
 #[cfg(test)]
 mod tests {
@@ -195,5 +265,17 @@ mod tests {
         let mut d = tiny();
         d.test_enclosing.push(Triple::from_raw(0, 0, 2));
         d.validate();
+    }
+
+    #[test]
+    fn try_validate_returns_typed_errors() {
+        assert_eq!(tiny().try_validate(), Ok(()));
+        let mut d = tiny();
+        let crossing = Triple::from_raw(0, 0, 3);
+        d.emerging.insert(crossing);
+        assert_eq!(d.try_validate(), Err(ValidationError::EmergingTouchesSeen(crossing)));
+        let mut d = tiny();
+        d.num_relations = 0;
+        assert_eq!(d.try_validate(), Err(ValidationError::EmptyRelationSpace));
     }
 }

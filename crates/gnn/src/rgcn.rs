@@ -27,15 +27,14 @@ pub(crate) fn group_edges_by_relation(
     sg: &Subgraph,
     edge_keep: Option<&[bool]>,
 ) -> Vec<(usize, Vec<usize>)> {
-    let mut groups: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for (idx, e) in sg.edges.iter().enumerate() {
         if edge_keep.map_or(true, |m| m[idx]) {
             groups.entry(e.rel.index()).or_default().push(idx);
         }
     }
-    let mut by_rel: Vec<(usize, Vec<usize>)> = groups.into_iter().collect();
-    by_rel.sort_by_key(|&(r, _)| r);
-    by_rel
+    groups.into_iter().collect()
 }
 
 /// Configuration for one layer.

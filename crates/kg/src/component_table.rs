@@ -110,8 +110,10 @@ impl ComponentTable {
     /// both head and tail), consistent with "number of triples the
     /// entity is associated with" counting both roles.
     pub fn from_store(store: &TripleStore, num_entities: usize, num_relations: usize) -> Self {
-        let mut counts: Vec<std::collections::HashMap<RelationId, u32>> =
-            vec![std::collections::HashMap::new(); num_entities];
+        // BTreeMap so the per-row (relation, count) pairs come out in
+        // relation order — rows must be reproducible byte-for-byte.
+        let mut counts: Vec<std::collections::BTreeMap<RelationId, u32>> =
+            vec![std::collections::BTreeMap::new(); num_entities];
         for t in store.triples() {
             *counts[t.head.index()].entry(t.rel).or_insert(0) += 1;
             *counts[t.tail.index()].entry(t.rel).or_insert(0) += 1;

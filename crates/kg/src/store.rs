@@ -3,7 +3,7 @@
 use crate::triple::Triple;
 use crate::vocab::{EntityId, RelationId};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// An append-only set of triples with secondary indexes.
 ///
@@ -98,17 +98,19 @@ impl TripleStore {
         self.touching(e).count()
     }
 
-    /// The set of entities that appear in at least one triple.
-    pub fn entities(&self) -> HashSet<EntityId> {
-        let mut out = HashSet::with_capacity(self.by_head.len() + self.by_tail.len());
-        out.extend(self.by_head.keys().copied());
-        out.extend(self.by_tail.keys().copied());
+    /// The set of entities that appear in at least one triple, in
+    /// ascending id order (callers iterate this: order must be stable).
+    pub fn entities(&self) -> BTreeSet<EntityId> {
+        let mut out = BTreeSet::new();
+        out.extend(self.by_head.keys().copied()); // lint: sorted-ok — keys drain into a BTreeSet, which re-sorts
+        out.extend(self.by_tail.keys().copied()); // lint: sorted-ok — keys drain into a BTreeSet, which re-sorts
         out
     }
 
-    /// The set of relations that appear in at least one triple.
-    pub fn relations(&self) -> HashSet<RelationId> {
-        self.by_relation.keys().copied().collect()
+    /// The set of relations that appear in at least one triple, in
+    /// ascending id order.
+    pub fn relations(&self) -> BTreeSet<RelationId> {
+        self.by_relation.keys().copied().collect() // lint: sorted-ok — keys drain into a BTreeSet, which re-sorts
     }
 
     /// Merges another store into this one.

@@ -1,0 +1,424 @@
+//! A minimal line-aware Rust token scanner.
+//!
+//! The rules in this crate are lexical: they match identifier/punct
+//! sequences (`map . keys (`, `# [ allow`, `Instant :: now`) in
+//! non-comment, non-string source text. A full parse would need `syn`,
+//! which the offline workspace cannot vendor — and none of the rules
+//! require type information a token stream cannot carry (see the
+//! "Static analysis" section of `DESIGN.md` for the accepted
+//! limitations).
+//!
+//! The scanner understands every Rust surface feature that could make
+//! naive text matching lie:
+//!
+//! * line comments (captured per line, for justification directives),
+//! * nested block comments,
+//! * string / raw-string / byte-string / char literals,
+//! * lifetimes vs. char literals (`'a` the lifetime never ends in `'`),
+//! * `#[cfg(test)] mod … { }` regions, tracked by brace depth so rules
+//!   can skip test-only code.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// A numeric literal (scanned as one blob; rules never inspect it).
+    Number,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// The token text (single char for puncts).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True for a punct with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Per-line side information the rules consult.
+#[derive(Debug, Clone, Default)]
+pub struct LineInfo {
+    /// Concatenated text of `//` comments on this line (no `//`).
+    pub comment: String,
+    /// True when the line lies inside a `#[cfg(test)] mod … { }` region.
+    pub in_test_region: bool,
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// The token stream (comments and literals stripped).
+    pub tokens: Vec<Token>,
+    /// Index 0 is line 1. Always at least as long as the last token line.
+    pub lines: Vec<LineInfo>,
+}
+
+impl Lexed {
+    /// The side info for a 1-based line (default when out of range).
+    pub fn line(&self, line: u32) -> LineInfo {
+        self.lines.get(line as usize - 1).cloned().unwrap_or_default()
+    }
+
+    /// True when line `line` or the line above carries a `// lint: <tag>`
+    /// justification directive with a non-empty reason after the tag.
+    pub fn justified(&self, line: u32, tag: &str) -> bool {
+        let has = |l: u32| -> bool {
+            if l == 0 {
+                return false;
+            }
+            let info = self.line(l);
+            if let Some(pos) = info.comment.find("lint:") {
+                let rest = info.comment[pos + "lint:".len()..].trim_start();
+                if let Some(after) = rest.strip_prefix(tag) {
+                    // Require an actual reason, not a bare tag.
+                    return after.trim_start_matches([' ', '—', '-', ':']).trim().len() >= 3;
+                }
+            }
+            false
+        };
+        has(line) || has(line.saturating_sub(1))
+    }
+
+    /// True when the token at `idx` is inside a test region.
+    pub fn in_test_region(&self, idx: usize) -> bool {
+        self.tokens.get(idx).is_some_and(|t| self.line(t.line).in_test_region)
+    }
+}
+
+/// Lexes Rust source into tokens plus per-line comment/test-region info.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut lines: Vec<LineInfo> = vec![LineInfo::default(); src.lines().count().max(1)];
+    let mut line: u32 = 1;
+    let mut i = 0;
+
+    let push_comment = |lines: &mut Vec<LineInfo>, line: u32, text: &str| {
+        let idx = line as usize - 1;
+        if idx >= lines.len() {
+            lines.resize(idx + 1, LineInfo::default());
+        }
+        if !lines[idx].comment.is_empty() {
+            lines[idx].comment.push(' ');
+        }
+        lines[idx].comment.push_str(text.trim());
+    };
+
+    while i < bytes.len() {
+        // Decode the full char: a bare `bytes[i] as char` would misread
+        // multi-byte UTF-8 (e.g. box-drawing chars in literals).
+        let c = src[i..].chars().next().unwrap_or('\0');
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                push_comment(&mut lines, line, &src[start..end]);
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = skip_string(bytes, i, &mut line);
+            }
+            'r' | 'b' if starts_raw_or_byte_string(bytes, i) => {
+                i = skip_raw_or_byte(bytes, i, &mut line);
+            }
+            '\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`,
+                // `'\n'`): a lifetime is `'` + ident not followed by `'`.
+                let after = bytes.get(i + 1).copied().unwrap_or(0) as char;
+                if (after.is_alphabetic() || after == '_')
+                    && bytes.get(i + 2).map_or(true, |&b| b != b'\'')
+                {
+                    i += 1; // skip the quote; the ident lexes next round
+                } else {
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                for ch in src[i..].chars() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Ident, text: src[start..i].to_owned(), line });
+            }
+            _ if c.is_ascii_digit() => {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    // Stop a float's `.` from eating a method call (`1.0.abs()`
+                    // never appears in rule patterns; `0..n` must not glue).
+                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Number, text: String::new(), line });
+            }
+            _ if c.is_whitespace() => i += 1,
+            _ => {
+                tokens.push(Token { kind: TokenKind::Punct, text: c.to_string(), line });
+                i += c.len_utf8();
+            }
+        }
+    }
+
+    mark_test_regions(&mut lines, &tokens);
+    Lexed { tokens, lines }
+}
+
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    // r"…", r#"…"#, br"…", b"…", br#"…"#  — but NOT a plain ident like
+    // `rel` or `broadcast`: the char after the prefix must be " or #.
+    let rest = &bytes[i..];
+    matches!(
+        rest,
+        [b'r', b'"', ..]
+            | [b'r', b'#', ..]
+            | [b'b', b'"', ..]
+            | [b'b', b'r', b'"', ..]
+            | [b'b', b'r', b'#', ..]
+    )
+}
+
+fn skip_raw_or_byte(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    // Advance past the prefix letters.
+    while i < bytes.len() && (bytes[i] == b'r' || bytes[i] == b'b') {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return i; // Not actually a string (e.g. `b # attr` — impossible, but safe).
+    }
+    if hashes == 0 {
+        return skip_string(bytes, i, line);
+    }
+    i += 1;
+    // Raw string: ends at `"` followed by `hashes` hash marks; no escapes.
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+        }
+        if bytes[i] == b'"'
+            && bytes[i + 1..].iter().take(hashes).filter(|&&b| b == b'#').count() == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips a `"…"` string starting at the opening quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Marks the line span of every `#[cfg(test)] mod … { }` region.
+fn mark_test_regions(lines: &mut [LineInfo], tokens: &[Token]) {
+    let mut k = 0;
+    while k < tokens.len() {
+        // Match `# [ cfg ( test ) ]` possibly with extra cfg args.
+        if tokens[k].is_punct('#')
+            && tokens.get(k + 1).is_some_and(|t| t.is_punct('['))
+            && tokens.get(k + 2).is_some_and(|t| t.is_ident("cfg"))
+            && tokens.get(k + 3).is_some_and(|t| t.is_punct('('))
+            && tokens.get(k + 4).is_some_and(|t| t.is_ident("test"))
+        {
+            // Find the `mod` that this attribute decorates, then its `{`.
+            let mut j = k + 5;
+            while j < tokens.len() && !tokens[j].is_ident("mod") {
+                // Bail if we hit an item that is clearly not a module
+                // (e.g. `#[cfg(test)] use …` or a cfg'd function).
+                if tokens[j].is_ident("fn") || tokens[j].is_ident("use") {
+                    break;
+                }
+                j += 1;
+                if j - k > 12 {
+                    break;
+                }
+            }
+            if j < tokens.len() && tokens[j].is_ident("mod") {
+                // Scan to the opening brace, then match depth.
+                let mut b = j;
+                while b < tokens.len() && !tokens[b].is_punct('{') {
+                    b += 1;
+                }
+                let start_line = tokens[k].line;
+                let mut depth = 0;
+                let mut end_line = start_line;
+                while b < tokens.len() {
+                    if tokens[b].is_punct('{') {
+                        depth += 1;
+                    } else if tokens[b].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            end_line = tokens[b].line;
+                            break;
+                        }
+                    }
+                    b += 1;
+                }
+                if depth != 0 {
+                    end_line = tokens.last().map_or(start_line, |t| t.line);
+                }
+                for l in start_line..=end_line {
+                    if let Some(info) = lines.get_mut(l as usize - 1) {
+                        info.in_test_region = true;
+                    }
+                }
+                k = j;
+            }
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_puncts() {
+        let lx = lex("let mut m = HashMap::new();");
+        let idents: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "mut", "m", "HashMap", "new"]);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let lx = lex("let x = 1; // lint: sorted-ok — stable by construction\nfoo();\n");
+        assert!(lx.line(1).comment.contains("sorted-ok"));
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("sorted")));
+        assert!(lx.justified(1, "sorted-ok"));
+        assert!(lx.justified(2, "sorted-ok")); // line above counts
+        assert!(!lx.justified(1, "print-ok"));
+    }
+
+    #[test]
+    fn bare_tag_without_reason_is_not_justified() {
+        let lx = lex("x(); // lint: sorted-ok\n");
+        assert!(!lx.justified(1, "sorted-ok"));
+    }
+
+    #[test]
+    fn strings_and_chars_do_not_tokenize() {
+        let lx =
+            lex("let s = \"HashMap.iter()\"; let c = '\\n'; let l: &'static str = r#\"keys()\"#;");
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("iter")));
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("keys")));
+        assert!(lx.tokens.iter().any(|t| t.is_ident("static"))); // lifetime ident survives
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_numbers() {
+        let lx = lex("/* outer /* inner */ still */ fn f() {}\nfn g() {}\n");
+        let f = lx.tokens.iter().find(|t| t.is_ident("f")).unwrap();
+        let g = lx.tokens.iter().find(|t| t.is_ident("g")).unwrap();
+        assert_eq!(f.line, 1);
+        assert_eq!(g.line, 2);
+    }
+
+    #[test]
+    fn cfg_test_region_marked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let lx = lex(src);
+        assert!(!lx.line(1).in_test_region);
+        assert!(lx.line(2).in_test_region);
+        assert!(lx.line(4).in_test_region);
+        assert!(!lx.line(6).in_test_region);
+    }
+
+    #[test]
+    fn cfg_test_on_fn_does_not_swallow_file() {
+        let src = "#[cfg(test)]\nfn helper() {}\nfn real() {}\n";
+        let lx = lex(src);
+        assert!(!lx.line(3).in_test_region);
+    }
+
+    #[test]
+    fn range_dots_do_not_glue_to_numbers() {
+        let lx = lex("for i in 0..n { }");
+        assert!(lx.tokens.iter().any(|t| t.is_ident("n")));
+    }
+}

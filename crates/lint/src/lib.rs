@@ -1,0 +1,417 @@
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+//! # dekg-lint
+//!
+//! A source-level lint engine over the DEKG-ILP workspace — the static
+//! counterpart to the *dynamic* invariant checks this repository
+//! already runs (the bitwise-determinism tests, the gradcheck suite,
+//! the zero-allocation sanitizer in the perf bin). The determinism
+//! contract is enforced after the fact by `tests/parallel_determinism.rs`;
+//! these rules reject the source patterns that break it before a test
+//! ever runs:
+//!
+//! | rule | name                | what it forbids |
+//! |------|---------------------|-----------------|
+//! | L1   | hash-iteration      | order-dependent iteration over `HashMap`/`HashSet` in the determinism-contract crates |
+//! | L2   | allow-justification | `#[allow(…)]` without an explanatory comment |
+//! | L3   | print-routing       | `println!`/`eprintln!` in library crates (route through `dekg-obs`) |
+//! | L4   | unwrap-budget       | `.unwrap()`/`.expect()` over per-crate budgets; zero on fallible-input paths |
+//! | L5   | hermetic-kernel     | `Instant::now` / RNG construction inside kernel modules |
+//!
+//! Run it as `dekg lint` (wired into `scripts/check.sh`). Rules are
+//! registered in [`registry`] with a two-way fixture coverage audit
+//! (every rule has a red fixture, every fixture names a rule) modeled
+//! on the gradcheck registry in `dekg-tensor`.
+//!
+//! False positives are silenced *at the site*, with a reason, using the
+//! justification grammar `// lint: <tag> — <reason>`; bare tags are
+//! rejected. See `DESIGN.md` § "Static analysis".
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Must be fixed (or justified in source); fails `dekg lint`.
+    Error,
+    /// Informational (e.g. a budget that can be ratcheted down).
+    Notice,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule id (`"L1"` … `"L5"`).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line (0 for crate-level findings).
+    pub line: u32,
+    /// Error or notice.
+    pub severity: Severity,
+    /// Human-readable description with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Notice => "notice",
+        };
+        if self.line == 0 {
+            write!(f, "{}: {sev}[{}]: {}", self.path, self.rule, self.message)
+        } else {
+            write!(f, "{}:{}: {sev}[{}]: {}", self.path, self.line, self.rule, self.message)
+        }
+    }
+}
+
+/// A lexed source file plus its place in the workspace.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// The token stream and per-line info.
+    pub lexed: lexer::Lexed,
+}
+
+impl SourceFile {
+    /// Lexes `src` as the file at workspace-relative path `rel`.
+    pub fn parse(rel: &str, src: &str) -> Self {
+        SourceFile { rel: rel.to_owned(), lexed: lexer::lex(src) }
+    }
+
+    /// The crate name for `crates/<name>/…` paths (`None` for shims,
+    /// top-level tests and examples).
+    pub fn crate_name(&self) -> Option<&str> {
+        self.rel.strip_prefix("crates/").and_then(|r| r.split('/').next())
+    }
+
+    /// True for whole-file test/demo scopes: top-level `tests/` and
+    /// `examples/`, per-crate `tests/` and `benches/` directories.
+    pub fn is_test_scope(&self) -> bool {
+        self.rel.starts_with("tests/")
+            || self.rel.starts_with("examples/")
+            || self.rel.contains("/tests/")
+            || self.rel.contains("/benches/")
+    }
+}
+
+/// One registered rule.
+pub struct Rule {
+    /// Stable id (`"L1"`).
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// One-line description for `dekg lint` output and docs.
+    pub summary: &'static str,
+    /// The per-file check.
+    pub check: fn(&SourceFile, &mut Vec<Diagnostic>),
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Rule").field("id", &self.id).field("name", &self.name).finish()
+    }
+}
+
+/// The rule registry. The red-fixture suite audits this two-way: every
+/// rule here must have a failing fixture under `tests/fixtures/`, and
+/// every fixture must name a rule that exists.
+pub fn registry() -> &'static [Rule] {
+    &[
+        Rule {
+            id: "L1",
+            name: "hash-iteration",
+            summary: "no order-dependent HashMap/HashSet iteration in determinism-contract crates",
+            check: rules::l1_hash_iteration,
+        },
+        Rule {
+            id: "L2",
+            name: "allow-justification",
+            summary: "every #[allow(…)] carries a justification comment",
+            check: rules::l2_allow_justification,
+        },
+        Rule {
+            id: "L3",
+            name: "print-routing",
+            summary: "no println!/eprintln! outside cli/bench — route through dekg-obs",
+            check: rules::l3_print_routing,
+        },
+        Rule {
+            id: "L4",
+            name: "unwrap-budget",
+            summary: "unwrap/expect ratcheted per crate, zero on fallible-input paths",
+            check: rules::l4_unwrap_budget,
+        },
+        Rule {
+            id: "L5",
+            name: "hermetic-kernel",
+            summary: "no Instant::now or RNG construction inside kernel modules",
+            check: rules::l5_hermetic_kernel,
+        },
+    ]
+}
+
+/// Runs every registered per-file rule over one source text. Used by
+/// the fixture tests and the workspace walk.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(rel, src);
+    let mut out = Vec::new();
+    for rule in registry() {
+        (rule.check)(&file, &mut out);
+    }
+    out
+}
+
+/// A crate's standing against its L4 unwrap budget.
+#[derive(Debug, Clone)]
+pub struct BudgetStatus {
+    /// Crate name under `crates/`.
+    pub crate_name: String,
+    /// Non-test `.unwrap()`/`.expect()` sites counted.
+    pub used: usize,
+    /// The budget from [`rules::UNWRAP_BUDGETS`] (0 when unlisted).
+    pub budget: usize,
+}
+
+/// Everything `dekg lint` reports.
+#[derive(Debug)]
+pub struct LintReport {
+    /// All findings, ordered by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Per-crate unwrap budget standings (only crates with any debt or
+    /// budget).
+    pub budgets: Vec<BudgetStatus>,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// True when no error-severity findings exist.
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Renders the full report (one diagnostic per line, then the
+    /// budget table and a summary line).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        if !self.budgets.is_empty() {
+            let _ = writeln!(out, "unwrap budgets (L4 ratchet; non-test library code):");
+            for b in &self.budgets {
+                let _ = writeln!(
+                    out,
+                    "  {:<12} {:>3} used / {:>3} budgeted",
+                    b.crate_name, b.used, b.budget
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "dekg lint: {} files, {} rules, {} errors, {} notices",
+            self.files_scanned,
+            registry().len(),
+            self.errors(),
+            self.diagnostics.len() - self.errors(),
+        );
+        out
+    }
+}
+
+/// Walks the workspace at `root` and runs every rule, including the
+/// workspace-level L4 budget ratchet.
+///
+/// Scanned: `crates/*/src`, `crates/*/tests`, `crates/*/benches`,
+/// `shims/*/src`, top-level `tests/` and `examples/`. Directories named
+/// `fixtures` or `target` are skipped (fixtures are deliberately bad).
+///
+/// # Errors
+/// On filesystem failures while walking or reading.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut files = Vec::new();
+    for sub in ["crates", "shims", "tests", "examples"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = rel_path(root, path);
+        let src = std::fs::read_to_string(path)?;
+        let file = SourceFile::parse(&rel, &src);
+        scanned += 1;
+        for rule in registry() {
+            (rule.check)(&file, &mut diagnostics);
+        }
+        // L4 budget tally: library sources of crates/* only.
+        if let Some(krate) = file.crate_name() {
+            if file.rel.contains("/src/") && !file.is_test_scope() && krate != "bench" {
+                let n = rules::count_unwraps(&file).len();
+                if n > 0 {
+                    match counts.iter_mut().find(|(k, _)| k == krate) {
+                        Some((_, c)) => *c += n,
+                        None => counts.push((krate.to_owned(), n)),
+                    }
+                }
+            }
+        }
+    }
+
+    // The ratchet: over budget is an error, under budget is a notice
+    // prompting you to lower the number in `rules::UNWRAP_BUDGETS`.
+    let mut budgets = Vec::new();
+    let budget_of =
+        |k: &str| rules::UNWRAP_BUDGETS.iter().find(|(n, _)| *n == k).map_or(0, |&(_, b)| b);
+    let mut names: Vec<String> = counts.iter().map(|(k, _)| k.clone()).collect();
+    for (k, _) in rules::UNWRAP_BUDGETS {
+        if !names.iter().any(|n| n == k) {
+            names.push((*k).to_owned());
+        }
+    }
+    names.sort();
+    for name in names {
+        let used = counts.iter().find(|(k, _)| *k == name).map_or(0, |&(_, c)| c);
+        let budget = budget_of(&name);
+        if used == 0 && budget == 0 {
+            continue;
+        }
+        if used > budget {
+            diagnostics.push(Diagnostic {
+                rule: "L4",
+                path: format!("crates/{name}"),
+                line: 0,
+                severity: Severity::Error,
+                message: format!(
+                    "crate `{name}` has {used} non-test `.unwrap()`/`.expect()` sites, \
+                     over its budget of {budget} — convert the new ones to typed errors \
+                     (budgets ratchet down, never up)"
+                ),
+            });
+        } else if used < budget {
+            diagnostics.push(Diagnostic {
+                rule: "L4",
+                path: format!("crates/{name}"),
+                line: 0,
+                severity: Severity::Notice,
+                message: format!(
+                    "crate `{name}` uses {used} of {budget} budgeted unwraps — \
+                     ratchet the budget down in dekg-lint's UNWRAP_BUDGETS"
+                ),
+            });
+        }
+        budgets.push(BudgetStatus { crate_name: name, used, budget });
+    }
+
+    diagnostics.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    Ok(LintReport { diagnostics, files_scanned: scanned, budgets })
+}
+
+/// Locates the workspace root: `dir` itself or the nearest ancestor
+/// containing a `Cargo.toml` with a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        cur = dir.parent();
+    }
+    None
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_ordered() {
+        let ids: Vec<&str> = registry().iter().map(|r| r.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids.len(), sorted.len(), "duplicate rule ids");
+        assert_eq!(ids, ["L1", "L2", "L3", "L4", "L5"]);
+    }
+
+    #[test]
+    fn diagnostic_renders_with_and_without_line() {
+        let d = Diagnostic {
+            rule: "L3",
+            path: "crates/kg/src/io.rs".into(),
+            line: 7,
+            severity: Severity::Error,
+            message: "m".into(),
+        };
+        assert_eq!(d.to_string(), "crates/kg/src/io.rs:7: error[L3]: m");
+        let c = Diagnostic { line: 0, severity: Severity::Notice, ..d };
+        assert_eq!(c.to_string(), "crates/kg/src/io.rs: notice[L3]: m");
+    }
+
+    #[test]
+    fn crate_name_and_scopes() {
+        let f = SourceFile::parse("crates/kg/src/io.rs", "");
+        assert_eq!(f.crate_name(), Some("kg"));
+        assert!(!f.is_test_scope());
+        assert!(SourceFile::parse("tests/end_to_end.rs", "").is_test_scope());
+        assert!(SourceFile::parse("crates/lint/tests/red_fixtures.rs", "").is_test_scope());
+        assert_eq!(SourceFile::parse("shims/rayon/src/lib.rs", "").crate_name(), None);
+    }
+
+    #[test]
+    fn clean_source_is_clean() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, u32>) -> Option<&u32> { m.get(&0) }\n";
+        assert!(lint_source("crates/kg/src/fake.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! RED fixture for rule L1 (hash-iteration): iterating a HashMap in a
+//! determinism-contract crate. Linted as if it lived at
+//! `crates/kg/src/fixture.rs`. Never compiled — parsed only.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Index {
+    by_head: HashMap<u32, Vec<u32>>,
+}
+
+pub fn degree_sum(idx: &Index) -> usize {
+    let mut total = 0;
+    for (_, v) in idx.by_head.iter() {
+        total += v.len();
+    }
+    total
+}
+
+pub fn collect_seen(seen: HashSet<u32>) -> Vec<u32> {
+    // Justified iteration is legal:
+    let mut sorted: Vec<u32> = seen.iter().copied().collect(); // lint: sorted-ok — sorted on the next line
+    sorted.sort_unstable();
+    sorted
+}
+
+pub fn lookup(idx: &Index, k: u32) -> Option<&Vec<u32>> {
+    idx.by_head.get(&k) // keyed lookups stay legal
+}

@@ -1,0 +1,9 @@
+//! RED fixture for rule L2 (allow-justification): an `#[allow(…)]`
+//! with no explanatory comment. Never compiled — parsed only.
+
+#[allow(dead_code)]
+fn unjustified() {}
+
+// This one is fine: the comment above says why.
+#[allow(dead_code)]
+fn justified() {}

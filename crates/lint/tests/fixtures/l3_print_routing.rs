@@ -1,0 +1,16 @@
+//! RED fixture for rule L3 (print-routing): printing from library code.
+//! Linted as if it lived at `crates/eval/src/fixture.rs`. Never
+//! compiled — parsed only.
+
+pub fn report(x: f64) {
+    println!("mrr = {x}");
+}
+
+pub fn warn_direct(msg: &str) {
+    eprintln!("warning: {msg}");
+}
+
+pub fn justified(msg: &str) {
+    // lint: print-ok — fixture demonstrating a justified sink
+    println!("{msg}");
+}

@@ -1,0 +1,12 @@
+//! RED fixture for rule L4 (unwrap-budget): `.unwrap()`/`.expect()` on
+//! a fallible-input path. Linted as if it lived at
+//! `crates/kg/src/io.rs` (a zero-unwrap path). Never compiled — parsed
+//! only.
+
+pub fn read_all(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap()
+}
+
+pub fn first_line(text: &str) -> &str {
+    text.lines().next().expect("at least one line")
+}

@@ -1,0 +1,17 @@
+//! RED fixture for rule L5 (hermetic-kernel): wall-clock reads and RNG
+//! construction inside a kernel module. Linted as if it lived at
+//! `crates/tensor/src/kernels.rs`. Never compiled — parsed only.
+
+pub fn timed_matmul(a: &[f32], b: &[f32]) -> f64 {
+    let start = std::time::Instant::now();
+    let _ = (a.len(), b.len());
+    start.elapsed().as_secs_f64()
+}
+
+pub fn noisy_init(out: &mut [f32]) {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+    for v in out.iter_mut() {
+        *v = rng.random::<f32>();
+    }
+}

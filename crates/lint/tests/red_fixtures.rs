@@ -1,0 +1,102 @@
+//! The red-fixture suite: every lint rule must catch its known-bad
+//! fixture (golden diagnostics, byte-compared), and the registry and
+//! fixture set must cover each other exactly — the same two-way audit
+//! the gradcheck registry runs over `ALL_OPS`.
+//!
+//! Fixtures live in `tests/fixtures/` (skipped by the workspace walker)
+//! and are parsed, never compiled. Each is linted under a *virtual*
+//! path choosing the scope that arms its rule — e.g. the L1 fixture
+//! pretends to live in `crates/kg/src/`, a determinism-contract crate.
+
+use dekg_lint::{lint_source, registry, Severity};
+
+/// rule id → (fixture file, virtual workspace path it is linted under).
+const FIXTURES: &[(&str, &str, &str)] = &[
+    ("L1", "l1_hash_iteration.rs", "crates/kg/src/fixture.rs"),
+    ("L2", "l2_allow_justification.rs", "crates/obs/src/fixture.rs"),
+    ("L3", "l3_print_routing.rs", "crates/eval/src/fixture.rs"),
+    ("L4", "l4_unwrap_budget.rs", "crates/kg/src/io.rs"),
+    ("L5", "l5_hermetic_kernel.rs", "crates/tensor/src/kernels.rs"),
+];
+
+fn fixture_path(file: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(file)
+}
+
+/// Every rule has a fixture, every fixture names a registered rule —
+/// adding a rule without a red test (or a stale fixture) fails here.
+#[test]
+fn registry_and_fixtures_cover_each_other() {
+    let rule_ids: Vec<&str> = registry().iter().map(|r| r.id).collect();
+    for rule in registry() {
+        assert!(
+            FIXTURES.iter().any(|(id, _, _)| *id == rule.id),
+            "rule {} ({}) has no red fixture in tests/fixtures/",
+            rule.id,
+            rule.name
+        );
+    }
+    for (id, file, _) in FIXTURES {
+        assert!(rule_ids.contains(id), "fixture {file} names unregistered rule {id}");
+        assert!(fixture_path(file).is_file(), "fixture file {file} is missing");
+    }
+}
+
+/// Each fixture must produce error-severity diagnostics from exactly
+/// its rule, matching the golden `.expected` transcript byte-for-byte.
+#[test]
+fn fixtures_produce_golden_diagnostics() {
+    for (id, file, virtual_path) in FIXTURES {
+        let src = std::fs::read_to_string(fixture_path(file))
+            .unwrap_or_else(|e| panic!("read fixture {file}: {e}"));
+        let diags = lint_source(virtual_path, &src);
+        assert!(
+            diags.iter().any(|d| d.rule == *id && d.severity == Severity::Error),
+            "fixture {file} produced no {id} error; got: {diags:?}"
+        );
+        assert!(
+            diags.iter().all(|d| d.rule == *id),
+            "fixture {file} tripped rules other than {id}: {diags:?}"
+        );
+        let rendered: String = diags.iter().map(|d| format!("{d}\n")).collect();
+        let expected_file = fixture_path(&format!("{}.expected", file.trim_end_matches(".rs")));
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(&expected_file, &rendered).expect("write golden transcript");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&expected_file)
+            .unwrap_or_else(|e| panic!("read golden transcript {}: {e}", expected_file.display()));
+        assert_eq!(
+            rendered,
+            expected,
+            "fixture {file}: diagnostics drifted from the golden transcript \
+             ({}) — update it if the change is intentional",
+            expected_file.display()
+        );
+    }
+}
+
+/// The justified variants inside each fixture must NOT be flagged —
+/// one diagnostic per deliberate violation, none for the legal code.
+#[test]
+fn justified_variants_stay_clean() {
+    // The L1 fixture contains one violation, one justified iteration
+    // and one keyed lookup; exactly one diagnostic may come back.
+    let src = std::fs::read_to_string(fixture_path("l1_hash_iteration.rs")).expect("fixture");
+    assert_eq!(lint_source("crates/kg/src/fixture.rs", &src).len(), 1);
+    // Outside the determinism-contract crates the same source is legal.
+    assert!(lint_source("crates/cli/src/fixture.rs", &src).is_empty());
+
+    // The L3 fixture's justified print is silent; bench/cli are exempt.
+    let src = std::fs::read_to_string(fixture_path("l3_print_routing.rs")).expect("fixture");
+    assert_eq!(lint_source("crates/eval/src/fixture.rs", &src).len(), 2);
+    assert!(lint_source("crates/cli/src/fixture.rs", &src).is_empty());
+
+    // The L4 fixture is only hot on zero-unwrap paths.
+    let src = std::fs::read_to_string(fixture_path("l4_unwrap_budget.rs")).expect("fixture");
+    assert!(lint_source("crates/baselines/src/fixture.rs", &src).is_empty());
+
+    // The L5 fixture is legal outside kernel modules.
+    let src = std::fs::read_to_string(fixture_path("l5_hermetic_kernel.rs")).expect("fixture");
+    assert!(lint_source("crates/datasets/src/fixture.rs", &src).is_empty());
+}

@@ -89,6 +89,7 @@ pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
         return;
     }
     let message = args.to_string();
+    // lint: print-ok — this IS the stderr sink every library log macro routes through
     eprintln!("[{level} {target}] {message}");
     if trace_active() {
         Event::new("log")

@@ -130,11 +130,11 @@ impl Optimizer for Adam {
         for (id, grad) in grads.iter() {
             let value = params.get_mut(id);
             let data = value.data_mut();
-            let m = self.m.entry(id.index()).or_insert_with(|| vec![0.0; data.len()]);
-            let v = self.v.entry(id.index()).or_insert_with(|| vec![0.0; data.len()]);
-            assert_eq!(m.len(), data.len(), "parameter shape changed under optimizer");
+            let m_buf = self.m.entry(id.index()).or_insert_with(|| vec![0.0; data.len()]);
+            let v_buf = self.v.entry(id.index()).or_insert_with(|| vec![0.0; data.len()]);
+            assert_eq!(m_buf.len(), data.len(), "parameter shape changed under optimizer");
             for (((w, &g), m_i), v_i) in
-                data.iter_mut().zip(grad.data()).zip(m.iter_mut()).zip(v.iter_mut())
+                data.iter_mut().zip(grad.data()).zip(m_buf.iter_mut()).zip(v_buf.iter_mut())
             {
                 *m_i = self.beta1 * *m_i + (1.0 - self.beta1) * g;
                 *v_i = self.beta2 * *v_i + (1.0 - self.beta2) * g * g;

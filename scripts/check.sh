@@ -11,8 +11,20 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> dekg lint (workspace invariant rules)"
+# The static pass: determinism-contract iteration (L1), #[allow]
+# justifications (L2), print routing (L3), unwrap budgets (L4),
+# hermetic kernels (L5). Must be clean — fix or justify at the site.
+cargo run -q --release --offline -p dekg-cli -- lint
+
 echo "==> cargo test --workspace"
 cargo test -q --workspace --offline
+
+echo "==> determinism under a shuffled schedule (DEKG_SHUFFLE_SCHEDULE=1)"
+# Re-runs the bitwise-determinism contract with the rayon shim handing
+# out random uneven chunks in random spawn order: results must be
+# schedule-invariant, not merely thread-count-invariant.
+DEKG_SHUFFLE_SCHEDULE=1 cargo test -q -p dekg --test parallel_determinism --offline
 
 echo "==> cargo doc --workspace (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps --offline
@@ -45,6 +57,13 @@ echo "==> perf harness smoke run (2 threads, tiny scale)"
 # are regenerated separately with the default flags.
 cargo run -q --release --offline -p dekg-bench --bin perf -- \
     --threads 2 --scale 0.04 --epochs 1 --out "$tmp/BENCH_perf.json"
+
+echo "==> zero-allocation sanitizer: warmed batched scoring loop"
+# Under a counting global allocator, 64 steady-state iterations of the
+# batched scoring loop must perform 0 heap allocations (the
+# InferenceWorkspace scratch discipline, asserted for real).
+cargo run -q --release --offline -p dekg-bench --features count-alloc --bin perf -- \
+    --alloc-check
 
 echo "==> batched-path smoke: evaluate batched vs per-candidate, identical metrics"
 # The same checkpoint evaluated through the batched candidate-ranking

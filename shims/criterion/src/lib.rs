@@ -78,11 +78,13 @@ fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, f: &mut F) {
     };
     f(&mut bencher);
     match bencher.mean {
+        // lint: print-ok — bench reporter: stdout IS the deliverable of a criterion run
         Some(mean) => println!(
             "bench: {label:<40} {:>12.3} ns/iter ({} iterations)",
             mean.as_nanos() as f64,
             bencher.iterations
         ),
+        // lint: print-ok — bench reporter: stdout IS the deliverable of a criterion run
         None => println!("bench: {label:<40} (no measurement)"),
     }
 }
@@ -204,6 +206,7 @@ impl Bencher {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        // Generated runner: callers name it, rustdoc adds nothing.
         #[allow(missing_docs)]
         pub fn $name() {
             let mut criterion: $crate::Criterion = $config;
@@ -211,6 +214,7 @@ macro_rules! criterion_group {
         }
     };
     ($name:ident, $($target:path),+ $(,)?) => {
+        // Generated runner: callers name it, rustdoc adds nothing.
         #[allow(missing_docs)]
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();

@@ -146,6 +146,7 @@ pub mod strategy {
         ($($name:ident),+) => {
             impl<$($name: Strategy),+> Strategy for ($($name,)+) {
                 type Value = ($($name::Value,)+);
+                // The macro reuses type-parameter names as bindings.
                 #[allow(non_snake_case)]
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     let ($($name,)+) = self;
@@ -600,6 +601,7 @@ macro_rules! __proptest_tests {
     ) => {
         $(
             $(#[$meta])+
+            // Bodies ending in panics/asserts leave the loop tail unreachable.
             #[allow(unreachable_code)]
             fn $name() {
                 let config = $config;
