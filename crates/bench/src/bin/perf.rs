@@ -44,25 +44,36 @@ mod alloc_counter {
     use std::sync::atomic::{AtomicU64, Ordering};
 
     static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static CURRENT_BYTES: AtomicU64 = AtomicU64::new(0);
+    static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 
-    /// Delegates to [`System`], counting `alloc`/`realloc` calls.
+    /// Delegates to [`System`], counting `alloc`/`realloc` calls and
+    /// tracking live heap bytes plus their high-water mark.
     pub struct CountingAlloc;
 
+    fn on_alloc(size: usize) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let cur = CURRENT_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+        PEAK_BYTES.fetch_max(cur, Ordering::Relaxed);
+    }
+
     // `GlobalAlloc` is an unsafe trait; this impl only forwards to the
-    // system allocator around an atomic increment.
+    // system allocator around relaxed atomic bookkeeping.
     #[allow(unsafe_code)]
     unsafe impl GlobalAlloc for CountingAlloc {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            on_alloc(layout.size());
             unsafe { System.alloc(layout) }
         }
 
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            CURRENT_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
             unsafe { System.dealloc(ptr, layout) }
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            CURRENT_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+            on_alloc(new_size);
             unsafe { System.realloc(ptr, layout, new_size) }
         }
     }
@@ -73,6 +84,22 @@ mod alloc_counter {
     /// Total allocations so far (monotonic; read before/after a region).
     pub fn count() -> u64 {
         ALLOCS.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently live on the heap.
+    pub fn current_bytes() -> u64 {
+        CURRENT_BYTES.load(Ordering::Relaxed)
+    }
+
+    /// Resets the high-water mark to the current live size so a
+    /// region's peak growth can be measured in isolation.
+    pub fn reset_peak() {
+        PEAK_BYTES.store(CURRENT_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// High-water mark of live heap bytes since the last [`reset_peak`].
+    pub fn peak_bytes() -> u64 {
+        PEAK_BYTES.load(Ordering::Relaxed)
     }
 }
 
@@ -163,6 +190,94 @@ fn section(baseline: Timed, current: Timed, outputs_identical: bool) -> Section 
     Section { baseline, current, speedup, outputs_identical }
 }
 
+/// The static tape analyzer's overhead profile: a cold analysis of one
+/// production training-batch tape versus cache-served re-analysis of
+/// structurally identical rebuilds, against the cost of recording the
+/// tape itself (the thing any per-step analysis must amortize under).
+#[derive(Serialize)]
+struct TapecheckSection {
+    /// Nodes in the analyzed training-batch tape.
+    tape_nodes: usize,
+    /// The memory plan's predicted peak for that tape.
+    predicted_peak_bytes: usize,
+    /// One full three-pass analysis, no cache.
+    cold_analysis_seconds: f64,
+    /// Recording the tape once (forward execution included).
+    tape_build_seconds: f64,
+    /// Steady-state cache-served analysis per rebuilt identical tape
+    /// (one structure hash + lookup).
+    cached_analysis_seconds: f64,
+    /// Cache hits over steady-state iterations (must be 1.0).
+    cache_hit_rate: f64,
+    /// `cached_analysis_seconds / tape_build_seconds` — the per-step
+    /// overhead `train --tape-report` adds once warm.
+    amortized_overhead_ratio: f64,
+}
+
+/// Times the tape static analyzer on one production training-batch
+/// tape: cold, then cache-served over identical rebuilds.
+fn time_tapecheck(dataset: &DekgDataset, opts: &Opts) -> TapecheckSection {
+    use dekg_datasets::NegativeSampler;
+
+    let cfg = DekgIlpConfig { epochs: 1, ..DekgIlpConfig::quick() };
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let model = DekgIlp::new(cfg, dataset, &mut rng);
+    let train_graph = InferenceGraph::training_view(dataset);
+    let sampler =
+        NegativeSampler::new(0..dataset.num_original_entities as u32, vec![&dataset.original]);
+    let batch: Vec<Triple> = dataset.original.triples().iter().copied().take(8).collect();
+    let build = || {
+        let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0x7a9e);
+        let mut g = dekg_tensor::Graph::new();
+        let parts = dekg_core::batch_loss_parts(
+            &mut g,
+            &model,
+            dataset,
+            &train_graph,
+            &sampler,
+            &batch,
+            &mut rng,
+        );
+        (g, parts)
+    };
+
+    const ITERS: usize = 8;
+    let start = Instant::now();
+    let tapes: Vec<_> = (0..ITERS).map(|_| build()).collect();
+    let tape_build_seconds = start.elapsed().as_secs_f64() / ITERS as f64;
+
+    let (g, parts) = build();
+    let observed = parts.observed_vars();
+    let start = Instant::now();
+    let report =
+        dekg_tensor::tapecheck::tapecheck_with(&g, parts.total, &observed, Some(model.params()));
+    let cold_analysis_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(report.errors(), 0, "perf harness training tape has shape errors");
+
+    let mut cache = dekg_tensor::TapeCache::new();
+    cache.analyze(&g, parts.total, &observed, Some(model.params()));
+    let start = Instant::now();
+    for (g2, p2) in &tapes {
+        cache.analyze(g2, p2.total, &p2.observed_vars(), Some(model.params()));
+    }
+    let cached_analysis_seconds = start.elapsed().as_secs_f64() / ITERS as f64;
+    let cache_hit_rate = cache.hits() as f64 / ITERS as f64;
+
+    TapecheckSection {
+        tape_nodes: report.num_nodes,
+        predicted_peak_bytes: report.plan.peak_live_bytes,
+        cold_analysis_seconds,
+        tape_build_seconds,
+        cached_analysis_seconds,
+        cache_hit_rate,
+        amortized_overhead_ratio: if tape_build_seconds > 0.0 {
+            cached_analysis_seconds / tape_build_seconds
+        } else {
+            0.0
+        },
+    }
+}
+
 #[derive(Serialize)]
 struct Report {
     dataset: String,
@@ -183,6 +298,9 @@ struct Report {
     /// forward-only pipeline — isolates what block-diagonal packing and
     /// BFS reuse add on top of dropping the tape.
     batched: Section,
+    /// Static tape analysis overhead: cold vs cache-served, relative to
+    /// the cost of recording the tape itself.
+    tapecheck: TapecheckSection,
     eval_queries: usize,
     /// The headline number: end-to-end evaluation, seed pipeline (tape
     /// scoring, dense extraction, serial) vs current (batched scoring,
@@ -345,6 +463,28 @@ fn alloc_check(opts: &Opts) {
     let batch = BatchedSubgraphs::pack(&sgs);
     let rels: Vec<dekg_kg::RelationId> = dataset.test_enclosing.iter().map(|t| t.rel).collect();
 
+    // Predicted memory bound: the tape-based formulation of the same
+    // scoring work, analyzed statically. Each candidate's autograd tape
+    // gets a liveness/buffer-reuse plan; the sum of the per-candidate
+    // peaks is what an optimally-scheduled tape executor would need, so
+    // the workspace-based batched engine must stay at or under it in
+    // steady state (it reuses warmed buffers, so its delta is ~zero).
+    let predicted_peak: usize = {
+        let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+        dataset
+            .test_enclosing
+            .iter()
+            .zip(&sgs)
+            .map(|(t, sg)| {
+                let mut g = dekg_tensor::Graph::new();
+                let score =
+                    model.gsm().score_subgraph(&mut g, model.params(), sg, t.rel, false, &mut rng);
+                let report = dekg_tensor::tapecheck::tapecheck_with(&g, score, &[], None);
+                report.plan.peak_live_bytes
+            })
+            .sum()
+    };
+
     let mut ws = dekg_core::gsm::InferenceWorkspace::new();
     let mut out: Vec<f32> = Vec::new();
     // Warm-up: the first call sizes every scratch buffer.
@@ -353,11 +493,14 @@ fn alloc_check(opts: &Opts) {
 
     const ITERS: usize = 64;
     let before = alloc_counter::count();
+    let live_before = alloc_counter::current_bytes();
+    alloc_counter::reset_peak();
     for _ in 0..ITERS {
         out.clear();
         model.score_packed(&batch, &rels, &mut ws, &mut out);
     }
     let delta = alloc_counter::count() - before;
+    let measured_peak_delta = alloc_counter::peak_bytes().saturating_sub(live_before) as usize;
     assert_eq!(out, warm, "steady-state batched scores drifted between iterations");
     println!(
         "alloc-check: {ITERS} warmed batched-scoring iterations \
@@ -365,12 +508,65 @@ fn alloc_check(opts: &Opts) {
         rels.len(),
         batch.total_nodes(),
     );
+    println!(
+        "alloc-check: measured steady-state peak growth {measured_peak_delta} byte(s) vs \
+         {predicted_peak} byte(s) predicted by the tape memory plan"
+    );
     assert_eq!(
         delta, 0,
         "batched scoring loop allocated in steady state — a scratch buffer \
          is being rebuilt per call instead of reused from InferenceWorkspace"
     );
+    assert!(
+        measured_peak_delta <= predicted_peak,
+        "steady-state batched scoring grew the heap by {measured_peak_delta} byte(s), more \
+         than the {predicted_peak} byte(s) the static tape memory plan predicts"
+    );
+    record_alloc_check(&opts.out, ITERS, rels.len(), delta, predicted_peak, measured_peak_delta);
     println!("alloc-check: OK — steady-state batched scoring is allocation-free");
+}
+
+/// Merges an `alloc_check` section into the JSON report at `out`
+/// (creating the file when absent), preserving every other key a prior
+/// default `perf` run wrote.
+#[cfg(feature = "count-alloc")]
+fn record_alloc_check(
+    out: &str,
+    iters: usize,
+    candidates: usize,
+    allocations: u64,
+    predicted_peak: usize,
+    measured_peak_delta: usize,
+) {
+    use serde::{Number, Value};
+    let num = |n: u64| Value::Num(Number::U(n));
+    let section = Value::Object(vec![
+        ("iterations".into(), num(iters as u64)),
+        ("candidates".into(), num(candidates as u64)),
+        ("steady_state_allocations".into(), num(allocations)),
+        ("predicted_peak_bytes".into(), num(predicted_peak as u64)),
+        ("measured_peak_delta_bytes".into(), num(measured_peak_delta as u64)),
+    ]);
+    let mut root = match std::fs::read_to_string(out) {
+        Ok(text) => match serde_json::parse_value(&text) {
+            Ok(Value::Object(pairs)) => pairs,
+            _ => {
+                eprintln!("{out}: existing report is not a JSON object; rewriting");
+                Vec::new()
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    match root.iter_mut().find(|(k, _)| k == "alloc_check") {
+        Some((_, v)) => *v = section,
+        None => root.push(("alloc_check".into(), section)),
+    }
+    let text = serde_json::to_string_pretty(&Value::Object(root)).expect("render alloc_check");
+    if let Err(e) = std::fs::write(out, text) {
+        eprintln!("could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("alloc-check: predicted-vs-measured peak recorded in {out}");
 }
 
 #[cfg(not(feature = "count-alloc"))]
@@ -449,6 +645,29 @@ fn main() {
         batched.outputs_identical
     );
 
+    println!("timing tape static analysis…");
+    let tapecheck = time_tapecheck(&dataset, &opts);
+    println!(
+        "  {} node(s): cold {:.4}s, cached {:.6}s/iter vs {:.4}s/tape build \
+         (overhead {:.4}x, hit rate {:.2})",
+        tapecheck.tape_nodes,
+        tapecheck.cold_analysis_seconds,
+        tapecheck.cached_analysis_seconds,
+        tapecheck.tape_build_seconds,
+        tapecheck.amortized_overhead_ratio,
+        tapecheck.cache_hit_rate
+    );
+    assert!(
+        (tapecheck.cache_hit_rate - 1.0).abs() < f64::EPSILON,
+        "structurally identical rebuilt tapes missed the analysis cache"
+    );
+    assert!(
+        tapecheck.amortized_overhead_ratio < 0.5,
+        "cache-served tape analysis costs {:.3}x of tape recording — overhead is not \
+         amortized to noise",
+        tapecheck.amortized_overhead_ratio
+    );
+
     let report = Report {
         dataset: dataset.name.clone(),
         scale: opts.scale,
@@ -463,6 +682,7 @@ fn main() {
         train_epoch,
         eval,
         batched,
+        tapecheck,
         eval_queries,
     };
     if let Err(e) = dekg_eval::report::save_json(std::path::Path::new(&opts.out), &report) {

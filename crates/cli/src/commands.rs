@@ -18,14 +18,15 @@ dekg — DEKG-ILP inductive link prediction
 commands:
   generate  --raw fb|nell|wn --split eq|mb|me [--scale F] [--seed N] --out DIR
   stats     --data DIR
-  check     --data DIR [--raw fb|nell|wn --split eq|mb|me [--scale F]] [--grads] [--seed N]
-  train     --data DIR [--check] [--epochs N] [--dim N] [--seed N]
+  check     --data DIR [--raw fb|nell|wn --split eq|mb|me [--scale F]] [--grads]
+            [--tape [--json]] [--seed N]
+  train     --data DIR [--check] [--tape-report] [--epochs N] [--dim N] [--seed N]
             [--gradcheck-every N] [--threads N] --ckpt FILE [observability flags]
   evaluate  --data DIR --ckpt FILE [--candidates N] [--split eq|mb|me] [--seed N]
             [--threads N] [--scoring batched|per-candidate|tape] [observability flags]
   predict   --data DIR --ckpt FILE --rel NAME (--head NAME | --tail NAME) [--top N]
   obslint   --file FILE [--require kind1,kind2,...]
-  lint      [--root DIR]
+  lint      [--root DIR] [--json]
   help
 
 observability flags (train, evaluate):
@@ -143,10 +144,20 @@ pub fn stats(flags: &Flags) -> CliResult {
 /// Runs every applicable KG validator over a dataset, printing each
 /// finding. Errors (broken invariants) fail the command; warnings are
 /// reported but tolerated. Shared by `dekg check` and `train --check`.
+/// With `to_stderr` the chatter moves off stdout so a machine-readable
+/// report (`check --tape --json`) stays the only stdout content.
 fn run_validators(
     dataset: &DekgDataset,
     profile: Option<&DatasetProfile>,
+    to_stderr: bool,
 ) -> Result<(), Box<dyn std::error::Error>> {
+    let say = |line: String| {
+        if to_stderr {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
     let mut diags = dekg_check::validate(dataset);
     let store = dataset.inference_store();
     let table = ComponentTable::from_store(&store, dataset.num_entities(), dataset.num_relations);
@@ -155,7 +166,7 @@ fn run_validators(
         diags.extend(dekg_check::validate_profile(dataset, p));
     }
     for d in &diags {
-        println!("{d}");
+        say(d.to_string());
     }
     let s = dekg_check::summarize(&diags);
     if s.errors > 0 {
@@ -166,9 +177,9 @@ fn run_validators(
         .into());
     }
     if s.warnings > 0 {
-        println!("dekg check: {} warning(s), no errors in {}", s.warnings, dataset.name);
+        say(format!("dekg check: {} warning(s), no errors in {}", s.warnings, dataset.name));
     } else {
-        println!("dekg check: no findings in {}", dataset.name);
+        say(format!("dekg check: no findings in {}", dataset.name));
     }
     Ok(())
 }
@@ -195,11 +206,100 @@ pub fn check(flags: &Flags) -> CliResult {
         (None, None) => None,
         _ => return Err("profile checks need both --raw and --split".into()),
     };
-    run_validators(&dataset, profile.as_ref())?;
+    run_validators(&dataset, profile.as_ref(), flags.switch("json"))?;
     if flags.switch("grads") {
         run_grad_checks(&dataset, flags.parse_or("seed", 0)?)?;
     }
+    if flags.switch("tape") {
+        run_tape_check(&dataset, flags.parse_or("seed", 0)?, flags.switch("json"))?;
+    } else if flags.switch("json") {
+        return Err("--json applies to the --tape report; pass both".into());
+    }
     Ok(())
+}
+
+/// The static tape analysis behind `dekg check --tape`: records one
+/// production training batch and runs the `dekg_tensor::tapecheck`
+/// passes (abstract shapes, gradient-flow reachability, memory plan)
+/// over it without executing any kernels.
+fn run_tape_check(
+    dataset: &DekgDataset,
+    seed: u64,
+    json: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if !json {
+        println!("tapecheck: static analysis of one training-batch tape on {}…", dataset.name);
+    }
+    let report = dekg_core::tape_check_dataset(dataset, seed);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&tape_report_json(&report))?);
+    } else {
+        print!("{}", report.render());
+    }
+    if report.errors() > 0 {
+        return Err(format!(
+            "dekg check --tape: {} error(s), {} warning(s)",
+            report.errors(),
+            report.warnings()
+        )
+        .into());
+    }
+    if !json {
+        println!("dekg check --tape: tape statically verified");
+    }
+    Ok(())
+}
+
+/// Machine-readable form of a [`dekg_tensor::TapeReport`] — the
+/// `--json` face of `dekg check --tape`. Field set is part of the CLI
+/// contract; extend, don't rename.
+fn tape_report_json(report: &dekg_tensor::TapeReport) -> serde::Value {
+    use serde::{Number, Value};
+    let num = |n: usize| Value::Num(Number::U(n as u64));
+    let diagnostics = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            Value::Object(vec![
+                (
+                    "severity".into(),
+                    Value::Str(if d.severity == dekg_tensor::Severity::Error {
+                        "error".into()
+                    } else {
+                        "warning".into()
+                    }),
+                ),
+                ("code".into(), Value::Str(d.code.to_string())),
+                ("message".into(), Value::Str(d.to_string())),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("clean".into(), Value::Bool(report.is_clean())),
+        ("errors".into(), num(report.errors())),
+        ("warnings".into(), num(report.warnings())),
+        ("nodes".into(), num(report.num_nodes)),
+        ("params_checked".into(), num(report.params_checked)),
+        (
+            "dead_params".into(),
+            Value::Array(report.dead_params.iter().map(|p| Value::Str(p.clone())).collect()),
+        ),
+        (
+            "unconsumed_ops".into(),
+            Value::Array(report.unconsumed_ops.iter().map(|&i| num(i)).collect()),
+        ),
+        ("dead_nodes".into(), num(report.dead_nodes)),
+        ("zero_grad_nodes".into(), num(report.zero_grad_nodes)),
+        (
+            "memory_plan".into(),
+            Value::Object(vec![
+                ("peak_live_bytes".into(), num(report.plan.peak_live_bytes)),
+                ("total_value_bytes".into(), num(report.plan.total_value_bytes)),
+                ("buffers".into(), num(report.plan.num_buffers())),
+            ]),
+        ),
+        ("diagnostics".into(), Value::Array(diagnostics)),
+    ])
 }
 
 /// The semantic autograd checks behind `dekg check --grads`.
@@ -231,7 +331,7 @@ pub fn train(flags: &Flags) -> CliResult {
     let dataset = if flags.switch("check") {
         let dir = flags.required("data")?;
         let dataset = loader::load_dir_unchecked(dir, dir)?;
-        run_validators(&dataset, None)?;
+        run_validators(&dataset, None, false)?;
         dataset
     } else {
         load_dataset(flags)?
@@ -242,6 +342,7 @@ pub fn train(flags: &Flags) -> CliResult {
         epochs: flags.parse_or("epochs", 10)?,
         dim: flags.parse_or("dim", 32)?,
         gradcheck_every: flags.parse_or("gradcheck-every", 0)?,
+        tape_report: flags.switch("tape-report"),
         ..DekgIlpConfig::paper()
     };
     cfg.validate();
@@ -504,10 +605,65 @@ pub fn lint(flags: &Flags) -> CliResult {
         }
     };
     let report = dekg_lint::lint_workspace(&root)?;
-    print!("{}", report.render());
+    if flags.switch("json") {
+        println!("{}", serde_json::to_string_pretty(&lint_report_json(&report))?);
+    } else {
+        print!("{}", report.render());
+    }
     if report.is_clean() {
         Ok(())
     } else {
+        // Exit code 1 regardless of renderer; with --json stdout stays
+        // pure JSON and only this summary goes to stderr.
         Err(format!("dekg lint: {} error(s)", report.errors()).into())
     }
+}
+
+/// Machine-readable form of a [`dekg_lint::LintReport`] — the `--json`
+/// face of `dekg lint`. Every finding printed by the human renderer
+/// appears here; sites carrying a `// lint: <rule> — why` comment are
+/// justified and therefore never reach the report, so surfaced
+/// findings are always `"justified": false`.
+fn lint_report_json(report: &dekg_lint::LintReport) -> serde::Value {
+    use serde::{Number, Value};
+    let num = |n: usize| Value::Num(Number::U(n as u64));
+    let findings = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            Value::Object(vec![
+                ("rule".into(), Value::Str(d.rule.to_string())),
+                ("file".into(), Value::Str(d.path.clone())),
+                ("line".into(), Value::Num(Number::U(u64::from(d.line)))),
+                (
+                    "severity".into(),
+                    Value::Str(match d.severity {
+                        dekg_lint::Severity::Error => "error".into(),
+                        dekg_lint::Severity::Notice => "notice".into(),
+                    }),
+                ),
+                ("justified".into(), Value::Bool(false)),
+                ("message".into(), Value::Str(d.message.clone())),
+            ])
+        })
+        .collect();
+    let budgets = report
+        .budgets
+        .iter()
+        .map(|b| {
+            Value::Object(vec![
+                ("crate".into(), Value::Str(b.crate_name.clone())),
+                ("used".into(), num(b.used)),
+                ("budget".into(), num(b.budget)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("clean".into(), Value::Bool(report.is_clean())),
+        ("errors".into(), num(report.errors())),
+        ("notices".into(), num(report.diagnostics.len() - report.errors())),
+        ("files_scanned".into(), num(report.files_scanned)),
+        ("findings".into(), Value::Array(findings)),
+        ("unwrap_budgets".into(), Value::Array(budgets)),
+    ])
 }

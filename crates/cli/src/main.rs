@@ -31,8 +31,9 @@ fn main() -> ExitCode {
     let command = argv.remove(0);
     // Valueless boolean switches, per command.
     let switches: &[&str] = match command.as_str() {
-        "train" => &["check"],
-        "check" => &["grads"],
+        "train" => &["check", "tape-report"],
+        "check" => &["grads", "tape", "json"],
+        "lint" => &["json"],
         _ => &[],
     };
     let flags = match args::Flags::parse_with_switches(&argv, switches) {

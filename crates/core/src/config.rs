@@ -104,6 +104,13 @@ pub struct DekgIlpConfig {
     /// kernels, and training aborts on divergence. `0` (the default)
     /// disables the spot check.
     pub gradcheck_every: usize,
+    /// When `true`, every training batch's tape is statically analyzed
+    /// (`dekg_tensor::tapecheck`): abstract shapes are cross-checked
+    /// against recorded values, gradient-flow reachability flags dead
+    /// parameters, and the memory plan's predicted peak is exported as
+    /// a gauge. Structurally identical batches hit an analysis cache,
+    /// so steady-state overhead is a single hash of the tape.
+    pub tape_report: bool,
     /// Ablation switches.
     pub ablation: Ablation,
 }
@@ -129,6 +136,7 @@ impl Default for DekgIlpConfig {
             bernoulli_negatives: false,
             num_bases: Some(4),
             gradcheck_every: 0,
+            tape_report: false,
             ablation: Ablation::full(),
         }
     }

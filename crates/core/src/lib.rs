@@ -54,5 +54,7 @@ pub mod prelude {
 
 pub use config::{Ablation, DekgIlpConfig};
 pub use model::{DekgIlp, ScoringPath};
-pub use train::{batch_loss, grad_check_dataset};
+pub use train::{
+    batch_loss, batch_loss_parts, grad_check_dataset, tape_check_dataset, BatchLossBreakdown,
+};
 pub use traits::{InferenceGraph, LinkPredictor, TrainReport, TrainableModel};

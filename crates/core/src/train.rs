@@ -51,6 +51,11 @@ pub fn train(model: &mut DekgIlp, dataset: &DekgDataset, rng: &mut dyn RngCore) 
     let epochs_total = reg.counter("dekg_train_epochs_total");
     let loss_gauge = reg.gauge("dekg_train_loss");
     let grad_norm_gauge = reg.gauge("dekg_train_grad_norm");
+    let tape_peak_gauge = reg.gauge("dekg_tape_predicted_peak_bytes");
+    let tape_dead_gauge = reg.gauge("dekg_tape_dead_ops");
+    let tape_hits_total = reg.counter("dekg_tapecheck_cache_hits_total");
+    let tape_misses_total = reg.counter("dekg_tapecheck_cache_misses_total");
+    let mut tape_cache = dekg_tensor::TapeCache::new();
 
     for epoch in 0..cfg.epochs {
         let epoch_started = Instant::now();
@@ -76,6 +81,37 @@ pub fn train(model: &mut DekgIlp, dataset: &DekgDataset, rng: &mut dyn RngCore) 
                     diags.iter().all(|d| d.severity != Severity::Error),
                     "interpreter disagrees with kernels at step {step}; training aborted"
                 );
+            }
+
+            if cfg.tape_report {
+                let observed = parts.observed_vars();
+                let misses_before = tape_cache.misses();
+                let (errors, peak_bytes, dead_ops, findings) = {
+                    let report = tape_cache.analyze(&g, loss, &observed, Some(model.params()));
+                    let findings: Vec<String> =
+                        report.diagnostics.iter().map(ToString::to_string).collect();
+                    (
+                        report.errors(),
+                        report.plan.peak_live_bytes,
+                        report.dead_nodes + report.unconsumed_ops.len(),
+                        findings,
+                    )
+                };
+                if tape_cache.misses() > misses_before {
+                    tape_misses_total.inc();
+                    // Fresh structure: surface its findings once.
+                    for d in &findings {
+                        dekg_obs::log_warn!("tapecheck[step {step}]: {d}");
+                    }
+                } else {
+                    tape_hits_total.inc();
+                }
+                assert!(
+                    errors == 0,
+                    "tape static analysis found {errors} error(s) at step {step}; training aborted"
+                );
+                tape_peak_gauge.set(peak_bytes as f64);
+                tape_dead_gauge.set(dead_ops as f64);
             }
 
             let mut grads = g.backward(loss);
@@ -351,6 +387,23 @@ pub struct BatchLossBreakdown {
     pub tpo_pos_mean: Var,
 }
 
+impl BatchLossBreakdown {
+    /// The tape outputs read by the caller beyond `total`: the
+    /// diagnostic-only means plus the component terms the training
+    /// loop logs. Declaring them as observed roots keeps the static
+    /// tape analyzer from flagging deliberately unconsumed outputs.
+    pub fn observed_vars(&self) -> Vec<Var> {
+        let mut roots = vec![self.margin, self.tpo_pos_mean];
+        if let Some(c) = self.contrastive {
+            roots.push(c);
+        }
+        if let Some(s) = self.sem_pos_mean {
+            roots.push(s);
+        }
+        roots
+    }
+}
+
 /// [`batch_loss`] with the per-component breakdown exposed — the
 /// training loop uses this to emit `train_step` events carrying the
 /// margin/contrastive/φ-component values alongside the total.
@@ -464,6 +517,41 @@ pub fn grad_check_dataset(dataset: &DekgDataset, seed: u64) -> Vec<Diagnostic> {
     let mut g = Graph::new();
     let loss = batch_loss(&mut g, &model, dataset, &train_graph, &sampler, &batch, &mut rng);
     g.diff_check(loss, Some(model.params()))
+}
+
+/// Builds a small fresh model on `dataset`, records one production
+/// training batch with [`batch_loss_parts`], and runs the static tape
+/// analyzer over it without executing any kernels.
+///
+/// Returns the full [`dekg_tensor::TapeReport`] (clean = no
+/// diagnostics). This is the structural half of `dekg check --tape`:
+/// abstract shape interpretation, gradient-flow reachability over the
+/// model's parameters, and the liveness/memory plan — all on the exact
+/// Eq. 15 tape, with the breakdown's diagnostic means declared as
+/// observed roots.
+pub fn tape_check_dataset(dataset: &DekgDataset, seed: u64) -> dekg_tensor::TapeReport {
+    use rand::SeedableRng;
+    let cfg = crate::config::DekgIlpConfig {
+        dim: 8,
+        num_contrastive: 2,
+        gnn_layers: 2,
+        attn_dim: 4,
+        ..crate::config::DekgIlpConfig::quick()
+    };
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let model = DekgIlp::new(cfg, dataset, &mut rng);
+    let train_graph = InferenceGraph::training_view(dataset);
+    let sampler =
+        NegativeSampler::new(0..dataset.num_original_entities as u32, vec![&dataset.original]);
+    let batch: Vec<Triple> = dataset.original.triples().iter().copied().take(8).collect();
+    let mut g = Graph::new();
+    let parts = batch_loss_parts(&mut g, &model, dataset, &train_graph, &sampler, &batch, &mut rng);
+    dekg_tensor::tapecheck::tapecheck_with(
+        &g,
+        parts.total,
+        &parts.observed_vars(),
+        Some(model.params()),
+    )
 }
 
 /// Scores one side (positives or negatives) topologically, returning a
@@ -784,6 +872,26 @@ mod tests {
         let d = tiny_dataset(1);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let cfg = DekgIlpConfig { epochs: 1, gradcheck_every: 31, ..quick_cfg() };
+        let mut model = DekgIlp::new(cfg, &d, &mut rng);
+        let report = model.fit(&d, &mut rng);
+        assert!(report.final_loss.is_finite());
+    }
+
+    #[test]
+    fn tape_check_dataset_is_clean() {
+        let d = tiny_dataset(9);
+        let report = tape_check_dataset(&d, 0);
+        assert!(report.is_clean(), "production training tape not clean:\n{}", report.render());
+        assert!(report.params_checked > 0);
+        assert!(report.plan.peak_live_bytes > 0);
+        assert!(report.plan.peak_live_bytes <= report.plan.total_value_bytes);
+    }
+
+    #[test]
+    fn training_with_tape_report_runs_clean() {
+        let d = tiny_dataset(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let cfg = DekgIlpConfig { epochs: 1, tape_report: true, ..quick_cfg() };
         let mut model = DekgIlp::new(cfg, &d, &mut rng);
         let report = model.fit(&d, &mut rng);
         assert!(report.final_loss.is_finite());

@@ -148,11 +148,21 @@ pub struct ShapeError {
     op: &'static str,
     kind: ShapeErrorKind,
     message: String,
+    context: Option<String>,
 }
 
 impl ShapeError {
     pub(crate) fn new(op: &'static str, kind: ShapeErrorKind, message: impl Into<String>) -> Self {
-        ShapeError { op, kind, message: message.into() }
+        ShapeError { op, kind, message: message.into(), context: None }
+    }
+
+    /// Attaches node provenance — op ordinal and mnemonic, arena index,
+    /// input/output `Var` ids with their shapes — rendered in square
+    /// brackets after the base message (see `op_context`).
+    #[must_use]
+    pub fn with_context(mut self, context: impl Into<String>) -> Self {
+        self.context = Some(context.into());
+        self
     }
 
     /// The op mnemonic the error originated from.
@@ -169,14 +179,24 @@ impl ShapeError {
     pub fn message(&self) -> &str {
         &self.message
     }
+
+    /// The attached node provenance, when any.
+    pub fn context(&self) -> Option<&str> {
+        self.context.as_deref()
+    }
 }
 
 impl fmt::Display for ShapeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Space, not colon: the op mnemonic leads straight into the
         // message ("matmul inner dims: ..."), matching the panic texts
-        // the pre-linter kernels produced.
-        write!(f, "{} {}", self.op, self.message)
+        // the pre-linter kernels produced. Provenance, when attached,
+        // trails in brackets so the leading text stays grep-stable.
+        write!(f, "{} {}", self.op, self.message)?;
+        if let Some(ctx) = &self.context {
+            write!(f, " [{ctx}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -335,245 +355,262 @@ fn same_shape(op: &'static str, a: &Shape, b: &Shape) -> Result<Shape, ShapeErro
     }
 }
 
+/// Centralized per-op shape inference, parameterized over the input
+/// shape lookup.
+///
+/// `declared` carries the caller-declared output shape for the ops that
+/// take one (`Leaf`, `Reshape`, `GatherFlat`); for every other op it is
+/// ignored. Three callers share this single routine: the eager
+/// [`Graph`] constructors (lookup = recorded input values, panic on
+/// `Err`), the tape linter (recorded shapes, downgraded to
+/// [`Diagnostic`]s), and the abstract interpreter in
+/// [`crate::tapecheck`] (symbolic shapes derived bottom-up from the
+/// leaves, never touching a recorded value).
+pub(crate) fn infer_shape_with<'s>(
+    op: &Op,
+    declared: Option<&Shape>,
+    sh: &impl Fn(Var) -> &'s Shape,
+) -> Result<Shape, ShapeError> {
+    match op {
+        Op::Leaf(_) => Ok(declared.cloned().unwrap_or_else(Shape::scalar)),
+        Op::Add(a, b) => same_shape("add", sh(*a), sh(*b)),
+        Op::Sub(a, b) => same_shape("sub", sh(*a), sh(*b)),
+        Op::Mul(a, b) => same_shape("mul", sh(*a), sh(*b)),
+        Op::Div(a, b) => same_shape("div", sh(*a), sh(*b)),
+        Op::Neg(a)
+        | Op::AddScalar(a, _)
+        | Op::MulScalar(a, _)
+        | Op::Relu(a)
+        | Op::Sigmoid(a)
+        | Op::Tanh(a)
+        | Op::Sqrt(a)
+        | Op::Exp(a)
+        | Op::Ln(a)
+        | Op::Sin(a)
+        | Op::Cos(a)
+        | Op::Square(a)
+        | Op::Abs(a) => Ok(sh(*a).clone()),
+        Op::Dropout(a, mask) => {
+            let s = sh(*a);
+            if mask.len() != s.numel() {
+                return Err(ShapeError::new(
+                    "dropout",
+                    ShapeErrorKind::Arity,
+                    format!("mask length {} does not cover input {s}", mask.len()),
+                ));
+            }
+            Ok(s.clone())
+        }
+        Op::Matmul(a, b) => {
+            let (m, k) = as_matrix("matmul", sh(*a))?;
+            let (k2, n) = as_matrix("matmul", sh(*b))?;
+            if k != k2 {
+                return Err(ShapeError::new(
+                    "matmul",
+                    ShapeErrorKind::Mismatch,
+                    format!("inner dims: {} vs {}", sh(*a), sh(*b)),
+                ));
+            }
+            Ok(Shape::new(vec![m, n]))
+        }
+        Op::GatherRows(a, idx) => {
+            let (rows, cols) = as_matrix("gather_rows", sh(*a))?;
+            for &i in idx {
+                if i >= rows {
+                    return Err(ShapeError::new(
+                        "gather_rows",
+                        ShapeErrorKind::OutOfBounds,
+                        format!("index {i} out of bounds for {rows} rows"),
+                    ));
+                }
+            }
+            Ok(Shape::new(vec![idx.len(), cols]))
+        }
+        Op::GatherFlat(a, idx) => {
+            let declared = declared.ok_or_else(|| {
+                ShapeError::new(
+                    "gather_flat",
+                    ShapeErrorKind::Arity,
+                    "missing declared output shape",
+                )
+            })?;
+            if idx.len() != declared.numel() {
+                return Err(ShapeError::new(
+                    "gather_flat",
+                    ShapeErrorKind::Arity,
+                    format!("index count {} does not fill output {declared}", idx.len()),
+                ));
+            }
+            let n = sh(*a).numel();
+            for &i in idx {
+                if i != PAD && i >= n {
+                    return Err(ShapeError::new(
+                        "gather_flat",
+                        ShapeErrorKind::OutOfBounds,
+                        format!("offset {i} out of bounds for {n} elements"),
+                    ));
+                }
+            }
+            Ok(declared.clone())
+        }
+        Op::Reshape(a) => {
+            let declared = declared.ok_or_else(|| {
+                ShapeError::new("reshape", ShapeErrorKind::Arity, "missing declared output shape")
+            })?;
+            let n = sh(*a).numel();
+            if declared.numel() != n {
+                return Err(ShapeError::new(
+                    "reshape",
+                    ShapeErrorKind::Mismatch,
+                    format!("cannot reshape {n} elements to {declared}"),
+                ));
+            }
+            Ok(declared.clone())
+        }
+        Op::ConcatRows(parts) => {
+            if parts.is_empty() {
+                return Err(ShapeError::new("concat_rows", ShapeErrorKind::Arity, "empty input"));
+            }
+            let first = sh(parts[0]);
+            if first.rank() == 1 {
+                let mut total = 0;
+                for &p in parts {
+                    let s = sh(p);
+                    if s.rank() != 1 {
+                        return Err(ShapeError::new(
+                            "concat_rows",
+                            ShapeErrorKind::Rank,
+                            format!("mixed ranks: [{}] vs {s}", first.dim(0)),
+                        ));
+                    }
+                    total += s.dim(0);
+                }
+                Ok(Shape::new(vec![total]))
+            } else {
+                let (_, cols) = as_matrix("concat_rows", first)?;
+                let mut rows = 0;
+                for &p in parts {
+                    let (r, c) = as_matrix("concat_rows", sh(p))?;
+                    if c != cols {
+                        return Err(ShapeError::new(
+                            "concat_rows",
+                            ShapeErrorKind::Mismatch,
+                            format!("column mismatch: {cols} vs {c}"),
+                        ));
+                    }
+                    rows += r;
+                }
+                Ok(Shape::new(vec![rows, cols]))
+            }
+        }
+        Op::ConcatCols(parts) => {
+            if parts.is_empty() {
+                return Err(ShapeError::new("concat_cols", ShapeErrorKind::Arity, "empty input"));
+            }
+            let (rows, _) = as_matrix("concat_cols", sh(parts[0]))?;
+            let mut total = 0;
+            for &p in parts {
+                let (r, c) = as_matrix("concat_cols", sh(p))?;
+                if r != rows {
+                    return Err(ShapeError::new(
+                        "concat_cols",
+                        ShapeErrorKind::Mismatch,
+                        format!("row mismatch: {rows} vs {r}"),
+                    ));
+                }
+                total += c;
+            }
+            Ok(Shape::new(vec![rows, total]))
+        }
+        Op::SumAll(_) | Op::MeanAll(_) => Ok(Shape::scalar()),
+        Op::SumAxis0(a) | Op::MeanAxis0(a) => {
+            let (_, n) = as_matrix("sum_axis0", sh(*a))?;
+            Ok(Shape::new(vec![n]))
+        }
+        Op::SumAxis1(a) => {
+            let (m, _) = as_matrix("sum_axis1", sh(*a))?;
+            Ok(Shape::new(vec![m]))
+        }
+        Op::StackScalars(parts) => {
+            if parts.is_empty() {
+                return Err(ShapeError::new("stack_scalars", ShapeErrorKind::Arity, "empty input"));
+            }
+            for &p in parts {
+                let s = sh(p);
+                if s.numel() != 1 {
+                    return Err(ShapeError::new(
+                        "stack_scalars",
+                        ShapeErrorKind::Mismatch,
+                        format!("non-scalar input {s}"),
+                    ));
+                }
+            }
+            Ok(Shape::new(vec![parts.len()]))
+        }
+        Op::ScatterAddRows { src, idx, rows } => {
+            let (e, cols) = as_matrix("scatter_add_rows", sh(*src))?;
+            if idx.len() != e {
+                return Err(ShapeError::new(
+                    "scatter_add_rows",
+                    ShapeErrorKind::Arity,
+                    format!("index count {} does not match {e} source rows", idx.len()),
+                ));
+            }
+            for &t in idx {
+                if t >= *rows {
+                    return Err(ShapeError::new(
+                        "scatter_add_rows",
+                        ShapeErrorKind::OutOfBounds,
+                        format!("target {t} out of bounds for {rows} rows"),
+                    ));
+                }
+            }
+            Ok(Shape::new(vec![*rows, cols]))
+        }
+        Op::BroadcastRow(a, rows) => {
+            let s = sh(*a);
+            if s.rank() != 1 {
+                return Err(ShapeError::new(
+                    "broadcast_row",
+                    ShapeErrorKind::Rank,
+                    format!("expected rank-1, got {s}"),
+                ));
+            }
+            Ok(Shape::new(vec![*rows, s.dim(0)]))
+        }
+    }
+}
+
+/// Renders node provenance for a [`ShapeError`]: the op ordinal and
+/// mnemonic, the node's arena index, every input `Var` id with its
+/// recorded shape, and (when the node already exists) the recorded
+/// output shape. Attached via [`ShapeError::with_context`] so a
+/// constructor panic or linter diagnostic pinpoints the offending node
+/// without a debugger.
+pub(crate) fn op_context(g: &Graph, op: &Op, node: usize, output: Option<&Shape>) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("op #{} {} at node {node}", op_ordinal(op), op_mnemonic(op));
+    let mut first = true;
+    for_each_input(op, |v| {
+        let sep = if first { "; inputs: " } else { ", " };
+        first = false;
+        let _ = write!(out, "{sep}v{} {}", v.index(), g.node_value(v).shape());
+    });
+    if let Some(s) = output {
+        let _ = write!(out, "; output v{node} {s}");
+    }
+    out
+}
+
 impl Graph {
     /// Centralized shape inference for one op given the shapes of its
-    /// already-recorded inputs.
-    ///
-    /// `declared` carries the caller-declared output shape for the ops
-    /// that take one (`Reshape`, `GatherFlat`); for every other op it is
-    /// ignored. The eager constructors call this before recording and
-    /// panic on `Err`; the linter calls it with each node's recorded
-    /// shape and downgrades failures to [`Diagnostic`]s.
+    /// already-recorded inputs (see [`infer_shape_with`]).
     pub(crate) fn infer_shape(
         &self,
         op: &Op,
         declared: Option<&Shape>,
     ) -> Result<Shape, ShapeError> {
-        let sh = |v: Var| self.node_value(v).shape();
-        match op {
-            Op::Leaf(_) => Ok(declared.cloned().unwrap_or_else(Shape::scalar)),
-            Op::Add(a, b) => same_shape("add", sh(*a), sh(*b)),
-            Op::Sub(a, b) => same_shape("sub", sh(*a), sh(*b)),
-            Op::Mul(a, b) => same_shape("mul", sh(*a), sh(*b)),
-            Op::Div(a, b) => same_shape("div", sh(*a), sh(*b)),
-            Op::Neg(a)
-            | Op::AddScalar(a, _)
-            | Op::MulScalar(a, _)
-            | Op::Relu(a)
-            | Op::Sigmoid(a)
-            | Op::Tanh(a)
-            | Op::Sqrt(a)
-            | Op::Exp(a)
-            | Op::Ln(a)
-            | Op::Sin(a)
-            | Op::Cos(a)
-            | Op::Square(a)
-            | Op::Abs(a) => Ok(sh(*a).clone()),
-            Op::Dropout(a, mask) => {
-                let s = sh(*a);
-                if mask.len() != s.numel() {
-                    return Err(ShapeError::new(
-                        "dropout",
-                        ShapeErrorKind::Arity,
-                        format!("mask length {} does not cover input {s}", mask.len()),
-                    ));
-                }
-                Ok(s.clone())
-            }
-            Op::Matmul(a, b) => {
-                let (m, k) = as_matrix("matmul", sh(*a))?;
-                let (k2, n) = as_matrix("matmul", sh(*b))?;
-                if k != k2 {
-                    return Err(ShapeError::new(
-                        "matmul",
-                        ShapeErrorKind::Mismatch,
-                        format!("inner dims: {} vs {}", sh(*a), sh(*b)),
-                    ));
-                }
-                Ok(Shape::new(vec![m, n]))
-            }
-            Op::GatherRows(a, idx) => {
-                let (rows, cols) = as_matrix("gather_rows", sh(*a))?;
-                for &i in idx {
-                    if i >= rows {
-                        return Err(ShapeError::new(
-                            "gather_rows",
-                            ShapeErrorKind::OutOfBounds,
-                            format!("index {i} out of bounds for {rows} rows"),
-                        ));
-                    }
-                }
-                Ok(Shape::new(vec![idx.len(), cols]))
-            }
-            Op::GatherFlat(a, idx) => {
-                let declared = declared.ok_or_else(|| {
-                    ShapeError::new(
-                        "gather_flat",
-                        ShapeErrorKind::Arity,
-                        "missing declared output shape",
-                    )
-                })?;
-                if idx.len() != declared.numel() {
-                    return Err(ShapeError::new(
-                        "gather_flat",
-                        ShapeErrorKind::Arity,
-                        format!("index count {} does not fill output {declared}", idx.len()),
-                    ));
-                }
-                let n = sh(*a).numel();
-                for &i in idx {
-                    if i != PAD && i >= n {
-                        return Err(ShapeError::new(
-                            "gather_flat",
-                            ShapeErrorKind::OutOfBounds,
-                            format!("offset {i} out of bounds for {n} elements"),
-                        ));
-                    }
-                }
-                Ok(declared.clone())
-            }
-            Op::Reshape(a) => {
-                let declared = declared.ok_or_else(|| {
-                    ShapeError::new(
-                        "reshape",
-                        ShapeErrorKind::Arity,
-                        "missing declared output shape",
-                    )
-                })?;
-                let n = sh(*a).numel();
-                if declared.numel() != n {
-                    return Err(ShapeError::new(
-                        "reshape",
-                        ShapeErrorKind::Mismatch,
-                        format!("cannot reshape {n} elements to {declared}"),
-                    ));
-                }
-                Ok(declared.clone())
-            }
-            Op::ConcatRows(parts) => {
-                if parts.is_empty() {
-                    return Err(ShapeError::new(
-                        "concat_rows",
-                        ShapeErrorKind::Arity,
-                        "empty input",
-                    ));
-                }
-                let first = sh(parts[0]);
-                if first.rank() == 1 {
-                    let mut total = 0;
-                    for &p in parts {
-                        let s = sh(p);
-                        if s.rank() != 1 {
-                            return Err(ShapeError::new(
-                                "concat_rows",
-                                ShapeErrorKind::Rank,
-                                format!("mixed ranks: [{}] vs {s}", first.dim(0)),
-                            ));
-                        }
-                        total += s.dim(0);
-                    }
-                    Ok(Shape::new(vec![total]))
-                } else {
-                    let (_, cols) = as_matrix("concat_rows", first)?;
-                    let mut rows = 0;
-                    for &p in parts {
-                        let (r, c) = as_matrix("concat_rows", sh(p))?;
-                        if c != cols {
-                            return Err(ShapeError::new(
-                                "concat_rows",
-                                ShapeErrorKind::Mismatch,
-                                format!("column mismatch: {cols} vs {c}"),
-                            ));
-                        }
-                        rows += r;
-                    }
-                    Ok(Shape::new(vec![rows, cols]))
-                }
-            }
-            Op::ConcatCols(parts) => {
-                if parts.is_empty() {
-                    return Err(ShapeError::new(
-                        "concat_cols",
-                        ShapeErrorKind::Arity,
-                        "empty input",
-                    ));
-                }
-                let (rows, _) = as_matrix("concat_cols", sh(parts[0]))?;
-                let mut total = 0;
-                for &p in parts {
-                    let (r, c) = as_matrix("concat_cols", sh(p))?;
-                    if r != rows {
-                        return Err(ShapeError::new(
-                            "concat_cols",
-                            ShapeErrorKind::Mismatch,
-                            format!("row mismatch: {rows} vs {r}"),
-                        ));
-                    }
-                    total += c;
-                }
-                Ok(Shape::new(vec![rows, total]))
-            }
-            Op::SumAll(_) | Op::MeanAll(_) => Ok(Shape::scalar()),
-            Op::SumAxis0(a) | Op::MeanAxis0(a) => {
-                let (_, n) = as_matrix("sum_axis0", sh(*a))?;
-                Ok(Shape::new(vec![n]))
-            }
-            Op::SumAxis1(a) => {
-                let (m, _) = as_matrix("sum_axis1", sh(*a))?;
-                Ok(Shape::new(vec![m]))
-            }
-            Op::StackScalars(parts) => {
-                if parts.is_empty() {
-                    return Err(ShapeError::new(
-                        "stack_scalars",
-                        ShapeErrorKind::Arity,
-                        "empty input",
-                    ));
-                }
-                for &p in parts {
-                    let s = sh(p);
-                    if s.numel() != 1 {
-                        return Err(ShapeError::new(
-                            "stack_scalars",
-                            ShapeErrorKind::Mismatch,
-                            format!("non-scalar input {s}"),
-                        ));
-                    }
-                }
-                Ok(Shape::new(vec![parts.len()]))
-            }
-            Op::ScatterAddRows { src, idx, rows } => {
-                let (e, cols) = as_matrix("scatter_add_rows", sh(*src))?;
-                if idx.len() != e {
-                    return Err(ShapeError::new(
-                        "scatter_add_rows",
-                        ShapeErrorKind::Arity,
-                        format!("index count {} does not match {e} source rows", idx.len()),
-                    ));
-                }
-                for &t in idx {
-                    if t >= *rows {
-                        return Err(ShapeError::new(
-                            "scatter_add_rows",
-                            ShapeErrorKind::OutOfBounds,
-                            format!("target {t} out of bounds for {rows} rows"),
-                        ));
-                    }
-                }
-                Ok(Shape::new(vec![*rows, cols]))
-            }
-            Op::BroadcastRow(a, rows) => {
-                let s = sh(*a);
-                if s.rank() != 1 {
-                    return Err(ShapeError::new(
-                        "broadcast_row",
-                        ShapeErrorKind::Rank,
-                        format!("expected rank-1, got {s}"),
-                    ));
-                }
-                Ok(Shape::new(vec![*rows, s.dim(0)]))
-            }
-        }
+        infer_shape_with(op, declared, &|v: Var| self.node_value(v).shape())
     }
 
     /// Structural invariants only: scalar loss, per-node shape
@@ -600,6 +637,7 @@ impl Graph {
                         ShapeErrorKind::OutOfBounds => "oob-index",
                         _ => "shape-error",
                     };
+                    let e = e.with_context(op_context(self, op, id, Some(recorded)));
                     out.push(Diagnostic::error(code, Some(id), op_mnemonic(op), e.to_string()));
                 }
                 Ok(inferred) => {
@@ -619,7 +657,7 @@ impl Graph {
 
     /// Marks every node `<= loss` that can reach the loss through op
     /// edges.
-    fn live_set(&self, loss: Var) -> Vec<bool> {
+    pub(crate) fn live_set(&self, loss: Var) -> Vec<bool> {
         let mut live = vec![false; loss.0 + 1];
         let mut stack = vec![loss.0];
         live[loss.0] = true;

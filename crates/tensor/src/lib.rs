@@ -49,6 +49,7 @@ pub mod params;
 pub mod serialize;
 pub mod shape;
 pub mod tape;
+pub mod tapecheck;
 pub mod tensor;
 
 pub use check::{Diagnostic, Severity, ShapeError, ShapeErrorKind, ALL_OPS};
@@ -56,4 +57,5 @@ pub use interp::DiffBudget;
 pub use params::{GradStore, ParamId, ParamStore};
 pub use shape::Shape;
 pub use tape::{Graph, Var};
+pub use tapecheck::{MemoryPlan, TapeCache, TapeReport};
 pub use tensor::Tensor;

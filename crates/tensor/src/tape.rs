@@ -159,6 +159,11 @@ impl Graph {
         matches!(self.nodes[v.0].op, Op::Leaf(None))
     }
 
+    /// Whether gradients flow through node `v` (analyzer access).
+    pub(crate) fn node_needs_grad(&self, v: Var) -> bool {
+        self.nodes[v.0].needs_grad
+    }
+
     /// Runs the centralized shape inference of [`crate::check`] for an
     /// op about to be recorded, panicking with the typed
     /// [`crate::check::ShapeError`]'s message on failure. This is the
@@ -166,7 +171,12 @@ impl Graph {
     fn expect_shape(&self, op: &Op, declared: Option<&Shape>) -> Shape {
         match self.infer_shape(op, declared) {
             Ok(shape) => shape,
-            Err(e) => panic!("{e}"),
+            // The would-be arena index of the op being validated is
+            // nodes.len(): provenance for the panic message.
+            Err(e) => {
+                let e = e.with_context(crate::check::op_context(self, op, self.nodes.len(), None));
+                panic!("{e}")
+            }
         }
     }
 

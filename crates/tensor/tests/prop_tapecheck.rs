@@ -1,0 +1,168 @@
+//! Property-based validation of the tape static analyzer: random valid
+//! tapes built through the public constructors must analyze without a
+//! single shape finding, and the abstract shape derived for every node
+//! we hold a [`Var`] to must equal the executed one.
+
+use dekg_tensor::tapecheck::{structure_key, tapecheck_with, TapeCache};
+use dekg_tensor::{Graph, ParamStore, Tensor, Var};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Builds one random but well-formed tape. `choices` drives which op
+/// each step records and which pool entries it consumes; every shape
+/// is valid by construction because only the public eager constructors
+/// are used. Returns the graph, the loss, and every Var we created.
+fn build_tape(
+    rows: usize,
+    cols: usize,
+    choices: &[(u8, u8, u8)],
+) -> (Graph, ParamStore, Var, Vec<Var>) {
+    let mut ps = ParamStore::new();
+    let n = rows * cols;
+    let init: Vec<f32> = (0..n).map(|i| (i as f32 * 0.31).sin() * 0.5).collect();
+    let w = ps.insert("w", Tensor::from_vec(vec![rows, cols], init));
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+
+    let mut g = Graph::new();
+    let mut all: Vec<Var> = Vec::new();
+    let track = |v: Var, all: &mut Vec<Var>| {
+        all.push(v);
+        v
+    };
+
+    let mut mats: Vec<Var> = Vec::new();
+    let mut vecs: Vec<Var> = Vec::new();
+    let mut scalars: Vec<Var> = Vec::new();
+
+    let c0 = {
+        let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).cos() + 1.5).collect();
+        g.constant(Tensor::from_vec(vec![rows, cols], data))
+    };
+    mats.push(track(c0, &mut all));
+    mats.push(track(g.param(&ps, w), &mut all));
+
+    for &(op, i, j) in choices {
+        let a = mats[i as usize % mats.len()];
+        let b = mats[j as usize % mats.len()];
+        match op % 16 {
+            0 => mats.push(track(g.add(a, b), &mut all)),
+            1 => mats.push(track(g.sub(a, b), &mut all)),
+            2 => mats.push(track(g.mul(a, b), &mut all)),
+            3 => {
+                // Keep the divisor provably non-zero.
+                let sq = track(g.square(b), &mut all);
+                let safe = track(g.add_scalar(sq, 1.0), &mut all);
+                mats.push(track(g.div(a, safe), &mut all));
+            }
+            4 => mats.push(track(g.tanh(a), &mut all)),
+            5 => mats.push(track(g.mul_scalar(a, 0.5 + f32::from(j) * 0.01), &mut all)),
+            6 => {
+                // Matmul against a fresh [cols, cols] constant keeps the
+                // result in the matrix pool.
+                let m: Vec<f32> = (0..cols * cols).map(|k| (k as f32 * 0.13).sin()).collect();
+                let rhs = track(g.constant(Tensor::from_vec(vec![cols, cols], m)), &mut all);
+                mats.push(track(g.matmul(a, rhs), &mut all));
+            }
+            7 => {
+                let idx: Vec<usize> = (0..=usize::from(j) % rows).map(|k| k % rows).collect();
+                let picked = track(g.gather_rows(a, &idx), &mut all);
+                scalars.push(track(g.sum_all(picked), &mut all));
+            }
+            8 => vecs.push(track(g.sum_axis0(a), &mut all)),
+            9 => vecs.push(track(g.sum_axis1(a), &mut all)),
+            10 => vecs.push(track(g.reshape(a, [rows * cols]), &mut all)),
+            11 => {
+                let target = 1 + usize::from(j) % 3;
+                let idx: Vec<usize> = (0..rows).map(|k| k % target).collect();
+                let spread = track(g.scatter_add_rows(a, &idx, target), &mut all);
+                scalars.push(track(g.mean_all(spread), &mut all));
+            }
+            12 => mats.push(track(g.dropout(a, 0.5, &mut rng), &mut all)),
+            13 => {
+                if let Some(&v) = vecs.last() {
+                    let wide = track(g.broadcast_row(v, 2), &mut all);
+                    scalars.push(track(g.sum_all(wide), &mut all));
+                } else {
+                    scalars.push(track(g.mean_all(a), &mut all));
+                }
+            }
+            14 => {
+                use dekg_tensor::tape::PAD;
+                let flat = track(g.gather_flat(a, &[0, PAD], [2]), &mut all);
+                scalars.push(track(g.sum_all(flat), &mut all));
+            }
+            _ => {
+                let sq = track(g.square(a), &mut all);
+                scalars.push(track(g.mean_all(sq), &mut all));
+            }
+        }
+    }
+
+    // Fold everything into one scalar loss: a couple of matrix sinks
+    // plus every scalar produced along the way.
+    scalars.push(track(g.sum_all(mats[mats.len() - 1]), &mut all));
+    if let Some(&v) = vecs.first() {
+        scalars.push(track(g.sum_all(v), &mut all));
+    }
+    let stacked = track(g.stack_scalars(&scalars), &mut all);
+    let loss = track(g.sum_all(stacked), &mut all);
+    (g, ps, loss, all)
+}
+
+proptest! {
+    /// Abstract shape interpretation agrees with concrete execution
+    /// node-for-node on random valid tapes, the analysis raises no
+    /// errors, and the memory plan is internally consistent.
+    #[test]
+    fn abstract_shapes_match_executed_shapes(
+        rows in 1usize..4,
+        cols in 1usize..4,
+        choices in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>()), 0..16),
+    ) {
+        let (g, ps, loss, all) = build_tape(rows, cols, &choices);
+        let report = g.tapecheck_with_params(loss, &ps);
+
+        // No shape pass finding of any kind: the abstract interpreter
+        // re-derived and cross-checked every node against execution.
+        prop_assert_eq!(report.errors(), 0, "diags: {:?}", report.diagnostics);
+        prop_assert_eq!(report.shapes.len(), g.len());
+        for v in &all {
+            prop_assert!(
+                report.shapes[v.index()].same_as(g.shape(*v)),
+                "node {}: abstract {} != executed {}",
+                v.index(), report.shapes[v.index()], g.shape(*v)
+            );
+        }
+
+        // Memory-plan internal consistency: every node sits in a
+        // buffer of exactly its own byte size, and the predicted peak
+        // never exceeds keep-everything-alive.
+        let plan = &report.plan;
+        prop_assert_eq!(plan.buffer_of.len(), g.len());
+        prop_assert_eq!(plan.last_use.len(), g.len());
+        for v in &all {
+            let id = v.index();
+            prop_assert!(plan.buffer_of[id] < plan.num_buffers());
+            prop_assert_eq!(
+                plan.buffer_bytes[plan.buffer_of[id]],
+                report.shapes[id].numel() * 4
+            );
+            prop_assert!(plan.last_use[id] >= id);
+        }
+        prop_assert!(plan.peak_live_bytes <= plan.total_value_bytes);
+
+        // Re-analyzing the identical structure must hit the cache, and
+        // the cached report must key identically.
+        let mut cache = TapeCache::new();
+        cache.analyze(&g, loss, &[], Some(&ps));
+        cache.analyze(&g, loss, &[], Some(&ps));
+        prop_assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        let _ = tapecheck_with(&g, loss, &[], Some(&ps));
+        prop_assert_eq!(
+            structure_key(&g, loss, &[], Some(&ps)),
+            structure_key(&g, loss, &[], Some(&ps))
+        );
+    }
+}

@@ -16,6 +16,10 @@ echo "==> dekg lint (workspace invariant rules)"
 # justifications (L2), print routing (L3), unwrap budgets (L4),
 # hermetic kernels (L5). Must be clean — fix or justify at the site.
 cargo run -q --release --offline -p dekg-cli -- lint
+# The machine-readable face must agree with the human one: clean run,
+# exit 0, stdout parses as a JSON object reporting zero errors.
+lint_json="$(cargo run -q --release --offline -p dekg-cli -- lint --json)"
+grep -q '"errors": 0' <<< "$lint_json"
 
 echo "==> cargo test --workspace"
 cargo test -q --workspace --offline
@@ -40,6 +44,19 @@ cargo run -q --release --offline -p dekg-cli -- \
 cargo run -q --release --offline -p dekg-cli -- \
     check --data "$tmp/data" --raw fb --split eq --scale 0.05 --grads
 
+echo "==> dekg check --tape: static analysis of the production training tape"
+# Abstract shape interpretation, gradient-flow reachability and the
+# liveness/memory plan over one recorded training batch — no kernel
+# executes during the analysis. The red fixtures (dead parameter, lying
+# shape, unconsumed op) and the 34-variant coverage audit run inside
+# `cargo test -p dekg-tensor` above; this smokes the CLI wiring plus
+# the machine-readable face.
+cargo run -q --release --offline -p dekg-cli -- \
+    check --data "$tmp/data" --tape
+cargo run -q --release --offline -p dekg-cli -- \
+    check --data "$tmp/data" --tape --json > "$tmp/tape.json"
+grep -q '"clean": true' "$tmp/tape.json"
+
 echo "==> observability smoke: train with sinks, obslint both"
 cargo run -q --release --offline -p dekg-cli -- \
     train --data "$tmp/data" --epochs 1 --ckpt "$tmp/model.dekg" \
@@ -61,9 +78,12 @@ cargo run -q --release --offline -p dekg-bench --bin perf -- \
 echo "==> zero-allocation sanitizer: warmed batched scoring loop"
 # Under a counting global allocator, 64 steady-state iterations of the
 # batched scoring loop must perform 0 heap allocations (the
-# InferenceWorkspace scratch discipline, asserted for real).
+# InferenceWorkspace scratch discipline, asserted for real), and the
+# measured peak heap growth must stay at or under the tape memory
+# plan's prediction; both are recorded into the perf report.
 cargo run -q --release --offline -p dekg-bench --features count-alloc --bin perf -- \
-    --alloc-check
+    --alloc-check --out "$tmp/BENCH_perf.json"
+grep -q '"measured_peak_delta_bytes"' "$tmp/BENCH_perf.json"
 
 echo "==> batched-path smoke: evaluate batched vs per-candidate, identical metrics"
 # The same checkpoint evaluated through the batched candidate-ranking
