@@ -9,9 +9,11 @@
 //! through the autograd tape, while the current pipeline uses the
 //! batched candidate-ranking engine ([`dekg_core::ScoringPath`]) — a
 //! separate `batched` section isolates that engine's win over the
-//! per-candidate forward-only path. Every timed pair is also checked
-//! for identical output, so the speedups are measured against a
-//! bit-equal baseline, not a different computation.
+//! per-candidate forward-only path, and a `serve` section boots the
+//! `dekg serve` daemon to split its one-time startup cost from warm
+//! per-request latency. Every timed pair is also checked for identical
+//! output, so the speedups are measured against a bit-equal baseline,
+//! not a different computation.
 //!
 //! ```sh
 //! cargo run --release -p dekg-bench --bin perf
@@ -24,10 +26,12 @@
 
 use dekg_core::{DekgIlp, DekgIlpConfig, InferenceGraph, ScoringPath, TrainableModel};
 use dekg_datasets::{
-    generate, DatasetProfile, DekgDataset, MixRatio, RawKg, SplitKind, SynthConfig, TestMix,
+    generate, item_rng, loader, DatasetProfile, DekgDataset, MixRatio, RawKg, SplitKind,
+    SynthConfig, TestMix,
 };
-use dekg_eval::{evaluate, EvalResult, ProtocolConfig};
+use dekg_eval::{evaluate, filtered_rank, EvalResult, ProtocolConfig, RankQuery};
 use dekg_kg::{DistanceBackend, EntityId, SubgraphExtractor, Triple};
+use dekg_serve::{http_call, RankEngine, ServeConfig, Server};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
@@ -278,6 +282,190 @@ fn time_tapecheck(dataset: &DekgDataset, opts: &Opts) -> TapecheckSection {
     }
 }
 
+/// The serving daemon's cost profile: the one-time startup cost a
+/// `dekg serve` operator pays before `/readyz` flips, against warm
+/// per-request latency through the full HTTP → admission-batch →
+/// batched-scoring path, with every served response checked byte-equal
+/// to the library protocol's answer.
+#[derive(Serialize)]
+struct ServeSection {
+    /// Scale of the serving dataset — fixed at [`SERVE_SCALE`], not
+    /// `--scale`: this section measures load-once/answer-many
+    /// economics, which need a serving-sized graph, not the timing
+    /// microbenchmark's tiny slice (where startup would be noise).
+    scale: f64,
+    /// Everything `RankEngine::load` does once: dataset load, inference
+    /// graph and filter construction, checkpoint restore.
+    startup_seconds: f64,
+    /// Concurrent clients driving the warm measurement.
+    clients: usize,
+    /// Total warm requests timed (after a full warm-up pass).
+    requests: usize,
+    /// Median warm request latency, wall time per `POST /rank`.
+    warm_p50_latency_seconds: f64,
+    /// 99th-percentile warm request latency.
+    warm_p99_latency_seconds: f64,
+    /// Warm requests served per second across all clients.
+    throughput_rps: f64,
+    /// Every served body byte-matched `filtered_rank` on the same
+    /// checkpoint — the daemon's fidelity pin, measured under load.
+    responses_identical: bool,
+}
+
+/// The serving dataset's scale (of the full synthetic FB15k-237 EQ
+/// profile). Decoupled from `--scale`: the daemon's startup cost must
+/// reflect a graph worth keeping resident, independent of how small
+/// the timing microbenchmark's slice is.
+const SERVE_SCALE: f64 = 1.0;
+
+/// Boots a real `dekg-serve` daemon over a serving-scale dataset
+/// (written to a temp dir, exactly as an operator would lay it out)
+/// and measures cold startup versus warm concurrent request latency.
+fn time_serve(opts: &Opts) -> ServeSection {
+    let profile = DatasetProfile::table2(RawKg::Fb15k237, SplitKind::Eq).scaled(SERVE_SCALE);
+    let mut synth = SynthConfig::for_profile(profile, opts.seed);
+    synth.num_test_enclosing = synth.num_test_enclosing.clamp(12, 24);
+    synth.num_test_bridging = synth.num_test_bridging.clamp(12, 24);
+    let dataset = generate(&synth);
+    let dir = std::env::temp_dir().join(format!("dekg-perf-serve-{}", std::process::id()));
+    let data_dir = dir.join("data");
+    std::fs::create_dir_all(&data_dir).expect("serve temp dir");
+    loader::save_dir(&dataset, &data_dir).expect("save serve dataset");
+    let data = data_dir.to_string_lossy().into_owned();
+    // The daemon's view of the dataset is the disk round-trip (vocab
+    // interning order comes from the files, not the generator).
+    let served = loader::load_dir(&data, &data).expect("reload serve dataset");
+    let ckpt = dir.join("model.dekg").to_string_lossy().into_owned();
+    let cfg = DekgIlpConfig::quick();
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let model = DekgIlp::new(cfg.clone(), &served, &mut rng);
+    model.save_checkpoint(&ckpt).expect("write serve checkpoint");
+    let cfg_json = serde_json::to_string_pretty(&cfg).expect("render serve config");
+    std::fs::write(format!("{ckpt}.json"), cfg_json).expect("write serve config");
+
+    // Cold startup: everything the daemon does between `bind` and the
+    // moment `/readyz` starts answering 200.
+    let start = Instant::now();
+    let engine = RankEngine::load(&data, &ckpt).expect("serve engine load");
+    let startup_seconds = start.elapsed().as_secs_f64();
+
+    // No admission linger: this probe measures per-request latency, so
+    // the batcher should drain eagerly rather than wait out its window
+    // (batching still happens whenever clients overlap).
+    let cfg = ServeConfig { workers: opts.threads, max_wait_ms: 0, ..ServeConfig::default() };
+    let server = Server::bind(cfg).expect("bind serve socket");
+    let addr = server.addr().to_string();
+    server.install_engine(engine);
+
+    // The query set: tail-ranking the first held-out enclosing links,
+    // with the expected reply reconstructed through the same library
+    // entry points `dekg evaluate --scoring batched` uses.
+    let links = served.test_enclosing.len().min(12);
+    // Cheap probe queries: the section measures serving overhead (HTTP,
+    // admission batching, warm workspaces), so a small candidate set
+    // keeps the scoring work itself from drowning the measurement.
+    let candidates = 4;
+    let lib_model = DekgIlp::restore(&ckpt, &served).expect("restore serve checkpoint");
+    let graph = InferenceGraph::from_dataset(&served);
+    let mut filter = graph.store.clone();
+    for t in served.valid.iter().chain(&served.test_enclosing).chain(&served.test_bridging) {
+        filter.insert(*t);
+    }
+    let mut bodies = Vec::new();
+    let mut expected = Vec::new();
+    for li in 0..links {
+        let t = served.test_enclosing[li];
+        bodies.push(format!(
+            "{{\"rank\": {{\"task\": \"tail\", \"head\": \"{}\", \"rel\": \"{}\", \
+             \"tail\": \"{}\", \"candidates\": {candidates}, \"seed\": {}, \"index\": {li}}}}}",
+            served.vocab.entity_name(t.head),
+            served.vocab.relation_name(t.rel),
+            served.vocab.entity_name(t.tail),
+            opts.seed,
+        ));
+        let mut rng = item_rng(opts.seed, li as u64);
+        let rank = filtered_rank(
+            &lib_model,
+            &graph,
+            &RankQuery::Tail(t),
+            &filter,
+            Some(candidates),
+            &mut rng,
+        );
+        let reply = serde_json::to_string(&serde::Value::Object(vec![
+            ("task".to_owned(), serde::Value::Str("tail".to_owned())),
+            ("rank".to_owned(), serde::Value::Num(serde::Number::F(rank))),
+        ]))
+        .expect("render expected reply");
+        expected.push(reply);
+    }
+
+    // Warm-up passes: the first touch sizes every worker's scratch
+    // workspace, the second settles lazy paging and branch caches.
+    let mut identical = true;
+    for _ in 0..2 {
+        for (body, want) in bodies.iter().zip(&expected) {
+            let (status, reply) =
+                http_call(&addr, "POST", "/rank", Some(body)).expect("warm-up rank");
+            identical &= status == 200 && reply == *want;
+        }
+    }
+
+    const ROUNDS: usize = 10;
+    let clients = dekg_eval::effective_threads(opts.threads).clamp(1, 4);
+    let wall = Instant::now();
+    let mut latencies: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let (addr, bodies, expected) = (&addr, &bodies, &expected);
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    let mut ok = true;
+                    for round in 0..ROUNDS {
+                        for i in 0..bodies.len() {
+                            // Offset per client so concurrent admission
+                            // batches mix different queries.
+                            let qi = (i + c + round) % bodies.len();
+                            let start = Instant::now();
+                            let (status, reply) =
+                                http_call(addr, "POST", "/rank", Some(&bodies[qi]))
+                                    .expect("timed rank");
+                            lat.push(start.elapsed().as_secs_f64());
+                            ok &= status == 200 && reply == expected[qi];
+                        }
+                    }
+                    (lat, ok)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (lat, ok) = handle.join().expect("serve client thread");
+            latencies.extend(lat);
+            identical &= ok;
+        }
+    });
+    let wall_seconds = wall.elapsed().as_secs_f64();
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    latencies.sort_by(f64::total_cmp);
+    let requests = latencies.len();
+    let percentile = |hundredths: usize| latencies[(requests - 1) * hundredths / 100];
+    ServeSection {
+        scale: SERVE_SCALE,
+        startup_seconds,
+        clients,
+        requests,
+        warm_p50_latency_seconds: percentile(50),
+        warm_p99_latency_seconds: percentile(99),
+        throughput_rps: if wall_seconds > 0.0 { requests as f64 / wall_seconds } else { 0.0 },
+        responses_identical: identical,
+    }
+}
+
 #[derive(Serialize)]
 struct Report {
     dataset: String,
@@ -301,6 +489,9 @@ struct Report {
     /// Static tape analysis overhead: cold vs cache-served, relative to
     /// the cost of recording the tape itself.
     tapecheck: TapecheckSection,
+    /// The `dekg serve` daemon: one-time startup vs warm request
+    /// latency, responses pinned byte-equal to the library protocol.
+    serve: ServeSection,
     eval_queries: usize,
     /// The headline number: end-to-end evaluation, seed pipeline (tape
     /// scoring, dense extraction, serial) vs current (batched scoring,
@@ -668,6 +859,27 @@ fn main() {
         tapecheck.amortized_overhead_ratio
     );
 
+    println!("timing the serving daemon…");
+    let serve = time_serve(&opts);
+    println!(
+        "  startup {:.3}s  warm p50 {:.5}s  p99 {:.5}s  {:.1} req/s \
+         ({} requests from {} clients)  identical: {}",
+        serve.startup_seconds,
+        serve.warm_p50_latency_seconds,
+        serve.warm_p99_latency_seconds,
+        serve.throughput_rps,
+        serve.requests,
+        serve.clients,
+        serve.responses_identical
+    );
+    assert!(
+        serve.warm_p99_latency_seconds < serve.startup_seconds,
+        "warm p99 request latency ({:.4}s) is not under the one-time startup cost \
+         ({:.4}s) — the daemon's warm caches are not paying for themselves",
+        serve.warm_p99_latency_seconds,
+        serve.startup_seconds
+    );
+
     let report = Report {
         dataset: dataset.name.clone(),
         scale: opts.scale,
@@ -683,6 +895,7 @@ fn main() {
         eval,
         batched,
         tapecheck,
+        serve,
         eval_queries,
     };
     if let Err(e) = dekg_eval::report::save_json(std::path::Path::new(&opts.out), &report) {
@@ -697,7 +910,8 @@ fn main() {
         report.extraction.outputs_identical
             && report.train_epoch.outputs_identical
             && report.eval.outputs_identical
-            && report.batched.outputs_identical,
-        "parallel/sparse/batched pipeline diverged from its baseline"
+            && report.batched.outputs_identical
+            && report.serve.responses_identical,
+        "parallel/sparse/batched/served pipeline diverged from its baseline"
     );
 }

@@ -25,11 +25,15 @@ commands:
   evaluate  --data DIR --ckpt FILE [--candidates N] [--split eq|mb|me] [--seed N]
             [--threads N] [--scoring batched|per-candidate|tape] [observability flags]
   predict   --data DIR --ckpt FILE --rel NAME (--head NAME | --tail NAME) [--top N]
+  serve     --data DIR --ckpt FILE [--addr HOST:PORT] [--workers N] [--max-batch N]
+            [--max-wait-ms N] [--queue-depth N] [--port-file FILE]
+            [observability flags]
+  request   --addr HOST:PORT [--path /rank] [--method GET|POST] [--body JSON]
   obslint   --file FILE [--require kind1,kind2,...]
   lint      [--root DIR] [--json]
   help
 
-observability flags (train, evaluate):
+observability flags (train, evaluate, serve):
   --log-level debug|info|warn|off   stderr log threshold (default info)
   --metrics-out FILE                JSONL sink: per-step/epoch events + final
                                     metrics snapshot
@@ -379,17 +383,13 @@ pub fn train(flags: &Flags) -> CliResult {
     obs_finish(flags)
 }
 
-/// Rebuilds a model from a checkpoint pair.
+/// Rebuilds a model from a checkpoint pair — the same
+/// [`DekgIlp::restore`] path `dekg serve` loads through, so CLI
+/// evaluation and daemon serving score the identical model.
 fn restore(flags: &Flags, dataset: &DekgDataset) -> Result<DekgIlp, Box<dyn std::error::Error>> {
     let ckpt = flags.required("ckpt")?;
-    let cfg: DekgIlpConfig =
-        serde_json::from_str(&std::fs::read_to_string(format!("{ckpt}.json"))?)?;
-    let mut rng = ChaCha8Rng::seed_from_u64(0);
-    let mut model = DekgIlp::new(cfg, dataset, &mut rng);
-    model
-        .load_checkpoint(ckpt)
-        .map_err(|e| -> Box<dyn std::error::Error> { format!("{e}").into() })?;
-    Ok(model)
+    DekgIlp::restore(ckpt, dataset)
+        .map_err(|e| -> Box<dyn std::error::Error> { format!("{e}").into() })
 }
 
 /// `dekg evaluate` — filtered-ranking metrics of a checkpoint.
@@ -527,6 +527,61 @@ pub fn predict(flags: &Flags) -> CliResult {
             score,
             marker
         );
+    }
+    Ok(())
+}
+
+/// `dekg serve` — the long-lived ranking daemon: loads the dataset and
+/// checkpoint once, then answers `/rank` queries over HTTP/JSON until
+/// `POST /admin/shutdown`. See `docs/OPERATIONS.md` for the runbook.
+///
+/// `--port-file` writes the bound address (useful with an ephemeral
+/// `--addr HOST:0`) as soon as the socket is up — before the slow
+/// model load, so orchestrators can start polling `/readyz` at once.
+pub fn serve(flags: &Flags) -> CliResult {
+    obs_init(flags)?;
+    let data = flags.required("data")?;
+    let ckpt = flags.required("ckpt")?;
+    let cfg = dekg_serve::ServeConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:8080").to_owned(),
+        workers: flags.parse_or("workers", 0)?,
+        max_batch: flags.parse_or("max-batch", 8)?,
+        max_wait_ms: flags.parse_or("max-wait-ms", 1)?,
+        queue_depth: flags.parse_or("queue-depth", 128)?,
+    };
+    let server = dekg_serve::Server::bind(cfg)?;
+    if let Some(path) = flags.get("port-file") {
+        std::fs::write(path, format!("{}\n", server.addr()))?;
+    }
+    let engine = dekg_serve::RankEngine::load(data, ckpt)?;
+    server.install_engine(engine);
+    server.join();
+    obs_finish(flags)
+}
+
+/// `dekg request` — one blocking HTTP call against a running daemon.
+/// The response body is the only stdout output (machine-readable for
+/// JSON endpoints); non-2xx statuses additionally fail the command.
+pub fn request(flags: &Flags) -> CliResult {
+    let addr = flags.required("addr")?;
+    let path = flags.get("path").unwrap_or("/rank");
+    let body = flags.get("body");
+    let method = match flags.get("method") {
+        Some(m) => m.to_uppercase(),
+        None if body.is_some() => "POST".to_owned(),
+        None => "GET".to_owned(),
+    };
+    let (status, text) = dekg_serve::http_call(addr, &method, path, body)?;
+    // A closed stdout (e.g. `dekg request ... | grep -q`) is not an
+    // error: the consumer simply stopped reading. Anything else is.
+    use std::io::Write;
+    if let Err(e) = writeln!(std::io::stdout(), "{text}") {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            return Err(e.into());
+        }
+    }
+    if status >= 400 {
+        return Err(format!("HTTP {status} from {method} {path}").into());
     }
     Ok(())
 }

@@ -9,6 +9,8 @@
 //! dekg train    --data data/ --check --epochs 10 --ckpt model.dekg
 //! dekg evaluate --data data/ --ckpt model.dekg --candidates 30
 //! dekg predict  --data data/ --ckpt model.dekg --head g_e0 --rel rel0 --top 5
+//! dekg serve    --data data/ --ckpt model.dekg --addr 127.0.0.1:8080
+//! dekg request  --addr 127.0.0.1:8080 --body '{"rank_tails": {"head": "g_e0", "rel": "rel0"}}'
 //! ```
 //!
 //! Datasets are GraIL-format directories (`train.txt`, `valid.txt`,
@@ -50,6 +52,8 @@ fn main() -> ExitCode {
         "train" => commands::train(&flags),
         "evaluate" => commands::evaluate(&flags),
         "predict" => commands::predict(&flags),
+        "serve" => commands::serve(&flags),
+        "request" => commands::request(&flags),
         "obslint" => commands::obslint(&flags),
         "lint" => commands::lint(&flags),
         "help" | "--help" | "-h" => {

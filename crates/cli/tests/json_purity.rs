@@ -1,0 +1,68 @@
+//! `--json` purity audit: every machine-readable CLI face must emit
+//! *only* JSON on stdout — human chatter belongs on stderr. A single
+//! stray `println!` upstream of the report breaks `dekg ... --json |
+//! jq`-style pipelines, so each face is pinned here by parsing the
+//! entire stdout as one JSON document (the shim's parser rejects
+//! trailing non-whitespace content, which is exactly the property we
+//! want).
+
+use dekg_datasets::{generate, loader, DatasetProfile, RawKg, SplitKind, SynthConfig};
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs the `dekg` binary, returning (status-ok, stdout, stderr).
+fn dekg(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dekg")).args(args).output().unwrap();
+    (
+        out.status.success(),
+        String::from_utf8(out.stdout).unwrap(),
+        String::from_utf8(out.stderr).unwrap(),
+    )
+}
+
+/// Asserts `stdout` is exactly one JSON document (plus optional
+/// trailing whitespace) and returns it parsed.
+fn assert_pure_json(face: &str, stdout: &str) -> serde::Value {
+    assert!(!stdout.trim().is_empty(), "{face}: empty stdout");
+    match serde_json::parse_value(stdout) {
+        Ok(v) => v,
+        Err(e) => panic!(
+            "{face}: stdout is not pure JSON ({e})\n--- stdout ---\n{stdout}\n--------------"
+        ),
+    }
+}
+
+fn tiny_dataset_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dekg-json-purity-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let profile = DatasetProfile::table2(RawKg::Wn18rr, SplitKind::Eq).scaled(0.02);
+    loader::save_dir(&generate(&SynthConfig::for_profile(profile, 17)), &dir).unwrap();
+    dir
+}
+
+#[test]
+fn check_tape_json_stdout_is_pure_json() {
+    let dir = tiny_dataset_dir("tape");
+    let data = dir.to_string_lossy().into_owned();
+    let (ok, stdout, stderr) = dekg(&["check", "--data", &data, "--tape", "--json"]);
+    assert!(ok, "check --tape --json failed:\n{stderr}");
+    let report = assert_pure_json("check --tape --json", &stdout);
+    // Sanity: it is the tape report, not some other JSON.
+    let pairs = report.as_object().expect("tape report must be an object");
+    assert!(serde::field(pairs, "clean").is_ok());
+    assert!(serde::field(pairs, "memory_plan").is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lint_json_stdout_is_pure_json() {
+    // The workspace root is two levels above this crate's manifest.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.to_string_lossy().into_owned();
+    let (ok, stdout, stderr) = dekg(&["lint", "--json", "--root", &root]);
+    assert!(ok, "dekg lint found errors:\n{stdout}\n{stderr}");
+    let report = assert_pure_json("lint --json", &stdout);
+    let pairs = report.as_object().expect("lint report must be an object");
+    assert!(serde::field(pairs, "findings").is_ok());
+    assert!(serde::field(pairs, "unwrap_budgets").is_ok());
+}

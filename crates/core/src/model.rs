@@ -9,7 +9,7 @@ use dekg_datasets::DekgDataset;
 use dekg_gnn::SubgraphEncoderConfig;
 use dekg_kg::{BatchedSubgraphs, DistanceBackend, EntityId, Subgraph, SubgraphExtractor, Triple};
 use dekg_tensor::{Graph, ParamStore};
-use rand::RngCore;
+use rand::{RngCore, SeedableRng};
 use std::cell::RefCell;
 use std::sync::OnceLock;
 
@@ -312,6 +312,37 @@ impl DekgIlp {
             *self.params.get_mut(id) = value.clone();
         }
         Ok(())
+    }
+
+    /// Rebuilds a trained model from a checkpoint pair: `<path>` (the
+    /// binary weights written by [`DekgIlp::save_checkpoint`]) plus
+    /// `<path>.json` (the [`DekgIlpConfig`] the training CLI writes
+    /// alongside). The architecture is reconstructed from the config —
+    /// the init RNG seed is irrelevant since every parameter is
+    /// overwritten by the checkpoint — so two restores of the same pair
+    /// are bitwise-identical models. This is the one entry point every
+    /// consumer of a checkpoint shares (`dekg evaluate`, `dekg predict`,
+    /// the `dekg serve` daemon's hot-swap path).
+    ///
+    /// # Errors
+    /// IO failures, a malformed config, or a corrupt checkpoint.
+    ///
+    /// # Panics
+    /// If the weights file does not match the architecture its own
+    /// `.json` describes (a mismatched pair is a programming error).
+    pub fn restore(
+        path: &str,
+        dataset: &DekgDataset,
+    ) -> Result<DekgIlp, Box<dyn std::error::Error + Send + Sync>> {
+        let cfg_path = format!("{path}.json");
+        let cfg_text = std::fs::read_to_string(&cfg_path)
+            .map_err(|e| format!("reading model config {cfg_path}: {e}"))?;
+        let cfg: DekgIlpConfig = serde_json::from_str(&cfg_text)
+            .map_err(|e| format!("parsing model config {cfg_path}: {e}"))?;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let mut model = DekgIlp::new(cfg, dataset, &mut rng);
+        model.load_checkpoint(path)?;
+        Ok(model)
     }
 
     /// Scores triples with both modules on a fresh tape (no dropout).

@@ -11,10 +11,19 @@ use crate::{Diagnostic, Severity, SourceFile};
 
 /// Crates bound by the bitwise-determinism contract
 /// (`tests/parallel_determinism.rs`): L1 forbids order-dependent
-/// iteration over hashed containers anywhere inside them.
-pub const CONTRACT_CRATES: &[&str] = &["kg", "gnn", "core", "eval", "tensor"];
+/// iteration over hashed containers anywhere inside them. `serve` is
+/// in scope because its HTTP responses promise byte-stability across
+/// runs and thread counts — one hash-ordered iteration anywhere on the
+/// response path would break that silently.
+pub const CONTRACT_CRATES: &[&str] = &["kg", "gnn", "core", "eval", "tensor", "serve"];
 
 /// Crates whose job is terminal output — L3 does not apply.
+///
+/// Exemption review (kept deliberately short): `cli` and `bench` print
+/// *for* the user as their purpose. The `serve` daemon is **not**
+/// exempt — a daemon's stdout/stderr belong to its operator's log
+/// pipeline, so it reports through `dekg-obs` logging/metrics like any
+/// library crate, and L3 enforces that.
 pub const PRINT_EXEMPT_CRATES: &[&str] = &["cli", "bench"];
 
 /// Modules holding numeric kernels: L5 forbids wall-clock reads and
@@ -51,6 +60,9 @@ pub const UNWRAP_BUDGETS: &[(&str, usize)] = &[
     ("core", 1),
     ("datasets", 3),
     ("eval", 2),
+    // `serve` is intentionally absent: the daemon shipped with zero
+    // unwrap/expect debt (poisoned locks recover via
+    // `unwrap_or_else(PoisonError::into_inner)`) and must stay there.
 ];
 
 /// Methods whose call on a hashed container observes its unstable
@@ -399,6 +411,30 @@ mod tests {
         let diags = lint_source("crates/kg/src/fake.rs", src);
         assert_eq!(diags.iter().filter(|d| d.rule == "L1").count(), 1);
         assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn rule_scope_lists_are_pinned() {
+        // Scope changes to these lists are deliberate decisions; this
+        // pin forces them through review (and the docs that cite the
+        // lists — DESIGN.md, docs/OPERATIONS.md — along with them).
+        assert_eq!(super::CONTRACT_CRATES, &["kg", "gnn", "core", "eval", "tensor", "serve"]);
+        assert_eq!(super::PRINT_EXEMPT_CRATES, &["cli", "bench"]);
+        assert!(
+            super::UNWRAP_BUDGETS.iter().all(|(krate, _)| *krate != "serve"),
+            "serve shipped with zero unwrap debt and must stay at the implicit zero budget"
+        );
+    }
+
+    #[test]
+    fn serve_is_contract_scoped_and_not_print_exempt() {
+        let iterating = "use std::collections::HashMap;\n\
+                         fn f(m: &HashMap<u32, u32>) -> usize { m.keys().count() }\n";
+        let diags = lint_source("crates/serve/src/fake.rs", iterating);
+        assert_eq!(diags.iter().filter(|d| d.rule == "L1").count(), 1);
+        let printing = "fn f() { println!(\"hi\"); }\n";
+        let diags = lint_source("crates/serve/src/fake.rs", printing);
+        assert_eq!(diags.iter().filter(|d| d.rule == "L3").count(), 1);
     }
 
     #[test]

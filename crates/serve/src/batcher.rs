@@ -1,0 +1,175 @@
+//! Admission batching: a bounded queue feeding persistent scoring
+//! workers.
+//!
+//! Connection threads never score; they enqueue a [`Job`] and block on
+//! its reply channel. A fixed pool of worker threads drains the queue
+//! in admission batches: a worker takes whatever is queued (up to
+//! `max_batch`), waiting up to `max_wait` after the first job arrives
+//! to let a burst coalesce. When the queue is at `queue_depth` the
+//! submit is refused and the connection answers `429` — overload sheds
+//! at the door instead of growing an unbounded backlog.
+//!
+//! # Why workers pin ambient parallelism to 1
+//!
+//! Each worker wraps its loop in a single-thread rayon scope, so the
+//! core crate's batched scoring runs *inline on the worker thread*
+//! rather than fanning out. That keeps `dekg-core`'s thread-local
+//! [`InferenceWorkspace`](dekg_core::model) and extraction cache warm
+//! on the same OS thread across requests — the whole point of a
+//! long-lived daemon. Cross-request parallelism comes from running
+//! several workers, not from intra-request fan-out.
+//!
+//! # Determinism under batching
+//!
+//! Batch composition is timing-dependent, but jobs are scored
+//! independently — a job's response is a pure function of its request
+//! and the model generation, never of its batch neighbours. So any
+//! interleaving of concurrent clients yields byte-identical responses
+//! (the concurrency integration test pins this).
+
+use crate::api::{self, ApiError, RankRequest};
+use crate::engine::RankEngine;
+use serde::Value;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One queued request plus the channel its connection thread waits on.
+pub(crate) struct Job {
+    /// The decoded request.
+    pub request: RankRequest,
+    /// Reply channel back to the connection thread.
+    pub reply: mpsc::Sender<Result<Value, ApiError>>,
+}
+
+/// State shared between submitters and workers.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    stop: AtomicBool,
+    max_batch: usize,
+    max_wait: Duration,
+    queue_depth: usize,
+    engine: Arc<RankEngine>,
+}
+
+/// The running worker pool. Dropping without [`Batcher::shutdown`]
+/// leaks the workers; the server always shuts down explicitly.
+pub(crate) struct Batcher {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Spawns `workers` scoring threads over `engine`.
+    pub fn start(
+        engine: Arc<RankEngine>,
+        workers: usize,
+        max_batch: usize,
+        max_wait: Duration,
+        queue_depth: usize,
+    ) -> Batcher {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            max_batch: max_batch.max(1),
+            max_wait,
+            queue_depth,
+            engine,
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dekg-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .filter_map(Result::ok)
+            .collect();
+        Batcher { shared, workers }
+    }
+
+    /// Enqueues a job. Returns `false` — shed, answer `429` — when the
+    /// queue is full or the batcher is stopping.
+    pub fn submit(&self, job: Job) -> bool {
+        if self.shared.stop.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut queue = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if queue.len() >= self.shared.queue_depth {
+            return false;
+        }
+        queue.push_back(job);
+        drop(queue);
+        self.shared.available.notify_one();
+        true
+    }
+
+    /// Stops the pool: refuses new jobs, lets workers drain what is
+    /// already queued, then joins them.
+    pub fn shutdown(self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for handle in self.workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Blocks for the next admission batch. Empty result = stopped and
+/// fully drained.
+fn next_batch(shared: &Shared) -> Vec<Job> {
+    let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    while queue.is_empty() {
+        if shared.stop.load(Ordering::Acquire) {
+            return Vec::new();
+        }
+        queue = shared.available.wait(queue).unwrap_or_else(PoisonError::into_inner);
+    }
+    // First job in hand: linger up to max_wait for a burst to coalesce,
+    // but never once the batch is full or shutdown has begun.
+    if shared.max_wait > Duration::ZERO {
+        let deadline = Instant::now() + shared.max_wait;
+        while queue.len() < shared.max_batch && !shared.stop.load(Ordering::Acquire) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (q, _) = shared
+                .available
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            queue = q;
+        }
+    }
+    let take = queue.len().min(shared.max_batch);
+    queue.drain(..take).collect()
+}
+
+/// One worker: pin ambient rayon parallelism to 1 (see module docs),
+/// then score admission batches until stopped and drained.
+fn worker_loop(shared: &Shared) {
+    let Ok(pool) = rayon::ThreadPoolBuilder::new().num_threads(1).build() else {
+        return;
+    };
+    pool.install(|| loop {
+        let batch = next_batch(shared);
+        if batch.is_empty() {
+            return;
+        }
+        let obs = crate::serve_obs();
+        obs.batch_size.observe(batch.len() as u64);
+        for job in batch {
+            let started = Instant::now();
+            let result = api::execute(&shared.engine, &job.request);
+            obs.requests.inc();
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            obs.latency_us.observe(micros);
+            // A dead receiver just means the client gave up; scoring
+            // already happened, nothing to unwind.
+            let _ = job.reply.send(result);
+        }
+    });
+}

@@ -1,0 +1,255 @@
+//! A deliberately small HTTP/1.1 layer over `std::net`.
+//!
+//! The workspace builds fully offline with no async runtime, so the
+//! daemon speaks exactly the HTTP subset its API needs: one request per
+//! connection (`Connection: close`), a request line, headers terminated
+//! by a blank line, and an optional `Content-Length`-framed body. That
+//! subset is what `curl`, Prometheus scrapers and the bundled
+//! `dekg request` client all produce; anything fancier (chunked bodies,
+//! keep-alive, upgrades) is rejected with a `400`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on an accepted request body. Rank requests are small;
+/// anything larger is a client bug or abuse, shed before allocation.
+pub(crate) const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Per-connection socket timeout: a stalled peer must not pin a
+/// connection thread forever.
+pub(crate) const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One parsed request.
+#[derive(Debug)]
+pub(crate) struct Request {
+    /// Upper-case method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the request target, query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8, or an error string for the 400 response.
+    pub fn body_utf8(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "request body is not UTF-8".to_owned())
+    }
+}
+
+/// Reads one request from `stream`. Errors are client-facing strings
+/// (they become the `400` body).
+pub(crate) fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(stream);
+
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line).map_err(|e| format!("reading request line: {e}"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_owned();
+    let target = parts.next().ok_or("request line has no target")?;
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+
+    let mut content_length: usize = 0;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| format!("reading header: {e}"))?;
+        let line = line.trim_end();
+        if n == 0 || line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {:?}", value.trim()))?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                return Err("chunked transfer encoding is not supported".to_owned());
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!("body of {content_length} bytes exceeds the {MAX_BODY_BYTES} cap"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| format!("reading body: {e}"))?;
+    Ok(Request { method, path, body })
+}
+
+/// One response, written with `Connection: close` framing.
+#[derive(Debug)]
+pub(crate) struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response { status, content_type: "application/json", body }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: &str) -> Response {
+        Response { status, content_type: "text/plain; charset=utf-8", body: body.to_owned() }
+    }
+
+    /// A JSON error envelope: `{"error": "<message>"}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let body =
+            serde::Value::Object(vec![("error".to_owned(), serde::Value::Str(message.to_owned()))]);
+        Response::json(status, serde_json::to_string(&body).unwrap_or_default())
+    }
+
+    /// Serializes the response onto `stream`.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes this daemon emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Minimal blocking HTTP client for the daemon's API — shared by the
+/// `dekg request` subcommand, the serve smoke in `scripts/check.sh`,
+/// the perf harness's load generator and the integration tests.
+///
+/// Sends one request and reads the full response (the server closes the
+/// connection after each exchange). Returns `(status, body)`.
+///
+/// # Errors
+/// Connection, IO or response-framing failures.
+pub fn http_call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let err = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let payload = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(&mut stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(format!("malformed status line {status_line:?}")))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if n == 0 || line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            String::from_utf8(buf).map_err(|_| err("response body is not UTF-8".to_owned()))?
+        }
+        None => {
+            // `Connection: close` framing: read to EOF.
+            let mut buf = String::new();
+            reader.read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// One-shot echo server: accepts a single connection, parses the
+    /// request, responds with `method path body-length`.
+    fn echo_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            match read_request(&mut stream) {
+                Ok(req) => {
+                    let body = format!("{} {} {}", req.method, req.path, req.body.len());
+                    Response::text(200, &body).write_to(&mut stream).unwrap();
+                }
+                Err(e) => Response::error(400, &e).write_to(&mut stream).unwrap(),
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn round_trip_post_with_body() {
+        let (addr, handle) = echo_server();
+        let (status, body) =
+            http_call(&addr.to_string(), "POST", "/rank", Some("{\"x\":1}")).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "POST /rank 7");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn round_trip_get_strips_query() {
+        let (addr, handle) = echo_server();
+        let (status, body) = http_call(&addr.to_string(), "GET", "/metrics?x=1", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "GET /metrics 0");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn error_envelope_is_json() {
+        let r = Response::error(429, "queue full");
+        assert_eq!(r.status, 429);
+        assert_eq!(r.body, "{\"error\":\"queue full\"}");
+    }
+}

@@ -97,4 +97,44 @@ cargo run -q --release --offline -p dekg-cli -- \
     --scoring per-candidate | grep -E "overall|enclosing|bridging" > "$tmp/eval_percand.txt"
 diff "$tmp/eval_batched.txt" "$tmp/eval_percand.txt"
 
+echo "==> serve determinism under a shuffled schedule"
+# The serving face of the bitwise contract: interleaved concurrent
+# clients must get byte-identical answers to a serial pass, with the
+# rayon shim perturbing worker schedules underneath.
+DEKG_SHUFFLE_SCHEDULE=1 cargo test -q -p dekg-serve --offline
+
+echo "==> serve smoke: boot, rank, hot-swap, metrics, shutdown"
+# Boots the daemon the way an operator would (ephemeral port via
+# --port-file), then walks the runbook in docs/OPERATIONS.md: readiness
+# gate, two identical ranks (byte-compared), a hot-swap reload that
+# bumps the generation, a /metrics scrape, and a clean remote shutdown.
+dekg() { cargo run -q --release --offline -p dekg-cli -- "$@"; }
+dekg serve --data "$tmp/data" --ckpt "$tmp/model.dekg" \
+    --addr 127.0.0.1:0 --port-file "$tmp/serve.addr" --log-level warn &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -s "$tmp/serve.addr" ] && break; sleep 0.1; done
+addr="$(cat "$tmp/serve.addr")"
+for _ in $(seq 1 100); do
+    dekg request --addr "$addr" --path /readyz >/dev/null 2>&1 && break
+    sleep 0.1
+done
+dekg request --addr "$addr" --path /readyz | grep -q ready
+head="$(head -n 1 "$tmp/data/test_enclosing.txt" | cut -f1)"
+rel="$(head -n 1 "$tmp/data/test_enclosing.txt" | cut -f2)"
+tail_e="$(head -n 1 "$tmp/data/test_enclosing.txt" | cut -f3)"
+rank_body="{\"rank\": {\"task\": \"tail\", \"head\": \"$head\", \"rel\": \"$rel\", \
+\"tail\": \"$tail_e\", \"candidates\": 10, \"seed\": 7, \"index\": 0}}"
+dekg request --addr "$addr" --body "$rank_body" > "$tmp/rank1.json"
+dekg request --addr "$addr" --body "$rank_body" > "$tmp/rank2.json"
+diff "$tmp/rank1.json" "$tmp/rank2.json"
+grep -q '"rank":' "$tmp/rank1.json"
+# Hot-swap: re-reads the checkpoint in place, generation must bump.
+dekg request --addr "$addr" --path /admin/reload --method POST | grep -q '"generation":2'
+dekg request --addr "$addr" --body "$rank_body" > "$tmp/rank3.json"
+diff "$tmp/rank1.json" "$tmp/rank3.json"
+dekg request --addr "$addr" --path /metrics | grep -q dekg_serve_requests_total
+dekg request --addr "$addr" --path /admin/shutdown --method POST | grep -q stopping
+wait "$serve_pid"
+unset -f dekg
+
 echo "==> all checks passed"
