@@ -115,6 +115,7 @@ struct Opts {
     epochs: usize,
     out: String,
     alloc_check: bool,
+    compare: Option<String>,
 }
 
 impl Default for Opts {
@@ -127,6 +128,7 @@ impl Default for Opts {
             epochs: 2,
             out: "BENCH_perf.json".into(),
             alloc_check: false,
+            compare: None,
         }
     }
 }
@@ -148,6 +150,7 @@ impl Opts {
                 "--candidates" => o.candidates = value(i).parse().expect("--candidates usize"),
                 "--epochs" => o.epochs = value(i).parse().expect("--epochs usize"),
                 "--out" => o.out = value(i).to_owned(),
+                "--compare" => o.compare = Some(value(i).to_owned()),
                 "--alloc-check" => {
                     o.alloc_check = true;
                     i += 1;
@@ -156,7 +159,7 @@ impl Opts {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale F --seed N --threads N --candidates N --epochs N \
-                         --out FILE --alloc-check"
+                         --out FILE --alloc-check --compare BASELINE.json"
                     );
                     std::process::exit(0);
                 }
@@ -466,6 +469,94 @@ fn time_serve(opts: &Opts) -> ServeSection {
     }
 }
 
+/// The per-op kernel profiler's observer contract, measured on the
+/// production training tape: attribution coverage (how much of the
+/// timed bracket the hot-op table explains), overhead (profiled vs
+/// unprofiled wall time of the identical workload), and the bitwise
+/// proof that arming the profiler changed no output.
+#[derive(Serialize)]
+struct ProfileSection {
+    /// Tape executions profiled.
+    batches: usize,
+    /// Structurally distinct batch shapes those executions rotate over.
+    distinct_structures: usize,
+    /// Total tape nodes across the profiled executions.
+    tape_nodes: u64,
+    /// Seconds inside the tape-execution bracket of the profiled run.
+    span_seconds: f64,
+    /// Summed per-op kernel seconds the profiler attributed.
+    attributed_seconds: f64,
+    /// `attributed_seconds / span_seconds` — asserted ≥ 0.90.
+    coverage: f64,
+    /// Hottest op by total kernel time.
+    hottest_op: String,
+    /// Best-of-2 bracket seconds with the profiler off.
+    unprofiled_seconds: f64,
+    /// Best-of-2 bracket seconds with the profiler on.
+    profiled_seconds: f64,
+    /// `profiled / unprofiled - 1` — asserted < 0.05.
+    overhead_ratio: f64,
+    /// Loss and gradient bits identical with the profiler on and off.
+    outputs_identical: bool,
+}
+
+/// Measures [`ProfileSection`]: one warm-up, then interleaved timed
+/// runs of the identical workload per profiler state. The 5% overhead
+/// bar is tighter than this machine's run-to-run jitter, so each
+/// mode's estimate is the sum of *per-batch* minima across six
+/// alternating rounds — a scheduler stall biases the comparison only
+/// if it hits the same batch in every round of one mode. Rounds
+/// alternate which mode runs first so monotonic drift (VM steal,
+/// thermal) cannot systematically tax one mode either.
+fn time_profile(dataset: &DekgDataset, opts: &Opts) -> ProfileSection {
+    const BATCHES: usize = 8;
+    const DISTINCT: usize = 2;
+    let run = |profiled: bool| {
+        dekg_core::profile_train_outputs(dataset, opts.seed, BATCHES, DISTINCT, profiled)
+    };
+    let fold_minima = |best: &mut [f64], sample: &[f64]| {
+        for (b, s) in best.iter_mut().zip(sample) {
+            *b = b.min(*s);
+        }
+    };
+    let _ = run(false); // warm-up: page in the model, size caches
+    let mut off_best = vec![f64::INFINITY; BATCHES];
+    let mut on_best = vec![f64::INFINITY; BATCHES];
+    let mut bits: Option<Vec<u32>> = None;
+    let mut outputs_identical = true;
+    for round in 0..6 {
+        let first_profiled = round % 2 == 1;
+        let (a, bits_a) = run(first_profiled);
+        let (b, bits_b) = run(!first_profiled);
+        let (off, on) = if first_profiled { (&b, &a) } else { (&a, &b) };
+        fold_minima(&mut off_best, off);
+        fold_minima(&mut on_best, on);
+        outputs_identical &= bits_a == bits_b;
+        let first = bits.get_or_insert(bits_a);
+        outputs_identical &= *first == bits_b;
+    }
+    let unprofiled_seconds: f64 = off_best.iter().sum();
+    let profiled_seconds: f64 = on_best.iter().sum();
+    let report = dekg_core::profile_train(dataset, opts.seed, BATCHES, DISTINCT);
+    ProfileSection {
+        batches: report.batches,
+        distinct_structures: DISTINCT,
+        tape_nodes: report.nodes,
+        span_seconds: report.span_seconds,
+        attributed_seconds: report.attributed_seconds(),
+        coverage: report.coverage(),
+        hottest_op: report.ops.first().map(|o| o.op.to_string()).unwrap_or_default(),
+        unprofiled_seconds,
+        profiled_seconds,
+        overhead_ratio: if unprofiled_seconds > 0.0 {
+            profiled_seconds / unprofiled_seconds - 1.0
+        } else {
+            0.0
+        },
+        outputs_identical,
+    }
+}
+
 #[derive(Serialize)]
 struct Report {
     dataset: String,
@@ -492,6 +583,9 @@ struct Report {
     /// The `dekg serve` daemon: one-time startup vs warm request
     /// latency, responses pinned byte-equal to the library protocol.
     serve: ServeSection,
+    /// The per-op kernel profiler's observer contract: attribution
+    /// coverage, overhead and bitwise output identity.
+    profile: ProfileSection,
     eval_queries: usize,
     /// The headline number: end-to-end evaluation, seed pipeline (tape
     /// scoring, dense extraction, serial) vs current (batched scoring,
@@ -769,11 +863,132 @@ fn alloc_check(_opts: &Opts) {
     std::process::exit(2);
 }
 
+/// The ratio metrics the regression watchdog tracks: dotted paths into
+/// the report JSON where *lower means slower* (speedups, attribution
+/// coverage). A metric present in the baseline but missing from the
+/// current report is also a failure — a tracked number can't silently
+/// disappear.
+const TRACKED_RATIOS: &[&str] = &[
+    "extraction.speedup",
+    "train_epoch.speedup",
+    "eval.speedup",
+    "batched.speedup",
+    "end_to_end_eval_speedup",
+    "profile.coverage",
+];
+
+/// How far a tracked ratio may drift below its baseline before the
+/// watchdog calls it a regression. Perf boxes are noisy and several
+/// sections time sub-second regions, so the bar is deliberately loose:
+/// a real regression (lost parallelism, a pessimized kernel, attribution
+/// hooks falling off a path) overshoots 40% drift; run-to-run jitter
+/// does not.
+const COMPARE_TOLERANCE: f64 = 0.6;
+
+/// Follows a dotted path (`"eval.speedup"`) through nested JSON
+/// objects to a number.
+fn lookup(root: &serde::Value, path: &str) -> Option<f64> {
+    let mut v = root;
+    for key in path.split('.') {
+        let serde::Value::Object(pairs) = v else { return None };
+        v = &pairs.iter().find(|(k, _)| k == key)?.1;
+    }
+    match v {
+        serde::Value::Num(serde::Number::I(i)) => Some(*i as f64),
+        serde::Value::Num(serde::Number::U(u)) => Some(*u as f64),
+        serde::Value::Num(serde::Number::F(f)) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Collects every boolean field named `*identical*` anywhere in the
+/// report — the output-fidelity pins (`outputs_identical`,
+/// `responses_identical`) the watchdog refuses to see `false`.
+fn collect_identity_pins(v: &serde::Value, prefix: &str, out: &mut Vec<(String, bool)>) {
+    if let serde::Value::Object(pairs) = v {
+        for (k, child) in pairs {
+            let path = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+            match child {
+                serde::Value::Bool(b) if k.contains("identical") => out.push((path, *b)),
+                _ => collect_identity_pins(child, &path, out),
+            }
+        }
+    }
+}
+
+/// `perf --compare BASELINE.json`: the perf-regression watchdog. A pure
+/// file-vs-file check — no measurement — comparing the report at
+/// `--out` (the current run, default `BENCH_perf.json`) against a
+/// baseline report. Exits nonzero when any tracked speedup/coverage
+/// ratio fell beyond [`COMPARE_TOLERANCE`], disappeared, or any
+/// output-identity pin in the current report is `false`.
+fn compare_reports(baseline_path: &str, current_path: &str) {
+    let load = |path: &str| -> serde::Value {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perf --compare: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        serde_json::parse_value(&text).unwrap_or_else(|e| {
+            eprintln!("perf --compare: {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let mut regressions = 0usize;
+    for path in TRACKED_RATIOS {
+        let Some(base) = lookup(&baseline, path) else {
+            println!("  {path}: not in baseline, skipped");
+            continue;
+        };
+        match lookup(&current, path) {
+            None => {
+                eprintln!(
+                    "  {path}: REGRESSION — tracked in baseline ({base:.3}) but missing \
+                           from {current_path}"
+                );
+                regressions += 1;
+            }
+            Some(cur) if cur < base * COMPARE_TOLERANCE => {
+                eprintln!(
+                    "  {path}: REGRESSION — {cur:.3} is below {:.3} ({:.0}% of the \
+                     baseline {base:.3})",
+                    base * COMPARE_TOLERANCE,
+                    COMPARE_TOLERANCE * 100.0
+                );
+                regressions += 1;
+            }
+            Some(cur) => {
+                println!("  {path}: ok ({cur:.3} vs baseline {base:.3})");
+            }
+        }
+    }
+    let mut pins = Vec::new();
+    collect_identity_pins(&current, "", &mut pins);
+    for (path, ok) in pins {
+        if !ok {
+            eprintln!("  {path}: REGRESSION — output-identity pin is false in {current_path}");
+            regressions += 1;
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "perf --compare: {regressions} regression(s) in {current_path} vs {baseline_path}"
+        );
+        std::process::exit(1);
+    }
+    println!("perf --compare: {current_path} holds every tracked ratio of {baseline_path}");
+}
+
 fn main() {
     // The tracked numbers must not include span-timer overhead, however
     // small — this harness measures the pipeline, not the telemetry.
     dekg_obs::set_spans_enabled(false);
     let opts = Opts::from_args();
+    if let Some(baseline) = &opts.compare {
+        compare_reports(baseline, &opts.out);
+        return;
+    }
     if opts.alloc_check {
         alloc_check(&opts);
         return;
@@ -790,6 +1005,40 @@ fn main() {
         opts.scale,
         opts.threads,
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+
+    // Profiling overhead is measured first, while the process is quiet:
+    // the later sections spin up thread pools and churn the heap, which
+    // inflates run-to-run jitter well past the 5% bar this section asserts.
+    println!("profiling the training tape…");
+    let profile = time_profile(&dataset, &opts);
+    println!(
+        "  {} batches, {} nodes: {:.1}% coverage (hottest {}), overhead {:+.1}% \
+         ({:.3}s off / {:.3}s on), identical: {}",
+        profile.batches,
+        profile.tape_nodes,
+        profile.coverage * 100.0,
+        profile.hottest_op,
+        profile.overhead_ratio * 100.0,
+        profile.unprofiled_seconds,
+        profile.profiled_seconds,
+        profile.outputs_identical
+    );
+    assert!(
+        profile.outputs_identical,
+        "arming the kernel profiler changed a loss or gradient bit — profiling must \
+         observe, never participate"
+    );
+    assert!(
+        profile.coverage >= 0.90,
+        "hot-op table attributes only {:.1}% of the tape-execution bracket (bar: 90%) — \
+         a kernel path is missing its profiler hook",
+        profile.coverage * 100.0
+    );
+    assert!(
+        profile.overhead_ratio < 0.05,
+        "kernel profiling adds {:.1}% wall time (bar: 5%)",
+        profile.overhead_ratio * 100.0
     );
 
     println!("timing subgraph extraction…");
@@ -896,6 +1145,7 @@ fn main() {
         batched,
         tapecheck,
         serve,
+        profile,
         eval_queries,
     };
     if let Err(e) = dekg_eval::report::save_json(std::path::Path::new(&opts.out), &report) {

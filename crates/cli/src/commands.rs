@@ -26,19 +26,27 @@ commands:
             [--threads N] [--scoring batched|per-candidate|tape] [observability flags]
   predict   --data DIR --ckpt FILE --rel NAME (--head NAME | --tail NAME) [--top N]
   serve     --data DIR --ckpt FILE [--addr HOST:PORT] [--workers N] [--max-batch N]
-            [--max-wait-ms N] [--queue-depth N] [--port-file FILE]
+            [--max-wait-ms N] [--queue-depth N] [--slow-ms N] [--port-file FILE]
             [observability flags]
   request   --addr HOST:PORT [--path /rank] [--method GET|POST] [--body JSON]
-  obslint   --file FILE [--require kind1,kind2,...]
+            [--timing]
+  profile   train --data DIR [--batches N] [--distinct N] [--seed N]
+            [observability flags]
+  profile   eval  --data DIR [--queries N] [--candidates N] [--seed N]
+            [observability flags]
+  obslint   --file FILE [--require kind1,kind2,...] [--chrome]
   lint      [--root DIR] [--json]
   help
 
-observability flags (train, evaluate, serve):
+observability flags (train, evaluate, serve, profile):
   --log-level debug|info|warn|off   stderr log threshold (default info)
   --metrics-out FILE                JSONL sink: per-step/epoch events + final
                                     metrics snapshot
   --trace-out FILE                  JSONL sink: log records + span timings
+                                    (hierarchical: trace/span/parent ids)
   --prom-out FILE                   Prometheus text exposition written at exit
+  --chrome-trace FILE               Chrome trace-event JSON written at exit
+                                    (open in Perfetto / chrome://tracing)
 ";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
@@ -50,6 +58,7 @@ fn obs_init(flags: &Flags) -> CliResult {
         level: flags.get("log-level").map(dekg_obs::Level::parse).transpose()?,
         metrics_path: flags.get("metrics-out").map(ToOwned::to_owned),
         trace_path: flags.get("trace-out").map(ToOwned::to_owned),
+        chrome_trace_path: flags.get("chrome-trace").map(ToOwned::to_owned),
     };
     dekg_obs::init(&cfg)?;
     Ok(())
@@ -548,6 +557,7 @@ pub fn serve(flags: &Flags) -> CliResult {
         max_batch: flags.parse_or("max-batch", 8)?,
         max_wait_ms: flags.parse_or("max-wait-ms", 1)?,
         queue_depth: flags.parse_or("queue-depth", 128)?,
+        slow_ms: flags.parse_or("slow-ms", 250)?,
     };
     let server = dekg_serve::Server::bind(cfg)?;
     if let Some(path) = flags.get("port-file") {
@@ -559,9 +569,43 @@ pub fn serve(flags: &Flags) -> CliResult {
     obs_finish(flags)
 }
 
+/// `dekg profile` — runs the per-op kernel profiler over synthetic
+/// workload batches drawn from a dataset and prints the hot-op table.
+///
+/// `profile train` records and backpropagates `--batches` full training
+/// batches (cycling through `--distinct` tape structures so repeated
+/// shapes fold together); `profile eval` runs forward-only evaluation
+/// tapes. Profiling hooks never change what is computed — the perf
+/// harness asserts the profiled and unprofiled runs are bitwise
+/// identical — so the printed attribution reflects the production
+/// kernels. Combine with `--chrome-trace` for a span-level timeline of
+/// the same run.
+pub fn profile(mode: &str, flags: &Flags) -> CliResult {
+    obs_init(flags)?;
+    let dataset = load_dataset(flags)?;
+    let seed: u64 = flags.parse_or("seed", 0)?;
+    let report = match mode {
+        "train" => {
+            let batches: usize = flags.parse_or("batches", 8)?;
+            let distinct: usize = flags.parse_or("distinct", 2)?;
+            dekg_core::profile_train(&dataset, seed, batches, distinct)
+        }
+        "eval" => {
+            let queries: usize = flags.parse_or("queries", 4)?;
+            let candidates: usize = flags.parse_or("candidates", 8)?;
+            dekg_core::profile_eval(&dataset, seed, queries, candidates)
+        }
+        other => return Err(format!("unknown profile mode {other:?} (train|eval)").into()),
+    };
+    print!("{}", report.render());
+    obs_finish(flags)
+}
+
 /// `dekg request` — one blocking HTTP call against a running daemon.
 /// The response body is the only stdout output (machine-readable for
 /// JSON endpoints); non-2xx statuses additionally fail the command.
+/// With `--timing`, the daemon's `X-Dekg-*` latency/provenance headers
+/// are reported on stderr so stdout stays pure JSON.
 pub fn request(flags: &Flags) -> CliResult {
     let addr = flags.required("addr")?;
     let path = flags.get("path").unwrap_or("/rank");
@@ -571,13 +615,28 @@ pub fn request(flags: &Flags) -> CliResult {
         None if body.is_some() => "POST".to_owned(),
         None => "GET".to_owned(),
     };
-    let (status, text) = dekg_serve::http_call(addr, &method, path, body)?;
+    let (status, headers, text) = dekg_serve::http_call_with_headers(addr, &method, path, body)?;
     // A closed stdout (e.g. `dekg request ... | grep -q`) is not an
     // error: the consumer simply stopped reading. Anything else is.
     use std::io::Write;
     if let Err(e) = writeln!(std::io::stdout(), "{text}") {
         if e.kind() != std::io::ErrorKind::BrokenPipe {
             return Err(e.into());
+        }
+    }
+    if flags.switch("timing") {
+        let h =
+            |name: &str| headers.iter().find(|(k, _)| k == name).map_or("?", |(_, v)| v.as_str());
+        if headers.iter().any(|(k, _)| k == "x-dekg-score-us") {
+            eprintln!(
+                "timing: queued {} us, scoring {} us (model generation {}, trace {})",
+                h("x-dekg-queue-us"),
+                h("x-dekg-score-us"),
+                h("x-dekg-generation"),
+                h("x-dekg-trace-id"),
+            );
+        } else {
+            eprintln!("timing: no X-Dekg-* timing headers on {method} {path} (HTTP {status})");
         }
     }
     if status >= 400 {
@@ -587,15 +646,22 @@ pub fn request(flags: &Flags) -> CliResult {
 }
 
 /// `dekg obslint` — validates a JSONL observability file (a
-/// `--metrics-out` / `--trace-out` product).
+/// `--metrics-out` / `--trace-out` product), or with `--chrome` a
+/// Chrome trace-event JSON file (a `--chrome-trace` product).
 ///
-/// Checks, in order: the file holds at least one event; every line
-/// parses as JSON and re-serializes byte-identically (the shim's
+/// JSONL checks, in order: the file holds at least one event; every
+/// line parses as JSON and re-serializes byte-identically (the shim's
 /// round-trip guarantee); every record is an object whose first key is
 /// an `"event"` string; and each comma-separated `--require`d kind
 /// appears at least once. CI's observability smoke is built on this.
 pub fn obslint(flags: &Flags) -> CliResult {
     let path = flags.required("file")?;
+    if flags.switch("chrome") {
+        if flags.get("require").is_some() {
+            return Err("--require applies to JSONL mode, not --chrome".into());
+        }
+        return obslint_chrome(path);
+    }
     let text = std::fs::read_to_string(path)?;
     let mut kinds: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     let mut events = 0usize;
@@ -644,6 +710,166 @@ pub fn obslint(flags: &Flags) -> CliResult {
     println!(
         "obslint: {path}: {events} event(s) OK; kinds: {}",
         kinds.iter().cloned().collect::<Vec<_>>().join(", ")
+    );
+    Ok(())
+}
+
+/// One decoded Chrome complete (`"X"`) event, for trace validation.
+struct ChromeEv {
+    name: String,
+    tid: u64,
+    ts: f64,
+    end: f64,
+    trace: u64,
+    span: u64,
+    parent: u64,
+}
+
+/// The `--chrome` face of `dekg obslint`: validates a Chrome
+/// trace-event JSON file written by `--chrome-trace`.
+///
+/// Checks: the file is a JSON array of event objects; every `"X"`
+/// (complete) event carries `name`/`ts`/`dur`/`pid`/`tid` plus
+/// `trace_id`/`span_id`/`parent_id` in `args`; span ids are unique;
+/// end timestamps are non-decreasing per tid in file order (the
+/// exporter appends events at span close, so a regression means a
+/// corrupted export); and every referenced parent exists in the file,
+/// on the same trace, starting no later and ending no earlier than the
+/// child — i.e. a parent span closes only after all of its children.
+fn obslint_chrome(path: &str) -> CliResult {
+    use serde::{Number, Value};
+    // Sub-microsecond slack: `ts` and `dur` are rounded to f64
+    // independently, so exact containment can be off by an ulp.
+    const EPS: f64 = 0.5;
+    let text = std::fs::read_to_string(path)?;
+    let root =
+        serde_json::parse_value(&text).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
+    let Value::Array(items) = root else {
+        return Err(format!("{path}: a chrome trace must be a JSON array of events").into());
+    };
+    let num = |v: &Value| -> Option<f64> {
+        match v {
+            Value::Num(Number::I(i)) => Some(*i as f64),
+            Value::Num(Number::U(u)) => Some(*u as f64),
+            Value::Num(Number::F(f)) => Some(*f),
+            _ => None,
+        }
+    };
+    let mut events: Vec<ChromeEv> = Vec::new();
+    let mut dropped = 0u64;
+    for (i, item) in items.iter().enumerate() {
+        let n = i + 1;
+        let Value::Object(pairs) = item else {
+            return Err(format!("{path}: event {n} is not a JSON object").into());
+        };
+        let get = |k: &str| pairs.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let Some(Value::Str(ph)) = get("ph") else {
+            return Err(format!("{path}: event {n} has no \"ph\" phase string").into());
+        };
+        match ph.as_str() {
+            // The metadata trailer carries the exporter's drop count.
+            "M" => {
+                if let Some(Value::Object(args)) = get("args") {
+                    if let Some(v) = args.iter().find(|(k, _)| k == "dropped_events") {
+                        dropped = num(&v.1).unwrap_or(0.0) as u64;
+                    }
+                }
+            }
+            "X" => {
+                let Some(Value::Str(name)) = get("name") else {
+                    return Err(format!("{path}: event {n} has no \"name\" string").into());
+                };
+                let req = |k: &str| -> Result<f64, String> {
+                    get(k)
+                        .and_then(num)
+                        .ok_or_else(|| format!("{path}: event {n} ({name}): missing number {k:?}"))
+                };
+                let (ts, dur) = (req("ts")?, req("dur")?);
+                let (_pid, tid) = (req("pid")?, req("tid")?);
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("{path}: event {n} ({name}): negative ts/dur").into());
+                }
+                let Some(Value::Object(args)) = get("args") else {
+                    return Err(format!("{path}: event {n} ({name}): missing args object").into());
+                };
+                let id = |k: &str| -> Result<u64, String> {
+                    args.iter()
+                        .find(|(key, _)| key == k)
+                        .and_then(|(_, v)| num(v))
+                        .map(|f| f as u64)
+                        .ok_or_else(|| format!("{path}: event {n} ({name}): missing args.{k}"))
+                };
+                events.push(ChromeEv {
+                    name: name.clone(),
+                    tid: tid as u64,
+                    ts,
+                    end: ts + dur,
+                    trace: id("trace_id")?,
+                    span: id("span_id")?,
+                    parent: id("parent_id")?,
+                });
+            }
+            other => {
+                return Err(format!("{path}: event {n} has unsupported phase {other:?}").into())
+            }
+        }
+    }
+    if events.is_empty() {
+        return Err(format!("{path}: no complete (\"X\") span events").into());
+    }
+    // Span ids are unique, and ends are non-decreasing per tid.
+    let mut by_span: std::collections::HashMap<u64, &ChromeEv> = std::collections::HashMap::new();
+    let mut last_end: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    for e in &events {
+        if e.span == 0 || by_span.insert(e.span, e).is_some() {
+            return Err(format!("{path}: span id {} is zero or duplicated", e.span).into());
+        }
+        let prev = last_end.entry(e.tid).or_insert(0.0);
+        if e.end + EPS < *prev {
+            return Err(format!(
+                "{path}: span {} ({}) on tid {} ends at {:.1} us, before the previous \
+                 close at {:.1} us — per-tid close order is not monotonic",
+                e.span, e.name, e.tid, e.end, prev
+            )
+            .into());
+        }
+        *prev = prev.max(e.end);
+    }
+    // Every referenced parent closed, on the same trace, containing its
+    // child's interval.
+    for e in &events {
+        if e.parent == 0 {
+            continue;
+        }
+        let Some(p) = by_span.get(&e.parent) else {
+            return Err(format!(
+                "{path}: span {} ({}) references parent {} which never closes",
+                e.span, e.name, e.parent
+            )
+            .into());
+        };
+        if p.trace != e.trace {
+            return Err(format!(
+                "{path}: span {} ({}) is on trace {} but its parent {} is on trace {}",
+                e.span, e.name, e.trace, e.parent, p.trace
+            )
+            .into());
+        }
+        if p.ts > e.ts + EPS || p.end + EPS < e.end {
+            return Err(format!(
+                "{path}: span {} ({}) [{:.1}, {:.1}] us is not contained in its parent \
+                 {} ({}) [{:.1}, {:.1}] us",
+                e.span, e.name, e.ts, e.end, p.span, p.name, p.ts, p.end
+            )
+            .into());
+        }
+    }
+    let traces: std::collections::BTreeSet<u64> = events.iter().map(|e| e.trace).collect();
+    println!(
+        "obslint: {path}: {} span event(s) across {} trace(s) OK ({} dropped)",
+        events.len(),
+        traces.len(),
+        dropped
     );
     Ok(())
 }

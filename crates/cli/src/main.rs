@@ -11,6 +11,7 @@
 //! dekg predict  --data data/ --ckpt model.dekg --head g_e0 --rel rel0 --top 5
 //! dekg serve    --data data/ --ckpt model.dekg --addr 127.0.0.1:8080
 //! dekg request  --addr 127.0.0.1:8080 --body '{"rank_tails": {"head": "g_e0", "rel": "rel0"}}'
+//! dekg profile train --data data/ --batches 8 --chrome-trace trace.json
 //! ```
 //!
 //! Datasets are GraIL-format directories (`train.txt`, `valid.txt`,
@@ -31,11 +32,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let command = argv.remove(0);
+    // `profile` takes a positional mode (train|eval) before its flags.
+    let mut profile_mode = String::new();
+    if command == "profile" {
+        if argv.is_empty() || argv[0].starts_with("--") {
+            eprintln!("error: dekg profile needs a mode: train or eval\n\n{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+        profile_mode = argv.remove(0);
+    }
     // Valueless boolean switches, per command.
     let switches: &[&str] = match command.as_str() {
         "train" => &["check", "tape-report"],
         "check" => &["grads", "tape", "json"],
         "lint" => &["json"],
+        "request" => &["timing"],
+        "obslint" => &["chrome"],
         _ => &[],
     };
     let flags = match args::Flags::parse_with_switches(&argv, switches) {
@@ -54,6 +66,7 @@ fn main() -> ExitCode {
         "predict" => commands::predict(&flags),
         "serve" => commands::serve(&flags),
         "request" => commands::request(&flags),
+        "profile" => commands::profile(&profile_mode, &flags),
         "obslint" => commands::obslint(&flags),
         "lint" => commands::lint(&flags),
         "help" | "--help" | "-h" => {

@@ -108,6 +108,20 @@ impl Gsm {
         if items.is_empty() {
             return Vec::new();
         }
+        let (g, scores) = self.record_eval_tape(params, items);
+        scores.into_iter().map(|s| g.value(s).item()).collect()
+    }
+
+    /// Records the [`Gsm::score_subgraphs_eval`] tape without reading
+    /// the scores off it: parameters mounted once, no dropout, one
+    /// scalar `Var` per item. Exposed so the profiler can bracket pure
+    /// tape recording; forward values are eager, so reading them later
+    /// is free and bitwise identical.
+    pub fn record_eval_tape(
+        &self,
+        params: &ParamStore,
+        items: &[(&Subgraph, dekg_kg::RelationId)],
+    ) -> (Graph, Vec<Var>) {
         // Eval never draws randomness; the encoder signature needs one.
         use rand::SeedableRng;
         // lint: hermetic-ok — eval path draws nothing; the constant seed feeds an encoder signature that demands an Rng
@@ -133,10 +147,9 @@ impl Gsm {
                 }
             };
             let cat = g.concat_cols(&[enc.graph, enc.head, enc.tail, r]);
-            let s = g.matmul(cat, w);
-            out.push(g.value(s).item());
+            out.push(g.matmul(cat, w));
         }
-        out
+        (g, out)
     }
 
     /// Scores many subgraphs through the forward-only encoder — no

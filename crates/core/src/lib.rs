@@ -42,6 +42,7 @@ pub mod config;
 pub mod explain;
 pub mod gsm;
 pub mod model;
+pub mod profile;
 pub mod train;
 pub mod traits;
 
@@ -54,7 +55,9 @@ pub mod prelude {
 
 pub use config::{Ablation, DekgIlpConfig};
 pub use model::{DekgIlp, ScoringPath};
+pub use profile::{profile_eval, profile_train, profile_train_outputs, ProfileReport};
 pub use train::{
-    batch_loss, batch_loss_parts, grad_check_dataset, tape_check_dataset, BatchLossBreakdown,
+    batch_loss, batch_loss_parts, grad_check_dataset, prepare_batch, record_prepared,
+    tape_check_dataset, BatchLossBreakdown, PreparedBatch,
 };
 pub use traits::{InferenceGraph, LinkPredictor, TrainReport, TrainableModel};

@@ -416,6 +416,46 @@ pub fn batch_loss_parts(
     batch: &[Triple],
     rng: &mut impl Rng,
 ) -> BatchLossBreakdown {
+    let prepared = prepare_batch(model, sampler, train_graph, batch, rng);
+    record_prepared(g, model, dataset, train_graph, &prepared, rng)
+}
+
+/// Everything one Eq. 15 batch needs that is *not* tape recording: the
+/// sampled negatives and both sides' extracted subgraphs.
+///
+/// Splitting preparation from recording lets the profiler
+/// ([`crate::profile`]) time the pure tape-execution phase without
+/// counting extraction against it. The split is RNG-transparent:
+/// [`prepare_batch`] followed by [`record_prepared`] consumes the
+/// training stream in exactly the order the fused
+/// [`batch_loss_parts`] does (master negative seed, then dropout and
+/// contrastive sampling during recording), so batches are bitwise
+/// identical either way.
+#[derive(Debug, Clone)]
+pub struct PreparedBatch {
+    /// The positive triples of this batch, in order.
+    pub batch: Vec<Triple>,
+    /// Positives repeated `neg_per_pos` times, aligned with `negs`.
+    pub pos_rep: Vec<Triple>,
+    /// The corrupted negatives (Eq. 12).
+    pub negs: Vec<Triple>,
+    /// Enclosing subgraphs of `pos_rep` (own edge excluded).
+    pub pos_subgraphs: Vec<dekg_kg::Subgraph>,
+    /// Enclosing subgraphs of `negs`.
+    pub neg_subgraphs: Vec<dekg_kg::Subgraph>,
+}
+
+/// Samples this batch's negatives and extracts both sides' subgraphs —
+/// the non-tape half of [`batch_loss_parts`]. Consumes exactly one
+/// `u64` from `rng` (the master negative seed); extraction draws no
+/// randomness.
+pub fn prepare_batch(
+    model: &DekgIlp,
+    sampler: &NegativeSampler<'_>,
+    train_graph: &InferenceGraph,
+    batch: &[Triple],
+    rng: &mut impl Rng,
+) -> PreparedBatch {
     let cfg = model.config();
 
     // Negatives: neg_per_pos per positive, aligned by repetition. One
@@ -428,21 +468,42 @@ pub fn batch_loss_parts(
         batch.iter().flat_map(|t| std::iter::repeat(*t).take(cfg.neg_per_pos)).collect();
     let negs = sampler.corrupt_batch(batch, cfg.neg_per_pos, neg_master);
 
+    let extractor = SubgraphExtractor::new(&train_graph.adjacency, cfg.hops, cfg.extraction_mode())
+        .with_backend(model.distance_backend());
+    let pos_subgraphs = extract_side(&extractor, &pos_rep, true);
+    let neg_subgraphs = extract_side(&extractor, &negs, false);
+    PreparedBatch { batch: batch.to_vec(), pos_rep, negs, pos_subgraphs, neg_subgraphs }
+}
+
+/// Records the Eq. 15 objective for an already-[prepared](prepare_batch)
+/// batch — the pure tape-recording half of [`batch_loss_parts`]. Only
+/// this half touches the graph `g`; `rng` feeds edge dropout and
+/// contrastive sampling, in the same order as the fused path.
+pub fn record_prepared(
+    g: &mut Graph,
+    model: &DekgIlp,
+    dataset: &DekgDataset,
+    train_graph: &InferenceGraph,
+    prepared: &PreparedBatch,
+    rng: &mut impl Rng,
+) -> BatchLossBreakdown {
+    let cfg = model.config();
+    let batch = &prepared.batch;
+
     // φ_sem over both sides in one tape.
     let (sem_pos, sem_neg) = match model.clrm() {
         Some(clrm) => {
-            let p = clrm.score(g, model.params(), &train_graph.tables, &pos_rep);
-            let n = clrm.score(g, model.params(), &train_graph.tables, &negs);
+            let p = clrm.score(g, model.params(), &train_graph.tables, &prepared.pos_rep);
+            let n = clrm.score(g, model.params(), &train_graph.tables, &prepared.negs);
             (Some(p), Some(n))
         }
         None => (None, None),
     };
 
-    // φ_tpo per triple.
-    let extractor = SubgraphExtractor::new(&train_graph.adjacency, cfg.hops, cfg.extraction_mode())
-        .with_backend(model.distance_backend());
-    let tpo_pos = score_side(model, model.gsm(), &extractor, &pos_rep, true, g, rng);
-    let tpo_neg = score_side(model, model.gsm(), &extractor, &negs, false, g, rng);
+    // φ_tpo per triple over the pre-extracted subgraphs.
+    let gsm = model.gsm();
+    let tpo_pos = score_extracted(model, gsm, &prepared.pos_rep, &prepared.pos_subgraphs, g, rng);
+    let tpo_neg = score_extracted(model, gsm, &prepared.negs, &prepared.neg_subgraphs, g, rng);
 
     let phi_pos = combine(g, sem_pos, tpo_pos);
     let phi_neg = combine(g, sem_neg, tpo_neg);
@@ -554,28 +615,35 @@ pub fn tape_check_dataset(dataset: &DekgDataset, seed: u64) -> dekg_tensor::Tape
     )
 }
 
-/// Scores one side (positives or negatives) topologically, returning a
-/// stacked `[n]` Var. Positives exclude their own edge from the
-/// subgraph so the model cannot read the answer off the graph.
-///
-/// Subgraph extraction fans out over the ambient rayon thread count
-/// (it consumes no randomness, so the dropout RNG stream is untouched);
-/// tape recording stays serial because the autograd graph and the
-/// dropout stream are inherently ordered.
-fn score_side(
-    model: &DekgIlp,
-    gsm: &crate::gsm::Gsm,
+/// The extraction half of one side's φ_tpo scoring: enclosing
+/// subgraphs for each triple, positives with their own edge removed so
+/// the model cannot read the answer off the graph. Extraction fans out
+/// over the ambient rayon thread count (it consumes no randomness, so
+/// the dropout RNG stream is untouched).
+fn extract_side(
     extractor: &SubgraphExtractor<'_>,
     triples: &[Triple],
     exclude_self: bool,
+) -> Vec<dekg_kg::Subgraph> {
+    let links: Vec<(EntityId, EntityId, Option<Triple>)> =
+        triples.iter().map(|t| (t.head, t.tail, exclude_self.then_some(*t))).collect();
+    extractor.extract_batch(&links)
+}
+
+/// The recording half of one side's φ_tpo scoring: scores pre-extracted
+/// subgraphs topologically, returning a stacked `[n]` Var. Recording
+/// stays serial because the autograd graph and the dropout stream are
+/// inherently ordered.
+fn score_extracted(
+    model: &DekgIlp,
+    gsm: &crate::gsm::Gsm,
+    triples: &[Triple],
+    subgraphs: &[dekg_kg::Subgraph],
     g: &mut Graph,
     rng: &mut impl Rng,
 ) -> Var {
-    let links: Vec<(EntityId, EntityId, Option<Triple>)> =
-        triples.iter().map(|t| (t.head, t.tail, exclude_self.then_some(*t))).collect();
-    let subgraphs = extractor.extract_batch(&links);
     let mut scores = Vec::with_capacity(triples.len());
-    for (t, sg) in triples.iter().zip(&subgraphs) {
+    for (t, sg) in triples.iter().zip(subgraphs) {
         let s = gsm.score_subgraph(g, model.params(), sg, t.rel, true, rng);
         scores.push(s);
     }
@@ -819,7 +887,8 @@ mod tests {
             let extractor =
                 SubgraphExtractor::new(&graph.adjacency, cfg.hops, cfg.extraction_mode());
             let mut g = Graph::new();
-            let scores = score_side(m, m.gsm(), &extractor, &triples, true, &mut g, &mut rng);
+            let subgraphs = extract_side(&extractor, &triples, true);
+            let scores = score_extracted(m, m.gsm(), &triples, &subgraphs, &mut g, &mut rng);
             let loss = g.mean_all(scores);
             (g, loss)
         };

@@ -1,0 +1,198 @@
+//! Chrome trace-event export for hierarchical spans.
+//!
+//! When a Chrome trace path is configured (`--chrome-trace out.json`),
+//! every closing [`crate::span!`] scope appends one complete
+//! (`"ph": "X"`) trace event — name, per-thread track, microsecond
+//! start/duration relative to a process epoch, and the span's
+//! trace/span/parent ids in `args` — to an in-memory buffer;
+//! [`crate::finish`] writes the buffer as a single JSON array loadable
+//! in Perfetto or `chrome://tracing`.
+//!
+//! Events are appended *at close time*, so within one `tid` the file
+//! order is the close order and end timestamps (`ts + dur`) are
+//! non-decreasing — `dekg obslint --chrome` verifies exactly this,
+//! plus parent/child containment. The buffer is bounded
+//! (`MAX_EVENTS`); overflow is counted, reported in a trailing
+//! metadata event, and warned about — never silently dropped.
+
+use serde::{Number, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// One buffered complete event (`ph: "X"`).
+struct ChromeEvent {
+    name: &'static str,
+    tid: u64,
+    ts_us: f64,
+    dur_us: f64,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+}
+
+/// Hard cap on buffered events: a 2-hop R-GCN profile run emits a few
+/// thousand spans; this bounds a runaway daemon at roughly 30 MB of
+/// buffer instead of unbounded growth.
+const MAX_EVENTS: usize = 262_144;
+
+static PATH: Mutex<Option<String>> = Mutex::new(None);
+static BUFFER: Mutex<Vec<ChromeEvent>> = Mutex::new(Vec::new());
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// The process time origin all `ts` values are relative to. Pinned when
+/// the chrome path is configured so spans that begin afterwards always
+/// have non-negative timestamps.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn lock<T>(m: &'static Mutex<T>) -> std::sync::MutexGuard<'static, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Configures the Chrome trace output path and arms hierarchical span
+/// tracking (see [`crate::span::set_tracing_enabled`]). The file itself
+/// is written by [`write_chrome_trace`] (called from [`crate::finish`]).
+pub fn set_chrome_trace_path(path: &str) {
+    epoch();
+    *lock(&PATH) = Some(path.to_owned());
+    lock(&BUFFER).clear();
+    DROPPED.store(0, Ordering::Relaxed);
+    crate::span::set_tracing_enabled(true);
+}
+
+/// True when a Chrome trace path is configured.
+pub fn chrome_active() -> bool {
+    lock(&PATH).is_some()
+}
+
+/// Appends one complete event for a just-closed span. `start` is the
+/// span's entry instant; duration is measured by the caller.
+pub(crate) fn push_event(
+    name: &'static str,
+    tid: u64,
+    start: Instant,
+    dur_seconds: f64,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+) {
+    if !chrome_active() {
+        return;
+    }
+    let ts_us = start.saturating_duration_since(epoch()).as_secs_f64() * 1e6;
+    let mut buf = lock(&BUFFER);
+    if buf.len() >= MAX_EVENTS {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    buf.push(ChromeEvent {
+        name,
+        tid,
+        ts_us,
+        dur_us: dur_seconds * 1e6,
+        trace_id,
+        span_id,
+        parent_id,
+    });
+}
+
+fn event_value(e: &ChromeEvent) -> Value {
+    Value::Object(vec![
+        ("name".to_owned(), Value::Str(e.name.to_owned())),
+        ("ph".to_owned(), Value::Str("X".to_owned())),
+        ("ts".to_owned(), Value::Num(Number::F(e.ts_us))),
+        ("dur".to_owned(), Value::Num(Number::F(e.dur_us))),
+        ("pid".to_owned(), Value::Num(Number::U(1))),
+        ("tid".to_owned(), Value::Num(Number::U(e.tid))),
+        (
+            "args".to_owned(),
+            Value::Object(vec![
+                ("trace_id".to_owned(), Value::Num(Number::U(e.trace_id))),
+                ("span_id".to_owned(), Value::Num(Number::U(e.span_id))),
+                ("parent_id".to_owned(), Value::Num(Number::U(e.parent_id))),
+            ]),
+        ),
+    ])
+}
+
+/// Writes the buffered events to the configured path as one JSON array
+/// (the Chrome trace-event format), draining the buffer. A trailing
+/// `M`-phase metadata event reports how many events the bounded buffer
+/// dropped; a nonzero count is also logged as a warning. No-op without
+/// a configured path.
+pub fn write_chrome_trace() {
+    let Some(path) = lock(&PATH).clone() else { return };
+    let events: Vec<ChromeEvent> = std::mem::take(&mut *lock(&BUFFER));
+    let dropped = DROPPED.swap(0, Ordering::Relaxed);
+    if dropped > 0 {
+        crate::log_warn!("chrome trace buffer overflowed: {dropped} span(s) not exported");
+    }
+    let mut values: Vec<Value> = events.iter().map(event_value).collect();
+    values.push(Value::Object(vec![
+        ("name".to_owned(), Value::Str("dekg_trace_meta".to_owned())),
+        ("ph".to_owned(), Value::Str("M".to_owned())),
+        ("pid".to_owned(), Value::Num(Number::U(1))),
+        (
+            "args".to_owned(),
+            Value::Object(vec![("dropped_events".to_owned(), Value::Num(Number::U(dropped)))]),
+        ),
+    ]));
+    let text =
+        serde_json::to_string_pretty(&Value::Array(values)).unwrap_or_else(|_| "[]".to_owned());
+    if let Err(e) = std::fs::write(&path, text) {
+        crate::log_warn!("could not write chrome trace {path}: {e}");
+    }
+}
+
+/// Detaches the chrome sink and clears the buffer (test/harness
+/// support; does not touch the tracing-enabled flag).
+pub fn clear_chrome_trace() {
+    *lock(&PATH) = None;
+    lock(&BUFFER).clear();
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_export_round_trips() {
+        let _guard = crate::test_lock();
+        let dir = std::env::temp_dir().join(format!("dekg-chrome-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        set_chrome_trace_path(path.to_str().unwrap());
+        {
+            let _outer = crate::span!("chrome_test_outer");
+            let _inner = crate::span!("chrome_test_inner");
+        }
+        write_chrome_trace();
+        crate::span::set_tracing_enabled(false);
+        clear_chrome_trace();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let Value::Array(events) = serde_json::parse_value(&text).unwrap() else {
+            panic!("chrome trace is not a JSON array");
+        };
+        // Two complete events plus the metadata trailer.
+        assert_eq!(events.len(), 3, "events: {text}");
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                Value::Object(pairs) => pairs
+                    .iter()
+                    .find(|(k, _)| k == "name")
+                    .and_then(|(_, v)| if let Value::Str(s) = v { Some(s.as_str()) } else { None }),
+                _ => None,
+            })
+            .collect();
+        // Inner closes first, so it precedes outer in file order.
+        assert_eq!(names, ["chrome_test_inner", "chrome_test_outer", "dekg_trace_meta"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

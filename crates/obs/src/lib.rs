@@ -60,18 +60,21 @@
 //! log_info!("demo ran {} extraction(s)", extractions.get());
 //! ```
 
+pub mod chrome;
 pub mod event;
 pub mod log;
 pub mod metrics;
 pub mod span;
 
+pub use chrome::{chrome_active, set_chrome_trace_path, write_chrome_trace};
 pub use event::{
     flush_sinks, metrics_active, set_metrics_path, set_trace_path, trace_active, Event,
 };
 pub use log::{set_level, Level};
 pub use metrics::MetricsSnapshot;
 pub use span::{
-    set_spans_enabled, span_snapshot, spans_enabled, SpanSnapshot, SpanStat, SpanTimer,
+    current_trace, new_trace_id, set_current_trace, set_spans_enabled, set_tracing_enabled,
+    span_snapshot, spans_enabled, tracing_enabled, SpanSnapshot, SpanStat, SpanTimer,
 };
 
 /// One-call configuration for a CLI run, mapped from the
@@ -84,6 +87,9 @@ pub struct ObsConfig {
     pub metrics_path: Option<String>,
     /// JSONL trace sink path (`--trace-out`).
     pub trace_path: Option<String>,
+    /// Chrome trace-event JSON output path (`--chrome-trace`). Setting
+    /// it arms hierarchical span ids; [`finish`] writes the file.
+    pub chrome_trace_path: Option<String>,
 }
 
 /// Applies an [`ObsConfig`]: sets the log level and opens the sinks.
@@ -99,6 +105,9 @@ pub fn init(cfg: &ObsConfig) -> std::io::Result<()> {
     }
     if let Some(path) = &cfg.trace_path {
         set_trace_path(path)?;
+    }
+    if let Some(path) = &cfg.chrome_trace_path {
+        set_chrome_trace_path(path);
     }
     Ok(())
 }
@@ -134,6 +143,7 @@ pub fn finish() {
     if trace_active() {
         span::emit_span_event(None);
     }
+    write_chrome_trace();
     flush_sinks();
 }
 

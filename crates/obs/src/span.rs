@@ -16,16 +16,96 @@
 //! Span *seconds* are wall-clock measurements and sit outside the
 //! determinism contract; span *counts* are additive `u64`s and inside
 //! it (see the crate docs).
+//!
+//! **Hierarchical traces.** When tracing is armed
+//! ([`set_tracing_enabled`], implied by `--chrome-trace`), every span
+//! additionally carries a `trace_id`/`span_id`/`parent_id` triple
+//! maintained by a thread-local span stack: the innermost open span on
+//! the same thread is the parent. Each closing span emits a `"span"`
+//! JSONL event to the trace sink and a complete event to the Chrome
+//! trace buffer (see [`crate::chrome`]). The flat table keeps working
+//! unchanged either way, and with tracing off (the default) the only
+//! extra cost per span is one relaxed atomic load.
 
 use crate::event::{trace_active, Event};
 use serde::{Deserialize, Number, Serialize, Value};
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 static TABLE: Mutex<BTreeMap<&'static str, SpanStat>> = Mutex::new(BTreeMap::new());
+
+/// Master switch for hierarchical trace ids (off by default; flat
+/// aggregation works regardless).
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Shared allocator for trace and span ids. Starts at 1 so 0 can mean
+/// "none" (root spans have `parent_id = 0`).
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocator for stable per-thread track ids (`ThreadId::as_u64` is
+/// unstable, so we hand out our own).
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The trace this thread's spans belong to; 0 = unassigned (a
+    /// fresh trace is allocated lazily when the first span opens).
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+    /// Span ids of the scopes currently open on this thread,
+    /// innermost last.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// This thread's track id for Chrome trace output.
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Arms or disarms hierarchical trace-id tracking. Configuring a
+/// Chrome trace path arms it automatically.
+pub fn set_tracing_enabled(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// True when hierarchical trace-id tracking is armed.
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Allocates a fresh trace id (for example, one per served request).
+pub fn new_trace_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The trace id this thread's spans are currently tagged with
+/// (0 = none assigned yet).
+pub fn current_trace() -> u64 {
+    CURRENT_TRACE.with(Cell::get)
+}
+
+/// Tags subsequent spans on this thread with `trace_id`. `dekg serve`
+/// workers call this when picking up a job so the request's trace id
+/// follows it across the queue boundary.
+pub fn set_current_trace(trace_id: u64) {
+    CURRENT_TRACE.with(|t| t.set(trace_id));
+}
+
+fn thread_tid() -> u64 {
+    TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+/// Identity of one open span in a hierarchical trace.
+#[derive(Debug, Clone, Copy)]
+struct SpanIds {
+    trace: u64,
+    span: u64,
+    parent: u64,
+}
 
 fn table() -> std::sync::MutexGuard<'static, BTreeMap<&'static str, SpanStat>> {
     TABLE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -108,25 +188,72 @@ pub fn span_snapshot() -> SpanSnapshot {
 pub struct SpanTimer {
     name: &'static str,
     start: Option<Instant>,
+    ids: Option<SpanIds>,
 }
 
 impl SpanTimer {
     /// Starts a timer for `name`; prefer the [`crate::span!`] macro.
     pub fn enter(name: &'static str) -> SpanTimer {
         let start = spans_enabled().then(Instant::now);
-        SpanTimer { name, start }
+        let ids = (start.is_some() && tracing_enabled()).then(|| {
+            let trace = CURRENT_TRACE.with(|t| {
+                if t.get() == 0 {
+                    t.set(new_trace_id());
+                }
+                t.get()
+            });
+            let span = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+            let parent = STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                let parent = s.last().copied().unwrap_or(0);
+                s.push(span);
+                parent
+            });
+            SpanIds { trace, span, parent }
+        });
+        SpanTimer { name, start, ids }
     }
 }
 
 impl Drop for SpanTimer {
     fn drop(&mut self) {
-        if let Some(start) = self.start {
-            let seconds = start.elapsed().as_secs_f64();
+        let Some(start) = self.start else { return };
+        let seconds = start.elapsed().as_secs_f64();
+        {
             let mut map = table();
             let stat = map.entry(self.name).or_default();
             stat.count += 1;
             stat.seconds += seconds;
         }
+        let Some(ids) = self.ids else { return };
+        // Pop this span from the thread's open stack. Guards normally
+        // drop in reverse open order, but search from the top anyway so
+        // an out-of-order drop (e.g. `mem::drop` games in tests) can't
+        // corrupt later parent links.
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(pos) = s.iter().rposition(|&id| id == ids.span) {
+                s.truncate(pos);
+            }
+        });
+        if trace_active() {
+            Event::new("span")
+                .field_str("name", self.name)
+                .field_u64("trace_id", ids.trace)
+                .field_u64("span_id", ids.span)
+                .field_u64("parent_id", ids.parent)
+                .field_f64("seconds", seconds)
+                .emit_trace();
+        }
+        crate::chrome::push_event(
+            self.name,
+            thread_tid(),
+            start,
+            seconds,
+            ids.trace,
+            ids.span,
+            ids.parent,
+        );
     }
 }
 
@@ -226,6 +353,43 @@ mod tests {
         let empty = span_snapshot().diff(&span_snapshot());
         assert!(empty.spans.is_empty());
         reset_spans();
+    }
+
+    #[test]
+    fn tracing_assigns_parent_child_ids() {
+        let _guard = crate::test_lock();
+        reset_spans();
+        set_tracing_enabled(true);
+        set_current_trace(0); // force lazy trace allocation on this thread
+        let (outer_ids, inner_ids);
+        {
+            let outer = crate::span!("test_trace_outer");
+            {
+                let inner = crate::span!("test_trace_inner");
+                inner_ids = inner.ids.expect("inner span has ids");
+            }
+            outer_ids = outer.ids.expect("outer span has ids");
+        }
+        assert_eq!(inner_ids.trace, outer_ids.trace, "same thread, same trace");
+        assert_eq!(inner_ids.parent, outer_ids.span, "inner nests under outer");
+        assert_eq!(outer_ids.parent, 0, "outer is a root span");
+        assert_ne!(inner_ids.span, outer_ids.span);
+        // The stack fully unwound: a new root span has no parent.
+        {
+            let next = crate::span!("test_trace_next");
+            assert_eq!(next.ids.expect("ids").parent, 0);
+        }
+        set_tracing_enabled(false);
+        set_current_trace(0);
+        reset_spans();
+    }
+
+    #[test]
+    fn tracing_disabled_allocates_no_ids() {
+        let _guard = crate::test_lock();
+        set_tracing_enabled(false);
+        let t = crate::span!("test_trace_off");
+        assert!(t.ids.is_none());
     }
 
     #[test]

@@ -40,7 +40,28 @@ pub(crate) struct Job {
     /// The decoded request.
     pub request: RankRequest,
     /// Reply channel back to the connection thread.
-    pub reply: mpsc::Sender<Result<Value, ApiError>>,
+    pub reply: mpsc::Sender<JobOutcome>,
+    /// The request's trace id — allocated at admission, re-installed on
+    /// the worker thread so the scoring spans nest under the request's
+    /// trace across the queue boundary.
+    pub trace_id: u64,
+    /// When the connection thread enqueued the job (queue-wait phase
+    /// starts here).
+    pub admitted: Instant,
+}
+
+/// What a worker sends back: the API result plus the per-phase timing
+/// the connection thread surfaces as `X-Dekg-*` headers (wall-clock —
+/// outside the determinism contract).
+pub(crate) struct JobOutcome {
+    /// The scored response (or API error).
+    pub result: Result<Value, ApiError>,
+    /// Microseconds spent queued before a worker picked the job up.
+    pub queue_us: u64,
+    /// Microseconds spent scoring.
+    pub score_us: u64,
+    /// Model generation the job was scored against.
+    pub generation: u64,
 }
 
 /// State shared between submitters and workers.
@@ -51,6 +72,9 @@ struct Shared {
     max_batch: usize,
     max_wait: Duration,
     queue_depth: usize,
+    /// Requests slower than this end-to-end (queue + scoring) get a
+    /// warn-level log with the per-phase breakdown and trace id.
+    slow_ms: u64,
     engine: Arc<RankEngine>,
 }
 
@@ -69,6 +93,7 @@ impl Batcher {
         max_batch: usize,
         max_wait: Duration,
         queue_depth: usize,
+        slow_ms: u64,
     ) -> Batcher {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
@@ -77,6 +102,7 @@ impl Batcher {
             max_batch: max_batch.max(1),
             max_wait,
             queue_depth,
+            slow_ms,
             engine,
         });
         let workers = (0..workers.max(1))
@@ -102,6 +128,7 @@ impl Batcher {
             return false;
         }
         queue.push_back(job);
+        crate::serve_obs().queue_depth.set(queue.len() as f64);
         drop(queue);
         self.shared.available.notify_one();
         true
@@ -145,7 +172,9 @@ fn next_batch(shared: &Shared) -> Vec<Job> {
         }
     }
     let take = queue.len().min(shared.max_batch);
-    queue.drain(..take).collect()
+    let batch: Vec<Job> = queue.drain(..take).collect();
+    crate::serve_obs().queue_depth.set(queue.len() as f64);
+    batch
 }
 
 /// One worker: pin ambient rayon parallelism to 1 (see module docs),
@@ -162,14 +191,30 @@ fn worker_loop(shared: &Shared) {
         let obs = crate::serve_obs();
         obs.batch_size.observe(batch.len() as u64);
         for job in batch {
+            // Re-install the request's trace id so the scoring spans on
+            // this worker thread nest under the request's trace.
+            dekg_obs::set_current_trace(job.trace_id);
+            let queue_us = u64::try_from(job.admitted.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let generation = shared.engine.model().generation;
             let started = Instant::now();
-            let result = api::execute(&shared.engine, &job.request);
+            let result = {
+                let _span = dekg_obs::span!("serve_score_request");
+                api::execute(&shared.engine, &job.request)
+            };
             obs.requests.inc();
-            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-            obs.latency_us.observe(micros);
+            let score_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            obs.latency_us.observe(score_us);
+            let total_us = queue_us.saturating_add(score_us);
+            if shared.slow_ms > 0 && total_us >= shared.slow_ms.saturating_mul(1_000) {
+                dekg_obs::log_warn!(
+                    "slow request (trace {}): {total_us} us total = {queue_us} us queued + {score_us} us scoring (generation {generation})",
+                    job.trace_id,
+                );
+            }
             // A dead receiver just means the client gave up; scoring
             // already happened, nothing to unwind.
-            let _ = job.reply.send(result);
+            let _ = job.reply.send(JobOutcome { result, queue_us, score_us, generation });
         }
+        dekg_obs::set_current_trace(0);
     });
 }

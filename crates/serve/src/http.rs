@@ -88,17 +88,24 @@ pub(crate) struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: String,
+    /// Extra response headers (`X-Dekg-*` timing/provenance).
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: String) -> Response {
-        Response { status, content_type: "application/json", body }
+        Response { status, content_type: "application/json", body, headers: Vec::new() }
     }
 
     /// A plain-text response.
     pub fn text(status: u16, body: &str) -> Response {
-        Response { status, content_type: "text/plain; charset=utf-8", body: body.to_owned() }
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.to_owned(),
+            headers: Vec::new(),
+        }
     }
 
     /// A JSON error envelope: `{"error": "<message>"}`.
@@ -108,15 +115,28 @@ impl Response {
         Response::json(status, serde_json::to_string(&body).unwrap_or_default())
     }
 
+    /// Appends one extra response header.
+    pub fn with_header(mut self, name: &str, value: String) -> Response {
+        self.headers.push((name.to_owned(), value));
+        self
+    }
+
     /// Serializes the response onto `stream`.
     pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len()
         );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(self.body.as_bytes())?;
         stream.flush()
@@ -152,6 +172,26 @@ pub fn http_call(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
+    let (status, _, body) = http_call_with_headers(addr, method, path, body)?;
+    Ok((status, body))
+}
+
+/// Response headers as `(lower-cased name, trimmed value)` pairs in
+/// wire order.
+pub type HeaderList = Vec<(String, String)>;
+
+/// [`http_call`] plus the response headers, lower-cased names in wire
+/// order — `dekg request --timing` reads the daemon's `x-dekg-*`
+/// timing/provenance headers from here without touching the body.
+///
+/// # Errors
+/// Connection, IO or response-framing failures.
+pub fn http_call_with_headers(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, HeaderList, String)> {
     let err = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
     let mut stream = TcpStream::connect(addr)?;
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
@@ -175,6 +215,7 @@ pub fn http_call(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| err(format!("malformed status line {status_line:?}")))?;
     let mut content_length: Option<usize> = None;
+    let mut headers: HeaderList = Vec::new();
     loop {
         let mut line = String::new();
         let n = reader.read_line(&mut line)?;
@@ -186,6 +227,7 @@ pub fn http_call(
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().ok();
             }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
         }
     }
     let body = match content_length {
@@ -201,7 +243,7 @@ pub fn http_call(
             buf
         }
     };
-    Ok((status, body))
+    Ok((status, headers, body))
 }
 
 #[cfg(test)]
@@ -243,6 +285,27 @@ mod tests {
         let (status, body) = http_call(&addr.to_string(), "GET", "/metrics?x=1", None).unwrap();
         assert_eq!(status, 200);
         assert_eq!(body, "GET /metrics 0");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn custom_headers_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _ = read_request(&mut stream);
+            Response::text(200, "ok")
+                .with_header("X-Dekg-Score-Us", "123".to_owned())
+                .write_to(&mut stream)
+                .unwrap();
+        });
+        let (status, headers, body) =
+            http_call_with_headers(&addr.to_string(), "GET", "/", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok");
+        let v = headers.iter().find(|(k, _)| k == "x-dekg-score-us").map(|(_, v)| v.as_str());
+        assert_eq!(v, Some("123"));
         handle.join().unwrap();
     }
 

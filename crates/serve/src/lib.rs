@@ -46,13 +46,25 @@
 //! | GET    | `/healthz`        | Liveness: 200 once the socket is bound        |
 //! | GET    | `/readyz`         | Readiness: 200 once the model is loaded       |
 //! | GET    | `/metrics`        | Prometheus text exposition                    |
+//! | GET    | `/debug/profile`  | JSON span/hot-op/load snapshot                |
 //! | POST   | `/admin/reload`   | Checkpoint hot-swap                           |
 //! | POST   | `/admin/shutdown` | Graceful stop (drains queued work)            |
 //!
 //! Serve-side latency metrics (`dekg_serve_request_latency_us`,
-//! `dekg_serve_*_seconds`) are wall-clock measurements and sit outside
-//! the workspace's bitwise-determinism contract, like every other
+//! `dekg_serve_*_seconds`) and the point-in-time load gauges
+//! (`dekg_serve_inflight_requests`, `dekg_serve_queue_depth`) are
+//! wall-clock/timing-dependent measurements and sit outside the
+//! workspace's bitwise-determinism contract, like every other
 //! lexically marked timing metric.
+//!
+//! Each request is assigned a trace id at admission that follows it
+//! across the queue to the scoring worker (spans there nest under it;
+//! see `dekg_obs`'s hierarchical tracing) and is echoed back in the
+//! `X-Dekg-Trace-Id` response header alongside `X-Dekg-Queue-Us`,
+//! `X-Dekg-Score-Us` and `X-Dekg-Generation` — `dekg request --timing`
+//! prints these without touching the response body. Requests slower
+//! end-to-end than [`ServeConfig::slow_ms`] get a warn-level log line
+//! with the same per-phase breakdown.
 
 mod api;
 mod batcher;
@@ -60,17 +72,17 @@ mod engine;
 mod http;
 
 pub use engine::{ModelGeneration, RankEngine};
-pub use http::http_call;
+pub use http::{http_call, http_call_with_headers, HeaderList};
 
 use batcher::{Batcher, Job};
 use http::{read_request, Request, Response};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use dekg_obs::metrics::{Counter, Histogram};
+use dekg_obs::metrics::{Counter, Gauge, Histogram};
 
 /// Serve-side metric handles, registered once in the global registry.
 pub(crate) struct ServeObs {
@@ -85,6 +97,29 @@ pub(crate) struct ServeObs {
     pub latency_us: Histogram,
     /// Admission batch sizes actually drained by workers.
     pub batch_size: Histogram,
+    /// Requests admitted and not yet answered
+    /// (`dekg_serve_inflight_requests`).
+    pub inflight: Gauge,
+    /// Jobs currently queued (`dekg_serve_queue_depth`). Point-in-time
+    /// load gauges: timing-dependent like the latency histogram, hence
+    /// outside the determinism contract.
+    pub queue_depth: Gauge,
+    /// Backing count for the inflight gauge (gauges only store).
+    inflight_count: AtomicU64,
+}
+
+impl ServeObs {
+    /// Notes one admitted request.
+    pub fn inflight_enter(&self) {
+        let now = self.inflight_count.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inflight.set(now as f64);
+    }
+
+    /// Notes one answered (or timed-out) request.
+    pub fn inflight_exit(&self) {
+        let before = self.inflight_count.fetch_sub(1, Ordering::Relaxed);
+        self.inflight.set(before.saturating_sub(1) as f64);
+    }
 }
 
 pub(crate) fn serve_obs() -> &'static ServeObs {
@@ -100,6 +135,9 @@ pub(crate) fn serve_obs() -> &'static ServeObs {
                 &[100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000],
             ),
             batch_size: reg.histogram("dekg_serve_batch_size", &[1, 2, 4, 8, 16, 32]),
+            inflight: reg.gauge("dekg_serve_inflight_requests"),
+            queue_depth: reg.gauge("dekg_serve_queue_depth"),
+            inflight_count: AtomicU64::new(0),
         }
     })
 }
@@ -122,6 +160,10 @@ pub struct ServeConfig {
     pub max_wait_ms: u64,
     /// Admission queue bound; a full queue sheds with `429`.
     pub queue_depth: usize,
+    /// Slow-request threshold in milliseconds: a request whose
+    /// queue-wait plus scoring exceeds this is logged at warn level
+    /// with its per-phase breakdown and trace id. `0` disables.
+    pub slow_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -132,6 +174,7 @@ impl Default for ServeConfig {
             max_batch: 8,
             max_wait_ms: 1,
             queue_depth: 128,
+            slow_ms: 250,
         }
     }
 }
@@ -216,6 +259,7 @@ impl Server {
             cfg.max_batch,
             Duration::from_millis(cfg.max_wait_ms),
             cfg.queue_depth,
+            cfg.slow_ms,
         );
         *self.state.engine.write().unwrap_or_else(PoisonError::into_inner) = Some(engine);
         *self.state.batcher.lock().unwrap_or_else(PoisonError::into_inner) = Some(batcher);
@@ -299,6 +343,7 @@ fn route(state: &ServeState, request: &Request) -> Response {
         ("GET", "/metrics") => {
             Response::text(200, &dekg_obs::metrics::global().render_prometheus())
         }
+        ("GET", "/debug/profile") => debug_profile(),
         ("POST", "/rank") => rank(state, request),
         ("POST", "/admin/reload") => reload(state, request),
         ("POST", "/admin/shutdown") => {
@@ -307,10 +352,45 @@ fn route(state: &ServeState, request: &Request) -> Response {
         }
         (
             "GET" | "POST",
-            "/healthz" | "/readyz" | "/metrics" | "/rank" | "/admin/reload" | "/admin/shutdown",
+            "/healthz" | "/readyz" | "/metrics" | "/debug/profile" | "/rank" | "/admin/reload"
+            | "/admin/shutdown",
         ) => Response::error(405, "method not allowed for this path"),
         _ => Response::error(404, "no such endpoint"),
     }
+}
+
+/// `GET /debug/profile`: a JSON snapshot of the daemon's profiling
+/// state — the accumulated span table (per-phase counts and seconds),
+/// the per-op kernel table if the tensor profiler has been armed in
+/// this process, and the live load gauges.
+fn debug_profile() -> Response {
+    use serde::{Number, Value};
+    let obs = serve_obs();
+    let spans = serde::Serialize::to_value(&dekg_obs::span_snapshot());
+    let prof = dekg_tensor::prof::snapshot();
+    let ops: Vec<Value> = prof
+        .ops
+        .iter()
+        .map(|op| {
+            Value::Object(vec![
+                ("op".to_owned(), Value::Str(op.op.to_owned())),
+                ("forward_calls".to_owned(), Value::Num(Number::U(op.forward_calls))),
+                ("forward_seconds".to_owned(), Value::Num(Number::F(op.forward_seconds))),
+                ("forward_bytes".to_owned(), Value::Num(Number::U(op.forward_bytes))),
+                ("backward_calls".to_owned(), Value::Num(Number::U(op.backward_calls))),
+                ("backward_seconds".to_owned(), Value::Num(Number::F(op.backward_seconds))),
+                ("backward_bytes".to_owned(), Value::Num(Number::U(op.backward_bytes))),
+            ])
+        })
+        .collect();
+    let body = Value::Object(vec![
+        ("inflight".to_owned(), Value::Num(Number::F(obs.inflight.get()))),
+        ("queue_depth".to_owned(), Value::Num(Number::F(obs.queue_depth.get()))),
+        ("requests_total".to_owned(), Value::Num(Number::U(obs.requests.get()))),
+        ("spans".to_owned(), spans),
+        ("ops".to_owned(), Value::Array(ops)),
+    ]);
+    Response::json(200, serde_json::to_string(&body).unwrap_or_default())
 }
 
 fn rank(state: &ServeState, request: &Request) -> Response {
@@ -329,11 +409,17 @@ fn rank(state: &ServeState, request: &Request) -> Response {
         Ok(d) => d,
         Err(e) => return Response::error(e.status, &e.message),
     };
+    let trace_id = dekg_obs::new_trace_id();
     let (reply_tx, reply_rx) = mpsc::channel();
     let accepted = {
         let guard = state.batcher.lock().unwrap_or_else(PoisonError::into_inner);
         match guard.as_ref() {
-            Some(b) => b.submit(Job { request: decoded, reply: reply_tx }),
+            Some(b) => b.submit(Job {
+                request: decoded,
+                reply: reply_tx,
+                trace_id,
+                admitted: Instant::now(),
+            }),
             None => return Response::error(503, "model not loaded yet"),
         }
     };
@@ -341,9 +427,18 @@ fn rank(state: &ServeState, request: &Request) -> Response {
         serve_obs().shed.inc();
         return Response::error(429, "queue full");
     }
-    match reply_rx.recv_timeout(Duration::from_secs(60)) {
-        Ok(Ok(value)) => Response::json(200, serde_json::to_string(&value).unwrap_or_default()),
-        Ok(Err(e)) => Response::error(e.status, &e.message),
+    serve_obs().inflight_enter();
+    let outcome = reply_rx.recv_timeout(Duration::from_secs(60));
+    serve_obs().inflight_exit();
+    match outcome {
+        Ok(outcome) => match outcome.result {
+            Ok(value) => Response::json(200, serde_json::to_string(&value).unwrap_or_default())
+                .with_header("X-Dekg-Queue-Us", outcome.queue_us.to_string())
+                .with_header("X-Dekg-Score-Us", outcome.score_us.to_string())
+                .with_header("X-Dekg-Generation", outcome.generation.to_string())
+                .with_header("X-Dekg-Trace-Id", trace_id.to_string()),
+            Err(e) => Response::error(e.status, &e.message),
+        },
         Err(_) => Response::error(500, "scoring timed out"),
     }
 }

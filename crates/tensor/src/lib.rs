@@ -46,6 +46,7 @@ pub mod interp;
 pub mod kernels;
 pub mod optim;
 pub mod params;
+pub mod prof;
 pub mod serialize;
 pub mod shape;
 pub mod tape;
@@ -55,6 +56,7 @@ pub mod tensor;
 pub use check::{Diagnostic, Severity, ShapeError, ShapeErrorKind, ALL_OPS};
 pub use interp::DiffBudget;
 pub use params::{GradStore, ParamId, ParamStore};
+pub use prof::{OpProfile, ProfSnapshot, TapeProfile};
 pub use shape::Shape;
 pub use tape::{Graph, Var};
 pub use tapecheck::{MemoryPlan, TapeCache, TapeReport};

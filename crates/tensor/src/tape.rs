@@ -15,6 +15,7 @@
 
 use crate::kernels;
 use crate::params::{GradStore, ParamId, ParamStore};
+use crate::prof;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use rand::Rng;
@@ -139,6 +140,23 @@ impl Graph {
         Var(id)
     }
 
+    /// [`push`](Self::push) plus per-op profiling: when `t` is armed
+    /// (see [`crate::prof::set_enabled`]), folds the op's elapsed wall
+    /// time and the bytes it moved — every input read plus the output
+    /// written, 4 bytes per f32 — into the global profile tables. The
+    /// timer is armed by the op constructor *before* it computes the
+    /// forward value, so the elapsed time covers the kernel itself.
+    fn push_prof(&mut self, op: Op, value: Tensor, needs_grad: bool, t: prof::ProfTimer) -> Var {
+        if let Some(elapsed) = t.finish() {
+            let mut bytes = value.numel() as u64 * 4;
+            crate::check::for_each_input(&op, |v| {
+                bytes += self.nodes[v.0].value.numel() as u64 * 4;
+            });
+            prof::record_forward(crate::check::op_ordinal(&op), bytes, elapsed);
+        }
+        self.push(op, value, needs_grad)
+    }
+
     fn needs(&self, v: Var) -> bool {
         self.nodes[v.0].needs_grad
     }
@@ -184,12 +202,14 @@ impl Graph {
 
     /// Mounts parameter `id` from `store` as a differentiable leaf.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(Op::Leaf(Some(id)), store.get(id).clone(), true)
+        let t = prof::start();
+        self.push_prof(Op::Leaf(Some(id)), store.get(id).clone(), true, t)
     }
 
     /// Inserts a non-differentiable constant.
     pub fn constant(&mut self, value: Tensor) -> Var {
-        self.push(Op::Leaf(None), value, false)
+        let t = prof::start();
+        self.push_prof(Op::Leaf(None), value, false, t)
     }
 
     /// Inserts a scalar constant.
@@ -201,15 +221,17 @@ impl Graph {
 
     /// Elementwise `a + b` (same shape).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let t = prof::start();
         let op = Op::Add(a, b);
         self.expect_shape(&op, None);
         let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
         let ng = self.needs(a) || self.needs(b);
-        self.push(op, v, ng)
+        self.push_prof(op, v, ng, t)
     }
 
     /// Elementwise `a - b` (same shape).
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let t = prof::start();
         let op = Op::Sub(a, b);
         let shape = self.expect_shape(&op, None);
         let av = &self.nodes[a.0].value;
@@ -217,20 +239,22 @@ impl Graph {
         let data = av.data().iter().zip(bv.data()).map(|(&x, &y)| x - y).collect();
         let v = Tensor::from_vec(shape, data);
         let ng = self.needs(a) || self.needs(b);
-        self.push(op, v, ng)
+        self.push_prof(op, v, ng, t)
     }
 
     /// Elementwise `a * b` (same shape).
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let t = prof::start();
         let op = Op::Mul(a, b);
         self.expect_shape(&op, None);
         let v = self.nodes[a.0].value.mul(&self.nodes[b.0].value);
         let ng = self.needs(a) || self.needs(b);
-        self.push(op, v, ng)
+        self.push_prof(op, v, ng, t)
     }
 
     /// Elementwise `a / b` (same shape).
     pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let t = prof::start();
         let op = Op::Div(a, b);
         let shape = self.expect_shape(&op, None);
         let av = &self.nodes[a.0].value;
@@ -238,28 +262,31 @@ impl Graph {
         let data = av.data().iter().zip(bv.data()).map(|(&x, &y)| x / y).collect();
         let v = Tensor::from_vec(shape, data);
         let ng = self.needs(a) || self.needs(b);
-        self.push(op, v, ng)
+        self.push_prof(op, v, ng, t)
     }
 
     /// Elementwise negation.
     pub fn neg(&mut self, a: Var) -> Var {
+        let t = prof::start();
         let v = self.nodes[a.0].value.scale(-1.0);
         let ng = self.needs(a);
-        self.push(Op::Neg(a), v, ng)
+        self.push_prof(Op::Neg(a), v, ng, t)
     }
 
     /// Adds a scalar to every element.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let t = prof::start();
         let v = self.nodes[a.0].value.map(|x| x + s);
         let ng = self.needs(a);
-        self.push(Op::AddScalar(a, s), v, ng)
+        self.push_prof(Op::AddScalar(a, s), v, ng, t)
     }
 
     /// Multiplies every element by a scalar.
     pub fn mul_scalar(&mut self, a: Var, s: f32) -> Var {
+        let t = prof::start();
         let v = self.nodes[a.0].value.scale(s);
         let ng = self.needs(a);
-        self.push(Op::MulScalar(a, s), v, ng)
+        self.push_prof(Op::MulScalar(a, s), v, ng, t)
     }
 
     /// Matrix product of rank-2 vars.
@@ -272,11 +299,12 @@ impl Graph {
     /// * a `0`-length inner dimension (`[m, 0] × [0, n]`) produces an
     ///   all-zero `[m, n]` result, the empty-sum convention.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let t = prof::start();
         let op = Op::Matmul(a, b);
         self.expect_shape(&op, None);
         let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
         let ng = self.needs(a) || self.needs(b);
-        self.push(op, v, ng)
+        self.push_prof(op, v, ng, t)
     }
 
     // ---- structure ----
@@ -285,6 +313,7 @@ impl Graph {
     ///
     /// This is the embedding-lookup primitive; indices may repeat.
     pub fn gather_rows(&mut self, a: Var, idx: &[usize]) -> Var {
+        let t = prof::start();
         let op = Op::GatherRows(a, idx.to_vec());
         let shape = self.expect_shape(&op, None);
         let av = &self.nodes[a.0].value;
@@ -295,7 +324,7 @@ impl Graph {
         }
         let v = Tensor::from_vec(shape, data);
         let ng = self.needs(a);
-        self.push(op, v, ng)
+        self.push_prof(op, v, ng, t)
     }
 
     /// Gathers arbitrary flat offsets of `a` into a tensor of `shape`.
@@ -310,6 +339,7 @@ impl Graph {
     /// If `idx.len() != shape.numel()` or any non-PAD offset is out of
     /// bounds.
     pub fn gather_flat(&mut self, a: Var, idx: &[usize], shape: impl Into<Shape>) -> Var {
+        let t = prof::start();
         let shape = shape.into();
         let op = Op::GatherFlat(a, idx.to_vec());
         let shape = self.expect_shape(&op, Some(&shape));
@@ -317,22 +347,24 @@ impl Graph {
         let data = idx.iter().map(|&i| if i == PAD { 0.0 } else { av[i] }).collect();
         let v = Tensor::from_vec(shape, data);
         let ng = self.needs(a);
-        self.push(op, v, ng)
+        self.push_prof(op, v, ng, t)
     }
 
     /// Reinterprets `a` under a new shape (same element count).
     pub fn reshape(&mut self, a: Var, shape: impl Into<Shape>) -> Var {
+        let t = prof::start();
         let shape = shape.into();
         let op = Op::Reshape(a);
         let shape = self.expect_shape(&op, Some(&shape));
         let v = self.nodes[a.0].value.clone().reshape(shape);
         let ng = self.needs(a);
-        self.push(op, v, ng)
+        self.push_prof(op, v, ng, t)
     }
 
     /// Concatenates along axis 0. Rank-1 inputs concatenate into a longer
     /// rank-1; rank-2 inputs stack rows (equal column counts required).
     pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        let t = prof::start();
         let op = Op::ConcatRows(parts.to_vec());
         let shape = self.expect_shape(&op, None);
         let mut data = Vec::with_capacity(shape.numel());
@@ -341,11 +373,12 @@ impl Graph {
         }
         let v = Tensor::from_vec(shape, data);
         let ng = parts.iter().any(|&p| self.needs(p));
-        self.push(op, v, ng)
+        self.push_prof(op, v, ng, t)
     }
 
     /// Concatenates rank-2 inputs along axis 1 (equal row counts).
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let t = prof::start();
         let op = Op::ConcatCols(parts.to_vec());
         let shape = self.expect_shape(&op, None);
         let (rows, total) = shape.as_matrix();
@@ -357,16 +390,17 @@ impl Graph {
         }
         let v = Tensor::from_vec(shape, data);
         let ng = parts.iter().any(|&p| self.needs(p));
-        self.push(op, v, ng)
+        self.push_prof(op, v, ng, t)
     }
 
     // ---- reductions ----
 
     /// Sum of all elements (scalar output).
     pub fn sum_all(&mut self, a: Var) -> Var {
+        let t = prof::start();
         let v = Tensor::scalar(self.nodes[a.0].value.sum());
         let ng = self.needs(a);
-        self.push(Op::SumAll(a), v, ng)
+        self.push_prof(Op::SumAll(a), v, ng, t)
     }
 
     /// Mean of all elements (scalar output).
@@ -374,13 +408,15 @@ impl Graph {
     /// The mean of an empty var is defined as `0.0` (and its backward
     /// pass divides by `numel().max(1)`), matching the interpreter.
     pub fn mean_all(&mut self, a: Var) -> Var {
+        let t = prof::start();
         let v = Tensor::scalar(self.nodes[a.0].value.mean());
         let ng = self.needs(a);
-        self.push(Op::MeanAll(a), v, ng)
+        self.push_prof(Op::MeanAll(a), v, ng, t)
     }
 
     /// Column sums of a rank-2 var: `[m, n] -> [n]`.
     pub fn sum_axis0(&mut self, a: Var) -> Var {
+        let t = prof::start();
         let op = Op::SumAxis0(a);
         self.expect_shape(&op, None);
         let av = &self.nodes[a.0].value;
@@ -390,18 +426,19 @@ impl Graph {
             kernels::add_assign(&mut out, av.row(i));
         }
         let ng = self.needs(a);
-        self.push(op, Tensor::from_vec(vec![n], out), ng)
+        self.push_prof(op, Tensor::from_vec(vec![n], out), ng, t)
     }
 
     /// Row sums of a rank-2 var: `[m, n] -> [m]`.
     pub fn sum_axis1(&mut self, a: Var) -> Var {
+        let t = prof::start();
         let op = Op::SumAxis1(a);
         self.expect_shape(&op, None);
         let av = &self.nodes[a.0].value;
         let (m, _n) = av.shape().as_matrix();
         let out: Vec<f32> = (0..m).map(|i| av.row(i).iter().sum()).collect();
         let ng = self.needs(a);
-        self.push(op, Tensor::from_vec(vec![m], out), ng)
+        self.push_prof(op, Tensor::from_vec(vec![m], out), ng, t)
     }
 
     /// Column means of a rank-2 var: `[m, n] -> [n]`.
@@ -409,6 +446,7 @@ impl Graph {
     /// `m == 0` yields the zero vector (empty-mean convention, same as
     /// [`Graph::mean_all`]).
     pub fn mean_axis0(&mut self, a: Var) -> Var {
+        let t = prof::start();
         let op = Op::MeanAxis0(a);
         self.expect_shape(&op, None);
         let av = &self.nodes[a.0].value;
@@ -422,79 +460,89 @@ impl Graph {
             *x *= inv;
         }
         let ng = self.needs(a);
-        self.push(op, Tensor::from_vec(vec![n], out), ng)
+        self.push_prof(op, Tensor::from_vec(vec![n], out), ng, t)
     }
 
     // ---- nonlinearities ----
 
     /// `max(0, x)` elementwise.
     pub fn relu(&mut self, a: Var) -> Var {
+        let t = prof::start();
         let v = self.nodes[a.0].value.map(|x| x.max(0.0));
         let ng = self.needs(a);
-        self.push(Op::Relu(a), v, ng)
+        self.push_prof(Op::Relu(a), v, ng, t)
     }
 
     /// Logistic sigmoid elementwise.
     pub fn sigmoid(&mut self, a: Var) -> Var {
+        let t = prof::start();
         let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
         let ng = self.needs(a);
-        self.push(Op::Sigmoid(a), v, ng)
+        self.push_prof(Op::Sigmoid(a), v, ng, t)
     }
 
     /// Hyperbolic tangent elementwise.
     pub fn tanh(&mut self, a: Var) -> Var {
+        let t = prof::start();
         let v = self.nodes[a.0].value.map(f32::tanh);
         let ng = self.needs(a);
-        self.push(Op::Tanh(a), v, ng)
+        self.push_prof(Op::Tanh(a), v, ng, t)
     }
 
     /// Elementwise square root (inputs are expected non-negative).
     pub fn sqrt(&mut self, a: Var) -> Var {
+        let t = prof::start();
         let v = self.nodes[a.0].value.map(f32::sqrt);
         let ng = self.needs(a);
-        self.push(Op::Sqrt(a), v, ng)
+        self.push_prof(Op::Sqrt(a), v, ng, t)
     }
 
     /// Elementwise `exp`.
     pub fn exp(&mut self, a: Var) -> Var {
+        let t = prof::start();
         let v = self.nodes[a.0].value.map(f32::exp);
         let ng = self.needs(a);
-        self.push(Op::Exp(a), v, ng)
+        self.push_prof(Op::Exp(a), v, ng, t)
     }
 
     /// Elementwise natural log.
     pub fn ln(&mut self, a: Var) -> Var {
+        let t = prof::start();
         let v = self.nodes[a.0].value.map(f32::ln);
         let ng = self.needs(a);
-        self.push(Op::Ln(a), v, ng)
+        self.push_prof(Op::Ln(a), v, ng, t)
     }
 
     /// Elementwise sine.
     pub fn sin(&mut self, a: Var) -> Var {
+        let t = prof::start();
         let v = self.nodes[a.0].value.map(f32::sin);
         let ng = self.needs(a);
-        self.push(Op::Sin(a), v, ng)
+        self.push_prof(Op::Sin(a), v, ng, t)
     }
 
     /// Elementwise cosine.
     pub fn cos(&mut self, a: Var) -> Var {
+        let t = prof::start();
         let v = self.nodes[a.0].value.map(f32::cos);
         let ng = self.needs(a);
-        self.push(Op::Cos(a), v, ng)
+        self.push_prof(Op::Cos(a), v, ng, t)
     }
 
     /// Elementwise square.
     pub fn square(&mut self, a: Var) -> Var {
+        let t = prof::start();
         let v = self.nodes[a.0].value.map(|x| x * x);
         let ng = self.needs(a);
-        self.push(Op::Square(a), v, ng)
+        self.push_prof(Op::Square(a), v, ng, t)
     }
 
     /// Elementwise absolute value.
     pub fn abs(&mut self, a: Var) -> Var {
+        let t = prof::start();
         let v = self.nodes[a.0].value.map(f32::abs);
         let ng = self.needs(a);
-        self.push(Op::Abs(a), v, ng)
+        self.push_prof(Op::Abs(a), v, ng, t)
     }
 
     /// Inverted dropout: zeroes each element with probability `rate` and
@@ -504,6 +552,7 @@ impl Graph {
         if rate == 0.0 {
             return a;
         }
+        let t = prof::start();
         let keep = 1.0 - rate;
         let scale = 1.0 / keep;
         let av = &self.nodes[a.0].value;
@@ -512,18 +561,19 @@ impl Graph {
         let data = av.data().iter().zip(&mask).map(|(&x, &m)| x * m).collect();
         let v = Tensor::from_vec(av.shape().clone(), data);
         let ng = self.needs(a);
-        self.push(Op::Dropout(a, mask), v, ng)
+        self.push_prof(Op::Dropout(a, mask), v, ng, t)
     }
 
     // ---- graph-structured ops ----
 
     /// Stacks scalar vars into a rank-1 tensor `[parts.len()]`.
     pub fn stack_scalars(&mut self, parts: &[Var]) -> Var {
+        let t = prof::start();
         let op = Op::StackScalars(parts.to_vec());
         let shape = self.expect_shape(&op, None);
         let data: Vec<f32> = parts.iter().map(|&p| self.nodes[p.0].value.data()[0]).collect();
         let ng = parts.iter().any(|&p| self.needs(p));
-        self.push(op, Tensor::from_vec(shape, data), ng)
+        self.push_prof(op, Tensor::from_vec(shape, data), ng, t)
     }
 
     /// Row scatter-add: output has `rows` rows; row `idx[e]` accumulates
@@ -533,6 +583,7 @@ impl Graph {
     /// If `idx.len()` differs from `src`'s row count or any index is out
     /// of bounds.
     pub fn scatter_add_rows(&mut self, src: Var, idx: &[usize], rows: usize) -> Var {
+        let t = prof::start();
         let op = Op::ScatterAddRows { src, idx: idx.to_vec(), rows };
         let shape = self.expect_shape(&op, None);
         let sv = &self.nodes[src.0].value;
@@ -541,11 +592,12 @@ impl Graph {
             kernels::add_assign(out.row_mut(target), sv.row(r));
         }
         let ng = self.needs(src);
-        self.push(op, out, ng)
+        self.push_prof(op, out, ng, t)
     }
 
     /// Repeats a rank-1 `[d]` var into `[rows, d]`.
     pub fn broadcast_row(&mut self, a: Var, rows: usize) -> Var {
+        let t = prof::start();
         let op = Op::BroadcastRow(a, rows);
         let shape = self.expect_shape(&op, None);
         let av = &self.nodes[a.0].value;
@@ -554,7 +606,7 @@ impl Graph {
             data.extend_from_slice(av.data());
         }
         let ng = self.needs(a);
-        self.push(op, Tensor::from_vec(shape, data), ng)
+        self.push_prof(op, Tensor::from_vec(shape, data), ng, t)
     }
 
     // ---- composites ----
@@ -621,7 +673,15 @@ impl Graph {
                 continue;
             }
             let Some(grad) = grads[id].take() else { continue };
+            let t = prof::start();
             self.backprop_node(id, &grad, &mut grads, &mut store);
+            if let Some(elapsed) = t.finish() {
+                prof::record_backward(
+                    crate::check::op_ordinal(&self.nodes[id].op),
+                    grad.numel() as u64 * 4,
+                    elapsed,
+                );
+            }
         }
         store
     }

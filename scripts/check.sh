@@ -29,6 +29,10 @@ echo "==> determinism under a shuffled schedule (DEKG_SHUFFLE_SCHEDULE=1)"
 # out random uneven chunks in random spawn order: results must be
 # schedule-invariant, not merely thread-count-invariant.
 DEKG_SHUFFLE_SCHEDULE=1 cargo test -q -p dekg --test parallel_determinism --offline
+# Trace integrity under the same perturbation: span nesting stays
+# well-formed with spans closing on many threads in shuffled order, and
+# the kernel profiler's calls/bytes columns are schedule-invariant.
+DEKG_SHUFFLE_SCHEDULE=1 cargo test -q -p dekg-core --test trace_integrity --offline
 
 echo "==> cargo doc --workspace (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps --offline
@@ -68,6 +72,17 @@ cargo run -q --release --offline -p dekg-cli -- \
 cargo run -q --release --offline -p dekg-cli -- \
     obslint --file "$tmp/trace.jsonl" --require spans
 
+echo "==> kernel-profiler smoke: dekg profile train + obslint --chrome"
+# Replays the production training tape with the per-op profiler armed;
+# the hot-op table must attribute the bracket, and the Chrome trace it
+# exports must survive the structural lint (well-formed events,
+# monotonic per-track close order, parents contain children).
+cargo run -q --release --offline -p dekg-cli -- \
+    profile train --data "$tmp/data" --batches 4 \
+    --chrome-trace "$tmp/prof_trace.json" | grep -q "coverage"
+cargo run -q --release --offline -p dekg-cli -- \
+    obslint --file "$tmp/prof_trace.json" --chrome
+
 echo "==> perf harness smoke run (2 threads, tiny scale)"
 # Asserts the parallel/sparse/batched pipeline stays bit-identical
 # to the serial seed pipeline; the tracked numbers in BENCH_perf.json
@@ -84,6 +99,21 @@ echo "==> zero-allocation sanitizer: warmed batched scoring loop"
 cargo run -q --release --offline -p dekg-bench --features count-alloc --bin perf -- \
     --alloc-check --out "$tmp/BENCH_perf.json"
 grep -q '"measured_peak_delta_bytes"' "$tmp/BENCH_perf.json"
+
+echo "==> perf-regression watchdog: --compare"
+# A report must hold every tracked speedup/coverage ratio of its
+# baseline: self-comparison passes, and a baseline with an inflated
+# speedup (simulating a regression in the current run) must fail
+# nonzero — that exact failure is the CI tripwire for perf regressions.
+cargo run -q --release --offline -p dekg-bench --bin perf -- \
+    --out "$tmp/BENCH_perf.json" --compare "$tmp/BENCH_perf.json"
+sed -E 's/"end_to_end_eval_speedup": [0-9.eE+-]+/"end_to_end_eval_speedup": 99999.0/' \
+    "$tmp/BENCH_perf.json" > "$tmp/BENCH_tampered.json"
+if cargo run -q --release --offline -p dekg-bench --bin perf -- \
+    --out "$tmp/BENCH_perf.json" --compare "$tmp/BENCH_tampered.json" > /dev/null; then
+    echo "watchdog failed to flag an injected regression" >&2
+    exit 1
+fi
 
 echo "==> batched-path smoke: evaluate batched vs per-candidate, identical metrics"
 # The same checkpoint evaluated through the batched candidate-ranking
